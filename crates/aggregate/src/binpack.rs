@@ -1,0 +1,241 @@
+//! The bin-packer (paper §4): bounds on aggregate size.
+//!
+//! "The aggregation parameters might not be sufficient when aggregating a
+//! large number of identical flex-offers. In such a case, all identical
+//! flex-offer\[s\] will be aggregated into a single aggregated flex-offer
+//! thus losing the flexibility to schedule them individually. To prevent
+//! this, a so called bin-packer is designed. … It should be noticed that
+//! this bin-packer is an optional feature and can be turned off."
+//!
+//! The packer consumes group updates and splits each group's members into
+//! bounded sub-groups (first-fit in stable member order). It remembers the
+//! sub-group count per group so shrinking groups emit `Removed` updates
+//! for vanished sub-groups.
+
+use crate::config::BinPackerConfig;
+use crate::update::{GroupUpdate, SubgroupId, SubgroupUpdate};
+use mirabel_core::{FlexOffer, GroupId};
+use std::collections::HashMap;
+
+/// Splits similarity groups into bounds-satisfying sub-groups.
+#[derive(Debug)]
+pub struct BinPacker {
+    config: BinPackerConfig,
+    /// Sub-group count previously emitted per group.
+    emitted: HashMap<GroupId, u32>,
+}
+
+impl BinPacker {
+    /// Packer with the given bounds.
+    pub fn new(config: BinPackerConfig) -> BinPacker {
+        BinPacker {
+            config,
+            emitted: HashMap::new(),
+        }
+    }
+
+    /// The bounds in use.
+    pub fn config(&self) -> &BinPackerConfig {
+        &self.config
+    }
+
+    /// Partition members by first-fit under the configured bounds.
+    fn partition(&self, members: &[FlexOffer]) -> Vec<Vec<FlexOffer>> {
+        let mut bins: Vec<Vec<FlexOffer>> = Vec::new();
+        let mut bin_energy: Vec<f64> = Vec::new();
+        for offer in members {
+            let e = offer.profile().max_total_energy().kwh();
+            let fits = |i: usize, bins: &[Vec<FlexOffer>], bin_energy: &[f64]| -> bool {
+                if let Some(mm) = self.config.max_members {
+                    if bins[i].len() >= mm {
+                        return false;
+                    }
+                }
+                if let Some(me) = self.config.max_energy_kwh {
+                    // A bin accepts an offer if empty (oversized single
+                    // offers still get a bin) or if the energy bound holds.
+                    if !bins[i].is_empty() && bin_energy[i] + e > me {
+                        return false;
+                    }
+                }
+                true
+            };
+            let slot = (0..bins.len()).find(|&i| fits(i, &bins, &bin_energy));
+            match slot {
+                Some(i) => {
+                    bins[i].push(offer.clone());
+                    bin_energy[i] += e;
+                }
+                None => {
+                    bins.push(vec![offer.clone()]);
+                    bin_energy.push(e);
+                }
+            }
+        }
+        bins
+    }
+
+    /// Consume group updates, emit sub-group updates.
+    pub fn apply(&mut self, updates: Vec<GroupUpdate>) -> Vec<SubgroupUpdate> {
+        let mut out = Vec::new();
+        for u in updates {
+            match u {
+                GroupUpdate::Removed { group } => {
+                    let n = self.emitted.remove(&group).unwrap_or(0);
+                    for index in 0..n {
+                        out.push(SubgroupUpdate::Removed {
+                            subgroup: SubgroupId { group, index },
+                        });
+                    }
+                }
+                GroupUpdate::Upsert { group, members } => {
+                    let bins = self.partition(&members);
+                    let new_n = bins.len() as u32;
+                    let old_n = self.emitted.insert(group, new_n).unwrap_or(0);
+                    for (i, bin) in bins.into_iter().enumerate() {
+                        out.push(SubgroupUpdate::Upsert {
+                            subgroup: SubgroupId {
+                                group,
+                                index: i as u32,
+                            },
+                            members: bin,
+                        });
+                    }
+                    for index in new_n..old_n {
+                        out.push(SubgroupUpdate::Removed {
+                            subgroup: SubgroupId { group, index },
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pass-through used when the bin-packer is disabled: each group maps
+    /// to exactly one sub-group (index 0).
+    pub fn passthrough(updates: Vec<GroupUpdate>) -> Vec<SubgroupUpdate> {
+        updates
+            .into_iter()
+            .map(|u| match u {
+                GroupUpdate::Upsert { group, members } => SubgroupUpdate::Upsert {
+                    subgroup: SubgroupId { group, index: 0 },
+                    members,
+                },
+                GroupUpdate::Removed { group } => SubgroupUpdate::Removed {
+                    subgroup: SubgroupId { group, index: 0 },
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile, TimeSlot};
+
+    fn offer(id: u64, max_kwh: f64) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(10))
+            .profile(Profile::uniform(1, EnergyRange::new(0.0, max_kwh).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn upsert(group: u64, members: Vec<FlexOffer>) -> GroupUpdate {
+        GroupUpdate::Upsert {
+            group: GroupId(group),
+            members,
+        }
+    }
+
+    #[test]
+    fn member_bound_splits_groups() {
+        let mut bp = BinPacker::new(BinPackerConfig::max_members(3));
+        let members: Vec<FlexOffer> = (0..10).map(|i| offer(i, 1.0)).collect();
+        let out = bp.apply(vec![upsert(1, members)]);
+        let upserts: Vec<_> = out
+            .iter()
+            .filter_map(|u| match u {
+                SubgroupUpdate::Upsert { members, .. } => Some(members.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(upserts, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn energy_bound_respected() {
+        let mut bp = BinPacker::new(BinPackerConfig::max_energy(5.0));
+        let members = vec![offer(1, 3.0), offer(2, 3.0), offer(3, 1.0)];
+        let out = bp.apply(vec![upsert(1, members)]);
+        for u in &out {
+            if let SubgroupUpdate::Upsert { members, .. } = u {
+                let total: f64 = members
+                    .iter()
+                    .map(|o| o.profile().max_total_energy().kwh())
+                    .sum();
+                assert!(total <= 5.0 + 1e-9, "bin energy {total}");
+            }
+        }
+        // first-fit: [3.0, 1.0] and [3.0]
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn oversized_single_offer_still_packed() {
+        let mut bp = BinPacker::new(BinPackerConfig::max_energy(1.0));
+        let out = bp.apply(vec![upsert(1, vec![offer(1, 50.0)])]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], SubgroupUpdate::Upsert { members, .. } if members.len() == 1));
+    }
+
+    #[test]
+    fn shrinking_group_removes_stale_subgroups() {
+        let mut bp = BinPacker::new(BinPackerConfig::max_members(2));
+        bp.apply(vec![upsert(1, (0..6).map(|i| offer(i, 1.0)).collect())]); // 3 bins
+        let out = bp.apply(vec![upsert(1, (0..2).map(|i| offer(i, 1.0)).collect())]); // 1 bin
+        let removed: Vec<u32> = out
+            .iter()
+            .filter_map(|u| match u {
+                SubgroupUpdate::Removed { subgroup } => Some(subgroup.index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(removed, vec![1, 2]);
+    }
+
+    #[test]
+    fn group_removal_cascades() {
+        let mut bp = BinPacker::new(BinPackerConfig::max_members(1));
+        bp.apply(vec![upsert(7, vec![offer(1, 1.0), offer(2, 1.0)])]);
+        let out = bp.apply(vec![GroupUpdate::Removed { group: GroupId(7) }]);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|u| matches!(u, SubgroupUpdate::Removed { .. })));
+    }
+
+    #[test]
+    fn unbounded_config_keeps_one_bin() {
+        let mut bp = BinPacker::new(BinPackerConfig::default());
+        let out = bp.apply(vec![upsert(1, (0..100).map(|i| offer(i, 1.0)).collect())]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn passthrough_maps_one_to_one() {
+        let out = BinPacker::passthrough(vec![
+            upsert(1, vec![offer(1, 1.0)]),
+            GroupUpdate::Removed { group: GroupId(2) },
+        ]);
+        assert_eq!(out.len(), 2);
+        assert!(
+            matches!(&out[0], SubgroupUpdate::Upsert { subgroup, .. } if subgroup.index == 0)
+        );
+        assert!(
+            matches!(&out[1], SubgroupUpdate::Removed { subgroup } if subgroup.group == GroupId(2))
+        );
+    }
+}

@@ -1,0 +1,485 @@
+//! The group-builder (paper §4): partitions flex-offers into disjoint
+//! similarity groups based on the aggregation thresholds.
+//!
+//! Offers are bucketed on a grid over (kind, earliest start, time
+//! flexibility, optionally duration); a tolerance of `t` slots yields
+//! buckets of width `t + 1`, so attribute values within one group deviate
+//! by at most `t`. Updates are accumulated and, when flushed, emitted as
+//! group updates for the bin-packer / aggregator.
+
+use crate::config::AggregationParams;
+use crate::update::{FlexOfferUpdate, GroupUpdate};
+use mirabel_core::{FlexOffer, FlexOfferId, GroupId, OfferKind};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Bucketed similarity key. `cell` is 0 unless the integrated member cap
+/// is active, in which case it sub-partitions an attribute bucket into
+/// bounded cells (the one-pass bin-packing integration of §4 Research
+/// Directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct GroupKey {
+    kind_production: bool,
+    start_bucket: i64,
+    tf_bucket: u32,
+    duration_bucket: Option<u32>,
+    cell: u32,
+}
+
+/// Occupancy of the bounded cells of one attribute bucket.
+#[derive(Debug, Default)]
+struct CellDirectory {
+    counts: Vec<u32>,
+    first_open: usize,
+}
+
+impl CellDirectory {
+    /// Allocate a slot: the first cell with room, appending a new cell if
+    /// every existing one is full.
+    fn allocate(&mut self, cap: u32) -> u32 {
+        while self.first_open < self.counts.len() && self.counts[self.first_open] >= cap {
+            self.first_open += 1;
+        }
+        if self.first_open == self.counts.len() {
+            self.counts.push(0);
+        }
+        self.counts[self.first_open] += 1;
+        self.first_open as u32
+    }
+
+    fn release(&mut self, cell: u32) {
+        let c = cell as usize;
+        if c < self.counts.len() && self.counts[c] > 0 {
+            self.counts[c] -= 1;
+            self.first_open = self.first_open.min(c);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Group {
+    members: HashMap<FlexOfferId, FlexOffer>,
+}
+
+/// Incremental similarity grouping.
+#[derive(Debug)]
+pub struct GroupBuilder {
+    params: AggregationParams,
+    groups: HashMap<GroupKey, (GroupId, Group)>,
+    /// Reverse index: offer → its group key.
+    index: HashMap<FlexOfferId, GroupKey>,
+    /// Updates accumulated since the last flush.
+    pending: Vec<FlexOfferUpdate>,
+    next_group: u64,
+    /// Integrated member cap: when set, attribute buckets are split into
+    /// cells of at most this many members during grouping itself, so no
+    /// separate bin-packing pass is needed.
+    member_cap: Option<u32>,
+    cells: HashMap<GroupKey, CellDirectory>,
+}
+
+impl GroupBuilder {
+    /// Empty builder with the given thresholds.
+    pub fn new(params: AggregationParams) -> GroupBuilder {
+        GroupBuilder {
+            params,
+            groups: HashMap::new(),
+            index: HashMap::new(),
+            pending: Vec::new(),
+            next_group: 0,
+            member_cap: None,
+            cells: HashMap::new(),
+        }
+    }
+
+    /// Builder with the integrated member cap (§4 Research Directions:
+    /// "it is a challenge to integrate the bin-packer with a
+    /// group-builder" — this partitions in one pass, bounding every
+    /// emitted group to `cap` members).
+    pub fn with_member_cap(params: AggregationParams, cap: u32) -> GroupBuilder {
+        assert!(cap >= 1, "member cap must be at least 1");
+        let mut gb = GroupBuilder::new(params);
+        gb.member_cap = Some(cap);
+        gb
+    }
+
+    /// The thresholds in use.
+    pub fn params(&self) -> &AggregationParams {
+        &self.params
+    }
+
+    fn key_of(&self, offer: &FlexOffer) -> GroupKey {
+        let sa_w = self.params.start_after_tolerance as i64 + 1;
+        let tf_w = self.params.time_flexibility_tolerance + 1;
+        GroupKey {
+            kind_production: offer.kind() == OfferKind::Production,
+            start_bucket: offer.earliest_start().index().div_euclid(sa_w),
+            tf_bucket: offer.time_flexibility() / tf_w,
+            duration_bucket: self
+                .params
+                .duration_tolerance
+                .map(|t| offer.duration() / (t + 1)),
+            cell: 0,
+        }
+    }
+
+    /// Queue updates without processing ("flex-offer updates are
+    /// accumulated within the group-builder until their further processing
+    /// is invoked").
+    pub fn accumulate(&mut self, updates: impl IntoIterator<Item = FlexOfferUpdate>) {
+        self.pending.extend(updates);
+    }
+
+    /// Number of queued, unprocessed updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Process all queued updates and emit the group changes.
+    pub fn flush(&mut self) -> Vec<GroupUpdate> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut touched: HashSet<GroupKey> = HashSet::new();
+        for u in pending {
+            match u {
+                FlexOfferUpdate::Insert(offer) => {
+                    let mut key = self.key_of(&offer);
+                    // Integrated bin-packing: place the offer into the
+                    // first attribute-bucket cell with room.
+                    if let Some(cap) = self.member_cap {
+                        // Re-inserting the same id into the same bucket
+                        // keeps its cell (membership is replaced, not
+                        // duplicated).
+                        let prior = self.index.get(&offer.id()).copied();
+                        match prior {
+                            Some(old) if GroupKey { cell: 0, ..old } == key => {
+                                key.cell = old.cell;
+                            }
+                            _ => {
+                                key.cell =
+                                    self.cells.entry(key).or_default().allocate(cap);
+                            }
+                        }
+                    }
+                    // Re-insert under a different key ⇒ remove from the old
+                    // group first.
+                    if let Some(old) = self.index.insert(offer.id(), key) {
+                        if old != key {
+                            if let Some((_, g)) = self.groups.get_mut(&old) {
+                                g.members.remove(&offer.id());
+                                touched.insert(old);
+                            }
+                            if self.member_cap.is_some() {
+                                if let Some(dir) =
+                                    self.cells.get_mut(&GroupKey { cell: 0, ..old })
+                                {
+                                    dir.release(old.cell);
+                                }
+                            }
+                        }
+                    }
+                    let (_, group) = match self.groups.entry(key) {
+                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Vacant(e) => {
+                            let id = GroupId(self.next_group);
+                            self.next_group += 1;
+                            e.insert((id, Group::default()))
+                        }
+                    };
+                    group.members.insert(offer.id(), offer);
+                    touched.insert(key);
+                }
+                FlexOfferUpdate::Delete(id) => {
+                    if let Some(key) = self.index.remove(&id) {
+                        if let Some((_, g)) = self.groups.get_mut(&key) {
+                            g.members.remove(&id);
+                            touched.insert(key);
+                        }
+                        if self.member_cap.is_some() {
+                            if let Some(dir) =
+                                self.cells.get_mut(&GroupKey { cell: 0, ..key })
+                            {
+                                dir.release(key.cell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Deterministic emission order: group ids and downstream aggregate
+        // ids must not depend on hash iteration order.
+        let mut touched: Vec<GroupKey> = touched.into_iter().collect();
+        touched.sort_unstable();
+        let mut out = Vec::with_capacity(touched.len());
+        for key in touched {
+            let Some((gid, group)) = self.groups.get(&key) else {
+                continue;
+            };
+            if group.members.is_empty() {
+                let gid = *gid;
+                self.groups.remove(&key);
+                out.push(GroupUpdate::Removed { group: gid });
+            } else {
+                let mut members: Vec<FlexOffer> = group.members.values().cloned().collect();
+                members.sort_by_key(|o| o.id());
+                out.push(GroupUpdate::Upsert {
+                    group: *gid,
+                    members,
+                });
+            }
+        }
+        out
+    }
+
+    /// Current number of non-empty groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total offers currently grouped.
+    pub fn offer_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile, TimeSlot};
+
+    fn offer(id: u64, start: i64, tf: u32) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(start))
+            .time_flexibility(tf)
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn inserts(offers: Vec<FlexOffer>) -> Vec<FlexOfferUpdate> {
+        offers.into_iter().map(FlexOfferUpdate::Insert).collect()
+    }
+
+    #[test]
+    fn p0_groups_only_identical_attributes() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts(vec![
+            offer(1, 10, 4),
+            offer(2, 10, 4),
+            offer(3, 10, 5), // different TF
+            offer(4, 11, 4), // different start
+        ]));
+        let updates = gb.flush();
+        assert_eq!(gb.group_count(), 3);
+        assert_eq!(updates.len(), 3);
+        assert_eq!(gb.offer_count(), 4);
+    }
+
+    #[test]
+    fn tolerances_widen_buckets() {
+        let mut gb = GroupBuilder::new(AggregationParams::p3(4, 4));
+        gb.accumulate(inserts(vec![
+            offer(1, 10, 4),
+            offer(2, 12, 6), // within ±4 of both
+        ]));
+        gb.flush();
+        // bucket width 5: starts 10,12 both in bucket 2; tf 4,6 — 4/5=0, 6/5=1.
+        // tf values land in different buckets here, so choose values that share one:
+        assert_eq!(gb.group_count(), 2);
+        let mut gb2 = GroupBuilder::new(AggregationParams::p3(4, 4));
+        gb2.accumulate(inserts(vec![offer(1, 10, 5), offer(2, 12, 8)]));
+        gb2.flush();
+        assert_eq!(gb2.group_count(), 1);
+    }
+
+    #[test]
+    fn bucket_deviation_never_exceeds_tolerance() {
+        // Property: two offers in the same bucket differ by at most the
+        // tolerance in each attribute.
+        let params = AggregationParams::p3(7, 3);
+        let mut gb = GroupBuilder::new(params);
+        let offers: Vec<FlexOffer> = (0..500)
+            .map(|i| offer(i, (i % 97) as i64, (i % 13) as u32))
+            .collect();
+        gb.accumulate(inserts(offers));
+        for u in gb.flush() {
+            if let GroupUpdate::Upsert { members, .. } = u {
+                for a in &members {
+                    for b in &members {
+                        assert!(
+                            (a.earliest_start() - b.earliest_start()).unsigned_abs()
+                                <= params.start_after_tolerance as u64
+                        );
+                        assert!(
+                            a.time_flexibility().abs_diff(b.time_flexibility())
+                                <= params.time_flexibility_tolerance
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consumption_production_never_mix() {
+        let mut gb = GroupBuilder::new(AggregationParams::p3(1000, 1000));
+        let cons = offer(1, 10, 4);
+        let prod = FlexOffer::builder(2, 1)
+            .kind(OfferKind::Production)
+            .earliest_start(TimeSlot(10))
+            .time_flexibility(4)
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        gb.accumulate(inserts(vec![cons]));
+        gb.accumulate(vec![FlexOfferUpdate::Insert(prod)]);
+        gb.flush();
+        assert_eq!(gb.group_count(), 2);
+    }
+
+    #[test]
+    fn delete_shrinks_and_removes_groups() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 1);
+
+        gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(1))]);
+        let u1 = gb.flush();
+        assert_eq!(u1.len(), 1);
+        assert!(matches!(&u1[0], GroupUpdate::Upsert { members, .. } if members.len() == 1));
+
+        gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(2))]);
+        let u2 = gb.flush();
+        assert!(matches!(&u2[0], GroupUpdate::Removed { .. }));
+        assert_eq!(gb.group_count(), 0);
+        assert_eq!(gb.offer_count(), 0);
+    }
+
+    #[test]
+    fn delete_unknown_offer_is_noop() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(99))]);
+        assert!(gb.flush().is_empty());
+    }
+
+    #[test]
+    fn reinsert_moves_between_groups() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts(vec![offer(1, 5, 2)]));
+        gb.flush();
+        // same id, different attributes: moves to a new group
+        gb.accumulate(inserts(vec![offer(1, 50, 9)]));
+        let updates = gb.flush();
+        assert_eq!(gb.group_count(), 1);
+        assert_eq!(gb.offer_count(), 1);
+        // old group removed + new group upserted
+        assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn accumulate_defers_processing() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts(vec![offer(1, 5, 2)]));
+        assert_eq!(gb.pending_len(), 1);
+        assert_eq!(gb.group_count(), 0); // not yet processed
+        gb.flush();
+        assert_eq!(gb.pending_len(), 0);
+        assert_eq!(gb.group_count(), 1);
+    }
+
+    #[test]
+    fn flush_batches_touch_each_group_once() {
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts((0..100).map(|i| offer(i, 5, 2)).collect()));
+        let updates = gb.flush();
+        assert_eq!(updates.len(), 1); // all in one group, one update
+    }
+
+    #[test]
+    fn integrated_cap_bounds_group_sizes() {
+        let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 3);
+        gb.accumulate(inserts((0..10).map(|i| offer(i, 5, 2)).collect()));
+        let updates = gb.flush();
+        // 10 identical offers, cap 3 → 4 groups (3+3+3+1)
+        assert_eq!(gb.group_count(), 4);
+        let mut sizes: Vec<usize> = updates
+            .iter()
+            .filter_map(|u| match u {
+                GroupUpdate::Upsert { members, .. } => Some(members.len()),
+                _ => None,
+            })
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn integrated_cap_reuses_freed_cells() {
+        let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 2);
+        gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2), offer(3, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 2); // cells [2, 1]
+        // delete one of the first cell, insert a new offer: it must fill
+        // the freed slot instead of opening a third cell
+        gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(1))]);
+        gb.flush();
+        gb.accumulate(inserts(vec![offer(4, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 2);
+        assert_eq!(gb.offer_count(), 3);
+    }
+
+    #[test]
+    fn integrated_cap_reinsert_same_bucket_keeps_cell() {
+        let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 2);
+        gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 1);
+        // re-insert offer 1 with identical attributes: stays in its cell,
+        // no phantom occupancy
+        gb.accumulate(inserts(vec![offer(1, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 1);
+        assert_eq!(gb.offer_count(), 2);
+        // the group still has room for nobody (cap 2) — a third offer
+        // opens a second cell
+        gb.accumulate(inserts(vec![offer(3, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 2);
+    }
+
+    #[test]
+    fn integrated_cap_reinsert_other_bucket_releases_cell() {
+        let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 1);
+        gb.accumulate(inserts(vec![offer(1, 5, 2)]));
+        gb.flush();
+        // move offer 1 to a different attribute bucket
+        gb.accumulate(inserts(vec![offer(1, 50, 9)]));
+        gb.flush();
+        assert_eq!(gb.offer_count(), 1);
+        // the old bucket's cell was released: a new offer at (5,2) fits
+        // into cell 0 again
+        gb.accumulate(inserts(vec![offer(2, 5, 2)]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 2);
+    }
+
+    #[test]
+    fn duration_tolerance_optional_dimension() {
+        let mut params = AggregationParams::p0();
+        params.duration_tolerance = Some(0);
+        let mut gb = GroupBuilder::new(params);
+        let mut long = offer(2, 10, 4);
+        // Rebuild with a longer profile.
+        long = FlexOffer::builder(long.id().value(), 1)
+            .earliest_start(TimeSlot(10))
+            .time_flexibility(4)
+            .profile(Profile::uniform(5, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        gb.accumulate(inserts(vec![offer(1, 10, 4), long]));
+        gb.flush();
+        assert_eq!(gb.group_count(), 2); // durations 2 vs 5 split
+    }
+}

@@ -1,0 +1,66 @@
+//! # mirabel-aggregate
+//!
+//! Flex-offer aggregation and disaggregation (paper §4).
+//!
+//! The trader's node receives more than 10⁶ micro flex-offers per day —
+//! far too many to schedule individually — so similar offers are
+//! aggregated into *macro* flex-offers first. The paper's component is a
+//! chain of three sub-components, reproduced here one module each:
+//!
+//! 1. [`group::GroupBuilder`] — partitions offers into similarity groups
+//!    controlled by user-defined *aggregation thresholds* (start-after
+//!    tolerance, time-flexibility tolerance, …);
+//! 2. [`binpack::BinPacker`] — optional; splits groups into bounded
+//!    sub-groups (member count / energy bounds);
+//! 3. [`nto1::NToOneAggregator`] — folds each (sub-)group into a single
+//!    [`AggregatedFlexOffer`] and performs disaggregation of scheduled
+//!    aggregates back into micro schedules.
+//!
+//! The sub-components communicate through explicit update streams
+//! ([`update`]) so the whole pipeline is *incremental*: processing a batch
+//! of offer inserts/deletes touches only the affected groups and
+//! aggregates ("aggregated flex-offers can be incrementally updated to
+//! avoid a from-scratch re-computation").
+//!
+//! ## The four requirements (§4)
+//!
+//! * **Disaggregation requirement** (hard): any schedule of the aggregate
+//!   maps to valid schedules of the members. Guaranteed by conservative
+//!   construction: the aggregate's time flexibility is the *minimum*
+//!   member flexibility and its per-slot energy bounds are Minkowski sums
+//!   of member bounds. Property-tested in [`nto1`].
+//! * **Compression / flexibility / efficiency** (soft, conflicting):
+//!   measured by [`metrics::AggregationReport`] and explored in the
+//!   Figure 5 experiment.
+//!
+//! ```
+//! use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+//! use mirabel_core::{FlexOfferGenerator, GeneratorConfig};
+//!
+//! let offers: Vec<_> = FlexOfferGenerator::with_seed(1).take(1000).collect();
+//! let mut pipeline = AggregationPipeline::new(AggregationParams::p3(16, 16), None);
+//! pipeline.apply(offers.iter().cloned().map(FlexOfferUpdate::Insert).collect::<Vec<_>>());
+//! let report = pipeline.report();
+//! assert!(report.compression_ratio() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod binpack;
+pub mod config;
+pub mod group;
+pub mod metrics;
+pub mod nto1;
+pub mod pipeline;
+pub mod update;
+
+pub use aggregate::AggregatedFlexOffer;
+pub use binpack::BinPacker;
+pub use config::{AggregationParams, BinPackerConfig};
+pub use group::GroupBuilder;
+pub use metrics::AggregationReport;
+pub use nto1::{DisaggregationError, NToOneAggregator};
+pub use pipeline::AggregationPipeline;
+pub use update::{AggregateUpdate, FlexOfferUpdate, GroupUpdate, SubgroupId, SubgroupUpdate};

@@ -1,0 +1,373 @@
+//! The n-to-1 aggregator (paper §4): maintains one [`AggregatedFlexOffer`]
+//! per sub-group and disaggregates scheduled aggregates back into micro
+//! schedules.
+
+use crate::aggregate::AggregatedFlexOffer;
+use crate::update::{AggregateUpdate, SubgroupId, SubgroupUpdate};
+use mirabel_core::{AggregateId, DomainError, FlexOffer, ScheduledFlexOffer, TimeSlot};
+use std::collections::HashMap;
+
+/// Errors from disaggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisaggregationError {
+    /// No aggregate with that id is maintained.
+    UnknownAggregate(AggregateId),
+    /// The schedule violates the aggregate's constraints.
+    InvalidSchedule(DomainError),
+}
+
+impl std::fmt::Display for DisaggregationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DisaggregationError::UnknownAggregate(id) => write!(f, "unknown aggregate {id}"),
+            DisaggregationError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DisaggregationError {}
+
+#[derive(Debug, Clone)]
+struct AggregateEntry {
+    aggregate: AggregatedFlexOffer,
+    members: Vec<FlexOffer>,
+}
+
+/// Maintains aggregates per sub-group; performs disaggregation.
+#[derive(Debug, Default)]
+pub struct NToOneAggregator {
+    by_subgroup: HashMap<SubgroupId, AggregateId>,
+    store: HashMap<AggregateId, AggregateEntry>,
+    next_id: u64,
+}
+
+impl NToOneAggregator {
+    /// Empty aggregator.
+    pub fn new() -> NToOneAggregator {
+        NToOneAggregator::default()
+    }
+
+    /// Consume sub-group updates; maintain aggregates; emit aggregate
+    /// updates.
+    pub fn apply(&mut self, updates: Vec<SubgroupUpdate>) -> Vec<AggregateUpdate> {
+        let mut out = Vec::with_capacity(updates.len());
+        for u in updates {
+            match u {
+                SubgroupUpdate::Upsert { subgroup, members } => {
+                    let id = *self.by_subgroup.entry(subgroup).or_insert_with(|| {
+                        let id = AggregateId(self.next_id);
+                        self.next_id += 1;
+                        id
+                    });
+                    let aggregate = AggregatedFlexOffer::build(id, &members);
+                    out.push(AggregateUpdate::Upsert(aggregate.clone()));
+                    self.store.insert(id, AggregateEntry { aggregate, members });
+                }
+                SubgroupUpdate::Removed { subgroup } => {
+                    if let Some(id) = self.by_subgroup.remove(&subgroup) {
+                        self.store.remove(&id);
+                        out.push(AggregateUpdate::Removed(id));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate the maintained aggregates.
+    pub fn aggregates(&self) -> impl Iterator<Item = &AggregatedFlexOffer> {
+        self.store.values().map(|e| &e.aggregate)
+    }
+
+    /// Look up one aggregate.
+    pub fn aggregate(&self, id: AggregateId) -> Option<&AggregatedFlexOffer> {
+        self.store.get(&id).map(|e| &e.aggregate)
+    }
+
+    /// The members of one aggregate.
+    pub fn members(&self, id: AggregateId) -> Option<&[FlexOffer]> {
+        self.store.get(&id).map(|e| e.members.as_slice())
+    }
+
+    /// Number of maintained aggregates.
+    pub fn aggregate_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Disaggregate a scheduled aggregate into scheduled micro
+    /// flex-offers (paper: "quite straightforward" because the
+    /// disaggregation requirement holds by construction).
+    ///
+    /// The aggregate-level start shift `δ = schedule.start −
+    /// aggregate.earliest_start` is applied to every member; per aggregate
+    /// slot, the scheduled energy is positioned at the same fraction of
+    /// each member's `[min, max]` range as it is within the aggregate's
+    /// summed range.
+    pub fn disaggregate(
+        &self,
+        id: AggregateId,
+        schedule: &ScheduledFlexOffer,
+    ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
+        let entry = self
+            .store
+            .get(&id)
+            .ok_or(DisaggregationError::UnknownAggregate(id))?;
+        let agg = &entry.aggregate;
+        let as_offer = agg
+            .to_flex_offer()
+            .map_err(DisaggregationError::InvalidSchedule)?;
+        schedule
+            .validate_against(&as_offer, 1e-6)
+            .map_err(DisaggregationError::InvalidSchedule)?;
+
+        let delta = (schedule.start - agg.earliest_start) as u32;
+        // Per-aggregate-slot fill fraction.
+        let fractions: Vec<f64> = agg
+            .profile
+            .slot_ranges()
+            .zip(&schedule.slot_energies)
+            .map(|(range, &e)| range.fraction_of(e))
+            .collect();
+
+        let mut out = Vec::with_capacity(entry.members.len());
+        for m in &entry.members {
+            let offset = (m.earliest_start() - agg.earliest_start) as usize;
+            let start = m.earliest_start() + delta;
+            let slot_energies = m
+                .profile()
+                .slot_ranges()
+                .enumerate()
+                .map(|(k, r)| r.lerp(fractions[offset + k]))
+                .collect();
+            let s = ScheduledFlexOffer {
+                offer_id: m.id(),
+                start,
+                slot_energies,
+            };
+            debug_assert!(s.validate_against(m, 1e-6).is_ok());
+            out.push(s);
+        }
+        Ok(out)
+    }
+
+    /// Disaggregate with the aggregate start shift only, all members at
+    /// minimum energy — used by the open-contract fallback paths.
+    pub fn disaggregate_at_min(
+        &self,
+        id: AggregateId,
+        start: TimeSlot,
+    ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
+        let entry = self
+            .store
+            .get(&id)
+            .ok_or(DisaggregationError::UnknownAggregate(id))?;
+        let agg = &entry.aggregate;
+        let as_offer = agg
+            .to_flex_offer()
+            .map_err(DisaggregationError::InvalidSchedule)?;
+        let schedule = ScheduledFlexOffer::at_min(&as_offer, start);
+        self.disaggregate(id, &schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{Energy, EnergyRange, GroupId, Profile};
+    use proptest::prelude::*;
+
+    fn member(id: u64, start: i64, tf: u32, slots: u32, lo: f64, hi: f64) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(start))
+            .time_flexibility(tf)
+            .profile(Profile::uniform(slots, EnergyRange::new(lo, hi).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn sg(g: u64, i: u32) -> SubgroupId {
+        SubgroupId {
+            group: GroupId(g),
+            index: i,
+        }
+    }
+
+    fn aggregator_with(members: Vec<FlexOffer>) -> (NToOneAggregator, AggregateId) {
+        let mut agg = NToOneAggregator::new();
+        let updates = agg.apply(vec![SubgroupUpdate::Upsert {
+            subgroup: sg(0, 0),
+            members,
+        }]);
+        let id = match &updates[0] {
+            AggregateUpdate::Upsert(a) => a.id,
+            _ => panic!("expected upsert"),
+        };
+        (agg, id)
+    }
+
+    #[test]
+    fn upsert_reuses_aggregate_id() {
+        let mut agg = NToOneAggregator::new();
+        let u1 = agg.apply(vec![SubgroupUpdate::Upsert {
+            subgroup: sg(0, 0),
+            members: vec![member(1, 10, 4, 2, 1.0, 2.0)],
+        }]);
+        let u2 = agg.apply(vec![SubgroupUpdate::Upsert {
+            subgroup: sg(0, 0),
+            members: vec![member(1, 10, 4, 2, 1.0, 2.0), member(2, 10, 4, 2, 1.0, 2.0)],
+        }]);
+        let id1 = match &u1[0] {
+            AggregateUpdate::Upsert(a) => a.id,
+            _ => panic!(),
+        };
+        let id2 = match &u2[0] {
+            AggregateUpdate::Upsert(a) => a.id,
+            _ => panic!(),
+        };
+        assert_eq!(id1, id2);
+        assert_eq!(agg.aggregate_count(), 1);
+        assert_eq!(agg.aggregate(id1).unwrap().member_count(), 2);
+    }
+
+    #[test]
+    fn removal_emits_removed() {
+        let mut agg = NToOneAggregator::new();
+        agg.apply(vec![SubgroupUpdate::Upsert {
+            subgroup: sg(0, 0),
+            members: vec![member(1, 10, 4, 2, 1.0, 2.0)],
+        }]);
+        let out = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }]);
+        assert!(matches!(out[0], AggregateUpdate::Removed(_)));
+        assert_eq!(agg.aggregate_count(), 0);
+        // double removal is a no-op
+        let out2 = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }]);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn disaggregate_identical_members_splits_energy() {
+        let (agg, id) = aggregator_with(vec![
+            member(1, 10, 4, 2, 1.0, 2.0),
+            member(2, 10, 4, 2, 1.0, 2.0),
+        ]);
+        let macro_offer = agg.aggregate(id).unwrap().to_flex_offer().unwrap();
+        // schedule at δ=2, all slots at 3.0 (i.e. fraction 0.5 of [2,4])
+        let schedule = ScheduledFlexOffer {
+            offer_id: macro_offer.id(),
+            start: TimeSlot(12),
+            slot_energies: vec![Energy::from_kwh(3.0); 2],
+        };
+        let micro = agg.disaggregate(id, &schedule).unwrap();
+        assert_eq!(micro.len(), 2);
+        for s in &micro {
+            assert_eq!(s.start, TimeSlot(12));
+            for e in &s.slot_energies {
+                assert!(e.approx_eq(Energy::from_kwh(1.5), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn disaggregate_respects_member_windows() {
+        // members at different earliest starts (P2-style group)
+        let (agg, id) = aggregator_with(vec![
+            member(1, 10, 4, 2, 1.0, 1.0),
+            member(2, 12, 4, 2, 2.0, 2.0),
+        ]);
+        let a = agg.aggregate(id).unwrap();
+        assert_eq!(a.earliest_start, TimeSlot(10));
+        let macro_offer = a.to_flex_offer().unwrap();
+        let schedule = ScheduledFlexOffer::at_min(&macro_offer, TimeSlot(13)); // δ=3
+        let micro = agg.disaggregate(id, &schedule).unwrap();
+        assert_eq!(micro[0].start, TimeSlot(13)); // 10 + 3
+        assert_eq!(micro[1].start, TimeSlot(15)); // 12 + 3
+        for (s, m) in micro.iter().zip(agg.members(id).unwrap()) {
+            s.validate_against(m, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn disaggregate_rejects_bad_schedule() {
+        let (agg, id) = aggregator_with(vec![member(1, 10, 4, 2, 1.0, 2.0)]);
+        let macro_offer = agg.aggregate(id).unwrap().to_flex_offer().unwrap();
+        let bad_start = ScheduledFlexOffer::at_min(&macro_offer, TimeSlot(99));
+        assert!(matches!(
+            agg.disaggregate(id, &bad_start),
+            Err(DisaggregationError::InvalidSchedule(_))
+        ));
+        let unknown = agg.disaggregate(AggregateId(999), &bad_start);
+        assert!(matches!(
+            unknown,
+            Err(DisaggregationError::UnknownAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn disaggregate_at_min_validates_members() {
+        let (agg, id) = aggregator_with(vec![
+            member(1, 10, 6, 3, 0.5, 1.5),
+            member(2, 11, 8, 2, 1.0, 4.0),
+        ]);
+        let micro = agg.disaggregate_at_min(id, TimeSlot(14)).unwrap();
+        for (s, m) in micro.iter().zip(agg.members(id).unwrap()) {
+            s.validate_against(m, 1e-9).unwrap();
+            assert!(s.total_energy().approx_eq(m.profile().min_total_energy(), 1e-9));
+        }
+    }
+
+    proptest! {
+        /// The disaggregation requirement (paper §4): for ANY valid
+        /// schedule of the aggregate, disaggregation yields valid member
+        /// schedules whose per-slot energies sum to the aggregate's.
+        #[test]
+        fn disaggregation_requirement_holds(
+            starts in proptest::collection::vec(0i64..20, 1..6),
+            tfs in proptest::collection::vec(0u32..12, 6),
+            durs in proptest::collection::vec(1u32..5, 6),
+            los in proptest::collection::vec(0.0f64..3.0, 6),
+            widths in proptest::collection::vec(0.0f64..2.0, 6),
+            delta_frac in 0.0f64..1.0,
+            fill in 0.0f64..1.0,
+        ) {
+            let members: Vec<FlexOffer> = starts
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| member(
+                    i as u64,
+                    s,
+                    tfs[i],
+                    durs[i],
+                    los[i],
+                    los[i] + widths[i],
+                ))
+                .collect();
+            let (agg, id) = aggregator_with(members.clone());
+            let a = agg.aggregate(id).unwrap();
+            let macro_offer = a.to_flex_offer().unwrap();
+
+            let delta = (a.time_flexibility() as f64 * delta_frac).floor() as u32;
+            let start = a.earliest_start + delta;
+            let schedule = ScheduledFlexOffer::at_fraction(&macro_offer, start, fill);
+            schedule.validate_against(&macro_offer, 1e-9).unwrap();
+
+            let micro = agg.disaggregate(id, &schedule).unwrap();
+            prop_assert_eq!(micro.len(), members.len());
+
+            // every member schedule valid
+            for s in &micro {
+                let m = members.iter().find(|m| m.id() == s.offer_id).unwrap();
+                prop_assert!(s.validate_against(m, 1e-6).is_ok());
+            }
+
+            // per-slot energy conservation
+            for (k, &agg_e) in schedule.slot_energies.iter().enumerate() {
+                let t = schedule.start + k as u32;
+                let sum: Energy = micro.iter().map(|s| s.energy_at(t)).sum();
+                prop_assert!(
+                    sum.approx_eq(agg_e, 1e-6),
+                    "slot {} sum {} != aggregate {}", k, sum, agg_e
+                );
+            }
+        }
+    }
+}

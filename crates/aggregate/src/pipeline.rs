@@ -1,0 +1,301 @@
+//! The chained aggregation pipeline (paper §4): group-builder →
+//! (optional) bin-packer → n-to-1 aggregator, with incremental updates
+//! flowing through all three.
+
+use crate::aggregate::AggregatedFlexOffer;
+use crate::binpack::BinPacker;
+use crate::config::{AggregationParams, BinPackerConfig};
+use crate::group::GroupBuilder;
+use crate::metrics::AggregationReport;
+use crate::nto1::{DisaggregationError, NToOneAggregator};
+use crate::update::{AggregateUpdate, FlexOfferUpdate};
+use mirabel_core::{AggregateId, FlexOffer, ScheduledFlexOffer};
+
+/// The full aggregation component.
+#[derive(Debug)]
+pub struct AggregationPipeline {
+    groups: GroupBuilder,
+    binpacker: Option<BinPacker>,
+    aggregator: NToOneAggregator,
+}
+
+impl AggregationPipeline {
+    /// Pipeline with the given thresholds; `binpacker: None` disables the
+    /// bin-packer (as in the Figure 5 experiment).
+    pub fn new(params: AggregationParams, binpacker: Option<BinPackerConfig>) -> Self {
+        AggregationPipeline {
+            groups: GroupBuilder::new(params),
+            binpacker: binpacker.map(BinPacker::new),
+            aggregator: NToOneAggregator::new(),
+        }
+    }
+
+    /// Run a batch of offer updates through the whole chain; returns the
+    /// aggregated flex-offer updates.
+    pub fn apply(&mut self, updates: Vec<FlexOfferUpdate>) -> Vec<AggregateUpdate> {
+        self.groups.accumulate(updates);
+        let group_updates = self.groups.flush();
+        let subgroup_updates = match &mut self.binpacker {
+            Some(bp) => bp.apply(group_updates),
+            None => BinPacker::passthrough(group_updates),
+        };
+        self.aggregator.apply(subgroup_updates)
+    }
+
+    /// Pipeline with the *integrated* bounded group-builder (§4 Research
+    /// Directions): grouping and bin-packing happen in a single pass,
+    /// every aggregate has at most `member_cap` members, and the separate
+    /// bin-packer stage is skipped.
+    pub fn new_integrated(params: AggregationParams, member_cap: u32) -> Self {
+        AggregationPipeline {
+            groups: GroupBuilder::with_member_cap(params, member_cap),
+            binpacker: None,
+            aggregator: NToOneAggregator::new(),
+        }
+    }
+
+    /// Convenience: aggregate a whole offer set from scratch.
+    pub fn from_scratch(
+        params: AggregationParams,
+        binpacker: Option<BinPackerConfig>,
+        offers: impl IntoIterator<Item = FlexOffer>,
+    ) -> AggregationPipeline {
+        let mut p = AggregationPipeline::new(params, binpacker);
+        p.apply(offers.into_iter().map(FlexOfferUpdate::Insert).collect());
+        p
+    }
+
+    /// Iterate current aggregates.
+    pub fn aggregates(&self) -> impl Iterator<Item = &AggregatedFlexOffer> {
+        self.aggregator.aggregates()
+    }
+
+    /// Aggregates as plain flex-offers for the scheduler, in stable id
+    /// order (schedulers are order-sensitive; hash order is not
+    /// reproducible).
+    pub fn macro_offers(&self) -> Vec<FlexOffer> {
+        let mut out: Vec<FlexOffer> = self
+            .aggregator
+            .aggregates()
+            .map(|a| {
+                a.to_flex_offer()
+                    .expect("aggregates are valid flex-offers by construction")
+            })
+            .collect();
+        out.sort_by_key(|o| o.id());
+        out
+    }
+
+    /// Look up one aggregate.
+    pub fn aggregate(&self, id: AggregateId) -> Option<&AggregatedFlexOffer> {
+        self.aggregator.aggregate(id)
+    }
+
+    /// Disaggregate a scheduled aggregate (see
+    /// [`NToOneAggregator::disaggregate`]).
+    pub fn disaggregate(
+        &self,
+        id: AggregateId,
+        schedule: &ScheduledFlexOffer,
+    ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
+        self.aggregator.disaggregate(id, schedule)
+    }
+
+    /// Current quality metrics (Figure 5 quantities).
+    pub fn report(&self) -> AggregationReport {
+        let mut total_tf = 0u64;
+        let mut retained = 0u64;
+        let mut offers = 0usize;
+        for agg in self.aggregator.aggregates() {
+            let agg_tf = agg.time_flexibility() as u64;
+            let members = self
+                .aggregator
+                .members(agg.id)
+                .expect("aggregate has members");
+            offers += members.len();
+            for m in members {
+                total_tf += m.time_flexibility() as u64;
+                retained += agg_tf;
+            }
+        }
+        AggregationReport {
+            offer_count: offers,
+            aggregate_count: self.aggregator.aggregate_count(),
+            total_time_flexibility: total_tf,
+            retained_time_flexibility: retained,
+        }
+    }
+
+    /// Number of similarity groups currently maintained.
+    pub fn group_count(&self) -> usize {
+        self.groups.group_count()
+    }
+
+    /// Number of aggregates currently maintained.
+    pub fn aggregate_count(&self) -> usize {
+        self.aggregator.aggregate_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, FlexOfferGenerator, FlexOfferId, Profile, TimeSlot};
+
+    fn offer(id: u64, start: i64, tf: u32) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(start))
+            .time_flexibility(tf)
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn p0_has_zero_flexibility_loss() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(3).take(2000).collect();
+        let p = AggregationPipeline::from_scratch(AggregationParams::p0(), None, offers);
+        let r = p.report();
+        assert_eq!(r.offer_count, 2000);
+        assert_eq!(r.time_flexibility_loss(), 0);
+        assert!(r.compression_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn p1_loses_flexibility_p2_does_not() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(3).take(2000).collect();
+        let p1 =
+            AggregationPipeline::from_scratch(AggregationParams::p1(16), None, offers.clone());
+        let p2 = AggregationPipeline::from_scratch(AggregationParams::p2(16), None, offers);
+        assert!(p1.report().time_flexibility_loss() > 0);
+        assert_eq!(p2.report().time_flexibility_loss(), 0);
+    }
+
+    #[test]
+    fn wider_tolerances_compress_more() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(5).take(5000).collect();
+        let p0 = AggregationPipeline::from_scratch(AggregationParams::p0(), None, offers.clone());
+        let p3 = AggregationPipeline::from_scratch(
+            AggregationParams::p3(32, 32),
+            None,
+            offers,
+        );
+        assert!(
+            p3.report().compression_ratio() > p0.report().compression_ratio(),
+            "p3 {} <= p0 {}",
+            p3.report().compression_ratio(),
+            p0.report().compression_ratio()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(7).take(1000).collect();
+        let scratch = AggregationPipeline::from_scratch(
+            AggregationParams::p3(8, 8),
+            None,
+            offers.clone(),
+        );
+        let mut incremental = AggregationPipeline::new(AggregationParams::p3(8, 8), None);
+        for chunk in offers.chunks(100) {
+            incremental.apply(chunk.iter().cloned().map(FlexOfferUpdate::Insert).collect());
+        }
+        assert_eq!(scratch.aggregate_count(), incremental.aggregate_count());
+        assert_eq!(scratch.report(), incremental.report());
+    }
+
+    #[test]
+    fn deletes_reverse_inserts() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(9).take(500).collect();
+        let mut p = AggregationPipeline::new(AggregationParams::p3(8, 8), None);
+        p.apply(offers.iter().cloned().map(FlexOfferUpdate::Insert).collect());
+        assert!(p.aggregate_count() > 0);
+        p.apply(
+            offers
+                .iter()
+                .map(|o| FlexOfferUpdate::Delete(o.id()))
+                .collect(),
+        );
+        assert_eq!(p.aggregate_count(), 0);
+        assert_eq!(p.group_count(), 0);
+        assert_eq!(p.report().offer_count, 0);
+    }
+
+    #[test]
+    fn binpacker_bounds_aggregate_sizes() {
+        // 100 identical offers: without the bin-packer one aggregate,
+        // with max_members=10 exactly ten.
+        let offers: Vec<FlexOffer> = (0..100).map(|i| offer(i, 10, 4)).collect();
+        let without =
+            AggregationPipeline::from_scratch(AggregationParams::p0(), None, offers.clone());
+        assert_eq!(without.aggregate_count(), 1);
+        let with = AggregationPipeline::from_scratch(
+            AggregationParams::p0(),
+            Some(BinPackerConfig::max_members(10)),
+            offers,
+        );
+        assert_eq!(with.aggregate_count(), 10);
+        for a in with.aggregates() {
+            assert!(a.member_count() <= 10);
+        }
+        // both preserve all offers
+        assert_eq!(with.report().offer_count, 100);
+    }
+
+    #[test]
+    fn integrated_pipeline_matches_chained_binpacker_bounds() {
+        let offers: Vec<FlexOffer> = (0..100).map(|i| offer(i, 10, 4)).collect();
+        let chained = AggregationPipeline::from_scratch(
+            AggregationParams::p0(),
+            Some(BinPackerConfig::max_members(10)),
+            offers.clone(),
+        );
+        let mut integrated = AggregationPipeline::new_integrated(AggregationParams::p0(), 10);
+        integrated.apply(offers.iter().cloned().map(FlexOfferUpdate::Insert).collect());
+        assert_eq!(chained.aggregate_count(), 10);
+        assert_eq!(integrated.aggregate_count(), 10);
+        for a in integrated.aggregates() {
+            assert!(a.member_count() <= 10);
+        }
+        assert_eq!(integrated.report().offer_count, 100);
+        // and the round trip still works
+        let macros = integrated.macro_offers();
+        let schedule = ScheduledFlexOffer::at_fraction(&macros[0], TimeSlot(12), 0.3);
+        let micro = integrated
+            .disaggregate(AggregateId(macros[0].id().value()), &schedule)
+            .unwrap();
+        assert_eq!(micro.len(), 10);
+    }
+
+    #[test]
+    fn scheduling_roundtrip_through_pipeline() {
+        let offers: Vec<FlexOffer> = (0..10).map(|i| offer(i, 10, 4)).collect();
+        let p = AggregationPipeline::from_scratch(AggregationParams::p0(), None, offers.clone());
+        let macros = p.macro_offers();
+        assert_eq!(macros.len(), 1);
+        let schedule = ScheduledFlexOffer::at_fraction(&macros[0], TimeSlot(12), 0.5);
+        let agg_id = AggregateId(macros[0].id().value());
+        let micro = p.disaggregate(agg_id, &schedule).unwrap();
+        assert_eq!(micro.len(), 10);
+        for s in &micro {
+            let m = offers
+                .iter()
+                .find(|o| o.id() == s.offer_id)
+                .unwrap();
+            s.validate_against(m, 1e-9).unwrap();
+        }
+    }
+
+    #[test]
+    fn update_of_existing_offer_replaces_it() {
+        let mut p = AggregationPipeline::new(AggregationParams::p0(), None);
+        p.apply(vec![FlexOfferUpdate::Insert(offer(1, 10, 4))]);
+        // the same offer id arrives again with new attributes
+        p.apply(vec![FlexOfferUpdate::Insert(offer(1, 50, 8))]);
+        assert_eq!(p.report().offer_count, 1);
+        let aggs: Vec<_> = p.aggregates().collect();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].earliest_start, TimeSlot(50));
+        let _ = FlexOfferId(1);
+    }
+}

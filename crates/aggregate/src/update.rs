@@ -1,0 +1,107 @@
+//! Update streams between the aggregation sub-components (paper §4).
+//!
+//! "It accepts a set of flex-offer updates … and produces a set of
+//! aggregated flex-offer updates. … the group-builder internally maintains
+//! similar flex-offer groups and produces group-updates … the bin-packer
+//! … produce\[s\] sub-group updates … the produced sub-group updates are
+//! issued to the n-to-1 aggregator."
+
+use crate::aggregate::AggregatedFlexOffer;
+use mirabel_core::{FlexOffer, FlexOfferId, GroupId};
+use serde::{Deserialize, Serialize};
+
+/// Input to the pipeline: offer arrivals and removals (accepted or
+/// expiring offers — "those with approaching assignment before time").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlexOfferUpdate {
+    /// A new offer entered the pool.
+    Insert(FlexOffer),
+    /// An offer left the pool (expired, withdrawn, or executed).
+    Delete(FlexOfferId),
+}
+
+/// Output of the group-builder: which similarity groups changed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupUpdate {
+    /// A group was created or its membership changed; carries the current
+    /// member snapshot.
+    Upsert {
+        /// The group.
+        group: GroupId,
+        /// Current members (cloned snapshot).
+        members: Vec<FlexOffer>,
+    },
+    /// A group became empty and was removed.
+    Removed {
+        /// The group.
+        group: GroupId,
+    },
+}
+
+/// Identifier of a bin-packed sub-group: the parent group plus an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubgroupId {
+    /// Parent similarity group.
+    pub group: GroupId,
+    /// Sub-group index within the parent.
+    pub index: u32,
+}
+
+impl std::fmt::Display for SubgroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.group, self.index)
+    }
+}
+
+/// Output of the bin-packer: which bounded sub-groups changed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubgroupUpdate {
+    /// A sub-group was created or changed; carries the member snapshot.
+    Upsert {
+        /// The sub-group.
+        subgroup: SubgroupId,
+        /// Current members.
+        members: Vec<FlexOffer>,
+    },
+    /// A sub-group disappeared.
+    Removed {
+        /// The sub-group.
+        subgroup: SubgroupId,
+    },
+}
+
+/// Output of the n-to-1 aggregator: created/changed/deleted aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateUpdate {
+    /// Aggregate created or recomputed.
+    Upsert(AggregatedFlexOffer),
+    /// Aggregate removed.
+    Removed(mirabel_core::AggregateId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subgroup_id_display() {
+        let id = SubgroupId {
+            group: GroupId(3),
+            index: 2,
+        };
+        assert_eq!(id.to_string(), "grp3#2");
+    }
+
+    #[test]
+    fn subgroup_id_ordering() {
+        let a = SubgroupId {
+            group: GroupId(1),
+            index: 5,
+        };
+        let b = SubgroupId {
+            group: GroupId(2),
+            index: 0,
+        };
+        assert!(a < b);
+    }
+}

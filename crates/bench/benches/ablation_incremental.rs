@@ -1,0 +1,59 @@
+//! Ablation: incremental vs from-scratch aggregation (paper §4:
+//! "aggregated flex-offers can be incrementally updated to avoid a
+//! from-scratch re-computation").
+//!
+//! A 20k-offer pool receives a small batch of updates; the incremental
+//! pipeline touches only affected groups, the from-scratch baseline
+//! rebuilds everything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel_core::{FlexOffer, FlexOfferGenerator};
+
+fn incremental_vs_scratch(c: &mut Criterion) {
+    let pool: Vec<FlexOffer> = FlexOfferGenerator::with_seed(6).take(20_000).collect();
+    let batch: Vec<FlexOffer> = FlexOfferGenerator::with_seed(7)
+        .take(200)
+        .enumerate()
+        .map(|(i, o)| {
+            // fresh ids above the pool's range
+            FlexOffer::builder(100_000 + i as u64, o.owner().value())
+                .kind(o.kind())
+                .earliest_start(o.earliest_start())
+                .latest_start(o.latest_start())
+                .assignment_before(o.assignment_before())
+                .profile(o.profile().clone())
+                .unit_price(o.unit_price())
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let params = AggregationParams::p3(16, 16);
+
+    let mut group = c.benchmark_group("ablation_incremental_200_updates_on_20k");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::from_parameter("incremental"), &(), |b, _| {
+        // Build once outside the measurement; measure only the batch.
+        let mut pipeline =
+            AggregationPipeline::from_scratch(params, None, pool.iter().cloned());
+        b.iter(|| {
+            let inserts: Vec<_> = batch.iter().cloned().map(FlexOfferUpdate::Insert).collect();
+            pipeline.apply(inserts);
+            let deletes: Vec<_> = batch.iter().map(|o| FlexOfferUpdate::Delete(o.id())).collect();
+            pipeline.apply(deletes);
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::from_parameter("from_scratch"), &(), |b, _| {
+        b.iter(|| {
+            let all = pool.iter().cloned().chain(batch.iter().cloned());
+            AggregationPipeline::from_scratch(params, None, all).aggregate_count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_scratch);
+criterion_main!(benches);

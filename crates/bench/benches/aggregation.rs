@@ -1,0 +1,55 @@
+//! Criterion micro-benches behind Figure 5: aggregation and
+//! disaggregation throughput per parameter combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mirabel_aggregate::{AggregationParams, AggregationPipeline};
+use mirabel_core::{AggregateId, FlexOfferGenerator, ScheduledFlexOffer};
+
+fn aggregation(c: &mut Criterion) {
+    let offers: Vec<_> = FlexOfferGenerator::with_seed(1).take(20_000).collect();
+    let mut group = c.benchmark_group("fig5_aggregate_20k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(offers.len() as u64));
+    for (name, params) in [
+        ("P0", AggregationParams::p0()),
+        ("P1", AggregationParams::p1(16)),
+        ("P2", AggregationParams::p2(16)),
+        ("P3", AggregationParams::p3(16, 16)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, &p| {
+            b.iter(|| AggregationPipeline::from_scratch(p, None, offers.iter().cloned()))
+        });
+    }
+    group.finish();
+}
+
+fn disaggregation(c: &mut Criterion) {
+    let offers: Vec<_> = FlexOfferGenerator::with_seed(1).take(20_000).collect();
+    let pipeline =
+        AggregationPipeline::from_scratch(AggregationParams::p3(16, 16), None, offers);
+    let schedules: Vec<(AggregateId, ScheduledFlexOffer)> = pipeline
+        .aggregates()
+        .map(|a| {
+            let o = a.to_flex_offer().unwrap();
+            (
+                AggregateId(a.id.value()),
+                ScheduledFlexOffer::at_fraction(&o, a.earliest_start, 0.5),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("fig5_disaggregate_20k");
+    group.sample_size(10);
+    group.bench_function("all_aggregates", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (id, s) in &schedules {
+                n += pipeline.disaggregate(*id, s).unwrap().len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, aggregation, disaggregation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind Figure 4(a): objective-evaluation throughput of
+//! the three global estimators on the HWT model (fixed evaluation budget,
+//! so the measured time is the per-evaluation cost each algorithm pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_core::{TimeSlot, SLOTS_PER_DAY};
+use mirabel_forecast::{
+    Budget, Estimator, ForecastModel, HwtModel, Objective, RandomRestartNelderMead, RandomSearch,
+    SimulatedAnnealing,
+};
+use mirabel_timeseries::DemandGenerator;
+
+fn estimators(c: &mut Criterion) {
+    let series =
+        DemandGenerator::default().generate(TimeSlot(0), 10 * SLOTS_PER_DAY as usize, 3);
+    let warmup = 7 * SLOTS_PER_DAY as usize;
+    let template = HwtModel::daily_weekly();
+    let bounds = template.param_bounds();
+
+    let mut group = c.benchmark_group("fig4a_estimation_200_evals");
+    group.sample_size(10);
+    let algos: Vec<(&str, Box<dyn Estimator>)> = vec![
+        ("rrnm", Box::new(RandomRestartNelderMead::default())),
+        ("sa", Box::new(SimulatedAnnealing::default())),
+        ("random", Box::new(RandomSearch)),
+    ];
+    for (name, est) in &algos {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), est, |b, est| {
+            b.iter(|| {
+                let t = template.clone();
+                let s = series.clone();
+                let objective = Objective::new(bounds.clone(), move |p: &[f64]| {
+                    let mut m = t.clone();
+                    m.set_params(p);
+                    m.evaluate(&s, warmup)
+                });
+                est.estimate(&objective, Budget::evaluations(200), 7).best_error
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimators);
+criterion_main!(benches);

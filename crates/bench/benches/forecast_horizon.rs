@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 4(b): model fit and multi-day forecast
+//! cost for demand vs wind series, plus the incremental-update fast path
+//! the paper's maintenance design relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_core::{TimeSlot, SLOTS_PER_DAY};
+use mirabel_forecast::{ForecastModel, HwtModel};
+use mirabel_timeseries::{DemandGenerator, WindGenerator};
+
+fn fit_and_forecast(c: &mut Criterion) {
+    let n = 21 * SLOTS_PER_DAY as usize;
+    let demand = DemandGenerator::default().generate(TimeSlot(0), n, 1);
+    let wind = WindGenerator::default().generate(TimeSlot(0), n, 2);
+
+    let mut group = c.benchmark_group("fig4b_hwt");
+    group.sample_size(20);
+    for (name, series) in [("demand", &demand), ("wind", &wind)] {
+        group.bench_with_input(BenchmarkId::new("fit_21d", name), series, |b, s| {
+            b.iter(|| {
+                let mut m = HwtModel::daily_weekly();
+                m.fit(s);
+                m
+            })
+        });
+    }
+    let mut fitted = HwtModel::daily_weekly();
+    fitted.fit(&demand);
+    for days in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("forecast_days", days),
+            &days,
+            |b, &d| b.iter(|| fitted.forecast(d * SLOTS_PER_DAY as usize)),
+        );
+    }
+    group.bench_function("incremental_update", |b| {
+        let mut m = fitted.clone();
+        b.iter(|| m.update(35_000.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fit_and_forecast);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Figure 6: cost of one scheduling run at fixed
+//! evaluation budget across instance sizes and algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_schedule::{
+    scenario, Budget, EvolutionaryScheduler, GreedyScheduler, ScenarioConfig,
+};
+
+fn schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_scheduling_2000_evals");
+    group.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        let problem = scenario(ScenarioConfig {
+            offer_count: n,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &problem, |b, p| {
+            b.iter(|| GreedyScheduler.run(p, Budget::evaluations(2_000), 3).cost)
+        });
+        group.bench_with_input(BenchmarkId::new("ea", n), &problem, |b, p| {
+            b.iter(|| {
+                EvolutionaryScheduler::default()
+                    .run(p, Budget::evaluations(2_000), 3)
+                    .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schedulers);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Figure 4(b): forecast accuracy vs forecast horizon.
+//!
+//! "We measured the forecast accuracy according to different forecast
+//! horizons … we used a supply data set, which contains wind energy data
+//! … the supply data set shows a much higher decrease in accuracy with
+//! increasing horizon." Demand and wind data sets are replaced by the
+//! synthetic generators (DESIGN.md §3).
+//!
+//! As in MIRABEL, the HWT smoothing parameters are estimated per series
+//! (random-restart Nelder-Mead) before forecasting — wind relies on the
+//! AR(1) persistence term, demand on the seasonal components.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin fig4b
+//! ```
+
+use mirabel_bench::quick_mode;
+use mirabel_core::{TimeSlot, SLOTS_PER_DAY};
+use mirabel_forecast::{
+    Budget, Estimator, ForecastModel, HwtModel, Objective, RandomRestartNelderMead,
+};
+use mirabel_timeseries::{smape, DemandGenerator, TimeSeries, WindGenerator};
+
+/// Fit HWT with estimated parameters on `train`.
+fn fitted_model(train: &TimeSeries, eval_budget: usize, seed: u64) -> HwtModel {
+    let warmup = train.len().saturating_sub(3 * SLOTS_PER_DAY as usize);
+    let template = HwtModel::daily_weekly();
+    let bounds = template.param_bounds();
+    let t = template.clone();
+    let series = train.clone();
+    let objective = Objective::new(bounds, move |p: &[f64]| {
+        let mut m = t.clone();
+        m.set_params(p);
+        m.evaluate(&series, warmup)
+    });
+    let result = RandomRestartNelderMead::default().estimate(
+        &objective,
+        Budget::evaluations(eval_budget),
+        seed,
+    );
+    let mut model = template;
+    model.set_params(&result.best_params);
+    model.fit(train);
+    model
+}
+
+fn main() {
+    let day = SLOTS_PER_DAY as usize;
+    let (train_days, repetitions, eval_budget) =
+        if quick_mode() { (21, 2, 60) } else { (28, 5, 250) };
+    let horizon_days = 4;
+
+    println!("# Figure 4(b) — accuracy (SMAPE) vs forecast horizon, HWT with estimated parameters");
+    println!(
+        "training: {train_days} days, {repetitions} repetitions, {eval_budget} estimation evaluations per model\n"
+    );
+
+    // From 15 minutes out to 4 days, log-ish spacing like the paper's axis.
+    let grid: Vec<usize> = vec![
+        1,
+        4,
+        8,
+        16,
+        32,
+        day / 2,
+        day,
+        2 * day,
+        3 * day,
+        4 * day,
+    ];
+    let mut demand_err = vec![0.0; grid.len()];
+    let mut supply_err = vec![0.0; grid.len()];
+
+    for rep in 0..repetitions as u64 {
+        let n = (train_days + horizon_days) * day;
+        let demand = DemandGenerator::default().generate(TimeSlot(0), n, 100 + rep);
+        let wind = WindGenerator::default().generate(TimeSlot(0), n, 200 + rep);
+        let split = TimeSlot((train_days * day) as i64);
+        let (d_train, d_test) = demand.split_at_slot(split);
+        let (w_train, w_test) = wind.split_at_slot(split);
+
+        let dm = fitted_model(&d_train, eval_budget, 10 + rep);
+        let wm = fitted_model(&w_train, eval_budget, 20 + rep);
+        let df = dm.forecast(horizon_days * day);
+        let wf = wm.forecast(horizon_days * day);
+
+        for (i, &h) in grid.iter().enumerate() {
+            demand_err[i] += smape(&d_test.values()[..h], &df[..h]) / repetitions as f64;
+            supply_err[i] += smape(&w_test.values()[..h], &wf[..h]) / repetitions as f64;
+        }
+    }
+
+    println!(
+        "| {:>12} | {:>14} | {:>13} |",
+        "horizon days", "demand SMAPE", "supply SMAPE"
+    );
+    println!("|-------------:|---------------:|--------------:|");
+    for (i, &h) in grid.iter().enumerate() {
+        println!(
+            "| {:>12.3} | {:>14.4} | {:>13.4} |",
+            h as f64 / day as f64,
+            demand_err[i],
+            supply_err[i]
+        );
+    }
+
+    let d_ratio = demand_err.last().unwrap() / demand_err.first().unwrap().max(1e-9);
+    let s_ratio = supply_err.last().unwrap() / supply_err.first().unwrap().max(1e-9);
+    println!("\nerror growth 15 min → 4 days: demand ×{d_ratio:.1}, supply ×{s_ratio:.1}");
+    println!(
+        "supply/demand error at 4 days: {:.1}x  (paper: supply degrades much faster \
+         with the horizon; demand stays accurate for hours-scale horizons)",
+        supply_err.last().unwrap() / demand_err.last().unwrap().max(1e-9)
+    );
+}

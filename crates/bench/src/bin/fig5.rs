@@ -1,0 +1,101 @@
+//! Figure 5 (a–d): the aggregation experiment.
+//!
+//! "We used a flex-offer dataset with around 800000 artificially
+//! generated flex-offers. Only flex-offer inserts and no deletes were
+//! used in the experiment. The bin-packer was disabled. Two aggregation
+//! parameters and four different their value combinations were used."
+//!
+//! Panels:
+//! * (a) aggregated flex-offer count vs flex-offer count, P0–P3
+//! * (b) cumulative aggregation time vs flex-offer count
+//! * (c) time-flexibility loss per flex-offer
+//! * (d) disaggregation time vs aggregation time + linear fit
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin fig5            # full 800k
+//! MIRABEL_QUICK=1 cargo run --release -p mirabel-bench --bin fig5
+//! ```
+
+use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel_bench::{line_fit, quick_mode, timed};
+use mirabel_core::{AggregateId, FlexOfferGenerator, ScheduledFlexOffer};
+
+fn main() {
+    let total: usize = if quick_mode() { 100_000 } else { 800_000 };
+    let steps = 8;
+    let step = total / steps;
+
+    // The paper's parameter combinations: tolerances in slots.
+    let params = [
+        ("P0", AggregationParams::p0()),
+        ("P1", AggregationParams::p1(16)),
+        ("P2", AggregationParams::p2(16)),
+        ("P3", AggregationParams::p3(16, 16)),
+    ];
+
+    println!("# Figure 5 — aggregation experiment ({total} flex-offers, inserts only, bin-packer off)\n");
+    println!(
+        "| {:>7} | {:>4} | {:>12} | {:>11} | {:>10} | {:>12} | {:>12} |",
+        "offers", "par", "aggregates", "compression", "agg time s", "loss/offer", "disagg time s"
+    );
+    println!("|--------:|-----:|-------------:|------------:|-----------:|-------------:|--------------:|");
+
+    let mut agg_times: Vec<f64> = Vec::new();
+    let mut disagg_times: Vec<f64> = Vec::new();
+
+    for (name, p) in params {
+        let offers: Vec<_> = FlexOfferGenerator::with_seed(2012).take(total).collect();
+        let mut pipeline = AggregationPipeline::new(p, None);
+        let mut cumulative = 0.0;
+        for (i, chunk) in offers.chunks(step).enumerate() {
+            let updates: Vec<_> = chunk.iter().cloned().map(FlexOfferUpdate::Insert).collect();
+            let (_, secs) = timed(|| pipeline.apply(updates));
+            cumulative += secs;
+
+            let count = (i + 1) * step;
+            let report = pipeline.report();
+
+            // Panel (d): disaggregate every current aggregate once
+            // (schedule at earliest start, mid energy).
+            let (_, disagg_secs) = timed(|| {
+                let mut micro = 0usize;
+                for agg in pipeline.aggregates() {
+                    let offer = agg.to_flex_offer().expect("valid");
+                    let schedule =
+                        ScheduledFlexOffer::at_fraction(&offer, agg.earliest_start, 0.5);
+                    micro += pipeline
+                        .disaggregate(AggregateId(agg.id.value()), &schedule)
+                        .expect("disaggregation requirement")
+                        .len();
+                }
+                micro
+            });
+
+            println!(
+                "| {:>7} | {:>4} | {:>12} | {:>11.2} | {:>10.3} | {:>12.4} | {:>13.3} |",
+                count,
+                name,
+                report.aggregate_count,
+                report.compression_ratio(),
+                cumulative,
+                report.loss_per_offer(),
+                disagg_secs,
+            );
+            agg_times.push(cumulative);
+            disagg_times.push(disagg_secs);
+        }
+        println!("|---|---|---|---|---|---|---|");
+    }
+
+    let (a, b) = line_fit(&agg_times, &disagg_times);
+    let mean_ratio: f64 = agg_times
+        .iter()
+        .zip(&disagg_times)
+        .filter(|(agg, _)| **agg > 0.0)
+        .map(|(agg, dis)| dis / agg)
+        .sum::<f64>()
+        / agg_times.len() as f64;
+    println!("\n## Figure 5(d) relationship");
+    println!("line fit: disaggregation_time = {a:.3} * aggregation_time + {b:.3}");
+    println!("mean disaggregation/aggregation ratio: {mean_ratio:.3}  (paper: ~1/3, fit 0.36x − 0.68)");
+}

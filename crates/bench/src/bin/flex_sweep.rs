@@ -1,0 +1,98 @@
+//! §6 Research Directions: "the complexity of the search space heavily
+//! depends also on the start time flexibilities of the included
+//! flex-offers. As this influence was not researched in detail yet, it
+//! shall be explored in the future."
+//!
+//! Sweeps the time flexibility of a fixed 200-offer instance and reports
+//! the search-space size plus the cost both metaheuristics reach under a
+//! fixed evaluation budget.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin flex_sweep
+//! ```
+
+use mirabel_bench::quick_mode;
+use mirabel_core::{EnergyRange, FlexOffer, Profile, TimeSlot};
+use mirabel_schedule::{
+    evaluate, search_space_size, Budget, EvolutionaryScheduler, GreedyScheduler, MarketPrices,
+    SchedulingProblem, Solution,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 96-slot instance where every offer has exactly `tf` slots of start
+/// flexibility (placed so it always fits).
+fn instance(n: usize, tf: u32, seed: u64) -> SchedulingProblem {
+    let horizon = 96usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offers: Vec<FlexOffer> = (0..n as u64)
+        .map(|i| {
+            let dur = rng.gen_range(1..=3u32);
+            let es = rng.gen_range(0..(horizon as u32 - dur - tf));
+            let base = rng.gen_range(0.5..3.0);
+            FlexOffer::builder(i, 1)
+                .earliest_start(TimeSlot(es as i64))
+                .time_flexibility(tf)
+                .profile(Profile::uniform(dur, EnergyRange::new(base, base * 1.3).unwrap()))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let baseline: Vec<f64> = (0..horizon)
+        .map(|i| {
+            let x = i as f64 / horizon as f64;
+            8.0 * ((2.0 * std::f64::consts::PI * x).sin() - 0.3)
+        })
+        .collect();
+    SchedulingProblem::new(
+        TimeSlot(0),
+        baseline,
+        offers,
+        MarketPrices::flat(horizon, 0.09, 0.02, 5.0),
+        vec![0.2; horizon],
+    )
+    .unwrap()
+}
+
+fn main() {
+    let n = 200;
+    let budget = if quick_mode() { 20_000 } else { 100_000 };
+
+    println!("# §6 research direction — start-time flexibility vs problem difficulty");
+    println!("{n} offers, {budget} evaluations per algorithm\n");
+    println!(
+        "| {:>4} | {:>12} | {:>14} | {:>12} | {:>12} | {:>12} |",
+        "tf", "log10(space)", "baseline EUR", "greedy EUR", "EA EUR", "improvement"
+    );
+    println!("|-----:|-------------:|---------------:|-------------:|-------------:|-------------:|");
+
+    for tf in [0u32, 2, 4, 8, 16, 32, 64] {
+        let problem = instance(n, tf, 9);
+        let space = search_space_size(&problem).log10();
+        let baseline = evaluate(&problem, &Solution::baseline(&problem)).total();
+        let greedy = GreedyScheduler
+            .run(&problem, Budget::evaluations(budget), 1)
+            .cost
+            .total();
+        let ea = EvolutionaryScheduler::default()
+            .run(&problem, Budget::evaluations(budget), 1)
+            .cost
+            .total();
+        let improvement = 1.0 - greedy.min(ea) / baseline.max(1e-9);
+        println!(
+            "| {:>4} | {:>12.1} | {:>14.2} | {:>12.2} | {:>12.2} | {:>11.1}% |",
+            tf,
+            space,
+            baseline,
+            greedy,
+            ea,
+            improvement * 100.0
+        );
+    }
+
+    println!(
+        "\nMore flexibility explodes the search space (log-linear in tf) yet \
+         *reduces* the reachable cost: flexibility is what the scheduler \
+         monetizes, while zero-flexibility instances leave it nothing to do."
+    );
+}

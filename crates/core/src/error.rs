@@ -1,0 +1,65 @@
+//! Error types shared across the domain model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating domain objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomainError {
+    /// A floating-point field was NaN.
+    NotANumber(&'static str),
+    /// An interval had `min > max`.
+    InvertedRange {
+        /// Offending lower bound.
+        min: f64,
+        /// Offending upper bound.
+        max: f64,
+    },
+    /// A flex-offer failed structural validation.
+    InvalidFlexOffer(String),
+    /// A schedule violated the constraints of its flex-offer.
+    InvalidSchedule(String),
+    /// A profile was empty or structurally broken.
+    InvalidProfile(String),
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainError::NotANumber(what) => write!(f, "{what} must not be NaN"),
+            DomainError::InvertedRange { min, max } => {
+                write!(f, "inverted range: min {min} > max {max}")
+            }
+            DomainError::InvalidFlexOffer(msg) => write!(f, "invalid flex-offer: {msg}"),
+            DomainError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            DomainError::InvalidProfile(msg) => write!(f, "invalid profile: {msg}"),
+        }
+    }
+}
+
+impl Error for DomainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DomainError::NotANumber("energy").to_string(),
+            "energy must not be NaN"
+        );
+        assert!(DomainError::InvertedRange { min: 2.0, max: 1.0 }
+            .to_string()
+            .contains("inverted"));
+        assert!(DomainError::InvalidFlexOffer("x".into())
+            .to_string()
+            .contains("flex-offer"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&DomainError::NotANumber("x"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity class gets its own id newtype so that a flex-offer id can
+//! never be confused with, say, a node id at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value.
+            #[inline]
+            pub fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a flex-offer (micro or scheduled).
+    FlexOfferId,
+    "fo"
+);
+define_id!(
+    /// Identifier of a market actor (prosumer, BRP, TSO).
+    ActorId,
+    "actor"
+);
+define_id!(
+    /// Identifier of an EDMS node.
+    NodeId,
+    "node"
+);
+define_id!(
+    /// Identifier of a similarity group inside the group-builder.
+    GroupId,
+    "grp"
+);
+define_id!(
+    /// Identifier of an aggregated (macro) flex-offer.
+    AggregateId,
+    "agg"
+);
+
+/// Monotonically increasing id source, safe to share across threads.
+#[derive(Debug, Default)]
+pub struct IdSource {
+    next: AtomicU64,
+}
+
+impl IdSource {
+    /// Create a source starting at `first`.
+    pub fn starting_at(first: u64) -> IdSource {
+        IdSource {
+            next: AtomicU64::new(first),
+        }
+    }
+
+    /// Allocate the next raw id.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a typed flex-offer id.
+    pub fn next_flex_offer(&self) -> FlexOfferId {
+        FlexOfferId(self.next())
+    }
+
+    /// Allocate a typed aggregate id.
+    pub fn next_aggregate(&self) -> AggregateId {
+        AggregateId(self.next())
+    }
+
+    /// Allocate a typed group id.
+    pub fn next_group(&self) -> GroupId {
+        GroupId(self.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(FlexOfferId(7).to_string(), "fo7");
+        assert_eq!(ActorId(1).to_string(), "actor1");
+        assert_eq!(NodeId(2).to_string(), "node2");
+        assert_eq!(GroupId(3).to_string(), "grp3");
+        assert_eq!(AggregateId(4).to_string(), "agg4");
+    }
+
+    #[test]
+    fn id_source_monotonic() {
+        let s = IdSource::default();
+        let a = s.next_flex_offer();
+        let b = s.next_flex_offer();
+        assert!(b.value() > a.value());
+    }
+
+    #[test]
+    fn id_source_threaded_uniqueness() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let s = Arc::new(IdSource::default());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| s.next()).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 4000);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the core domain model.
+
+use mirabel_core::{
+    EnergyRange, FlexOffer, Profile, ScheduledFlexOffer, Slice, TimeSlot, SLOTS_PER_DAY,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // ----- time arithmetic ------------------------------------------------
+
+    #[test]
+    fn slot_of_day_is_congruent(idx in -1_000_000i64..1_000_000) {
+        let t = TimeSlot(idx);
+        let sod = t.slot_of_day() as i64;
+        prop_assert!((0..SLOTS_PER_DAY as i64).contains(&sod));
+        prop_assert_eq!((idx - sod).rem_euclid(SLOTS_PER_DAY as i64), 0);
+    }
+
+    #[test]
+    fn day_decomposition_roundtrips(idx in -1_000_000i64..1_000_000) {
+        let t = TimeSlot(idx);
+        prop_assert_eq!(
+            t.day() * SLOTS_PER_DAY as i64 + t.slot_of_day() as i64,
+            idx
+        );
+    }
+
+    #[test]
+    fn add_sub_inverse(idx in -1_000_000i64..1_000_000, span in 0u32..100_000) {
+        let t = TimeSlot(idx);
+        prop_assert_eq!((t + span) - span, t);
+        prop_assert_eq!((t + span) - t, span as i64);
+        prop_assert_eq!(t.span_to(t + span), Some(span));
+    }
+
+    // ----- profiles -------------------------------------------------------
+
+    #[test]
+    fn normalize_preserves_semantics(
+        durs in proptest::collection::vec(1u32..5, 1..8),
+        los in proptest::collection::vec(0.0f64..5.0, 8),
+        widths in proptest::collection::vec(0.0f64..3.0, 8),
+    ) {
+        let slices: Vec<Slice> = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Slice {
+                duration: d,
+                energy: EnergyRange::new(los[i], los[i] + widths[i]).unwrap(),
+            })
+            .collect();
+        let p = Profile::new(slices).unwrap();
+        let n = p.normalize();
+        prop_assert_eq!(n.total_duration(), p.total_duration());
+        prop_assert!(n.slice_count() <= p.slice_count());
+        let a: Vec<EnergyRange> = p.slot_ranges().collect();
+        let b: Vec<EnergyRange> = n.slot_ranges().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_totals_consistent(
+        durs in proptest::collection::vec(1u32..5, 1..8),
+        los in proptest::collection::vec(0.0f64..5.0, 8),
+        widths in proptest::collection::vec(0.0f64..3.0, 8),
+    ) {
+        let slices: Vec<Slice> = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Slice {
+                duration: d,
+                energy: EnergyRange::new(los[i], los[i] + widths[i]).unwrap(),
+            })
+            .collect();
+        let p = Profile::new(slices).unwrap();
+        prop_assert!(p.min_total_energy() <= p.max_total_energy());
+        let flex = p.energy_flexibility();
+        let width_sum = (p.max_total_energy() - p.min_total_energy()).kwh();
+        prop_assert!((flex.kwh() - width_sum).abs() < 1e-9);
+    }
+
+    // ----- schedules ------------------------------------------------------
+
+    #[test]
+    fn at_fraction_always_validates(
+        es in 0i64..500,
+        tf in 0u32..50,
+        dur in 1u32..10,
+        lo in 0.0f64..5.0,
+        width in 0.0f64..3.0,
+        shift_frac in 0.0f64..1.0,
+        fill in 0.0f64..1.0,
+    ) {
+        let offer = FlexOffer::builder(1, 1)
+            .earliest_start(TimeSlot(es))
+            .time_flexibility(tf)
+            .profile(Profile::uniform(dur, EnergyRange::new(lo, lo + width).unwrap()))
+            .build()
+            .unwrap();
+        let shift = (tf as f64 * shift_frac) as u32;
+        let s = ScheduledFlexOffer::at_fraction(&offer, offer.earliest_start() + shift, fill);
+        prop_assert!(s.validate_against(&offer, 1e-9).is_ok());
+        // total energy interpolates between profile min and max
+        prop_assert!(s.total_energy() >= offer.profile().min_total_energy() - 1e-9.into());
+        prop_assert!(s.total_energy() <= offer.profile().max_total_energy() + 1e-9.into());
+    }
+
+    #[test]
+    fn open_contract_always_validates(
+        es in 0i64..500,
+        tf in 0u32..50,
+        dur in 1u32..10,
+        lo in 0.0f64..5.0,
+        width in 0.0f64..3.0,
+    ) {
+        let offer = FlexOffer::builder(1, 1)
+            .earliest_start(TimeSlot(es))
+            .time_flexibility(tf)
+            .profile(Profile::uniform(dur, EnergyRange::new(lo, lo + width).unwrap()))
+            .build()
+            .unwrap();
+        let s = ScheduledFlexOffer::open_contract(&offer);
+        prop_assert!(s.validate_against(&offer, 1e-9).is_ok());
+        prop_assert_eq!(s.start, offer.earliest_start());
+        prop_assert!(s.total_energy().approx_eq(offer.profile().max_total_energy(), 1e-9));
+    }
+
+    #[test]
+    fn energy_at_sums_to_total(
+        es in 0i64..100,
+        dur in 1u32..10,
+        lo in 0.0f64..5.0,
+        fill in 0.0f64..1.0,
+    ) {
+        let offer = FlexOffer::builder(1, 1)
+            .earliest_start(TimeSlot(es))
+            .profile(Profile::uniform(dur, EnergyRange::new(lo, lo + 2.0).unwrap()))
+            .build()
+            .unwrap();
+        let s = ScheduledFlexOffer::at_fraction(&offer, offer.earliest_start(), fill);
+        let summed: f64 = (0..dur).map(|k| s.energy_at(s.start + k).kwh()).sum();
+        prop_assert!((summed - s.total_energy().kwh()).abs() < 1e-9);
+        prop_assert_eq!(s.energy_at(s.start - 1u32).kwh(), 0.0);
+        prop_assert_eq!(s.energy_at(s.end()).kwh(), 0.0);
+    }
+
+    // ----- energy ranges ----------------------------------------------------
+
+    #[test]
+    fn minkowski_sum_contains_member_sums(
+        lo1 in -5.0f64..5.0, w1 in 0.0f64..3.0,
+        lo2 in -5.0f64..5.0, w2 in 0.0f64..3.0,
+        f1 in 0.0f64..1.0, f2 in 0.0f64..1.0,
+    ) {
+        let a = EnergyRange::new(lo1, lo1 + w1).unwrap();
+        let b = EnergyRange::new(lo2, lo2 + w2).unwrap();
+        let s = a.sum(&b);
+        let picked = a.lerp(f1) + b.lerp(f2);
+        prop_assert!(s.contains(picked, 1e-9));
+    }
+
+    #[test]
+    fn lerp_fraction_roundtrip(lo in -5.0f64..5.0, w in 0.01f64..3.0, f in 0.0f64..1.0) {
+        let r = EnergyRange::new(lo, lo + w).unwrap();
+        let e = r.lerp(f);
+        prop_assert!((r.fraction_of(e) - f).abs() < 1e-9);
+    }
+}

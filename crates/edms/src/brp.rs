@@ -1,0 +1,617 @@
+//! The level-2 balance-responsible-party (trader) node: the full LEDMS.
+//!
+//! The Control component is [`BrpNode::handle`] +
+//! [`BrpNode::plan_with_baseline`]: collect offers from prosumers, decide
+//! acceptance (Negotiation), aggregate incrementally (Aggregation),
+//! forecast the baseline (Forecasting), schedule the macro offers
+//! (Scheduling), disaggregate and send assignments back — or forward the
+//! macro offers to the TSO and disaggregate *its* assignments instead
+//! (paper §2: "the process is essentially repeated at a higher level").
+
+use crate::datastore::{DataStore, EnergyType, MeasurementFact, OfferFact, OfferState, ScheduleFact};
+use crate::message::{Envelope, Message};
+use mirabel_aggregate::{
+    AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate,
+};
+use mirabel_core::{
+    AggregateId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot,
+};
+use mirabel_forecast::{ForecastModel, HwtConfig, HwtModel, Seasonality};
+use mirabel_negotiate::{AcceptanceDecision, AcceptancePolicy, PreExecutionPricing};
+use mirabel_schedule::{
+    evaluate, Budget, EvolutionaryScheduler, GreedyScheduler, HybridScheduler, MarketPrices,
+    SchedulingProblem, Solution,
+};
+use mirabel_timeseries::TimeSeries;
+use std::collections::HashMap;
+
+/// Which metaheuristic the BRP runs (paper §6 provides two; the hybrid is
+/// the future-work extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Randomized greedy search.
+    Greedy,
+    /// Evolutionary algorithm.
+    Evolutionary,
+    /// Greedy-seeded EA.
+    Hybrid,
+}
+
+/// BRP configuration.
+#[derive(Debug, Clone)]
+pub struct BrpConfig {
+    /// Aggregation thresholds.
+    pub aggregation: AggregationParams,
+    /// Optional bin-packer bounds.
+    pub binpacker: Option<BinPackerConfig>,
+    /// Scheduling algorithm.
+    pub scheduler: SchedulerKind,
+    /// Cost-evaluation budget per planning run.
+    pub budget_evaluations: usize,
+    /// Acceptance policy (Negotiation component).
+    pub acceptance: AcceptancePolicy,
+    /// Pricing scheme for assignments.
+    pub pricing: PreExecutionPricing,
+    /// Forward macro offers to the TSO instead of scheduling locally.
+    pub forward_to_tso: bool,
+}
+
+impl Default for BrpConfig {
+    fn default() -> BrpConfig {
+        BrpConfig {
+            aggregation: AggregationParams::p3(8, 8),
+            binpacker: None,
+            scheduler: SchedulerKind::Greedy,
+            budget_evaluations: 20_000,
+            acceptance: AcceptancePolicy::default(),
+            pricing: PreExecutionPricing::default(),
+            forward_to_tso: false,
+        }
+    }
+}
+
+/// Outcome of one planning run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanReport {
+    /// Offers expired (assignment deadline passed) and dropped.
+    pub expired: usize,
+    /// Macro offers eligible for the window.
+    pub eligible_macro: usize,
+    /// Macro offers forwarded to the TSO.
+    pub forwarded: usize,
+    /// Micro assignments produced.
+    pub assignments: usize,
+    /// Total schedule cost, when scheduled locally.
+    pub cost: Option<f64>,
+}
+
+/// The level-2 node.
+#[derive(Debug)]
+pub struct BrpNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Parent TSO, if any.
+    pub parent: Option<NodeId>,
+    config: BrpConfig,
+    /// Offer pool: id → (offer, source node).
+    pool: HashMap<FlexOfferId, (FlexOffer, NodeId)>,
+    pipeline: AggregationPipeline,
+    /// The Data Management component.
+    pub store: DataStore,
+    /// Exported macro-offer id → local aggregate id (TSO path).
+    exports: HashMap<u64, AggregateId>,
+    seed: u64,
+}
+
+impl BrpNode {
+    /// Create a BRP node.
+    pub fn new(id: NodeId, parent: Option<NodeId>, config: BrpConfig) -> BrpNode {
+        let pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
+        BrpNode {
+            id,
+            parent,
+            config,
+            pool: HashMap::new(),
+            pipeline,
+            store: DataStore::new(),
+            exports: HashMap::new(),
+            seed: id.value().wrapping_mul(0x9e37_79b9),
+        }
+    }
+
+    /// Offers currently pooled.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Current number of aggregates.
+    pub fn aggregate_count(&self) -> usize {
+        self.pipeline.aggregate_count()
+    }
+
+    /// Handle one message; returns reply envelopes.
+    pub fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        match envelope.message {
+            Message::SubmitOffer(offer) => self.on_submit(offer, envelope.from, now),
+            Message::Measurement {
+                actor,
+                start,
+                values,
+            } => {
+                for (i, &v) in values.iter().enumerate() {
+                    let (energy_type, kwh) = if v >= 0.0 {
+                        (EnergyType::Consumption, v)
+                    } else {
+                        (EnergyType::Production, -v)
+                    };
+                    self.store.record_measurement(MeasurementFact {
+                        slot: start + i as u32,
+                        actor,
+                        energy_type,
+                        kwh,
+                    });
+                }
+                Vec::new()
+            }
+            Message::Assignment {
+                schedule,
+                discount_per_kwh,
+            } => self.on_tso_assignment(schedule, discount_per_kwh, now),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_submit(&mut self, offer: FlexOffer, from: NodeId, now: TimeSlot) -> Vec<Envelope> {
+        let decision = self.config.acceptance.decide(&offer, now);
+        let reply = match decision {
+            AcceptanceDecision::Accept { value } => {
+                self.store.record_offer(OfferFact {
+                    offer: offer.id(),
+                    actor: offer.owner(),
+                    slot: now,
+                    state: OfferState::Accepted,
+                });
+                self.pool.insert(offer.id(), (offer.clone(), from));
+                self.pipeline.apply(vec![FlexOfferUpdate::Insert(offer.clone())]);
+                Message::OfferAccepted {
+                    offer: offer.id(),
+                    value,
+                }
+            }
+            AcceptanceDecision::Reject(_) => {
+                self.store.record_offer(OfferFact {
+                    offer: offer.id(),
+                    actor: offer.owner(),
+                    slot: now,
+                    state: OfferState::Rejected,
+                });
+                Message::OfferRejected { offer: offer.id() }
+            }
+        };
+        vec![Envelope::new(self.id, from, now, reply)]
+    }
+
+    /// Drop offers whose assignment deadline has passed.
+    fn expire(&mut self, now: TimeSlot) -> usize {
+        let expired: Vec<FlexOfferId> = self
+            .pool
+            .iter()
+            .filter(|(_, (o, _))| o.is_expired(now))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &expired {
+            let (offer, _) = self.pool.remove(id).expect("present");
+            self.pipeline.apply(vec![FlexOfferUpdate::Delete(*id)]);
+            self.store.record_offer(OfferFact {
+                offer: *id,
+                actor: offer.owner(),
+                slot: now,
+                state: OfferState::Expired,
+            });
+        }
+        expired.len()
+    }
+
+    /// Forecast the baseline imbalance for `[start, start+horizon)` from
+    /// the measurement history (net load via the star schema, HWT daily
+    /// model). Returns zeros when history is too short — the cold-start
+    /// behaviour.
+    pub fn forecast_baseline(&self, start: TimeSlot, horizon: usize) -> Vec<f64> {
+        let train_slots = 4 * mirabel_core::SLOTS_PER_DAY as i64;
+        let history = self.store.net_load(start - train_slots as u32, start);
+        let nonzero = history.iter().filter(|v| **v != 0.0).count();
+        if nonzero < 2 * mirabel_core::SLOTS_PER_DAY as usize {
+            return vec![0.0; horizon];
+        }
+        let series = TimeSeries::new(start - train_slots as u32, history);
+        let mut model = HwtModel::new(HwtConfig {
+            seasonality: Seasonality::Daily,
+        });
+        model.fit(&series);
+        model.forecast(horizon)
+    }
+
+    /// Macro offers that fit entirely inside `[start, start+horizon)`.
+    fn eligible_macros(&self, start: TimeSlot, horizon: usize) -> Vec<FlexOffer> {
+        let end = start + horizon as u32;
+        self.pipeline
+            .macro_offers()
+            .into_iter()
+            .filter(|m| m.earliest_start() >= start && m.latest_end() <= end)
+            .collect()
+    }
+
+    /// Plan the window `[window_start, window_start+horizon)` against an
+    /// externally supplied baseline (the simulation's ground truth or a
+    /// test fixture). Returns assignment envelopes plus the report.
+    pub fn plan_with_baseline(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> (Vec<Envelope>, PlanReport) {
+        let mut report = PlanReport {
+            expired: self.expire(now),
+            ..PlanReport::default()
+        };
+        let horizon = baseline.len();
+        let macros = self.eligible_macros(window_start, horizon);
+        report.eligible_macro = macros.len();
+        if macros.is_empty() {
+            return (Vec::new(), report);
+        }
+
+        if self.config.forward_to_tso {
+            let Some(parent) = self.parent else {
+                return (Vec::new(), report);
+            };
+            // Export with globally-unique ids: brp-id * 1e9 + aggregate id.
+            let mut exported = Vec::with_capacity(macros.len());
+            for m in macros {
+                let agg_id = AggregateId(m.id().value());
+                let export_id = self.id.value() * 1_000_000_000 + m.id().value();
+                self.exports.insert(export_id, agg_id);
+                let rebuilt = FlexOffer::builder(export_id, self.id.value())
+                    .kind(m.kind())
+                    .earliest_start(m.earliest_start())
+                    .latest_start(m.latest_start())
+                    .assignment_before(m.assignment_before())
+                    .profile(m.profile().clone())
+                    .unit_price(m.unit_price())
+                    .build()
+                    .expect("macro offers are valid");
+                exported.push(rebuilt);
+            }
+            report.forwarded = exported.len();
+            let env = Envelope::new(self.id, parent, now, Message::MacroOffers(exported));
+            return (vec![env], report);
+        }
+
+        // Schedule locally.
+        let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
+            .expect("eligible macros fit the window");
+        let budget = Budget::evaluations(self.config.budget_evaluations);
+        self.seed = self.seed.wrapping_add(1);
+        let result = match self.config.scheduler {
+            SchedulerKind::Greedy => GreedyScheduler.run(&problem, budget, self.seed),
+            SchedulerKind::Evolutionary => {
+                EvolutionaryScheduler::default().run(&problem, budget, self.seed)
+            }
+            SchedulerKind::Hybrid => HybridScheduler::default().run(&problem, budget, self.seed),
+        };
+        report.cost = Some(result.cost.total());
+
+        let envelopes = self.disaggregate_and_assign(&problem, &result.solution, now);
+        report.assignments = envelopes.len();
+        (envelopes, report)
+    }
+
+    /// Turn a macro-level solution into micro assignments for prosumers.
+    fn disaggregate_and_assign(
+        &mut self,
+        problem: &SchedulingProblem,
+        solution: &Solution,
+        now: TimeSlot,
+    ) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        let schedules = solution.to_schedules(problem);
+        for macro_schedule in schedules {
+            let agg_id = AggregateId(macro_schedule.offer_id.value());
+            let micro = match self.pipeline.disaggregate(agg_id, &macro_schedule) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            for schedule in micro {
+                let Some((offer, source)) = self.pool.remove(&schedule.offer_id) else {
+                    continue;
+                };
+                self.pipeline
+                    .apply(vec![FlexOfferUpdate::Delete(schedule.offer_id)]);
+                let discount = self.config.pricing.discount_per_kwh(&offer, now);
+                self.store.record_offer(OfferFact {
+                    offer: offer.id(),
+                    actor: offer.owner(),
+                    slot: now,
+                    state: OfferState::Assigned,
+                });
+                self.store.record_schedule(ScheduleFact {
+                    offer: offer.id(),
+                    start: schedule.start,
+                    total_kwh: schedule.total_energy().kwh(),
+                    discount,
+                });
+                out.push(Envelope::new(
+                    self.id,
+                    source,
+                    now,
+                    Message::Assignment {
+                        schedule,
+                        discount_per_kwh: discount,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Handle an assignment for an exported macro offer coming back from
+    /// the TSO: disaggregate into micro assignments.
+    fn on_tso_assignment(
+        &mut self,
+        schedule: ScheduledFlexOffer,
+        _discount: Price,
+        now: TimeSlot,
+    ) -> Vec<Envelope> {
+        let Some(agg_id) = self.exports.remove(&schedule.offer_id.value()) else {
+            return Vec::new();
+        };
+        // Rewrite the schedule to reference the local aggregate id.
+        let local = ScheduledFlexOffer {
+            offer_id: FlexOfferId(agg_id.value()),
+            start: schedule.start,
+            slot_energies: schedule.slot_energies,
+        };
+        let micro = match self.pipeline.disaggregate(agg_id, &local) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for s in micro {
+            let Some((offer, source)) = self.pool.remove(&s.offer_id) else {
+                continue;
+            };
+            self.pipeline.apply(vec![FlexOfferUpdate::Delete(s.offer_id)]);
+            let discount = self.config.pricing.discount_per_kwh(&offer, now);
+            self.store.record_offer(OfferFact {
+                offer: offer.id(),
+                actor: offer.owner(),
+                slot: now,
+                state: OfferState::Assigned,
+            });
+            self.store.record_schedule(ScheduleFact {
+                offer: offer.id(),
+                start: s.start,
+                total_kwh: s.total_energy().kwh(),
+                discount,
+            });
+            out.push(Envelope::new(
+                self.id,
+                source,
+                now,
+                Message::Assignment {
+                    schedule: s,
+                    discount_per_kwh: discount,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Evaluate how a given set of realized flexible loads would cost
+    /// under a baseline — used by the simulation for before/after
+    /// comparisons.
+    pub fn cost_of(
+        problem: &SchedulingProblem,
+        solution: &Solution,
+    ) -> f64 {
+        evaluate(problem, solution).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile};
+
+    fn offer(id: u64, owner: u64, es: i64, deadline: i64, tf: u32) -> FlexOffer {
+        FlexOffer::builder(id, owner)
+            .earliest_start(TimeSlot(es))
+            .time_flexibility(tf)
+            .assignment_before(TimeSlot(deadline))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn submit(brp: &mut BrpNode, o: FlexOffer, from: u64, now: i64) -> Vec<Envelope> {
+        brp.handle(
+            Envelope::new(NodeId(from), brp.id, TimeSlot(now), Message::SubmitOffer(o)),
+            TimeSlot(now),
+        )
+    }
+
+    #[test]
+    fn accepts_and_pools_offers() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        let replies = submit(&mut brp, offer(1, 7, 100, 90, 12), 10, 0);
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(replies[0].message, Message::OfferAccepted { .. }));
+        assert_eq!(replies[0].to, NodeId(10));
+        assert_eq!(brp.pool_size(), 1);
+        assert_eq!(brp.aggregate_count(), 1);
+        assert_eq!(brp.store.count_in_state(OfferState::Accepted), 1);
+    }
+
+    #[test]
+    fn rejects_inflexible_offer() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        let rigid = FlexOffer::builder(2, 7)
+            .earliest_start(TimeSlot(100))
+            .assignment_before(TimeSlot(90))
+            .profile(Profile::uniform(1, EnergyRange::fixed(1.0)))
+            .build()
+            .unwrap();
+        let replies = submit(&mut brp, rigid, 10, 0);
+        assert!(matches!(replies[0].message, Message::OfferRejected { .. }));
+        assert_eq!(brp.pool_size(), 0);
+    }
+
+    #[test]
+    fn expiry_drops_pool_entries() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        submit(&mut brp, offer(1, 7, 100, 50, 12), 10, 0);
+        let (_, report) = brp.plan_with_baseline(
+            TimeSlot(60), // past the deadline
+            TimeSlot(61),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(report.expired, 1);
+        assert_eq!(brp.pool_size(), 0);
+        assert_eq!(brp.store.count_in_state(OfferState::Expired), 1);
+    }
+
+    #[test]
+    fn local_plan_produces_assignments() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        for i in 0..20 {
+            submit(&mut brp, offer(i, i, 110 + (i as i64 % 5), 90, 8), 100 + i, 0);
+        }
+        let baseline: Vec<f64> = (0..96).map(|k| if k < 48 { -2.0 } else { 1.0 }).collect();
+        let (envelopes, report) = brp.plan_with_baseline(
+            TimeSlot(80),
+            TimeSlot(96),
+            baseline,
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert!(report.eligible_macro > 0);
+        assert_eq!(report.assignments, 20);
+        assert_eq!(envelopes.len(), 20);
+        assert!(report.cost.is_some());
+        // every assignment goes back to the submitting node
+        for e in &envelopes {
+            assert!(e.to.value() >= 100);
+            assert!(matches!(e.message, Message::Assignment { .. }));
+        }
+        // pool drained, facts recorded
+        assert_eq!(brp.pool_size(), 0);
+        assert_eq!(brp.store.count_in_state(OfferState::Assigned), 20);
+    }
+
+    #[test]
+    fn forwarding_exports_unique_ids() {
+        let config = BrpConfig {
+            forward_to_tso: true,
+            ..BrpConfig::default()
+        };
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), config);
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        let (envelopes, report) = brp.plan_with_baseline(
+            TimeSlot(80),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert!(report.forwarded > 0);
+        assert_eq!(envelopes.len(), 1);
+        assert_eq!(envelopes[0].to, NodeId(99));
+        if let Message::MacroOffers(offers) = &envelopes[0].message {
+            for o in offers {
+                assert!(o.id().value() >= 3_000_000_000);
+            }
+        } else {
+            panic!("expected MacroOffers");
+        }
+    }
+
+    #[test]
+    fn tso_assignment_disaggregates_to_prosumers() {
+        let config = BrpConfig {
+            forward_to_tso: true,
+            ..BrpConfig::default()
+        };
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), config);
+        for i in 0..5 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        let (envelopes, _) = brp.plan_with_baseline(
+            TimeSlot(80),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        let Message::MacroOffers(exported) = &envelopes[0].message else {
+            panic!("expected MacroOffers");
+        };
+        // TSO schedules the first exported macro offer at its earliest
+        // start, minimum energy.
+        let macro_offer = &exported[0];
+        let schedule = ScheduledFlexOffer::at_min(macro_offer, macro_offer.earliest_start());
+        let micro_envs = brp.handle(
+            Envelope::new(
+                NodeId(99),
+                NodeId(3),
+                TimeSlot(85),
+                Message::Assignment {
+                    schedule,
+                    discount_per_kwh: Price(0.01),
+                },
+            ),
+            TimeSlot(85),
+        );
+        assert!(!micro_envs.is_empty());
+        for e in &micro_envs {
+            assert!(matches!(e.message, Message::Assignment { .. }));
+        }
+    }
+
+    #[test]
+    fn forecast_baseline_cold_start_is_zero() {
+        let brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        let f = brp.forecast_baseline(TimeSlot(1000), 96);
+        assert_eq!(f, vec![0.0; 96]);
+    }
+
+    #[test]
+    fn forecast_baseline_learns_from_measurements() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        // four days of a flat 5 kWh/slot net load
+        let start = TimeSlot(0);
+        let values = vec![5.0; 4 * 96];
+        brp.handle(
+            Envelope::new(
+                NodeId(10),
+                NodeId(1),
+                TimeSlot(0),
+                Message::Measurement {
+                    actor: mirabel_core::ActorId(7),
+                    start,
+                    values,
+                },
+            ),
+            TimeSlot(0),
+        );
+        let f = brp.forecast_baseline(TimeSlot(4 * 96), 10);
+        for v in f {
+            assert!((v - 5.0).abs() < 0.5, "forecast {v}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The Communication component: an in-process network between nodes with
+//! failure injection.
+//!
+//! The paper's data-management challenges include "managing very
+//! large-scale wide-area distributed systems, providing high availability
+//! and fault tolerance" — and its answer is graceful degradation: lost
+//! messages only mean flexibilities time out and prosumers fall back to
+//! the open contract. The [`FailureModel`] lets tests and the simulation
+//! inject exactly those losses and delays.
+
+use crate::message::Envelope;
+use mirabel_core::{NodeId, TimeSlot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Message-loss and delay injection.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureModel {
+    /// Probability that a message is silently dropped.
+    pub drop_probability: f64,
+    /// Fixed delivery delay in slots.
+    pub delay_slots: u32,
+}
+
+impl Default for FailureModel {
+    fn default() -> FailureModel {
+        FailureModel {
+            drop_probability: 0.0,
+            delay_slots: 0,
+        }
+    }
+}
+
+/// Delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered into an inbox.
+    pub delivered: u64,
+    /// Messages dropped by failure injection.
+    pub dropped: u64,
+    /// Messages addressed to unregistered nodes.
+    pub dead_lettered: u64,
+}
+
+/// The in-process message network.
+#[derive(Debug)]
+pub struct Network {
+    inboxes: HashMap<NodeId, VecDeque<(TimeSlot, Envelope)>>,
+    failure: FailureModel,
+    rng: StdRng,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Reliable network.
+    pub fn reliable() -> Network {
+        Network::new(FailureModel::default(), 0)
+    }
+
+    /// Network with the given failure model and RNG seed.
+    pub fn new(failure: FailureModel, seed: u64) -> Network {
+        Network {
+            inboxes: HashMap::new(),
+            failure,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Register a node so it can receive messages.
+    pub fn register(&mut self, node: NodeId) {
+        self.inboxes.entry(node).or_default();
+    }
+
+    /// Send one message; it becomes visible to the recipient
+    /// `delay_slots` after `sent_at` (or never, if dropped).
+    pub fn send(&mut self, envelope: Envelope) {
+        self.stats.sent += 1;
+        if self.failure.drop_probability > 0.0
+            && self.rng.gen_bool(self.failure.drop_probability.clamp(0.0, 1.0))
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        let available = envelope.sent_at + self.failure.delay_slots;
+        match self.inboxes.get_mut(&envelope.to) {
+            Some(q) => {
+                q.push_back((available, envelope));
+                self.stats.delivered += 1;
+            }
+            None => {
+                self.stats.dead_lettered += 1;
+            }
+        }
+    }
+
+    /// Send many messages.
+    pub fn send_all(&mut self, envelopes: impl IntoIterator<Item = Envelope>) {
+        for e in envelopes {
+            self.send(e);
+        }
+    }
+
+    /// Drain the messages available to `node` at time `now`.
+    pub fn drain(&mut self, node: NodeId, now: TimeSlot) -> Vec<Envelope> {
+        let Some(q) = self.inboxes.get_mut(&node) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut rest = VecDeque::new();
+        while let Some((available, env)) = q.pop_front() {
+            if available <= now {
+                out.push(env);
+            } else {
+                rest.push_back((available, env));
+            }
+        }
+        *q = rest;
+        out
+    }
+
+    /// Number of undelivered messages queued for `node`.
+    pub fn pending(&self, node: NodeId) -> usize {
+        self.inboxes.get(&node).map_or(0, |q| q.len())
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use mirabel_core::FlexOfferId;
+
+    fn env(to: u64, at: i64) -> Envelope {
+        Envelope::new(
+            NodeId(0),
+            NodeId(to),
+            TimeSlot(at),
+            Message::OfferRejected {
+                offer: FlexOfferId(1),
+            },
+        )
+    }
+
+    #[test]
+    fn reliable_delivery() {
+        let mut n = Network::reliable();
+        n.register(NodeId(1));
+        n.send(env(1, 0));
+        let got = n.drain(NodeId(1), TimeSlot(0));
+        assert_eq!(got.len(), 1);
+        assert_eq!(n.stats().delivered, 1);
+        assert!(n.drain(NodeId(1), TimeSlot(0)).is_empty());
+    }
+
+    #[test]
+    fn unregistered_recipient_dead_letters() {
+        let mut n = Network::reliable();
+        n.send(env(42, 0));
+        assert_eq!(n.stats().dead_lettered, 1);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut n = Network::new(
+            FailureModel {
+                drop_probability: 1.0,
+                delay_slots: 0,
+            },
+            1,
+        );
+        n.register(NodeId(1));
+        for _ in 0..10 {
+            n.send(env(1, 0));
+        }
+        assert_eq!(n.stats().dropped, 10);
+        assert!(n.drain(NodeId(1), TimeSlot(100)).is_empty());
+    }
+
+    #[test]
+    fn partial_drop_rate() {
+        let mut n = Network::new(
+            FailureModel {
+                drop_probability: 0.5,
+                delay_slots: 0,
+            },
+            7,
+        );
+        n.register(NodeId(1));
+        for _ in 0..200 {
+            n.send(env(1, 0));
+        }
+        let s = n.stats();
+        assert_eq!(s.dropped + s.delivered, 200);
+        assert!(s.dropped > 50 && s.dropped < 150, "dropped {}", s.dropped);
+    }
+
+    #[test]
+    fn delayed_delivery() {
+        let mut n = Network::new(
+            FailureModel {
+                drop_probability: 0.0,
+                delay_slots: 3,
+            },
+            1,
+        );
+        n.register(NodeId(1));
+        n.send(env(1, 10));
+        assert!(n.drain(NodeId(1), TimeSlot(12)).is_empty());
+        assert_eq!(n.pending(NodeId(1)), 1);
+        assert_eq!(n.drain(NodeId(1), TimeSlot(13)).len(), 1);
+    }
+
+    #[test]
+    fn drain_preserves_undue_messages() {
+        let mut n = Network::new(
+            FailureModel {
+                drop_probability: 0.0,
+                delay_slots: 5,
+            },
+            1,
+        );
+        n.register(NodeId(1));
+        n.send(env(1, 0)); // due at 5
+        n.send(env(1, 10)); // due at 15
+        assert_eq!(n.drain(NodeId(1), TimeSlot(5)).len(), 1);
+        assert_eq!(n.pending(NodeId(1)), 1);
+        assert_eq!(n.drain(NodeId(1), TimeSlot(15)).len(), 1);
+    }
+}

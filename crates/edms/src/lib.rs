@@ -1,0 +1,42 @@
+//! # mirabel-edms
+//!
+//! The MIRABEL node architecture and hierarchy (paper §2, §3).
+//!
+//! The EDMS is a hierarchy of homogeneous nodes: prosumers (level 1)
+//! issue flex-offers; balance-responsible parties (level 2) accept,
+//! aggregate, forecast, schedule, disaggregate and price them; TSOs
+//! (level 3) repeat the process over the BRPs' macro flex-offers.
+//!
+//! Components per the paper's LEDMS description:
+//!
+//! * [`comm`] — the Communication component: an in-process message
+//!   network with failure/delay injection;
+//! * [`message`] — the message vocabulary exchanged between nodes;
+//! * [`datastore`] — the Data Management component: a multidimensional
+//!   star-schema store (dimension + fact tables, \[6\]);
+//! * [`prosumer`] / [`brp`] / [`tso`] — the three node roles, wiring the
+//!   aggregation, forecasting, scheduling and negotiation crates together
+//!   (the Control component is each node's `step`/`plan` method);
+//! * [`simulation`] — an end-to-end balancing simulation of a full
+//!   three-level hierarchy, including the open-contract fallback on
+//!   message loss or missed deadlines ("the overall system would
+//!   gracefully behave as in the traditional setting").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brp;
+pub mod comm;
+pub mod datastore;
+pub mod message;
+pub mod prosumer;
+pub mod simulation;
+pub mod tso;
+
+pub use brp::{BrpConfig, BrpNode, PlanReport, SchedulerKind};
+pub use comm::{FailureModel, Network, NetworkStats};
+pub use datastore::{DataStore, OfferState};
+pub use message::{Envelope, Message};
+pub use prosumer::ProsumerNode;
+pub use simulation::{SimulationConfig, SimulationReport, simulate};
+pub use tso::TsoNode;

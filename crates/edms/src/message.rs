@@ -1,0 +1,89 @@
+//! Messages exchanged between EDMS nodes (paper §3: "flex-offers, supply
+//! and demand measurements, forecasts, etc.").
+
+use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot};
+use serde::{Deserialize, Serialize};
+
+/// The message vocabulary of the EDMS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Prosumer → BRP: a new flex-offer.
+    SubmitOffer(FlexOffer),
+    /// BRP → prosumer: the offer entered the pool; estimated value.
+    OfferAccepted {
+        /// The offer.
+        offer: FlexOfferId,
+        /// Estimated flexibility value in `[0,1]`.
+        value: f64,
+    },
+    /// BRP → prosumer: the offer was waived; the open contract applies.
+    OfferRejected {
+        /// The offer.
+        offer: FlexOfferId,
+    },
+    /// BRP → prosumer (or TSO → BRP): a scheduled assignment plus agreed
+    /// discount.
+    Assignment {
+        /// The resolved schedule.
+        schedule: ScheduledFlexOffer,
+        /// Flexibility discount (EUR/kWh of scheduled energy).
+        discount_per_kwh: Price,
+    },
+    /// Prosumer → BRP: metered energy for past slots (kWh per slot).
+    Measurement {
+        /// The metered actor.
+        actor: ActorId,
+        /// First slot of the readings.
+        start: TimeSlot,
+        /// kWh per slot (positive consumption, negative production).
+        values: Vec<f64>,
+    },
+    /// BRP → TSO: macro (aggregated) flex-offers for higher-level
+    /// balancing.
+    MacroOffers(Vec<FlexOffer>),
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sender node.
+    pub from: NodeId,
+    /// Recipient node.
+    pub to: NodeId,
+    /// Slot at which the message was sent.
+    pub sent_at: TimeSlot,
+    /// Payload.
+    pub message: Message,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(from: NodeId, to: NodeId, sent_at: TimeSlot, message: Message) -> Envelope {
+        Envelope {
+            from,
+            to,
+            sent_at,
+            message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip() {
+        let e = Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            TimeSlot(5),
+            Message::OfferRejected {
+                offer: FlexOfferId(9),
+            },
+        );
+        assert_eq!(e.from, NodeId(1));
+        assert_eq!(e.to, NodeId(2));
+        assert!(matches!(e.message, Message::OfferRejected { .. }));
+    }
+}

@@ -1,0 +1,273 @@
+//! The level-1 prosumer node.
+//!
+//! Issues flex-offers to its BRP, executes the assignments it receives,
+//! and — crucially for the paper's fault-tolerance story — falls back to
+//! the *open contract* (earliest start, maximum energy) whenever an offer
+//! passes its assignment deadline without a schedule, whether because the
+//! BRP rejected it, the message was lost, or the deadline was missed.
+
+use crate::message::{Envelope, Message};
+use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, ScheduledFlexOffer, TimeSlot};
+use std::collections::HashMap;
+
+/// A prosumer's view of one of its offers.
+#[derive(Debug, Clone, PartialEq)]
+enum OfferStatus {
+    /// Submitted, no decision seen yet.
+    Pending,
+    /// BRP accepted; awaiting assignment.
+    Accepted,
+    /// Assignment received.
+    Assigned(ScheduledFlexOffer),
+    /// Open contract applied (rejection, loss or timeout).
+    FallenBack(ScheduledFlexOffer),
+}
+
+/// The level-1 node.
+#[derive(Debug)]
+pub struct ProsumerNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The metered actor behind the node.
+    pub actor: ActorId,
+    /// The responsible BRP's node id.
+    pub brp: NodeId,
+    offers: HashMap<FlexOfferId, (FlexOffer, OfferStatus)>,
+    fallback_count: usize,
+    assigned_count: usize,
+}
+
+impl ProsumerNode {
+    /// Create a prosumer attached to `brp`.
+    pub fn new(id: NodeId, actor: ActorId, brp: NodeId) -> ProsumerNode {
+        ProsumerNode {
+            id,
+            actor,
+            brp,
+            offers: HashMap::new(),
+            fallback_count: 0,
+            assigned_count: 0,
+        }
+    }
+
+    /// Submit a flex-offer; returns the envelope for the network.
+    pub fn submit(&mut self, offer: FlexOffer, now: TimeSlot) -> Envelope {
+        self.offers
+            .insert(offer.id(), (offer.clone(), OfferStatus::Pending));
+        Envelope::new(self.id, self.brp, now, Message::SubmitOffer(offer))
+    }
+
+    /// Handle an incoming message.
+    pub fn handle(&mut self, envelope: Envelope) {
+        match envelope.message {
+            Message::OfferAccepted { offer, .. } => {
+                if let Some((_, status)) = self.offers.get_mut(&offer) {
+                    if *status == OfferStatus::Pending {
+                        *status = OfferStatus::Accepted;
+                    }
+                }
+            }
+            Message::OfferRejected { offer } => {
+                if let Some((o, status)) = self.offers.get_mut(&offer) {
+                    if matches!(*status, OfferStatus::Pending | OfferStatus::Accepted) {
+                        *status = OfferStatus::FallenBack(ScheduledFlexOffer::open_contract(o));
+                        self.fallback_count += 1;
+                    }
+                }
+            }
+            Message::Assignment { schedule, .. } => {
+                if let Some((offer, status)) = self.offers.get_mut(&schedule.offer_id) {
+                    // Late assignments (after fallback) are ignored: the
+                    // device is already committed to the open contract.
+                    if matches!(*status, OfferStatus::Pending | OfferStatus::Accepted)
+                        && schedule.validate_against(offer, 1e-6).is_ok()
+                    {
+                        *status = OfferStatus::Assigned(schedule);
+                        self.assigned_count += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advance the clock: any offer whose assignment deadline has passed
+    /// without an assignment falls back to the open contract. Returns the
+    /// offers that fell back this step.
+    pub fn on_slot(&mut self, now: TimeSlot) -> Vec<FlexOfferId> {
+        let mut fell_back = Vec::new();
+        for (id, (offer, status)) in self.offers.iter_mut() {
+            if matches!(*status, OfferStatus::Pending | OfferStatus::Accepted)
+                && offer.is_expired(now)
+            {
+                *status = OfferStatus::FallenBack(ScheduledFlexOffer::open_contract(offer));
+                self.fallback_count += 1;
+                fell_back.push(*id);
+            }
+        }
+        fell_back
+    }
+
+    /// Realized flexible energy at slot `t`: the sum over all committed
+    /// (assigned or fallen-back) schedules. Consumption positive.
+    pub fn flexible_load_at(&self, t: TimeSlot) -> f64 {
+        self.offers
+            .values()
+            .map(|(offer, status)| {
+                let schedule = match status {
+                    OfferStatus::Assigned(s) | OfferStatus::FallenBack(s) => s,
+                    _ => return 0.0,
+                };
+                offer.demand_sign() * schedule.energy_at(t).kwh()
+            })
+            .sum()
+    }
+
+    /// Offers that ended in the open contract.
+    pub fn fallback_count(&self) -> usize {
+        self.fallback_count
+    }
+
+    /// Offers executed under a BRP assignment.
+    pub fn assigned_count(&self) -> usize {
+        self.assigned_count
+    }
+
+    /// All offers ever submitted.
+    pub fn offer_count(&self) -> usize {
+        self.offers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Price, Profile};
+
+    fn offer(id: u64, es: i64, deadline: i64) -> FlexOffer {
+        FlexOffer::builder(id, 7)
+            .earliest_start(TimeSlot(es))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(deadline))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    fn node() -> ProsumerNode {
+        ProsumerNode::new(NodeId(10), ActorId(7), NodeId(1))
+    }
+
+    #[test]
+    fn submit_targets_brp() {
+        let mut p = node();
+        let env = p.submit(offer(1, 20, 10), TimeSlot(0));
+        assert_eq!(env.to, NodeId(1));
+        assert!(matches!(env.message, Message::SubmitOffer(_)));
+        assert_eq!(p.offer_count(), 1);
+    }
+
+    #[test]
+    fn assignment_executes() {
+        let mut p = node();
+        let o = offer(1, 20, 10);
+        p.submit(o.clone(), TimeSlot(0));
+        let schedule = ScheduledFlexOffer::at_min(&o, TimeSlot(22));
+        p.handle(Envelope::new(
+            NodeId(1),
+            NodeId(10),
+            TimeSlot(5),
+            Message::Assignment {
+                schedule,
+                discount_per_kwh: Price(0.02),
+            },
+        ));
+        assert_eq!(p.assigned_count(), 1);
+        assert!(p.flexible_load_at(TimeSlot(22)) > 0.0);
+        assert_eq!(p.flexible_load_at(TimeSlot(30)), 0.0);
+    }
+
+    #[test]
+    fn invalid_assignment_ignored() {
+        let mut p = node();
+        let o = offer(1, 20, 10);
+        p.submit(o.clone(), TimeSlot(0));
+        let mut schedule = ScheduledFlexOffer::at_min(&o, TimeSlot(22));
+        schedule.start = TimeSlot(99); // outside window
+        p.handle(Envelope::new(
+            NodeId(1),
+            NodeId(10),
+            TimeSlot(5),
+            Message::Assignment {
+                schedule,
+                discount_per_kwh: Price(0.02),
+            },
+        ));
+        assert_eq!(p.assigned_count(), 0);
+    }
+
+    #[test]
+    fn rejection_falls_back_to_open_contract() {
+        let mut p = node();
+        let o = offer(1, 20, 10);
+        p.submit(o.clone(), TimeSlot(0));
+        p.handle(Envelope::new(
+            NodeId(1),
+            NodeId(10),
+            TimeSlot(2),
+            Message::OfferRejected {
+                offer: FlexOfferId(1),
+            },
+        ));
+        assert_eq!(p.fallback_count(), 1);
+        // open contract: earliest start, max energy
+        assert!((p.flexible_load_at(TimeSlot(20)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_timeout_falls_back() {
+        let mut p = node();
+        p.submit(offer(1, 20, 10), TimeSlot(0));
+        assert!(p.on_slot(TimeSlot(9)).is_empty());
+        let fell = p.on_slot(TimeSlot(10));
+        assert_eq!(fell, vec![FlexOfferId(1)]);
+        assert_eq!(p.fallback_count(), 1);
+        // idempotent
+        assert!(p.on_slot(TimeSlot(11)).is_empty());
+    }
+
+    #[test]
+    fn late_assignment_after_fallback_ignored() {
+        let mut p = node();
+        let o = offer(1, 20, 10);
+        p.submit(o.clone(), TimeSlot(0));
+        p.on_slot(TimeSlot(10)); // falls back
+        p.handle(Envelope::new(
+            NodeId(1),
+            NodeId(10),
+            TimeSlot(11),
+            Message::Assignment {
+                schedule: ScheduledFlexOffer::at_min(&o, TimeSlot(25)),
+                discount_per_kwh: Price(0.02),
+            },
+        ));
+        assert_eq!(p.assigned_count(), 0);
+        // still the open-contract execution at earliest start
+        assert!((p.flexible_load_at(TimeSlot(20)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn production_offer_counts_negative() {
+        let mut p = node();
+        let o = FlexOffer::builder(2, 7)
+            .kind(mirabel_core::OfferKind::Production)
+            .earliest_start(TimeSlot(20))
+            .assignment_before(TimeSlot(10))
+            .profile(Profile::uniform(1, EnergyRange::fixed(3.0)))
+            .build()
+            .unwrap();
+        p.submit(o, TimeSlot(0));
+        p.on_slot(TimeSlot(10));
+        assert!((p.flexible_load_at(TimeSlot(20)) + 3.0).abs() < 1e-12);
+    }
+}

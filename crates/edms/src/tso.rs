@@ -1,0 +1,200 @@
+//! The level-3 TSO node: "the process is essentially repeated at a higher
+//! level: the aggregated flex-offers are sent to a TSO's node for further
+//! aggregation, scheduling, and disaggregation" (paper §2).
+
+use crate::message::{Envelope, Message};
+use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
+use mirabel_schedule::{
+    Budget, GreedyScheduler, MarketPrices, SchedulingProblem,
+};
+use std::collections::HashMap;
+
+/// The level-3 node.
+#[derive(Debug)]
+pub struct TsoNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Pool of macro offers received from BRPs: id → (offer, source BRP).
+    pool: HashMap<FlexOfferId, (FlexOffer, NodeId)>,
+    pipeline: AggregationPipeline,
+    budget_evaluations: usize,
+    seed: u64,
+}
+
+impl TsoNode {
+    /// Create a TSO aggregating BRP macro offers with the given
+    /// thresholds.
+    pub fn new(id: NodeId, aggregation: AggregationParams, budget_evaluations: usize) -> TsoNode {
+        TsoNode {
+            id,
+            pool: HashMap::new(),
+            pipeline: AggregationPipeline::new(aggregation, None),
+            budget_evaluations,
+            seed: id.value().wrapping_mul(0x51ed_270b),
+        }
+    }
+
+    /// Macro offers currently pooled.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Second-level aggregates currently maintained.
+    pub fn aggregate_count(&self) -> usize {
+        self.pipeline.aggregate_count()
+    }
+
+    /// Handle a message (only `MacroOffers` is meaningful to a TSO).
+    pub fn handle(&mut self, envelope: Envelope) {
+        if let Message::MacroOffers(offers) = envelope.message {
+            let updates = offers
+                .into_iter()
+                .map(|o| {
+                    self.pool.insert(o.id(), (o.clone(), envelope.from));
+                    FlexOfferUpdate::Insert(o)
+                })
+                .collect();
+            self.pipeline.apply(updates);
+        }
+    }
+
+    /// Schedule the pooled macro offers over `[window_start,
+    /// window_start+baseline.len())` and return per-BRP assignments
+    /// (disaggregated one level, back to the BRP macro offers).
+    pub fn plan(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> Vec<Envelope> {
+        let horizon = baseline.len();
+        let end = window_start + horizon as u32;
+        let macros: Vec<FlexOffer> = self
+            .pipeline
+            .macro_offers()
+            .into_iter()
+            .filter(|m| m.earliest_start() >= window_start && m.latest_end() <= end)
+            .collect();
+        if macros.is_empty() {
+            return Vec::new();
+        }
+        let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
+            .expect("eligible macros fit the window");
+        self.seed = self.seed.wrapping_add(1);
+        let result = GreedyScheduler.run(
+            &problem,
+            Budget::evaluations(self.budget_evaluations),
+            self.seed,
+        );
+
+        let mut out = Vec::new();
+        for macro_schedule in result.solution.to_schedules(&problem) {
+            let agg_id = AggregateId(macro_schedule.offer_id.value());
+            let members = match self.pipeline.disaggregate(agg_id, &macro_schedule) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            for schedule in members {
+                let Some((_, source_brp)) = self.pool.remove(&schedule.offer_id) else {
+                    continue;
+                };
+                self.pipeline
+                    .apply(vec![FlexOfferUpdate::Delete(schedule.offer_id)]);
+                out.push(Envelope::new(
+                    self.id,
+                    source_brp,
+                    now,
+                    Message::Assignment {
+                        schedule,
+                        discount_per_kwh: Price::ZERO,
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile};
+
+    fn macro_offer(id: u64, es: i64) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(es))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(es - 10))
+            .profile(Profile::uniform(4, EnergyRange::new(5.0, 10.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pools_macro_offers() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
+        tso.handle(Envelope::new(
+            NodeId(1),
+            NodeId(99),
+            TimeSlot(0),
+            Message::MacroOffers(vec![macro_offer(1_000_000_001, 120)]),
+        ));
+        assert_eq!(tso.pool_size(), 1);
+        assert_eq!(tso.aggregate_count(), 1);
+    }
+
+    #[test]
+    fn plan_sends_assignments_to_source_brps() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
+        tso.handle(Envelope::new(
+            NodeId(1),
+            NodeId(99),
+            TimeSlot(0),
+            Message::MacroOffers(vec![macro_offer(1_000_000_001, 120)]),
+        ));
+        tso.handle(Envelope::new(
+            NodeId(2),
+            NodeId(99),
+            TimeSlot(0),
+            Message::MacroOffers(vec![macro_offer(2_000_000_001, 120)]),
+        ));
+        let envelopes = tso.plan(
+            TimeSlot(100),
+            TimeSlot(96),
+            vec![-5.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(envelopes.len(), 2);
+        let targets: Vec<u64> = envelopes.iter().map(|e| e.to.value()).collect();
+        assert!(targets.contains(&1));
+        assert!(targets.contains(&2));
+        for e in &envelopes {
+            assert!(matches!(e.message, Message::Assignment { .. }));
+        }
+        assert_eq!(tso.pool_size(), 0);
+    }
+
+    #[test]
+    fn offers_outside_window_deferred() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 1_000);
+        tso.handle(Envelope::new(
+            NodeId(1),
+            NodeId(99),
+            TimeSlot(0),
+            Message::MacroOffers(vec![macro_offer(1_000_000_001, 500)]),
+        ));
+        let envelopes = tso.plan(
+            TimeSlot(100),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        assert!(envelopes.is_empty());
+        assert_eq!(tso.pool_size(), 1); // still pooled for a later window
+    }
+}

@@ -1,0 +1,440 @@
+//! The EGRV multi-equation regression model (paper §5, \[11\]).
+//!
+//! Ramanathan/Engle/Granger/Vahid-Araghi/Brace forecast electricity load
+//! with *one regression equation per intra-day period*: each period's
+//! equation has its own coefficients over deterministic (calendar) and
+//! stochastic (lagged load, weather) regressors. MIRABEL adds weather,
+//! calendar events and energy-type context as inputs.
+//!
+//! The equations are independent given the feature matrix, which is what
+//! makes the estimation embarrassingly parallel (see [`crate::parallel`]).
+
+use crate::linalg::{dot, ridge_ols};
+use crate::model::ForecastModel;
+use mirabel_core::{TimeSlot, SLOTS_PER_DAY, SLOTS_PER_WEEK};
+use mirabel_timeseries::{Calendar, TimeSeries};
+
+/// Exogenous inputs: calendar events and (optionally) weather.
+#[derive(Debug, Clone, Default)]
+pub struct Exogenous {
+    /// Holiday/weekday calendar.
+    pub calendar: Calendar,
+    /// Temperature series covering history *and* the forecast horizon
+    /// (weather forecasts in production; synthetic here).
+    pub temperature: Option<TimeSeries>,
+}
+
+/// EGRV structural configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EgrvConfig {
+    /// Number of intra-day periods, each with its own equation
+    /// (24 = hourly equations at 15-minute data).
+    pub periods_per_day: usize,
+    /// Include the one-week lagged load as a regressor.
+    pub use_weekly_lag: bool,
+    /// Ridge regularizer for the per-equation least squares.
+    pub ridge: f64,
+}
+
+impl Default for EgrvConfig {
+    fn default() -> EgrvConfig {
+        EgrvConfig {
+            periods_per_day: 24,
+            use_weekly_lag: true,
+            ridge: 1e-6,
+        }
+    }
+}
+
+/// EGRV model state: per-period coefficient vectors plus the rolling
+/// history buffer that supplies lagged regressors.
+#[derive(Debug, Clone)]
+pub struct EgrvModel {
+    config: EgrvConfig,
+    exog: Exogenous,
+    /// Coefficients per intra-day period; empty until fitted.
+    coeffs: Vec<Vec<f64>>,
+    /// Observed history (dense from `start`).
+    history: Vec<f64>,
+    start: TimeSlot,
+}
+
+impl EgrvModel {
+    /// Create an unfitted model.
+    pub fn new(config: EgrvConfig, exog: Exogenous) -> EgrvModel {
+        assert!(config.periods_per_day >= 1);
+        assert!((SLOTS_PER_DAY as usize).is_multiple_of(config.periods_per_day));
+        EgrvModel {
+            coeffs: vec![Vec::new(); config.periods_per_day],
+            config,
+            exog,
+            history: Vec::new(),
+            start: TimeSlot::EPOCH,
+        }
+    }
+
+    /// Default-configured model without weather input.
+    pub fn with_calendar(calendar: Calendar) -> EgrvModel {
+        EgrvModel::new(
+            EgrvConfig::default(),
+            Exogenous {
+                calendar,
+                temperature: None,
+            },
+        )
+    }
+
+    /// Whether the model has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.coeffs.iter().all(|c| !c.is_empty())
+    }
+
+    /// Number of regressors per equation.
+    pub fn feature_count(&self) -> usize {
+        // intercept + daily lag [+ weekly lag] + 6 weekday dummies
+        // + holiday + [temp, temp^2]
+        let mut k = 1 + 1 + 6 + 1;
+        if self.config.use_weekly_lag {
+            k += 1;
+        }
+        if self.exog.temperature.is_some() {
+            k += 2;
+        }
+        k
+    }
+
+    /// Intra-day period index of a slot.
+    pub fn period_of(&self, t: TimeSlot) -> usize {
+        let slots_per_period = SLOTS_PER_DAY as usize / self.config.periods_per_day;
+        t.slot_of_day() as usize / slots_per_period
+    }
+
+    /// Minimum history (in slots) needed before rows can be formed.
+    pub fn min_lag(&self) -> usize {
+        if self.config.use_weekly_lag {
+            SLOTS_PER_WEEK as usize
+        } else {
+            SLOTS_PER_DAY as usize
+        }
+    }
+
+    /// Feature vector for slot `t`, reading lags from `values` (indexed
+    /// relative to `self.start`). `idx` is the index of `t` in `values`.
+    fn features(&self, t: TimeSlot, values: &[f64], idx: usize) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.feature_count());
+        row.push(1.0);
+        row.push(values[idx - SLOTS_PER_DAY as usize]);
+        if self.config.use_weekly_lag {
+            row.push(values[idx - SLOTS_PER_WEEK as usize]);
+        }
+        let dow = t.day_of_week();
+        for d in 1..7 {
+            row.push(if dow == d { 1.0 } else { 0.0 });
+        }
+        row.push(if self.exog.calendar.is_holiday(t) { 1.0 } else { 0.0 });
+        if let Some(temp) = &self.exog.temperature {
+            let v = temp.at(t).unwrap_or_else(|| temp.mean());
+            row.push(v);
+            row.push(v * v);
+        }
+        row
+    }
+
+    /// Per-period training-row builder; exposed so the parallel estimator
+    /// can fit equations independently.
+    pub(crate) fn training_rows(
+        &self,
+        period: usize,
+        values: &[f64],
+        start: TimeSlot,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let min_lag = self.min_lag();
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for idx in min_lag..values.len() {
+            let t = start + idx as u32;
+            if self.period_of(t) != period {
+                continue;
+            }
+            rows.push(self.features(t, values, idx));
+            ys.push(values[idx]);
+        }
+        (rows, ys)
+    }
+
+    /// Fit one period's equation; used by both the serial `fit` and the
+    /// parallel path.
+    pub(crate) fn fit_period(
+        &self,
+        period: usize,
+        values: &[f64],
+        start: TimeSlot,
+    ) -> Vec<f64> {
+        let (rows, ys) = self.training_rows(period, values, start);
+        if rows.len() < self.feature_count() {
+            // Not enough data: fall back to a mean-only equation.
+            let mean = if ys.is_empty() {
+                0.0
+            } else {
+                ys.iter().sum::<f64>() / ys.len() as f64
+            };
+            let mut c = vec![0.0; self.feature_count()];
+            c[0] = mean;
+            return c;
+        }
+        ridge_ols(&rows, &ys, self.config.ridge).unwrap_or_else(|_| {
+            let mut c = vec![0.0; self.feature_count()];
+            c[0] = ys.iter().sum::<f64>() / ys.len() as f64;
+            c
+        })
+    }
+
+    /// Install externally-fitted coefficients (parallel estimation path).
+    pub(crate) fn install(&mut self, coeffs: Vec<Vec<f64>>, history: &TimeSeries) {
+        assert_eq!(coeffs.len(), self.config.periods_per_day);
+        self.coeffs = coeffs;
+        self.history = history.values().to_vec();
+        self.start = history.start();
+    }
+
+    /// Read-only view of the internal history buffer (for tests).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Configuration accessor.
+    pub fn config(&self) -> &EgrvConfig {
+        &self.config
+    }
+}
+
+impl ForecastModel for EgrvModel {
+    fn name(&self) -> &'static str {
+        "EGRV"
+    }
+
+    /// EGRV coefficients are estimated in closed form (least squares), so
+    /// there are no black-box tunable parameters.
+    fn params(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert!(params.is_empty(), "EGRV has no black-box parameters");
+    }
+
+    fn param_bounds(&self) -> Vec<(f64, f64)> {
+        Vec::new()
+    }
+
+    fn fit(&mut self, history: &TimeSeries) {
+        self.history = history.values().to_vec();
+        self.start = history.start();
+        let values = self.history.clone();
+        for p in 0..self.config.periods_per_day {
+            self.coeffs[p] = self.fit_period(p, &values, self.start);
+        }
+    }
+
+    fn update(&mut self, value: f64) {
+        // "shift of lagged input values" — appending moves every lag window.
+        self.history.push(value);
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let mut values = self.history.clone();
+        let mut out = Vec::with_capacity(horizon);
+        for k in 0..horizon {
+            let idx = values.len();
+            let t = self.start + idx as u32;
+            let pred = if idx < self.min_lag() || !self.is_fitted() {
+                // insufficient lags: persist the last value
+                values.last().copied().unwrap_or(0.0)
+            } else {
+                let row = self.features(t, &values, idx);
+                dot(&row, &self.coeffs[self.period_of(t)])
+            };
+            out.push(pred);
+            values.push(pred);
+            let _ = k;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_timeseries::{smape, DemandGenerator};
+
+    fn demand(days: usize, seed: u64) -> TimeSeries {
+        DemandGenerator::default().generate(TimeSlot(0), days * SLOTS_PER_DAY as usize, seed)
+    }
+
+    #[test]
+    fn construction_validates_period_divisibility() {
+        let ok = EgrvModel::new(
+            EgrvConfig {
+                periods_per_day: 96,
+                ..EgrvConfig::default()
+            },
+            Exogenous::default(),
+        );
+        assert_eq!(ok.config().periods_per_day, 96);
+    }
+
+    #[test]
+    #[should_panic]
+    fn construction_rejects_nondivisible_periods() {
+        EgrvModel::new(
+            EgrvConfig {
+                periods_per_day: 7,
+                ..EgrvConfig::default()
+            },
+            Exogenous::default(),
+        );
+    }
+
+    #[test]
+    fn feature_count_varies_with_config() {
+        let base = EgrvModel::new(
+            EgrvConfig {
+                use_weekly_lag: false,
+                ..EgrvConfig::default()
+            },
+            Exogenous::default(),
+        );
+        assert_eq!(base.feature_count(), 9);
+        let weekly = EgrvModel::new(EgrvConfig::default(), Exogenous::default());
+        assert_eq!(weekly.feature_count(), 10);
+        let weather = EgrvModel::new(
+            EgrvConfig::default(),
+            Exogenous {
+                calendar: Calendar::new(),
+                temperature: Some(TimeSeries::new(TimeSlot(0), vec![10.0; 96])),
+            },
+        );
+        assert_eq!(weather.feature_count(), 12);
+    }
+
+    #[test]
+    fn period_mapping() {
+        let m = EgrvModel::with_calendar(Calendar::new());
+        assert_eq!(m.period_of(TimeSlot(0)), 0);
+        assert_eq!(m.period_of(TimeSlot(3)), 0);
+        assert_eq!(m.period_of(TimeSlot(4)), 1);
+        assert_eq!(m.period_of(TimeSlot(95)), 23);
+        assert_eq!(m.period_of(TimeSlot(96)), 0);
+    }
+
+    #[test]
+    fn learns_synthetic_demand() {
+        let s = demand(28, 4);
+        let (train, test) = s.split_at_slot(TimeSlot(21 * SLOTS_PER_DAY as i64));
+        let mut m = EgrvModel::with_calendar(Calendar::new());
+        m.fit(&train);
+        assert!(m.is_fitted());
+        let f = m.forecast(SLOTS_PER_DAY as usize);
+        let err = smape(&test.values()[..SLOTS_PER_DAY as usize], &f);
+        assert!(err < 0.08, "EGRV day-ahead SMAPE {err}");
+    }
+
+    #[test]
+    fn update_extends_lag_window() {
+        let s = demand(15, 8);
+        let mut m = EgrvModel::with_calendar(Calendar::new());
+        m.fit(&s);
+        let n = m.history_len();
+        m.update(42.0);
+        assert_eq!(m.history_len(), n + 1);
+    }
+
+    #[test]
+    fn unfitted_model_persists_last_value() {
+        let m = EgrvModel::with_calendar(Calendar::new());
+        let f = m.forecast(3);
+        assert_eq!(f, vec![0.0, 0.0, 0.0]);
+        let mut m2 = EgrvModel::with_calendar(Calendar::new());
+        m2.update(7.0);
+        assert_eq!(m2.forecast(2), vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn short_history_falls_back_to_mean_equation() {
+        let s = TimeSeries::new(TimeSlot(0), vec![5.0; 100]); // < one week
+        let mut m = EgrvModel::with_calendar(Calendar::new());
+        m.fit(&s);
+        assert!(m.is_fitted()); // mean-only equations
+        let f = m.forecast(2);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn no_black_box_params() {
+        let m = EgrvModel::with_calendar(Calendar::new());
+        assert!(m.params().is_empty());
+        assert!(m.param_bounds().is_empty());
+    }
+
+    #[test]
+    fn temperature_regressors_improve_weather_driven_demand() {
+        // Weather-sensitive demand (electric heating); the temperature
+        // series — history plus "weather forecast" for the horizon — is
+        // supplied as the exogenous input, exactly as §5 describes.
+        let gen = DemandGenerator {
+            noise: 0.002,
+            ..DemandGenerator::default()
+        };
+        let days = 35;
+        let temp = gen.temperature(TimeSlot(0), days * SLOTS_PER_DAY as usize, 42);
+        let demand = gen.generate_with_temperature(&temp, 2.0, 7);
+        let split = TimeSlot(((days - 7) * SLOTS_PER_DAY as usize) as i64);
+        let (train, test) = demand.split_at_slot(split);
+
+        let mut with_weather = EgrvModel::new(
+            EgrvConfig::default(),
+            Exogenous {
+                calendar: Calendar::new(),
+                temperature: Some(temp.clone()),
+            },
+        );
+        with_weather.fit(&train);
+        let mut without_weather = EgrvModel::with_calendar(Calendar::new());
+        without_weather.fit(&train);
+
+        let horizon = 7 * SLOTS_PER_DAY as usize;
+        let e_with = smape(&test.values()[..horizon], &with_weather.forecast(horizon));
+        let e_without = smape(&test.values()[..horizon], &without_weather.forecast(horizon));
+        assert!(
+            e_with < e_without,
+            "weather-aware {e_with} vs blind {e_without}"
+        );
+    }
+
+    #[test]
+    fn holiday_dummy_improves_holiday_forecast() {
+        // Build a calendar where day 21 is a holiday, with holidays in
+        // training (days 7 and 14) teaching the dummy.
+        let cal = Calendar::with_holidays([7, 14, 21]);
+        let gen = DemandGenerator {
+            calendar: cal.clone(),
+            noise: 0.0,
+            ..DemandGenerator::default()
+        };
+        let s = gen.generate(TimeSlot(0), 22 * SLOTS_PER_DAY as usize, 5);
+        let (train, test) = s.split_at_slot(TimeSlot(21 * SLOTS_PER_DAY as i64));
+
+        let mut with_cal = EgrvModel::with_calendar(cal);
+        with_cal.fit(&train);
+        let mut without_cal = EgrvModel::with_calendar(Calendar::new());
+        without_cal.fit(&train);
+
+        let horizon = SLOTS_PER_DAY as usize;
+        let e_with = smape(&test.values()[..horizon], &with_cal.forecast(horizon));
+        let e_without = smape(&test.values()[..horizon], &without_cal.forecast(horizon));
+        assert!(
+            e_with <= e_without,
+            "holiday-aware {e_with} vs unaware {e_without}"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Flex-offer forecasting (paper §5).
+//!
+//! "Flex-offers can be viewed as multi-variate time series that consists
+//! of a vector of observations (e.g., min power, max power) per time
+//! slice. To forecast flex-offers, we decompose this multi-variate time
+//! series into a set of univariate time series and apply our already
+//! defined forecast model types to the individual time series."
+//!
+//! [`FlexOfferSeries`] bins a historical flex-offer population onto the
+//! slot grid (by earliest start) as three univariate series — aggregate
+//! minimum energy, aggregate maximum energy, offer count — and
+//! [`FlexOfferForecaster`] forecasts each dimension independently,
+//! re-imposing `min ≤ max` on recomposition.
+
+use crate::hwt::HwtModel;
+use crate::model::ForecastModel;
+use mirabel_core::{FlexOffer, TimeSlot};
+use mirabel_timeseries::TimeSeries;
+
+/// A flex-offer population decomposed into univariate slot series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexOfferSeries {
+    /// Sum of profile minimum total energy of offers starting per slot.
+    pub min_energy: TimeSeries,
+    /// Sum of profile maximum total energy of offers starting per slot.
+    pub max_energy: TimeSeries,
+    /// Number of offers with earliest start in each slot.
+    pub count: TimeSeries,
+}
+
+impl FlexOfferSeries {
+    /// Bin `offers` by earliest-start slot over `[from, to)`.
+    pub fn from_offers(offers: &[FlexOffer], from: TimeSlot, to: TimeSlot) -> FlexOfferSeries {
+        let len = (to - from).max(0) as usize;
+        let mut min_e = vec![0.0; len];
+        let mut max_e = vec![0.0; len];
+        let mut count = vec![0.0; len];
+        for o in offers {
+            let d = o.earliest_start() - from;
+            if d < 0 || d >= len as i64 {
+                continue;
+            }
+            let i = d as usize;
+            min_e[i] += o.profile().min_total_energy().kwh();
+            max_e[i] += o.profile().max_total_energy().kwh();
+            count[i] += 1.0;
+        }
+        FlexOfferSeries {
+            min_energy: TimeSeries::new(from, min_e),
+            max_energy: TimeSeries::new(from, max_e),
+            count: TimeSeries::new(from, count),
+        }
+    }
+
+    /// Length in slots.
+    pub fn len(&self) -> usize {
+        self.count.len()
+    }
+
+    /// Whether the series covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.count.is_empty()
+    }
+}
+
+/// Forecast envelope of a future flex-offer population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexEnvelopeForecast {
+    /// Forecast aggregate minimum energy per slot.
+    pub min_energy: Vec<f64>,
+    /// Forecast aggregate maximum energy per slot.
+    pub max_energy: Vec<f64>,
+    /// Forecast offer count per slot (non-negative).
+    pub count: Vec<f64>,
+}
+
+/// Per-dimension univariate forecaster over a [`FlexOfferSeries`].
+#[derive(Debug, Clone)]
+pub struct FlexOfferForecaster {
+    min_model: HwtModel,
+    max_model: HwtModel,
+    count_model: HwtModel,
+    fitted: bool,
+}
+
+impl Default for FlexOfferForecaster {
+    fn default() -> FlexOfferForecaster {
+        FlexOfferForecaster {
+            min_model: HwtModel::daily_weekly(),
+            max_model: HwtModel::daily_weekly(),
+            count_model: HwtModel::daily_weekly(),
+            fitted: false,
+        }
+    }
+}
+
+impl FlexOfferForecaster {
+    /// New forecaster with daily+weekly HWT models per dimension.
+    pub fn new() -> FlexOfferForecaster {
+        FlexOfferForecaster::default()
+    }
+
+    /// Fit all three univariate models.
+    pub fn fit(&mut self, series: &FlexOfferSeries) {
+        self.min_model.fit(&series.min_energy);
+        self.max_model.fit(&series.max_energy);
+        self.count_model.fit(&series.count);
+        self.fitted = true;
+    }
+
+    /// Whether [`FlexOfferForecaster::fit`] has run.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Consume one new observation per dimension.
+    pub fn update(&mut self, min_energy: f64, max_energy: f64, count: f64) {
+        self.min_model.update(min_energy);
+        self.max_model.update(max_energy);
+        self.count_model.update(count);
+    }
+
+    /// Forecast the envelope `horizon` slots ahead. Recomposition clamps
+    /// counts to be non-negative and enforces `min ≤ max` per slot.
+    pub fn forecast(&self, horizon: usize) -> FlexEnvelopeForecast {
+        let min_raw = self.min_model.forecast(horizon);
+        let max_raw = self.max_model.forecast(horizon);
+        let count_raw = self.count_model.forecast(horizon);
+        let mut min_energy = Vec::with_capacity(horizon);
+        let mut max_energy = Vec::with_capacity(horizon);
+        let mut count = Vec::with_capacity(horizon);
+        for i in 0..horizon {
+            let lo = min_raw[i].max(0.0);
+            let hi = max_raw[i].max(lo);
+            min_energy.push(lo);
+            max_energy.push(hi);
+            count.push(count_raw[i].max(0.0));
+        }
+        FlexEnvelopeForecast {
+            min_energy,
+            max_energy,
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile, SLOTS_PER_DAY};
+
+    fn offer(id: u64, start: i64, min_e: f64, max_e: f64) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(start))
+            .profile(Profile::uniform(1, EnergyRange::new(min_e, max_e).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn binning_sums_per_slot() {
+        let offers = vec![
+            offer(1, 5, 1.0, 2.0),
+            offer(2, 5, 3.0, 4.0),
+            offer(3, 7, 10.0, 10.0),
+            offer(4, 99, 1.0, 1.0), // outside window, ignored
+        ];
+        let s = FlexOfferSeries::from_offers(&offers, TimeSlot(0), TimeSlot(10));
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.min_energy.at(TimeSlot(5)), Some(4.0));
+        assert_eq!(s.max_energy.at(TimeSlot(5)), Some(6.0));
+        assert_eq!(s.count.at(TimeSlot(5)), Some(2.0));
+        assert_eq!(s.count.at(TimeSlot(7)), Some(1.0));
+        assert_eq!(s.count.at(TimeSlot(0)), Some(0.0));
+    }
+
+    #[test]
+    fn forecast_envelope_is_consistent() {
+        // Daily-periodic offer arrivals for 3 weeks.
+        let mut offers = Vec::new();
+        let mut id = 0;
+        for day in 0..21i64 {
+            for k in 0..10 {
+                let slot = day * SLOTS_PER_DAY as i64 + 70 + (k % 3); // evening cluster
+                offers.push(offer(id, slot, 2.0, 3.0));
+                id += 1;
+            }
+        }
+        let s = FlexOfferSeries::from_offers(
+            &offers,
+            TimeSlot(0),
+            TimeSlot(21 * SLOTS_PER_DAY as i64),
+        );
+        let mut f = FlexOfferForecaster::new();
+        f.fit(&s);
+        assert!(f.is_fitted());
+        let env = f.forecast(SLOTS_PER_DAY as usize);
+        for i in 0..env.min_energy.len() {
+            assert!(env.min_energy[i] >= 0.0);
+            assert!(env.max_energy[i] >= env.min_energy[i]);
+            assert!(env.count[i] >= 0.0);
+        }
+        // the evening cluster should dominate the forecast day
+        let evening: f64 = env.count[70..74].iter().sum();
+        let morning: f64 = env.count[20..24].iter().sum();
+        assert!(evening > morning, "evening {evening} vs morning {morning}");
+    }
+
+    #[test]
+    fn update_moves_all_dimensions() {
+        let offers: Vec<FlexOffer> = (0..100)
+            .map(|i| offer(i, (i % 96) as i64, 1.0, 2.0))
+            .collect();
+        let s = FlexOfferSeries::from_offers(&offers, TimeSlot(0), TimeSlot(96 * 8));
+        let mut f = FlexOfferForecaster::new();
+        f.fit(&s);
+        let before = f.forecast(2);
+        f.update(before.min_energy[0], before.max_energy[0], before.count[0]);
+        let after = f.forecast(1);
+        // feeding back its own forecast keeps the envelope finite & ordered
+        assert!(after.max_energy[0] >= after.min_energy[0]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = FlexOfferSeries::from_offers(&[], TimeSlot(0), TimeSlot(0));
+        assert!(s.is_empty());
+        let s2 = FlexOfferSeries::from_offers(&[], TimeSlot(0), TimeSlot(5));
+        assert_eq!(s2.len(), 5);
+        assert_eq!(s2.count.values(), &[0.0; 5]);
+    }
+}

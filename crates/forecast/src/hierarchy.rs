@@ -1,0 +1,319 @@
+//! Hierarchical forecasting advisor (paper §5, \[5\]).
+//!
+//! "Beside the use of individual forecast models, forecast models can be
+//! used to aggregate or disaggregate forecast values without the need for
+//! individual models at each system node. Therefore, we provide an advisor
+//! component that computes for a given hierarchical structure a
+//! configuration of forecast models according to specified accuracy and
+//! runtime constraints."
+//!
+//! Each hierarchy node can either run its **own model** (runtime cost,
+//! known accuracy) or **aggregate** its children's forecasts (no own
+//! runtime; error combines from the children). The advisor computes the
+//! Pareto frontier of `(error, runtime)` configurations bottom-up and
+//! returns the cheapest configuration meeting a root accuracy constraint.
+
+use std::collections::HashMap;
+
+/// A node of the forecast hierarchy with its measured/estimated model
+/// characteristics.
+#[derive(Debug, Clone)]
+pub struct HierarchyNode {
+    /// Unique node name within the hierarchy.
+    pub name: String,
+    /// Children aggregated by this node (empty ⇒ leaf; leaves must run
+    /// their own model).
+    pub children: Vec<HierarchyNode>,
+    /// Expected error (e.g. SMAPE) of a dedicated model at this node.
+    pub model_error: f64,
+    /// Runtime cost (e.g. seconds of estimation/maintenance per cycle) of
+    /// a dedicated model at this node.
+    pub model_runtime: f64,
+    /// Multiplier applied to the combined child error when this node
+    /// aggregates child forecasts instead (≥ 0; < 1 models error
+    /// cancellation of independent children, > 1 models correlation).
+    pub aggregation_factor: f64,
+}
+
+impl HierarchyNode {
+    /// Leaf node.
+    pub fn leaf(name: impl Into<String>, model_error: f64, model_runtime: f64) -> HierarchyNode {
+        HierarchyNode {
+            name: name.into(),
+            children: Vec::new(),
+            model_error,
+            model_runtime,
+            aggregation_factor: 1.0,
+        }
+    }
+
+    /// Internal node.
+    pub fn internal(
+        name: impl Into<String>,
+        model_error: f64,
+        model_runtime: f64,
+        aggregation_factor: f64,
+        children: Vec<HierarchyNode>,
+    ) -> HierarchyNode {
+        HierarchyNode {
+            name: name.into(),
+            children,
+            model_error,
+            model_runtime,
+            aggregation_factor,
+        }
+    }
+}
+
+/// The advisor's decision for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodePlan {
+    /// Run a dedicated forecast model at this node.
+    OwnModel,
+    /// Sum the children's forecasts.
+    AggregateChildren,
+}
+
+/// A complete configuration: per-node plans plus the root characteristics.
+#[derive(Debug, Clone)]
+pub struct Configuration {
+    /// Plan per node name.
+    pub plans: HashMap<String, NodePlan>,
+    /// Root forecast error of this configuration.
+    pub root_error: f64,
+    /// Total runtime of all dedicated models in the configuration.
+    pub total_runtime: f64,
+}
+
+/// One point on a node's Pareto frontier with reconstruction info.
+#[derive(Debug, Clone)]
+struct FrontierPoint {
+    error: f64,
+    runtime: f64,
+    /// `None` ⇒ own model; `Some(choices)` ⇒ aggregate, with the chosen
+    /// frontier index per child.
+    children_choice: Option<Vec<usize>>,
+}
+
+/// Maximum frontier size kept per node (pruned by Pareto dominance first,
+/// then thinned uniformly).
+const FRONTIER_CAP: usize = 32;
+
+fn pareto_prune(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
+    points.sort_by(|a, b| a.error.total_cmp(&b.error).then(a.runtime.total_cmp(&b.runtime)));
+    let mut out: Vec<FrontierPoint> = Vec::new();
+    let mut best_runtime = f64::INFINITY;
+    for p in points {
+        if p.runtime < best_runtime {
+            best_runtime = p.runtime;
+            out.push(p);
+        }
+    }
+    if out.len() > FRONTIER_CAP {
+        // Thin uniformly but always keep the extremes.
+        let n = out.len();
+        let idx: Vec<usize> = (0..FRONTIER_CAP)
+            .map(|i| i * (n - 1) / (FRONTIER_CAP - 1))
+            .collect();
+        out = idx.into_iter().map(|i| out[i].clone()).collect();
+    }
+    out
+}
+
+/// Combine child errors for an aggregating parent: independent-error
+/// (root-sum-square averaged) model scaled by the node's
+/// `aggregation_factor`.
+fn combine_child_errors(errors: &[f64], factor: f64) -> f64 {
+    let n = errors.len().max(1) as f64;
+    let rss = errors.iter().map(|e| e * e).sum::<f64>().sqrt();
+    factor * rss / n
+}
+
+fn frontier(node: &HierarchyNode) -> Vec<FrontierPoint> {
+    let own = FrontierPoint {
+        error: node.model_error,
+        runtime: node.model_runtime,
+        children_choice: None,
+    };
+    if node.children.is_empty() {
+        return vec![own];
+    }
+    let child_frontiers: Vec<Vec<FrontierPoint>> = node.children.iter().map(frontier).collect();
+
+    // Merge children pairwise, tracking per-child choice indices.
+    // combos: (per-child chosen index, child errors, total runtime)
+    let mut combos: Vec<(Vec<usize>, Vec<f64>, f64)> = vec![(Vec::new(), Vec::new(), 0.0)];
+    for cf in &child_frontiers {
+        let mut next = Vec::with_capacity(combos.len() * cf.len());
+        for (choice, errs, rt) in &combos {
+            for (i, p) in cf.iter().enumerate() {
+                let mut c = choice.clone();
+                c.push(i);
+                let mut e = errs.clone();
+                e.push(p.error);
+                next.push((c, e, rt + p.runtime));
+            }
+        }
+        // Prune combos to keep the product tractable: keep Pareto points
+        // under (combined-so-far error proxy = RSS of child errors, runtime).
+        next.sort_by(|a, b| {
+            let ea = a.1.iter().map(|e| e * e).sum::<f64>();
+            let eb = b.1.iter().map(|e| e * e).sum::<f64>();
+            ea.total_cmp(&eb).then(a.2.total_cmp(&b.2))
+        });
+        let mut pruned: Vec<(Vec<usize>, Vec<f64>, f64)> = Vec::new();
+        let mut best_rt = f64::INFINITY;
+        for item in next {
+            if item.2 < best_rt {
+                best_rt = item.2;
+                pruned.push(item);
+            }
+        }
+        pruned.truncate(FRONTIER_CAP);
+        combos = pruned;
+    }
+
+    let mut points = vec![own];
+    for (choice, errs, rt) in combos {
+        points.push(FrontierPoint {
+            error: combine_child_errors(&errs, node.aggregation_factor),
+            runtime: rt,
+            children_choice: Some(choice),
+        });
+    }
+    pareto_prune(points)
+}
+
+fn reconstruct(
+    node: &HierarchyNode,
+    frontiers: &FrontierPoint,
+    plans: &mut HashMap<String, NodePlan>,
+) {
+    match &frontiers.children_choice {
+        None => {
+            plans.insert(node.name.clone(), NodePlan::OwnModel);
+        }
+        Some(choices) => {
+            plans.insert(node.name.clone(), NodePlan::AggregateChildren);
+            for (child, &idx) in node.children.iter().zip(choices) {
+                let cf = frontier(child);
+                reconstruct(child, &cf[idx], plans);
+            }
+        }
+    }
+}
+
+/// Compute the cheapest configuration whose root error does not exceed
+/// `max_error`. Returns `None` when even the best-error configuration
+/// violates the constraint.
+pub fn advise(root: &HierarchyNode, max_error: f64) -> Option<Configuration> {
+    let front = frontier(root);
+    let feasible = front
+        .iter()
+        .filter(|p| p.error <= max_error)
+        .min_by(|a, b| a.runtime.total_cmp(&b.runtime))?;
+    let mut plans = HashMap::new();
+    reconstruct(root, feasible, &mut plans);
+    Some(Configuration {
+        plans,
+        root_error: feasible.error,
+        total_runtime: feasible.runtime,
+    })
+}
+
+/// The full Pareto frontier at the root — `(error, runtime)` pairs — for
+/// reporting and for the interplay experiments.
+pub fn root_frontier(root: &HierarchyNode) -> Vec<(f64, f64)> {
+    frontier(root)
+        .into_iter()
+        .map(|p| (p.error, p.runtime))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// BRP with two prosumers: the paper's minimal hierarchy.
+    fn small_tree() -> HierarchyNode {
+        HierarchyNode::internal(
+            "brp",
+            0.02,  // a dedicated BRP model is accurate…
+            10.0,  // …but expensive
+            0.8,   // child errors partially cancel
+            vec![
+                HierarchyNode::leaf("prosumer-a", 0.06, 1.0),
+                HierarchyNode::leaf("prosumer-b", 0.08, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn leaf_must_run_own_model() {
+        let leaf = HierarchyNode::leaf("l", 0.05, 2.0);
+        let cfg = advise(&leaf, 1.0).unwrap();
+        assert_eq!(cfg.plans["l"], NodePlan::OwnModel);
+        assert_eq!(cfg.total_runtime, 2.0);
+    }
+
+    #[test]
+    fn loose_constraint_prefers_cheap_aggregation() {
+        let cfg = advise(&small_tree(), 0.10).unwrap();
+        assert_eq!(cfg.plans["brp"], NodePlan::AggregateChildren);
+        // runtime = two leaf models only
+        assert!((cfg.total_runtime - 2.0).abs() < 1e-12);
+        // combined error: 0.8 * sqrt(0.06² + 0.08²) / 2 = 0.04
+        assert!((cfg.root_error - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_constraint_forces_own_model() {
+        let cfg = advise(&small_tree(), 0.03).unwrap();
+        assert_eq!(cfg.plans["brp"], NodePlan::OwnModel);
+        assert!((cfg.total_runtime - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_constraint_returns_none() {
+        assert!(advise(&small_tree(), 0.001).is_none());
+    }
+
+    #[test]
+    fn three_level_hierarchy() {
+        let tso = HierarchyNode::internal(
+            "tso",
+            0.015,
+            100.0,
+            0.9,
+            vec![small_tree(), {
+                let mut t = small_tree();
+                t.name = "brp2".into();
+                t.children[0].name = "prosumer-c".into();
+                t.children[1].name = "prosumer-d".into();
+                t
+            }],
+        );
+        // Loose: everything aggregates; runtime = 4 leaf models.
+        let loose = advise(&tso, 0.2).unwrap();
+        assert_eq!(loose.plans["tso"], NodePlan::AggregateChildren);
+        assert!((loose.total_runtime - 4.0).abs() < 1e-9);
+        // Tighter: the TSO still aggregates but BRPs may need own models,
+        // or the TSO runs its own — whichever is cheaper.
+        let tight = advise(&tso, 0.016).unwrap();
+        assert!(tight.root_error <= 0.016);
+        // Frontier is monotone: error down, runtime up.
+        let front = root_frontier(&tso);
+        for w in front.windows(2) {
+            assert!(w[1].0 >= w[0].0 || w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn combine_errors_model() {
+        assert!((combine_child_errors(&[0.1, 0.1], 1.0) - 0.1 / 2f64.sqrt() * 2f64.sqrt() / 2f64.sqrt()).abs() < 1.0);
+        // exact: sqrt(0.02)/2
+        let e = combine_child_errors(&[0.1, 0.1], 1.0);
+        assert!((e - (0.02f64).sqrt() / 2.0).abs() < 1e-12);
+        assert_eq!(combine_child_errors(&[], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # mirabel-forecast
+//!
+//! The MIRABEL forecasting component (paper §5).
+//!
+//! Two energy-domain forecast models:
+//!
+//! * [`HwtModel`] — Taylor's exponential smoothing with double/triple
+//!   seasonality and AR(1) error correction (the paper's robust fallback
+//!   and the model used in the Figure 4 experiments);
+//! * [`EgrvModel`] — the Engle/Granger/Ramanathan/Vahid-Araghi
+//!   multi-equation regression model: one least-squares equation per
+//!   intra-day period with lagged-load, calendar and weather regressors.
+//!
+//! Model parameters are estimated by black-box optimizers over an
+//! [`estimator::Objective`]: [`NelderMead`], [`RandomRestartNelderMead`],
+//! [`SimulatedAnnealing`] and [`RandomSearch`] — the three global methods
+//! compared in Figure 4(a) plus the local simplex they build on.
+//!
+//! Around the models, the crate implements the paper's optimizations:
+//!
+//! * [`maintenance`] — continuous model update plus time-/threshold-based
+//!   re-estimation triggers,
+//! * [`context`] — the case-based parameter repository ("context-aware
+//!   model adaptation"),
+//! * [`hierarchy`] — the advisor that places models in a node hierarchy
+//!   under accuracy/runtime constraints,
+//! * [`pubsub`] — publish-subscribe forecast queries with significance
+//!   thresholds,
+//! * [`flexoffer_forecast`] — flex-offer (multivariate) forecasting by
+//!   decomposition into univariate series,
+//! * [`parallel`] — parallelized multi-equation model estimation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod egrv;
+pub mod estimator;
+pub mod flexoffer_forecast;
+pub mod hierarchy;
+pub mod hwt;
+pub mod linalg;
+pub mod maintenance;
+pub mod model;
+pub mod parallel;
+pub mod pubsub;
+
+pub use egrv::{EgrvConfig, EgrvModel, Exogenous};
+pub use estimator::{
+    Budget, EstimationResult, Estimator, NelderMead, Objective, RandomRestartNelderMead,
+    RandomSearch, SimulatedAnnealing,
+};
+pub use hwt::{HwtConfig, HwtModel, Seasonality};
+pub use maintenance::{EvaluationStrategy, MaintenanceAction, ModelMaintainer};
+pub use model::ForecastModel;
+pub use context::{describe, ContextDescriptor, ContextRepository};
+pub use hierarchy::{advise, Configuration, HierarchyNode, NodePlan};
+pub use model::create_best_model;
+pub use pubsub::{ForecastHub, Subscription};

@@ -1,0 +1,206 @@
+//! Parallelized model creation (paper §5).
+//!
+//! "As multi-equation models consist of several independent individual
+//! models, we can reduce the time needed for estimating such models by
+//! partitioning and parallelization. Therefore, we horizontally partition
+//! the time series according to the multi-equation access pattern and
+//! parallelize the model estimation process according to the resulting
+//! independent data partitions."
+//!
+//! [`fit_egrv_parallel`] fits one EGRV equation per intra-day period
+//! across a thread pool; the result is identical to the serial
+//! [`crate::model::ForecastModel::fit`] (verified by test).
+
+use crate::egrv::EgrvModel;
+use crate::estimator::{
+    Budget, EstimationResult, Estimator, Objective, RandomRestartNelderMead, TrajectoryPoint,
+};
+use mirabel_timeseries::TimeSeries;
+
+/// Fit `model` on `history` using up to `threads` worker threads, one
+/// partition of intra-day periods per worker. Equivalent to the serial
+/// fit; faster when the per-equation row extraction dominates.
+pub fn fit_egrv_parallel(model: &mut EgrvModel, history: &TimeSeries, threads: usize) {
+    let periods = model.config().periods_per_day;
+    let threads = threads.clamp(1, periods);
+    let values: Vec<f64> = history.values().to_vec();
+    let start = history.start();
+
+    let coeffs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let model_ref = &*model;
+        let values_ref = &values;
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            handles.push(scope.spawn(move || {
+                // Periods are strided across workers so each worker's load
+                // is balanced even if row counts differ per period.
+                let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+                let mut p = w;
+                while p < periods {
+                    out.push((p, model_ref.fit_period(p, values_ref, start)));
+                    p += threads;
+                }
+                out
+            }));
+        }
+        let mut coeffs = vec![Vec::new(); periods];
+        for h in handles {
+            for (p, c) in h.join().expect("EGRV worker panicked") {
+                coeffs[p] = c;
+            }
+        }
+        coeffs
+    });
+
+    model.install(coeffs, history);
+}
+
+/// Intra-model parallel parameter estimation (paper §5 Research
+/// Directions: "the creation time of models might not only be reduced by
+/// inter-model parallelizing, but also by intra-model parallelizing, i.e.,
+/// parallel parameter estimation of one model").
+///
+/// Runs `threads` independent random-restart Nelder-Mead searches, each on
+/// its own objective instance built by `make_objective`, and merges the
+/// results: the best parameters win and the trajectories are combined into
+/// a single best-so-far envelope.
+pub fn parallel_random_restart<'a, F>(
+    make_objective: F,
+    budget: Budget,
+    threads: usize,
+    seed: u64,
+) -> EstimationResult
+where
+    F: Fn() -> Objective<'a> + Sync,
+{
+    assert!(threads >= 1);
+    let make_ref = &make_objective;
+    let results: Vec<EstimationResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| {
+                scope.spawn(move || {
+                    let objective = make_ref();
+                    RandomRestartNelderMead::default().estimate(
+                        &objective,
+                        budget,
+                        seed.wrapping_add(k as u64),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("estimation worker panicked"))
+            .collect()
+    });
+
+    // Merge: best overall result; envelope trajectory across workers.
+    let mut all_points: Vec<TrajectoryPoint> = results
+        .iter()
+        .flat_map(|r| r.trajectory.iter().copied())
+        .collect();
+    all_points.sort_by_key(|a| a.elapsed);
+    let mut trajectory = Vec::with_capacity(all_points.len());
+    let mut best = f64::INFINITY;
+    for p in all_points {
+        if p.best_error < best {
+            best = p.best_error;
+            trajectory.push(p);
+        }
+    }
+    let evaluations = results.iter().map(|r| r.evaluations).sum();
+    let winner = results
+        .into_iter()
+        .min_by(|a, b| a.best_error.total_cmp(&b.best_error))
+        .expect("threads >= 1");
+    EstimationResult {
+        best_params: winner.best_params,
+        best_error: winner.best_error,
+        evaluations,
+        trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::egrv::{EgrvConfig, EgrvModel, Exogenous};
+    use crate::model::ForecastModel;
+    use mirabel_core::{TimeSlot, SLOTS_PER_DAY};
+    use mirabel_timeseries::{Calendar, DemandGenerator};
+
+    fn demand(days: usize) -> TimeSeries {
+        DemandGenerator::default().generate(TimeSlot(0), days * SLOTS_PER_DAY as usize, 17)
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial() {
+        let s = demand(21);
+        let mut serial = EgrvModel::with_calendar(Calendar::new());
+        serial.fit(&s);
+        let mut parallel = EgrvModel::with_calendar(Calendar::new());
+        fit_egrv_parallel(&mut parallel, &s, 4);
+        let horizon = SLOTS_PER_DAY as usize;
+        let fs = serial.forecast(horizon);
+        let fp = parallel.forecast(horizon);
+        for (a, b) in fs.iter().zip(&fp) {
+            assert!((a - b).abs() < 1e-9, "serial {a} vs parallel {b}");
+        }
+    }
+
+    #[test]
+    fn single_thread_degenerate_case() {
+        let s = demand(15);
+        let mut m = EgrvModel::with_calendar(Calendar::new());
+        fit_egrv_parallel(&mut m, &s, 1);
+        assert!(m.is_fitted());
+    }
+
+    #[test]
+    fn parallel_estimation_merges_results() {
+        let make = || {
+            Objective::new(vec![(-3.0, 3.0); 3], |x: &[f64]| {
+                x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>()
+            })
+        };
+        let r = parallel_random_restart(make, Budget::evaluations(600), 4, 3);
+        assert!(r.best_error < 1e-4, "best {}", r.best_error);
+        // evaluations accumulate across workers
+        assert!(r.evaluations > 600 && r.evaluations <= 4 * 660);
+        // merged trajectory is a monotone envelope
+        for w in r.trajectory.windows(2) {
+            assert!(w[1].best_error <= w[0].best_error);
+            assert!(w[1].elapsed >= w[0].elapsed);
+        }
+    }
+
+    #[test]
+    fn parallel_estimation_single_thread_matches_serial_quality() {
+        let make = || {
+            Objective::new(vec![(-2.0, 2.0); 2], |x: &[f64]| {
+                (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+            })
+        };
+        let par = parallel_random_restart(make, Budget::evaluations(3_000), 1, 7);
+        let serial = RandomRestartNelderMead::default().estimate(
+            &make(),
+            Budget::evaluations(3_000),
+            7,
+        );
+        assert_eq!(par.best_params, serial.best_params);
+    }
+
+    #[test]
+    fn more_threads_than_periods_is_clamped() {
+        let s = demand(15);
+        let mut m = EgrvModel::new(
+            EgrvConfig {
+                periods_per_day: 4,
+                ..EgrvConfig::default()
+            },
+            Exogenous::default(),
+        );
+        fit_egrv_parallel(&mut m, &s, 64);
+        assert!(m.is_fitted());
+    }
+}

@@ -1,0 +1,255 @@
+//! Publish-subscribe forecast queries (paper §5).
+//!
+//! "The scheduling component does not always need or even not want to have
+//! the most up-to-date forecast values as every new forecast value
+//! triggers the computationally expensive maintenance of schedules. Only
+//! if forecast values change significantly, notifications are required. …
+//! our goal is to minimize the overall costs of the subscriber."
+//!
+//! Subscribers register a horizon and a *significance threshold*; the hub
+//! forwards a published forecast to a subscriber only when it deviates
+//! from the last forecast that subscriber saw by more than the threshold.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A subscriber registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Subscriber id.
+    pub id: u64,
+    /// How many forecast slots the subscriber cares about.
+    pub horizon: usize,
+    /// Relative-change threshold that triggers a notification
+    /// (e.g. 0.05 = notify on >5 % deviation in any slot).
+    pub threshold: f64,
+}
+
+/// A delivered notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// Target subscription.
+    pub subscription: u64,
+    /// The forecast (truncated to the subscriber's horizon).
+    pub forecast: Vec<f64>,
+    /// The maximum relative change that triggered the delivery
+    /// (`f64::INFINITY` for the initial notification).
+    pub max_relative_change: f64,
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    sub: Subscription,
+    last_notified: Option<Vec<f64>>,
+    queue: VecDeque<Notification>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    subs: Vec<SubEntry>,
+    next_id: u64,
+    publishes: u64,
+    notifications: u64,
+}
+
+/// The forecast notification hub.
+#[derive(Debug, Default)]
+pub struct ForecastHub {
+    inner: Mutex<HubInner>,
+}
+
+impl ForecastHub {
+    /// Empty hub.
+    pub fn new() -> ForecastHub {
+        ForecastHub::default()
+    }
+
+    /// Register a subscriber; returns its id.
+    pub fn subscribe(&self, horizon: usize, threshold: f64) -> u64 {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.push(SubEntry {
+            sub: Subscription {
+                id,
+                horizon,
+                threshold,
+            },
+            last_notified: None,
+            queue: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Remove a subscriber; returns whether it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let before = inner.subs.len();
+        inner.subs.retain(|e| e.sub.id != id);
+        inner.subs.len() != before
+    }
+
+    /// Publish a new forecast; queues notifications for every subscriber
+    /// whose significance threshold is exceeded. Returns the ids notified.
+    pub fn publish(&self, forecast: &[f64]) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        inner.publishes += 1;
+        let mut notified = Vec::new();
+        let mut delivered = 0;
+        for entry in inner.subs.iter_mut() {
+            let h = entry.sub.horizon.min(forecast.len());
+            let view = &forecast[..h];
+            let change = match &entry.last_notified {
+                None => f64::INFINITY,
+                Some(prev) => max_relative_change(prev, view),
+            };
+            if change > entry.sub.threshold {
+                entry.last_notified = Some(view.to_vec());
+                entry.queue.push_back(Notification {
+                    subscription: entry.sub.id,
+                    forecast: view.to_vec(),
+                    max_relative_change: change,
+                });
+                notified.push(entry.sub.id);
+                delivered += 1;
+            }
+        }
+        inner.notifications += delivered;
+        notified
+    }
+
+    /// Pop the oldest pending notification for subscriber `id`.
+    pub fn poll(&self, id: u64) -> Option<Notification> {
+        let mut inner = self.inner.lock();
+        inner
+            .subs
+            .iter_mut()
+            .find(|e| e.sub.id == id)
+            .and_then(|e| e.queue.pop_front())
+    }
+
+    /// `(publishes, notifications)` counters — the subscriber-cost metric
+    /// the paper's design minimizes.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.publishes, inner.notifications)
+    }
+
+    /// Number of active subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+}
+
+/// Maximum per-slot relative change between two forecast vectors.
+fn max_relative_change(prev: &[f64], new: &[f64]) -> f64 {
+    let n = prev.len().min(new.len());
+    let mut worst: f64 = if prev.len() != new.len() {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    for i in 0..n {
+        let denom = prev[i].abs().max(1e-9);
+        worst = worst.max((new[i] - prev[i]).abs() / denom);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_publish_always_notifies() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(4, 0.5);
+        let notified = hub.publish(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(notified, vec![id]);
+        let n = hub.poll(id).unwrap();
+        assert_eq!(n.forecast, vec![1.0, 2.0, 3.0, 4.0]); // truncated to horizon
+        assert!(n.max_relative_change.is_infinite());
+    }
+
+    #[test]
+    fn small_change_suppressed() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(2, 0.10);
+        hub.publish(&[100.0, 100.0]);
+        hub.poll(id).unwrap();
+        // 5% change: below threshold, no notification
+        assert!(hub.publish(&[105.0, 100.0]).is_empty());
+        assert!(hub.poll(id).is_none());
+        // 15% change vs the *last notified* values, not the suppressed ones
+        let notified = hub.publish(&[115.0, 100.0]);
+        assert_eq!(notified, vec![id]);
+        let n = hub.poll(id).unwrap();
+        assert!((n.max_relative_change - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholds_are_per_subscriber() {
+        let hub = ForecastHub::new();
+        let picky = hub.subscribe(1, 0.5);
+        let eager = hub.subscribe(1, 0.01);
+        hub.publish(&[100.0]);
+        hub.poll(picky);
+        hub.poll(eager);
+        let notified = hub.publish(&[110.0]); // 10% change
+        assert_eq!(notified, vec![eager]);
+        let (publishes, notifications) = hub.stats();
+        assert_eq!(publishes, 2);
+        assert_eq!(notifications, 3); // 2 initial + 1 eager
+        let _ = picky;
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(1, 0.0);
+        assert!(hub.unsubscribe(id));
+        assert!(!hub.unsubscribe(id));
+        assert!(hub.publish(&[1.0]).is_empty());
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn notifications_queue_in_order() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(1, 0.0);
+        hub.publish(&[1.0]);
+        hub.publish(&[2.0]);
+        hub.publish(&[3.0]);
+        assert_eq!(hub.poll(id).unwrap().forecast, vec![1.0]);
+        assert_eq!(hub.poll(id).unwrap().forecast, vec![2.0]);
+        assert_eq!(hub.poll(id).unwrap().forecast, vec![3.0]);
+        assert!(hub.poll(id).is_none());
+    }
+
+    #[test]
+    fn zero_threshold_notifies_on_any_change() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(2, 0.0);
+        hub.publish(&[1.0, 1.0]);
+        hub.poll(id);
+        // identical forecast: change 0.0 is NOT > 0.0 — suppressed
+        assert!(hub.publish(&[1.0, 1.0]).is_empty());
+        assert_eq!(hub.publish(&[1.0, 1.0001]), vec![id]);
+    }
+
+    #[test]
+    fn shorter_forecast_than_horizon_is_fine() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(10, 0.1);
+        assert_eq!(hub.publish(&[1.0, 2.0]), vec![id]);
+        assert_eq!(hub.poll(id).unwrap().forecast.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        ForecastHub::new().subscribe(0, 0.1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Calibrated value estimation (paper §7 Research Directions).
+//!
+//! "Due to the complexity of the planning and the large number of
+//! flex-offers it is necessary to develop better heuristics to estimate
+//! the value of individual flex-offers before execution time."
+//!
+//! The BRP observes, after execution, the realized profit each flex-offer
+//! contributed. Regressing realized profit on the three pre-execution
+//! flexibility potentials yields data-driven weights for the
+//! [`crate::potential::PotentialConfig`] — closing the loop between the
+//! two pricing schemes of §7.
+
+use crate::potential::{FlexibilityPotentials, PotentialConfig};
+use serde::{Deserialize, Serialize};
+
+/// One settled flex-offer: potentials seen before execution, profit
+/// realized after.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueObservation {
+    /// Pre-execution flexibility potentials.
+    pub potentials: FlexibilityPotentials,
+    /// Realized profit for the BRP (EUR; may be negative).
+    pub realized_profit: f64,
+}
+
+/// Least-squares weights `(w_assignment, w_scheduling, w_energy)` fitted
+/// through the origin (an offer with zero potentials has zero value).
+///
+/// Solves the 3×3 ridge-regularized normal equations by Gaussian
+/// elimination with partial pivoting. Returns `None` with fewer than
+/// three observations or a singular system.
+pub fn calibrate_weights(
+    observations: &[ValueObservation],
+    ridge: f64,
+) -> Option<(f64, f64, f64)> {
+    if observations.len() < 3 {
+        return None;
+    }
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for obs in observations {
+        let x = [
+            obs.potentials.assignment,
+            obs.potentials.scheduling,
+            obs.potentials.energy,
+        ];
+        for i in 0..3 {
+            xty[i] += x[i] * obs.realized_profit;
+            for j in 0..3 {
+                xtx[i][j] += x[i] * x[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += ridge.max(0.0);
+    }
+    solve3(xtx, xty).map(|w| (w[0], w[1], w[2]))
+}
+
+/// Gaussian elimination with partial pivoting for a 3×3 system.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (k, cell) in a[row].iter_mut().enumerate().skip(col) {
+                *cell -= f * pivot_row[k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut sum = b[row];
+        for k in row + 1..3 {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Install calibrated weights into a potential configuration, clamping
+/// negatives to zero (a dimension that *loses* money should simply not be
+/// rewarded) and normalizing the sum to 1 so values remain comparable
+/// across calibration rounds.
+pub fn apply_calibration(cfg: &mut PotentialConfig, weights: (f64, f64, f64)) {
+    let wa = weights.0.max(0.0);
+    let ws = weights.1.max(0.0);
+    let we = weights.2.max(0.0);
+    let sum = wa + ws + we;
+    if sum <= 0.0 {
+        return;
+    }
+    cfg.w_assignment = wa / sum;
+    cfg.w_scheduling = ws / sum;
+    cfg.w_energy = we / sum;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn observations(
+        true_w: (f64, f64, f64),
+        noise: f64,
+        n: usize,
+        seed: u64,
+    ) -> Vec<ValueObservation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let p = FlexibilityPotentials {
+                    assignment: rng.gen_range(0.0..1.0),
+                    scheduling: rng.gen_range(0.0..1.0),
+                    energy: rng.gen_range(0.0..1.0),
+                };
+                let profit = true_w.0 * p.assignment
+                    + true_w.1 * p.scheduling
+                    + true_w.2 * p.energy
+                    + rng.gen_range(-noise..=noise);
+                ValueObservation {
+                    potentials: p,
+                    realized_profit: profit,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_true_weights_noise_free() {
+        let obs = observations((0.5, 2.0, 1.0), 0.0, 50, 1);
+        let (wa, ws, we) = calibrate_weights(&obs, 1e-9).unwrap();
+        assert!((wa - 0.5).abs() < 1e-6, "wa {wa}");
+        assert!((ws - 2.0).abs() < 1e-6, "ws {ws}");
+        assert!((we - 1.0).abs() < 1e-6, "we {we}");
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let obs = observations((0.2, 1.5, 0.8), 0.1, 500, 2);
+        let (wa, ws, we) = calibrate_weights(&obs, 1e-6).unwrap();
+        assert!((wa - 0.2).abs() < 0.1);
+        assert!((ws - 1.5).abs() < 0.1);
+        assert!((we - 0.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let obs = observations((1.0, 1.0, 1.0), 0.0, 2, 3);
+        assert!(calibrate_weights(&obs, 1e-9).is_none());
+    }
+
+    #[test]
+    fn degenerate_observations_rejected() {
+        // all-zero potentials: singular system even with many rows
+        let obs: Vec<ValueObservation> = (0..10)
+            .map(|_| ValueObservation {
+                potentials: FlexibilityPotentials {
+                    assignment: 0.0,
+                    scheduling: 0.0,
+                    energy: 0.0,
+                },
+                realized_profit: 1.0,
+            })
+            .collect();
+        assert!(calibrate_weights(&obs, 0.0).is_none());
+    }
+
+    #[test]
+    fn apply_normalizes_and_clamps() {
+        let mut cfg = PotentialConfig::default();
+        apply_calibration(&mut cfg, (2.0, 2.0, -1.0));
+        assert!((cfg.w_assignment - 0.5).abs() < 1e-12);
+        assert!((cfg.w_scheduling - 0.5).abs() < 1e-12);
+        assert_eq!(cfg.w_energy, 0.0);
+        // all-negative: unchanged
+        let before = cfg;
+        apply_calibration(&mut cfg, (-1.0, -1.0, -1.0));
+        assert_eq!(cfg.w_assignment, before.w_assignment);
+    }
+
+    #[test]
+    fn calibration_improves_value_ranking() {
+        // A world where only scheduling flexibility makes money; the
+        // default (hand-set) weights misrank offers, calibrated weights
+        // rank them by true value.
+        let obs = observations((0.0, 1.0, 0.0), 0.02, 300, 5);
+        let mut cfg = PotentialConfig::default();
+        apply_calibration(&mut cfg, calibrate_weights(&obs, 1e-6).unwrap());
+        assert!(cfg.w_scheduling > 0.9);
+        assert!(cfg.w_assignment < 0.05);
+        assert!(cfg.w_energy < 0.05);
+    }
+}

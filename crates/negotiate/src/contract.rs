@@ -1,0 +1,158 @@
+//! Contracts between prosumer and BRP.
+//!
+//! Every prosumer has an *open contract* (plain tariff). Accepted
+//! flex-offers add a *flex contract* on top: the prosumer is paid the
+//! agreed flexibility compensation once the schedule executes. When an
+//! offer times out un-assigned, only the open contract applies (paper §1:
+//! "pending flexibilities simply timeout and customers fall back to the
+//! open contract").
+
+use mirabel_core::{ActorId, FlexOfferId, Price, TimeSlot};
+use serde::{Deserialize, Serialize};
+
+/// A contract governing one prosumer's energy exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Contract {
+    /// The default tariff: energy at `tariff_per_kwh`, no flexibility
+    /// obligations.
+    Open {
+        /// The prosumer.
+        prosumer: ActorId,
+        /// Plain energy tariff (EUR/kWh).
+        tariff_per_kwh: Price,
+    },
+    /// A negotiated flex-offer assignment.
+    Flex {
+        /// The prosumer.
+        prosumer: ActorId,
+        /// The governed offer.
+        offer: FlexOfferId,
+        /// Base tariff (EUR/kWh).
+        tariff_per_kwh: Price,
+        /// Agreed flexibility discount (EUR/kWh on scheduled energy).
+        discount_per_kwh: Price,
+        /// When the contract was agreed.
+        agreed_at: TimeSlot,
+    },
+}
+
+impl Contract {
+    /// The prosumer bound by the contract.
+    pub fn prosumer(&self) -> ActorId {
+        match self {
+            Contract::Open { prosumer, .. } | Contract::Flex { prosumer, .. } => *prosumer,
+        }
+    }
+
+    /// Effective price per kWh the prosumer pays for consumption under
+    /// this contract.
+    pub fn effective_price(&self) -> Price {
+        match self {
+            Contract::Open { tariff_per_kwh, .. } => *tariff_per_kwh,
+            Contract::Flex {
+                tariff_per_kwh,
+                discount_per_kwh,
+                ..
+            } => *tariff_per_kwh - *discount_per_kwh,
+        }
+    }
+}
+
+/// Settlement of one executed (or expired) flex-offer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Settlement {
+    /// The offer settled.
+    pub offer: FlexOfferId,
+    /// Energy actually dispatched (kWh).
+    pub energy_kwh: f64,
+    /// What the prosumer pays for the energy.
+    pub energy_charge: Price,
+    /// Flexibility compensation paid to the prosumer.
+    pub flexibility_credit: Price,
+}
+
+impl Settlement {
+    /// Settle `energy_kwh` under `contract`; an extra post-execution
+    /// profit share (if any) is added to the credit.
+    pub fn settle(
+        contract: &Contract,
+        offer: FlexOfferId,
+        energy_kwh: f64,
+        profit_share: Price,
+    ) -> Settlement {
+        let (charge, credit) = match contract {
+            Contract::Open { tariff_per_kwh, .. } => {
+                (*tariff_per_kwh * energy_kwh, Price::ZERO)
+            }
+            Contract::Flex {
+                tariff_per_kwh,
+                discount_per_kwh,
+                ..
+            } => (
+                *tariff_per_kwh * energy_kwh,
+                *discount_per_kwh * energy_kwh,
+            ),
+        };
+        Settlement {
+            offer,
+            energy_kwh,
+            energy_charge: charge,
+            flexibility_credit: credit + profit_share,
+        }
+    }
+
+    /// Net amount the prosumer owes (charge minus credit).
+    pub fn net_due(&self) -> Price {
+        self.energy_charge - self.flexibility_credit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open() -> Contract {
+        Contract::Open {
+            prosumer: ActorId(1),
+            tariff_per_kwh: Price(0.30),
+        }
+    }
+
+    fn flex() -> Contract {
+        Contract::Flex {
+            prosumer: ActorId(1),
+            offer: FlexOfferId(7),
+            tariff_per_kwh: Price(0.30),
+            discount_per_kwh: Price(0.04),
+            agreed_at: TimeSlot(10),
+        }
+    }
+
+    #[test]
+    fn effective_price_includes_discount() {
+        assert!(open().effective_price().approx_eq(Price(0.30), 1e-12));
+        assert!(flex().effective_price().approx_eq(Price(0.26), 1e-12));
+        assert_eq!(flex().prosumer(), ActorId(1));
+    }
+
+    #[test]
+    fn open_contract_settlement_has_no_credit() {
+        let s = Settlement::settle(&open(), FlexOfferId(7), 10.0, Price::ZERO);
+        assert!(s.energy_charge.approx_eq(Price(3.0), 1e-12));
+        assert_eq!(s.flexibility_credit, Price::ZERO);
+        assert!(s.net_due().approx_eq(Price(3.0), 1e-12));
+    }
+
+    #[test]
+    fn flex_contract_settlement_credits_discount() {
+        let s = Settlement::settle(&flex(), FlexOfferId(7), 10.0, Price::ZERO);
+        assert!(s.flexibility_credit.approx_eq(Price(0.4), 1e-12));
+        assert!(s.net_due().approx_eq(Price(2.6), 1e-12));
+    }
+
+    #[test]
+    fn profit_share_adds_to_credit() {
+        let s = Settlement::settle(&flex(), FlexOfferId(7), 10.0, Price(1.0));
+        assert!(s.flexibility_credit.approx_eq(Price(1.4), 1e-12));
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulated-annealing scheduler and greedy/EA hybrid.
+//!
+//! The paper lists "implementing and testing additional scheduling
+//! algorithms as well as hybridizing the existing ones" as future work
+//! (§6 Research Directions); both are provided here and compared in the
+//! ablation benches.
+
+use crate::cost::evaluate;
+use crate::evolutionary::EvolutionaryScheduler;
+use crate::greedy::GreedyScheduler;
+use crate::problem::SchedulingProblem;
+use crate::solution::{Budget, Recorder, ScheduleResult, Solution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Metropolis local search over complete schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealingScheduler {
+    /// Initial temperature relative to the starting cost magnitude.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per move.
+    pub cooling: f64,
+}
+
+impl Default for AnnealingScheduler {
+    fn default() -> AnnealingScheduler {
+        AnnealingScheduler {
+            initial_temp: 0.1,
+            cooling: 0.999,
+        }
+    }
+}
+
+impl AnnealingScheduler {
+    /// Run from a random solution until the budget is exhausted.
+    pub fn run(&self, problem: &SchedulingProblem, budget: Budget, seed: u64) -> ScheduleResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recorder = Recorder::new(budget);
+
+        let mut current = Solution::random(problem, &mut rng);
+        let mut f_cur = evaluate(problem, &current).total();
+        recorder.record(f_cur);
+        let mut best = current.clone();
+        let mut f_best = f_cur;
+        let scale = f_cur.abs().max(1.0);
+        let mut temp = self.initial_temp * scale;
+
+        while !recorder.exhausted() && !problem.offers.is_empty() {
+            // Neighbor: mutate one random offer's placement.
+            let j = rng.gen_range(0..problem.offers.len());
+            let offer = &problem.offers[j];
+            let mut cand = current.clone();
+            {
+                let g = &mut cand.placements[j];
+                if offer.time_flexibility() > 0 && rng.gen_bool(0.6) {
+                    let span = (offer.time_flexibility() / 4).max(1) as i64;
+                    g.start = mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
+                } else {
+                    let k = rng.gen_range(0..g.fractions.len());
+                    g.fractions[k] += rng.gen_range(-0.3..0.3);
+                }
+                g.repair(offer);
+            }
+            let f_cand = evaluate(problem, &cand).total();
+            recorder.record(f_cand);
+            let accept = f_cand <= f_cur
+                || rng.gen_bool((((f_cur - f_cand) / temp.max(1e-12)).exp()).clamp(0.0, 1.0));
+            if accept {
+                current = cand;
+                f_cur = f_cand;
+                if f_cur < f_best {
+                    f_best = f_cur;
+                    best = current.clone();
+                }
+            }
+            temp *= self.cooling;
+        }
+
+        let cost = evaluate(problem, &best);
+        let _ = f_best;
+        recorder.finish(best, cost)
+    }
+}
+
+/// Hybrid scheduler: greedy constructions seed the EA population.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridScheduler {
+    /// Inner EA configuration.
+    pub ea: EvolutionaryScheduler,
+}
+
+impl HybridScheduler {
+    /// Spend ~20 % of the budget on greedy constructions, then hand the
+    /// best constructions to the EA as seeds.
+    pub fn run(&self, problem: &SchedulingProblem, budget: Budget, seed: u64) -> ScheduleResult {
+        let greedy_budget = Budget {
+            max_evaluations: (budget.max_evaluations / 5).max(1),
+            max_time: budget.max_time.map(|t| t / 5),
+        };
+        let g = GreedyScheduler.run(problem, greedy_budget, seed);
+        let remaining = Budget {
+            max_evaluations: budget.max_evaluations.saturating_sub(g.evaluations).max(1),
+            max_time: budget.max_time.map(|t| t.saturating_sub(t / 5)),
+        };
+        let mut result =
+            self.ea
+                .run_seeded(problem, remaining, seed ^ 0x9e37_79b9, vec![g.solution.clone()]);
+        // The hybrid can never be worse than its greedy seed.
+        if g.cost.total() < result.cost.total() {
+            result.solution = g.solution;
+            result.cost = g.cost;
+        }
+        result.evaluations += g.evaluations;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{scenario, ScenarioConfig};
+
+    fn small(seed: u64) -> SchedulingProblem {
+        scenario(ScenarioConfig {
+            offer_count: 15,
+            seed,
+            ..ScenarioConfig::default()
+        })
+    }
+
+    #[test]
+    fn annealing_improves_over_first_random() {
+        let p = small(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let random_cost = evaluate(&p, &Solution::random(&p, &mut rng)).total();
+        let r = AnnealingScheduler::default().run(&p, Budget::evaluations(4_000), 2);
+        assert!(r.cost.total() <= random_cost);
+        assert!(r.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn annealing_empty_problem() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 0,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        let r = AnnealingScheduler::default().run(&p, Budget::evaluations(50), 1);
+        assert!(r.cost.total().is_finite());
+    }
+
+    #[test]
+    fn hybrid_no_worse_than_greedy_alone() {
+        let p = small(3);
+        let budget = Budget::evaluations(10_000);
+        let g = GreedyScheduler.run(&p, budget, 7);
+        let h = HybridScheduler::default().run(&p, budget, 7);
+        assert!(
+            h.cost.total() <= g.cost.total() + 1e-9,
+            "hybrid {} greedy {}",
+            h.cost.total(),
+            g.cost.total()
+        );
+        assert!(h.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn hybrid_counts_combined_evaluations() {
+        let p = small(4);
+        let h = HybridScheduler::default().run(&p, Budget::evaluations(2_000), 1);
+        assert!(h.evaluations <= 2_300, "evaluations {}", h.evaluations);
+    }
+}

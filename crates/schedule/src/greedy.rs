@@ -1,0 +1,223 @@
+//! Randomized greedy search (paper §6).
+//!
+//! "The randomized greedy search constructs the schedule gradually — at
+//! each step a randomly chosen flex-offer is scheduled in the best
+//! possible position. This is repeated until all flex-offers have been
+//! scheduled. While it is possible to schedule a single flex-offer in an
+//! optimal way, a sequence of such optimal placements does not produce an
+//! overall optimal schedule."
+//!
+//! Under a longer budget the construction is *restarted* with fresh random
+//! orders, keeping the best complete schedule — which yields the
+//! cost-over-time curves of Figure 6.
+
+use crate::cost::{evaluate, slot_cost};
+use crate::problem::SchedulingProblem;
+use crate::solution::{Budget, Placement, Recorder, ScheduleResult, Solution};
+use mirabel_core::OfferKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomized greedy scheduler with restarts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyScheduler;
+
+impl GreedyScheduler {
+    /// Construct one greedy schedule using `rng`'s offer order.
+    /// `recorder` accounts one evaluation per candidate start examined.
+    fn construct(
+        &self,
+        problem: &SchedulingProblem,
+        rng: &mut StdRng,
+        recorder: &mut Recorder,
+    ) -> Solution {
+        let n = problem.offers.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+
+        let mut residual = problem.baseline_imbalance.clone();
+        let mut placements: Vec<Option<Placement>> = vec![None; n];
+
+        for &j in &order {
+            let offer = &problem.offers[j];
+            let sign = match offer.kind() {
+                OfferKind::Consumption => 1.0,
+                OfferKind::Production => -1.0,
+            };
+            let ranges: Vec<_> = offer.profile().slot_ranges().collect();
+            let price = offer.unit_price().eur();
+
+            let mut best: Option<(f64, u32, Vec<f64>)> = None;
+            for shift in 0..=offer.time_flexibility() {
+                let base = problem.slot_index(offer.earliest_start() + shift);
+                let mut delta = 0.0;
+                let mut fractions = Vec::with_capacity(ranges.len());
+                for (k, r) in ranges.iter().enumerate() {
+                    let t = base + k;
+                    let cur = residual[t];
+                    // Water-fill: drive the slot residual toward zero
+                    // within the slot's energy range.
+                    let target = -sign * cur;
+                    let e = target.clamp(r.min().kwh(), r.max().kwh());
+                    let width = (r.max() - r.min()).kwh();
+                    fractions.push(if width > 0.0 {
+                        (e - r.min().kwh()) / width
+                    } else {
+                        0.0
+                    });
+                    let pen = problem.imbalance_penalty[t];
+                    let buy = problem.prices.buy[t];
+                    let sell = problem.prices.sell[t];
+                    let cap = problem.prices.max_trade_per_slot;
+                    delta += slot_cost(cur + sign * e, pen, buy, sell, cap)
+                        - slot_cost(cur, pen, buy, sell, cap)
+                        + price * e;
+                }
+                recorder.tick();
+                if best.as_ref().is_none_or(|(c, _, _)| delta < *c) {
+                    best = Some((delta, shift, fractions));
+                }
+                if recorder.exhausted() {
+                    break;
+                }
+            }
+
+            let (_, shift, fractions) = best.expect("at least one start evaluated");
+            let start = offer.earliest_start() + shift;
+            let base = problem.slot_index(start);
+            for (k, (r, &f)) in ranges.iter().zip(&fractions).enumerate() {
+                residual[base + k] += sign * r.lerp(f).kwh();
+            }
+            placements[j] = Some(Placement { start, fractions });
+            if recorder.exhausted() {
+                // Fill the rest at baseline so the solution is complete.
+                for (p, o) in placements.iter_mut().zip(&problem.offers) {
+                    if p.is_none() {
+                        *p = Some(Placement::baseline(o));
+                    }
+                }
+                break;
+            }
+        }
+
+        Solution {
+            placements: placements
+                .into_iter()
+                .map(|p| p.expect("all offers placed"))
+                .collect(),
+        }
+    }
+
+    /// Run greedy constructions until the budget is exhausted; keep the
+    /// best.
+    pub fn run(&self, problem: &SchedulingProblem, budget: Budget, seed: u64) -> ScheduleResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recorder = Recorder::new(budget);
+        let mut best: Option<(Solution, f64)> = None;
+        loop {
+            let candidate = self.construct(problem, &mut rng, &mut recorder);
+            let cost = evaluate(problem, &candidate);
+            recorder.record(cost.total());
+            if best.as_ref().is_none_or(|(_, c)| cost.total() < *c) {
+                best = Some((candidate, cost.total()));
+            }
+            if recorder.exhausted() {
+                break;
+            }
+        }
+        let (solution, _) = best.expect("at least one construction");
+        let cost = evaluate(problem, &solution);
+        recorder.finish(solution, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::MarketPrices;
+    use crate::scenario::{scenario, ScenarioConfig};
+    use mirabel_core::{EnergyRange, FlexOffer, Profile, TimeSlot};
+
+    #[test]
+    fn places_single_offer_optimally() {
+        // Surplus at slots 4..6; one shiftable 2-slot consumer.
+        let offer = FlexOffer::builder(0, 1)
+            .earliest_start(TimeSlot(0))
+            .time_flexibility(6)
+            .profile(Profile::uniform(2, EnergyRange::fixed(3.0)))
+            .build()
+            .unwrap();
+        let mut imbalance = vec![0.0; 8];
+        imbalance[4] = -3.0;
+        imbalance[5] = -3.0;
+        let p = SchedulingProblem::new(
+            TimeSlot(0),
+            imbalance,
+            vec![offer],
+            MarketPrices::flat(8, 1.0, 0.0, 0.0),
+            vec![0.2; 8],
+        )
+        .unwrap();
+        let r = GreedyScheduler.run(&p, Budget::evaluations(1000), 1);
+        assert_eq!(r.solution.placements[0].start, TimeSlot(4));
+        assert!(r.cost.total().abs() < 1e-9);
+        assert!(r.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn beats_baseline_on_generated_scenario() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 50,
+            seed: 3,
+            ..ScenarioConfig::default()
+        });
+        let baseline_cost = evaluate(&p, &Solution::baseline(&p)).total();
+        let r = GreedyScheduler.run(&p, Budget::evaluations(20_000), 1);
+        assert!(
+            r.cost.total() < baseline_cost,
+            "greedy {} vs baseline {}",
+            r.cost.total(),
+            baseline_cost
+        );
+        assert!(r.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn trajectory_improves_with_restarts() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 20,
+            seed: 5,
+            ..ScenarioConfig::default()
+        });
+        let r = GreedyScheduler.run(&p, Budget::evaluations(50_000), 2);
+        assert!(!r.trajectory.is_empty());
+        for w in r.trajectory.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 10,
+            seed: 7,
+            ..ScenarioConfig::default()
+        });
+        let a = GreedyScheduler.run(&p, Budget::evaluations(5_000), 9);
+        let b = GreedyScheduler.run(&p, Budget::evaluations(5_000), 9);
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn tight_budget_still_returns_complete_solution() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 30,
+            seed: 11,
+            ..ScenarioConfig::default()
+        });
+        let r = GreedyScheduler.run(&p, Budget::evaluations(10), 1);
+        assert_eq!(r.solution.placements.len(), 30);
+        assert!(r.solution.is_feasible(&p));
+    }
+}

@@ -1,0 +1,142 @@
+//! Incremental rescheduling (paper §5/§8 interplay).
+//!
+//! "Based on forecasts, schedules for RES supply and demand are initially
+//! computed and afterwards incrementally maintained if forecast values
+//! change over time." When a publish-subscribe forecast notification
+//! arrives, the BRP does not re-run the full scheduler; it repairs the
+//! previous solution with a budgeted hill climb over single-offer moves.
+
+use crate::cost::evaluate;
+use crate::problem::SchedulingProblem;
+use crate::solution::{Budget, Recorder, ScheduleResult, Solution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Repair `previous` against a problem with updated forecasts.
+///
+/// The previous solution's placements are first clamped to the (possibly
+/// changed) offer constraints, then improved by first-improvement hill
+/// climbing: random single-offer start shifts and fraction jitters,
+/// keeping only moves that reduce total cost.
+pub fn reschedule(
+    problem: &SchedulingProblem,
+    previous: &Solution,
+    budget: Budget,
+    seed: u64,
+) -> ScheduleResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut recorder = Recorder::new(budget);
+
+    // Adopt and repair the previous placements (offer list must match).
+    let mut current = if previous.placements.len() == problem.offers.len() {
+        let mut s = previous.clone();
+        for (p, o) in s.placements.iter_mut().zip(&problem.offers) {
+            p.repair(o);
+        }
+        s
+    } else {
+        Solution::baseline(problem)
+    };
+    let mut f_cur = evaluate(problem, &current).total();
+    recorder.record(f_cur);
+
+    while !recorder.exhausted() && !problem.offers.is_empty() {
+        let j = rng.gen_range(0..problem.offers.len());
+        let offer = &problem.offers[j];
+        let mut cand = current.clone();
+        {
+            let g = &mut cand.placements[j];
+            match rng.gen_range(0..3) {
+                0 if offer.time_flexibility() > 0 => {
+                    let span = (offer.time_flexibility() / 3).max(1) as i64;
+                    g.start =
+                        mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
+                }
+                1 => {
+                    let k = rng.gen_range(0..g.fractions.len());
+                    g.fractions[k] = rng.gen_range(0.0..=1.0);
+                }
+                _ => {
+                    for f in &mut g.fractions {
+                        *f += rng.gen_range(-0.15..0.15);
+                    }
+                }
+            }
+            g.repair(offer);
+        }
+        let f_cand = evaluate(problem, &cand).total();
+        recorder.record(f_cand);
+        if f_cand < f_cur {
+            current = cand;
+            f_cur = f_cand;
+        }
+    }
+
+    let cost = evaluate(problem, &current);
+    recorder.finish(current, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedyScheduler;
+    use crate::scenario::{scenario, ScenarioConfig};
+
+    fn shifted_forecast(mut p: SchedulingProblem, shift: f64) -> SchedulingProblem {
+        for v in &mut p.baseline_imbalance {
+            *v += shift;
+        }
+        p
+    }
+
+    #[test]
+    fn repairs_previous_solution_under_new_forecast() {
+        let p0 = scenario(ScenarioConfig {
+            offer_count: 30,
+            seed: 6,
+            ..ScenarioConfig::default()
+        });
+        let initial = GreedyScheduler.run(&p0, Budget::evaluations(20_000), 1);
+
+        // forecast update: systematic extra deficit
+        let p1 = shifted_forecast(p0.clone(), 0.8);
+        let stale_cost = evaluate(&p1, &initial.solution).total();
+        let repaired = reschedule(&p1, &initial.solution, Budget::evaluations(5_000), 2);
+        assert!(
+            repaired.cost.total() <= stale_cost,
+            "repaired {} vs stale {}",
+            repaired.cost.total(),
+            stale_cost
+        );
+        assert!(repaired.solution.is_feasible(&p1));
+    }
+
+    #[test]
+    fn cheaper_than_full_rerun_for_small_changes() {
+        let p0 = scenario(ScenarioConfig {
+            offer_count: 40,
+            seed: 8,
+            ..ScenarioConfig::default()
+        });
+        let initial = GreedyScheduler.run(&p0, Budget::evaluations(30_000), 3);
+        let p1 = shifted_forecast(p0.clone(), 0.1); // small forecast change
+        let repaired = reschedule(&p1, &initial.solution, Budget::evaluations(2_000), 4);
+        // With a tiny budget the repair should already be close to (or
+        // better than) a fresh greedy run with the same tiny budget.
+        let fresh = GreedyScheduler.run(&p1, Budget::evaluations(2_000), 4);
+        assert!(repaired.cost.total() <= fresh.cost.total() * 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn mismatched_offer_list_falls_back_to_baseline() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 5,
+            seed: 2,
+            ..ScenarioConfig::default()
+        });
+        let wrong = Solution { placements: vec![] };
+        let r = reschedule(&p, &wrong, Budget::evaluations(200), 1);
+        assert_eq!(r.solution.placements.len(), 5);
+        assert!(r.solution.is_feasible(&p));
+    }
+}

@@ -1,0 +1,51 @@
+//! # mirabel-schedule
+//!
+//! The MIRABEL scheduling component (paper §6).
+//!
+//! "Scheduling consists of fixing start times and energy flexibilities of
+//! all given flex-offers and setting the amount of energy that will be
+//! sold to (and bought from) the market, while optimizing the total cost
+//! of the resulting schedule. The schedule cost is calculated as the sum
+//! of (1) costs of remaining mismatches, (2) costs of all given aggregated
+//! flex-offers and (3) costs of energy sold to (and bought from) the
+//! market."
+//!
+//! * [`problem`] — the scheduling problem: forecast imbalance, offers,
+//!   market prices, peak-weighted mismatch penalties;
+//! * [`solution`] — a candidate schedule (start + per-slot energy
+//!   fraction per offer) that satisfies flex-offer constraints *by
+//!   construction*;
+//! * [`cost`] — the composed cost function with closed-form optimal
+//!   market transactions;
+//! * [`greedy`] — the randomized greedy search;
+//! * [`evolutionary`] — the evolutionary algorithm \[3\];
+//! * [`anneal`] — a simulated-annealing scheduler and a greedy-seeded
+//!   hybrid (the paper's "hybridizing the existing ones" future work);
+//! * [`exhaustive`] — exact enumeration for tiny instances (the paper's
+//!   850-million-solution optimality probe);
+//! * [`incremental`] — rescheduling after forecast changes;
+//! * [`mod@scenario`] — intra-day scenario generator for the Figure 6
+//!   experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod cost;
+pub mod evolutionary;
+pub mod exhaustive;
+pub mod greedy;
+pub mod incremental;
+pub mod problem;
+pub mod scenario;
+pub mod solution;
+
+pub use anneal::{AnnealingScheduler, HybridScheduler};
+pub use cost::{evaluate, CostBreakdown};
+pub use evolutionary::{EaConfig, EvolutionaryScheduler};
+pub use exhaustive::{search_space_size, ExhaustiveScheduler};
+pub use greedy::GreedyScheduler;
+pub use incremental::reschedule;
+pub use problem::{MarketPrices, SchedulingProblem};
+pub use scenario::{scenario, ScenarioConfig};
+pub use solution::{Budget, Placement, ScheduleResult, Solution, TrajectoryPoint};

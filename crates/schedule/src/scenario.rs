@@ -1,0 +1,232 @@
+//! Intra-day scheduling scenario generator.
+//!
+//! The Figure 6 experiment runs "four different intra-day scheduling
+//! scenarios with 10, 100, 1000 and 10000 aggregated flex-offers".
+//! The concrete instances are not published; this generator produces
+//! equivalent ones: a 24-hour horizon, a non-flexible demand-minus-RES
+//! baseline whose magnitude scales with the flexible energy in play,
+//! peak-weighted imbalance penalties and day/night market prices.
+
+use crate::problem::{MarketPrices, SchedulingProblem};
+use mirabel_core::{EnergyRange, FlexOffer, OfferKind, Price, Profile, Slice, TimeSlot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Number of (aggregated) flex-offers.
+    pub offer_count: usize,
+    /// Horizon length in slots (default 96 = one day).
+    pub horizon: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of production offers.
+    pub production_fraction: f64,
+    /// Mean per-slot energy of an offer (kWh).
+    pub mean_offer_energy: f64,
+    /// Relative width of per-slot energy flexibility.
+    pub energy_flex: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> ScenarioConfig {
+        ScenarioConfig {
+            offer_count: 100,
+            horizon: 96,
+            seed: 0,
+            production_fraction: 0.15,
+            mean_offer_energy: 3.0,
+            energy_flex: 0.3,
+        }
+    }
+}
+
+/// Build a scheduling problem from the config.
+pub fn scenario(cfg: ScenarioConfig) -> SchedulingProblem {
+    assert!(cfg.horizon >= 8, "horizon too short");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let h = cfg.horizon;
+    let start = TimeSlot(0);
+
+    // Flex-offers: short profiles placed anywhere inside the day with
+    // whatever time flexibility still fits.
+    let mut offers = Vec::with_capacity(cfg.offer_count);
+    let mut total_flexible_energy = 0.0;
+    for id in 0..cfg.offer_count {
+        let slices = rng.gen_range(1..=3u32);
+        let mut profile_slices = Vec::with_capacity(slices as usize);
+        for _ in 0..slices {
+            let dur = rng.gen_range(1..=3u32);
+            let base = rng.gen_range(0.3..=2.0 * cfg.mean_offer_energy - 0.3);
+            let width = base * rng.gen_range(0.0..=cfg.energy_flex);
+            profile_slices.push(Slice {
+                duration: dur,
+                energy: EnergyRange::new(base, base + width).expect("ordered"),
+            });
+        }
+        let profile = Profile::new(profile_slices).expect("non-empty");
+        let dur = profile.total_duration() as usize;
+        let es = rng.gen_range(0..=(h - dur)) as u32;
+        let max_tf = (h - dur) as u32 - es;
+        let tf = if max_tf == 0 { 0 } else { rng.gen_range(0..=max_tf) };
+        let kind = if rng.gen_bool(cfg.production_fraction) {
+            OfferKind::Production
+        } else {
+            OfferKind::Consumption
+        };
+        total_flexible_energy += profile.max_total_energy().kwh();
+        offers.push(
+            FlexOffer::builder(id as u64, 0)
+                .kind(kind)
+                .earliest_start(start + es)
+                .time_flexibility(tf)
+                .assignment_before(start + es)
+                .profile(profile)
+                .unit_price(Price(rng.gen_range(0.01..=0.05)))
+                .build()
+                .expect("generator produces valid offers"),
+        );
+    }
+
+    // Baseline imbalance: evening-peaking non-flexible demand minus a
+    // midday RES bump, scaled so the flexible offers matter.
+    let scale = (total_flexible_energy / h as f64).max(1.0);
+    let baseline_imbalance: Vec<f64> = (0..h)
+        .map(|i| {
+            let x = i as f64 / h as f64;
+            let demand = 0.7 + 0.5 * (2.0 * PI * (x - 0.80)).cos();
+            let res = 1.4 * (-((x - 0.5) * (x - 0.5)) / 0.02).exp();
+            let noise = rng.gen_range(-0.05..0.05);
+            scale * (demand - res + noise)
+        })
+        .collect();
+
+    // Peak-weighted penalties: evening (17:00–21:00 equivalent) costs 2×.
+    let imbalance_penalty: Vec<f64> = (0..h)
+        .map(|i| {
+            let x = i as f64 / h as f64;
+            if (0.70..0.90).contains(&x) {
+                0.30
+            } else {
+                0.15
+            }
+        })
+        .collect();
+
+    // Day/night buy prices; selling always earns less than buying.
+    let buy: Vec<f64> = (0..h)
+        .map(|i| {
+            let x = i as f64 / h as f64;
+            if (0.30..0.90).contains(&x) {
+                0.09
+            } else {
+                0.05
+            }
+        })
+        .collect();
+    let sell = vec![0.02; h];
+
+    SchedulingProblem::new(
+        start,
+        baseline_imbalance,
+        offers,
+        MarketPrices {
+            buy,
+            sell,
+            max_trade_per_slot: scale * 0.4,
+        },
+        imbalance_penalty,
+    )
+    .expect("scenario construction is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_config() {
+        for n in [0, 10, 100] {
+            let p = scenario(ScenarioConfig {
+                offer_count: n,
+                seed: 1,
+                ..ScenarioConfig::default()
+            });
+            assert_eq!(p.offers.len(), n);
+            assert_eq!(p.horizon(), 96);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = scenario(ScenarioConfig {
+            offer_count: 50,
+            seed: 9,
+            ..ScenarioConfig::default()
+        });
+        let b = scenario(ScenarioConfig {
+            offer_count: 50,
+            seed: 9,
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offers_fit_horizon() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 500,
+            seed: 2,
+            ..ScenarioConfig::default()
+        });
+        for o in &p.offers {
+            assert!(o.earliest_start() >= p.start);
+            assert!(o.latest_start() + o.duration() <= p.end());
+            o.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn baseline_has_both_signs() {
+        // The midday RES bump should push the baseline negative somewhere,
+        // the evening peak positive somewhere — otherwise shifting load in
+        // time would be pointless.
+        let p = scenario(ScenarioConfig {
+            offer_count: 100,
+            seed: 3,
+            ..ScenarioConfig::default()
+        });
+        assert!(p.baseline_imbalance.iter().any(|&v| v > 0.0));
+        assert!(p.baseline_imbalance.iter().any(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn peak_penalty_is_higher() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 1,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        let peak = p.imbalance_penalty[(0.8 * 96.0) as usize];
+        let off = p.imbalance_penalty[10];
+        assert!(peak > off);
+    }
+
+    #[test]
+    fn production_fraction_respected() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 400,
+            seed: 5,
+            production_fraction: 0.5,
+            ..ScenarioConfig::default()
+        });
+        let prod = p
+            .offers
+            .iter()
+            .filter(|o| o.kind() == OfferKind::Production)
+            .count();
+        assert!((150..=250).contains(&prod), "production count {prod}");
+    }
+}

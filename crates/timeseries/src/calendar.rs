@@ -1,0 +1,108 @@
+//! Calendar context for forecasting.
+//!
+//! The EGRV model (paper §5) conditions on "weather information, calendar
+//! events (e.g., holidays)". This module supplies the calendar part:
+//! day-of-week comes from the epoch convention in `mirabel-core` (day 0 is
+//! a Monday); holidays are an explicit, queryable set of day indices.
+
+use mirabel_core::TimeSlot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A calendar: weekday structure plus a set of holiday days.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Calendar {
+    holidays: BTreeSet<i64>,
+}
+
+impl Calendar {
+    /// Calendar without holidays.
+    pub fn new() -> Calendar {
+        Calendar::default()
+    }
+
+    /// Mark day index `day` (slots `day*96 .. (day+1)*96`) as a holiday.
+    pub fn add_holiday(&mut self, day: i64) -> &mut Self {
+        self.holidays.insert(day);
+        self
+    }
+
+    /// Calendar with the given holiday day indices.
+    pub fn with_holidays(days: impl IntoIterator<Item = i64>) -> Calendar {
+        Calendar {
+            holidays: days.into_iter().collect(),
+        }
+    }
+
+    /// A repeating synthetic holiday pattern: every `period`-th day starting
+    /// at `first`, for `count` occurrences. Used by the demand generator.
+    pub fn periodic_holidays(first: i64, period: i64, count: usize) -> Calendar {
+        assert!(period >= 1);
+        Calendar {
+            holidays: (0..count as i64).map(|k| first + k * period).collect(),
+        }
+    }
+
+    /// Whether the slot falls on a holiday.
+    pub fn is_holiday(&self, t: TimeSlot) -> bool {
+        self.holidays.contains(&t.day())
+    }
+
+    /// Whether the slot falls on a Saturday or Sunday.
+    pub fn is_weekend(&self, t: TimeSlot) -> bool {
+        t.day_of_week() >= 5
+    }
+
+    /// Whether the slot is a working day (neither weekend nor holiday).
+    pub fn is_working_day(&self, t: TimeSlot) -> bool {
+        !self.is_weekend(t) && !self.is_holiday(t)
+    }
+
+    /// Number of registered holidays.
+    pub fn holiday_count(&self) -> usize {
+        self.holidays.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::SLOTS_PER_DAY;
+
+    #[test]
+    fn weekends() {
+        let c = Calendar::new();
+        // epoch day 0 = Monday
+        assert!(!c.is_weekend(TimeSlot(0)));
+        assert!(c.is_weekend(TimeSlot(5 * SLOTS_PER_DAY as i64))); // Saturday
+        assert!(c.is_weekend(TimeSlot(6 * SLOTS_PER_DAY as i64))); // Sunday
+        assert!(!c.is_weekend(TimeSlot(7 * SLOTS_PER_DAY as i64))); // next Monday
+    }
+
+    #[test]
+    fn holidays() {
+        let mut c = Calendar::new();
+        c.add_holiday(2);
+        assert!(c.is_holiday(TimeSlot(2 * SLOTS_PER_DAY as i64)));
+        assert!(c.is_holiday(TimeSlot(2 * SLOTS_PER_DAY as i64 + 95)));
+        assert!(!c.is_holiday(TimeSlot(3 * SLOTS_PER_DAY as i64)));
+    }
+
+    #[test]
+    fn working_day_combines_both() {
+        let c = Calendar::with_holidays([1]);
+        assert!(c.is_working_day(TimeSlot(0))); // Monday, not holiday
+        assert!(!c.is_working_day(TimeSlot(SLOTS_PER_DAY as i64))); // Tuesday holiday
+        assert!(!c.is_working_day(TimeSlot(5 * SLOTS_PER_DAY as i64))); // Saturday
+    }
+
+    #[test]
+    fn periodic() {
+        let c = Calendar::periodic_holidays(10, 30, 3);
+        assert_eq!(c.holiday_count(), 3);
+        assert!(c.is_holiday(TimeSlot(10 * SLOTS_PER_DAY as i64)));
+        assert!(c.is_holiday(TimeSlot(40 * SLOTS_PER_DAY as i64)));
+        assert!(c.is_holiday(TimeSlot(70 * SLOTS_PER_DAY as i64)));
+        assert!(!c.is_holiday(TimeSlot(100 * SLOTS_PER_DAY as i64)));
+    }
+}

@@ -1,0 +1,94 @@
+//! The forecasting component's operational loop (paper §5): continuous
+//! model maintenance, threshold-triggered re-estimation with a
+//! context-aware warm start, and publish-subscribe forecast delivery.
+//!
+//! ```sh
+//! cargo run --release --example forecast_maintenance
+//! ```
+
+use mirabel::core::{TimeSlot, SLOTS_PER_DAY};
+use mirabel::forecast::{
+    Budget, EvaluationStrategy, ForecastHub, ForecastModel, HwtModel, MaintenanceAction,
+    ModelMaintainer,
+};
+use mirabel::forecast::context::ContextRepository;
+use mirabel::timeseries::DemandGenerator;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let day = SLOTS_PER_DAY as usize;
+
+    // Train the initial model on two weeks of history.
+    let gen = DemandGenerator::default();
+    let history = gen.generate(TimeSlot(0), 14 * day, 1);
+    let mut model = HwtModel::daily_weekly();
+    model.fit(&history);
+
+    // Wrap it in the maintainer: threshold-based evaluation strategy and
+    // a shared context repository for warm-started re-estimation.
+    let repo = Arc::new(Mutex::new(ContextRepository::new(2.0)));
+    let mut maintainer = ModelMaintainer::new(
+        model,
+        history,
+        EvaluationStrategy::ThresholdBased {
+            smape_threshold: 0.04,
+            window: 32, // two hours of drift is enough evidence
+        },
+    )
+    .with_budget(Budget::evaluations(200))
+    .with_repository(Arc::clone(&repo));
+
+    // The scheduler subscribes to day-ahead forecasts, but only wants to
+    // be woken for >5 % changes.
+    let hub = ForecastHub::new();
+    let scheduler_sub = hub.subscribe(day, 0.05);
+
+    // Live operation: three weeks of measurements arrive; after ten days
+    // the grid area changes structurally (20 % load growth — think new
+    // industrial consumer).
+    let future = gen.generate(TimeSlot(14 * day as i64), 21 * day, 2);
+    let mut reestimations = 0;
+    let mut notifications = 0;
+    for (i, (_, y)) in future.iter().enumerate() {
+        // After ten days a new industrial consumer raises the level 40 %.
+        let y = if i > 10 * day { y * 1.4 } else { y };
+        match maintainer.observe(y) {
+            MaintenanceAction::Updated => {}
+            MaintenanceAction::Reestimated {
+                old_error,
+                new_error,
+                warm_started,
+            } => {
+                reestimations += 1;
+                println!(
+                    "slot {i:>5}: re-estimated (rolling SMAPE {old_error:.4} → in-sample {new_error:.4}, warm start: {warm_started})"
+                );
+            }
+        }
+        // Publish a forecast for the *next calendar day* every 3 hours —
+        // a window fixed in absolute time, so the hub's significance
+        // check compares like with like.
+        if i % 12 == 0 {
+            let until_midnight = day - (i % day);
+            let forecast = maintainer.forecast(until_midnight + day);
+            if !hub.publish(&forecast[until_midnight..]).is_empty() {
+                notifications += 1;
+                hub.poll(scheduler_sub);
+            }
+        }
+    }
+
+    let (publishes, delivered) = hub.stats();
+    println!("\nafter three weeks of operation:");
+    println!("  re-estimations triggered: {reestimations}");
+    println!("  context repository cases: {}", repo.lock().len());
+    println!(
+        "  forecasts published: {publishes}, delivered to the scheduler: {delivered} \
+         ({}% suppressed as insignificant)",
+        100 * (publishes - delivered) / publishes.max(1)
+    );
+    println!("  final rolling one-step SMAPE: {:.4}", maintainer.rolling_error());
+    assert!(notifications > 0);
+    assert!(reestimations > 0, "the structural break must trigger adaptation");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the full MIRABEL loop on one screen.
+//!
+//! Generate micro flex-offers → aggregate → schedule against a forecast
+//! imbalance → disaggregate → validate every micro schedule.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mirabel::aggregate::{AggregationParams, AggregationPipeline};
+use mirabel::core::{AggregateId, FlexOfferGenerator, GeneratorConfig, TimeSlot, SLOTS_PER_DAY};
+use mirabel::schedule::{
+    evaluate, Budget, GreedyScheduler, MarketPrices, SchedulingProblem, Solution,
+};
+
+fn main() {
+    // --- 1. Micro flex-offers -----------------------------------------
+    // 2 000 offers, all executable within one day so a single intra-day
+    // scheduling window covers them.
+    let config = GeneratorConfig {
+        window_start: TimeSlot(0),
+        window_slots: SLOTS_PER_DAY / 2,
+        max_time_flexibility: SLOTS_PER_DAY / 4,
+        max_slices: 2,
+        max_slice_duration: 2,
+        assignment_lead: (1, 4),
+        ..GeneratorConfig::default()
+    };
+    let offers: Vec<_> = FlexOfferGenerator::new(config, 7).take(2_000).collect();
+    println!("generated {} micro flex-offers", offers.len());
+
+    // --- 2. Aggregation ------------------------------------------------
+    let pipeline =
+        AggregationPipeline::from_scratch(AggregationParams::p3(8, 8), None, offers.clone());
+    let report = pipeline.report();
+    println!(
+        "aggregated into {} macro offers (compression {:.1}x, {:.2} slots of time flexibility lost per offer)",
+        report.aggregate_count,
+        report.compression_ratio(),
+        report.loss_per_offer()
+    );
+
+    // --- 3. Scheduling ---------------------------------------------------
+    // Macro offers that fit the day; a midday RES surplus to soak up.
+    let horizon = SLOTS_PER_DAY as usize;
+    let macros: Vec<_> = pipeline
+        .macro_offers()
+        .into_iter()
+        .filter(|m| m.earliest_start() >= TimeSlot(0) && m.latest_end() <= TimeSlot(horizon as i64))
+        .collect();
+    let baseline: Vec<f64> = (0..horizon)
+        .map(|i| {
+            let x = i as f64 / horizon as f64;
+            60.0 * (0.8 - 1.8 * (-((x - 0.5) * (x - 0.5)) / 0.02).exp())
+        })
+        .collect();
+    let problem = SchedulingProblem::new(
+        TimeSlot(0),
+        baseline,
+        macros,
+        MarketPrices::flat(horizon, 0.09, 0.02, 30.0),
+        vec![0.2; horizon],
+    )
+    .expect("macros fit the window");
+
+    let unscheduled = evaluate(&problem, &Solution::baseline(&problem)).total();
+    let result = GreedyScheduler.run(&problem, Budget::evaluations(100_000), 1);
+    println!(
+        "schedule cost {:.2} EUR (open-contract baseline {:.2} EUR) over {} macro offers",
+        result.cost.total(),
+        unscheduled,
+        problem.offers.len()
+    );
+
+    // --- 4. Disaggregation ----------------------------------------------
+    let mut micro_count = 0usize;
+    for macro_schedule in result.solution.to_schedules(&problem) {
+        let agg_id = AggregateId(macro_schedule.offer_id.value());
+        let micro = pipeline
+            .disaggregate(agg_id, &macro_schedule)
+            .expect("disaggregation requirement holds by construction");
+        for s in &micro {
+            let offer = offers.iter().find(|o| o.id() == s.offer_id).unwrap();
+            s.validate_against(offer, 1e-6)
+                .expect("every micro schedule respects its offer");
+        }
+        micro_count += micro.len();
+    }
+    println!("disaggregated into {micro_count} valid micro schedules — done");
+}

@@ -1,0 +1,48 @@
+//! # mirabel
+//!
+//! A Rust implementation of the MIRABEL smart-grid Energy Data Management
+//! System (Boehm et al., *Data Management in the MIRABEL Smart Grid
+//! System*, EDBT/ICDT Workshops 2012).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`core`] | `mirabel-core` | §2 flex-offer model |
+//! | [`timeseries`] | `mirabel-timeseries` | §5 substrate + data substitutes |
+//! | [`forecast`] | `mirabel-forecast` | §5 forecasting |
+//! | [`aggregate`] | `mirabel-aggregate` | §4 aggregation |
+//! | [`schedule`] | `mirabel-schedule` | §6 scheduling |
+//! | [`negotiate`] | `mirabel-negotiate` | §7 negotiation |
+//! | [`edms`] | `mirabel-edms` | §2/§3 node architecture & hierarchy |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mirabel::aggregate::{AggregationParams, AggregationPipeline};
+//! use mirabel::core::FlexOfferGenerator;
+//!
+//! // 1. A population of micro flex-offers…
+//! let offers: Vec<_> = FlexOfferGenerator::with_seed(42).take(500).collect();
+//! // 2. …aggregated into a handful of macro offers…
+//! let pipeline = AggregationPipeline::from_scratch(
+//!     AggregationParams::p3(16, 16),
+//!     None,
+//!     offers,
+//! );
+//! assert!(pipeline.report().compression_ratio() > 1.0);
+//! ```
+//!
+//! See `examples/` for the paper's EV-charging scenario, a full BRP
+//! balancing day, and the three-level hierarchy simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mirabel_aggregate as aggregate;
+pub use mirabel_core as core;
+pub use mirabel_edms as edms;
+pub use mirabel_forecast as forecast;
+pub use mirabel_negotiate as negotiate;
+pub use mirabel_schedule as schedule;
+pub use mirabel_timeseries as timeseries;

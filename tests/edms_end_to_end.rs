@@ -1,0 +1,105 @@
+//! Integration: the full EDMS hierarchy under various conditions —
+//! including the negotiation layer and failure injection.
+
+use mirabel::edms::{simulate, FailureModel, SchedulerKind, SimulationConfig};
+
+#[test]
+fn balancing_improves_and_offers_are_conserved() {
+    for seed in [1, 2, 3] {
+        let r = simulate(SimulationConfig {
+            seed,
+            cycles: 3,
+            brps: 2,
+            prosumers_per_brp: 6,
+            offers_per_prosumer: 2,
+            budget_evaluations: 10_000,
+            ..SimulationConfig::default()
+        });
+        assert_eq!(
+            r.assigned + r.fallbacks,
+            r.offers_submitted,
+            "offer conservation (seed {seed}): {r:?}"
+        );
+        assert!(
+            r.imbalance_after <= r.imbalance_before,
+            "scheduling made things worse (seed {seed}): {r:?}"
+        );
+    }
+}
+
+#[test]
+fn all_schedulers_complete_the_hierarchy() {
+    for scheduler in [
+        SchedulerKind::Greedy,
+        SchedulerKind::Evolutionary,
+        SchedulerKind::Hybrid,
+    ] {
+        let r = simulate(SimulationConfig {
+            scheduler,
+            seed: 5,
+            cycles: 2,
+            budget_evaluations: 6_000,
+            ..SimulationConfig::default()
+        });
+        assert!(r.assigned > 0, "{scheduler:?} assigned nothing: {r:?}");
+    }
+}
+
+#[test]
+fn tso_and_local_modes_both_balance() {
+    let local = simulate(SimulationConfig {
+        seed: 8,
+        use_tso: false,
+        ..SimulationConfig::default()
+    });
+    let tso = simulate(SimulationConfig {
+        seed: 8,
+        use_tso: true,
+        ..SimulationConfig::default()
+    });
+    assert!(local.imbalance_after < local.imbalance_before);
+    assert!(tso.imbalance_after < tso.imbalance_before);
+    // Both modes keep every offer accounted for.
+    assert_eq!(local.assigned + local.fallbacks, local.offers_submitted);
+    assert_eq!(tso.assigned + tso.fallbacks, tso.offers_submitted);
+}
+
+#[test]
+fn graceful_degradation_is_monotone_in_loss_rate() {
+    let mut prev_assigned = usize::MAX;
+    for (i, drop) in [0.0, 0.5, 1.0].into_iter().enumerate() {
+        let r = simulate(SimulationConfig {
+            seed: 13,
+            failure: FailureModel {
+                drop_probability: drop,
+                delay_slots: 0,
+            },
+            ..SimulationConfig::default()
+        });
+        assert_eq!(r.assigned + r.fallbacks, r.offers_submitted);
+        // More loss ⇒ no more assignments than before (not strictly
+        // monotone per-seed, but the extremes must order correctly).
+        if i > 0 {
+            assert!(r.assigned <= prev_assigned + 2, "loss {drop}: {r:?}");
+        }
+        prev_assigned = r.assigned;
+        if drop == 1.0 {
+            assert_eq!(r.assigned, 0);
+            assert!((r.imbalance_after - r.imbalance_before).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn message_delay_within_cycle_tolerance_still_works() {
+    let r = simulate(SimulationConfig {
+        seed: 21,
+        failure: FailureModel {
+            drop_probability: 0.0,
+            delay_slots: 3,
+        },
+        ..SimulationConfig::default()
+    });
+    assert!(r.assigned > 0, "delays broke the pipeline: {r:?}");
+    assert_eq!(r.assigned + r.fallbacks, r.offers_submitted);
+}

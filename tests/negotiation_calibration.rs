@@ -1,0 +1,173 @@
+//! Integration: the negotiation calibration loop (§7 + its research
+//! direction) closed over real scheduling outcomes.
+//!
+//! For every offer in a scheduled scenario we compute the *realized
+//! profit* the paper's profit-sharing scheme needs — the schedule cost
+//! with the offer withheld minus the cost with it included — and feed
+//! (pre-execution potentials, realized profit) pairs into the calibrator.
+//! The calibrated weights must rank offers by realized value better than
+//! the hand-set defaults.
+
+use mirabel::core::TimeSlot;
+use mirabel::negotiate::{
+    apply_calibration, calibrate_weights, FlexibilityPotentials, PotentialConfig,
+    PreExecutionPricing, ProfitSharing, ValueObservation,
+};
+use mirabel::schedule::{evaluate, Budget, GreedyScheduler, SchedulingProblem, Solution};
+
+/// Realized profit of offer `j` within the executed schedule: the cost of
+/// the same schedule with offer `j` withheld, minus the full cost — the
+/// offer's (deterministic) marginal contribution.
+fn realized_profit(
+    problem: &SchedulingProblem,
+    solution: &Solution,
+    with_cost: f64,
+    j: usize,
+) -> f64 {
+    let mut without = problem.clone();
+    without.offers.remove(j);
+    let mut partial = solution.clone();
+    partial.placements.remove(j);
+    evaluate(&without, &partial).total() - with_cost
+}
+
+/// A problem where flexibility *is* value: every offer starts from slot 0
+/// with the same 2-slot, 2-kWh profile, but time flexibility and energy
+/// width vary. A renewable surplus sits at slots 40–50, so only offers
+/// flexible enough to reach it (and wide enough to soak it) make money.
+fn flexibility_driven_problem() -> SchedulingProblem {
+    use mirabel::core::{EnergyRange, FlexOffer, Profile};
+    use mirabel::schedule::MarketPrices;
+    let horizon = 96usize;
+    let offers: Vec<FlexOffer> = (0..30u64)
+        .map(|i| {
+            let tf = (i % 10) * 6; // 0..54 slots
+            let width = (i % 5) as f64 * 0.8; // 0..3.2 kWh of energy flex
+            FlexOffer::builder(i, 1)
+                .earliest_start(TimeSlot(0))
+                .time_flexibility(tf as u32)
+                .assignment_before(TimeSlot(-8))
+                .profile(Profile::uniform(2, EnergyRange::new(2.0, 2.0 + width).unwrap()))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let mut baseline = vec![0.6f64; horizon];
+    for slot in baseline.iter_mut().take(50).skip(40) {
+        *slot = -6.0;
+    }
+    SchedulingProblem::new(
+        TimeSlot(0),
+        baseline,
+        offers,
+        MarketPrices::flat(horizon, 0.30, 0.0, 0.0),
+        vec![0.25; horizon],
+    )
+    .unwrap()
+}
+
+#[test]
+fn calibration_learns_from_realized_profits() {
+    let problem = flexibility_driven_problem();
+    let full = GreedyScheduler.run(&problem, Budget::evaluations(20_000), 1);
+    let with_cost = full.cost.total();
+    let now = TimeSlot(-8); // before every assignment deadline
+
+    let cfg = PotentialConfig::default();
+    let observations: Vec<ValueObservation> = (0..problem.offers.len())
+        .map(|j| ValueObservation {
+            potentials: FlexibilityPotentials::compute(&problem.offers[j], now, &cfg),
+            realized_profit: realized_profit(&problem, &full.solution, with_cost, j),
+        })
+        .collect();
+
+    // Profit sharing would pay prosumers from these same numbers.
+    let sharing = ProfitSharing::default();
+    for obs in &observations {
+        let pay = sharing.payment(mirabel::core::Price(obs.realized_profit));
+        assert!(pay.eur() >= 0.0);
+    }
+
+    let weights = calibrate_weights(&observations, 1e-6)
+        .expect("enough observations for a 3x3 system");
+    let mut calibrated = cfg;
+    apply_calibration(&mut calibrated, weights);
+    // weights were renormalized to a convex combination
+    let sum = calibrated.w_assignment + calibrated.w_scheduling + calibrated.w_energy;
+    assert!((sum - 1.0).abs() < 1e-9);
+
+    // Ranking quality: Spearman-style agreement between predicted value
+    // and realized profit, calibrated vs default.
+    let agreement = |c: &PotentialConfig| -> f64 {
+        let mut pairs: Vec<(f64, f64)> = observations
+            .iter()
+            .map(|o| (o.potentials.total_value(c), o.realized_profit))
+            .collect();
+        // count concordant pairs
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for i in 0..pairs.len() {
+            for j in i + 1..pairs.len() {
+                let dv = pairs[i].0 - pairs[j].0;
+                let dp = pairs[i].1 - pairs[j].1;
+                if dv == 0.0 || dp == 0.0 {
+                    continue;
+                }
+                total += 1;
+                if (dv > 0.0) == (dp > 0.0) {
+                    concordant += 1;
+                }
+            }
+        }
+        pairs.clear();
+        if total == 0 {
+            0.5
+        } else {
+            concordant as f64 / total as f64
+        }
+    };
+
+    let default_agreement = agreement(&cfg);
+    let calibrated_agreement = agreement(&calibrated);
+    assert!(
+        calibrated_agreement + 1e-9 >= default_agreement,
+        "calibrated {calibrated_agreement} < default {default_agreement}"
+    );
+    // and the calibrated ranking should be meaningfully informative
+    assert!(
+        calibrated_agreement > 0.5,
+        "calibrated ranking no better than chance: {calibrated_agreement}"
+    );
+}
+
+#[test]
+fn acceptance_with_calibrated_pricing_still_filters() {
+    // Plug calibrated weights into the acceptance policy's pricing and
+    // check the policy still separates flexible from rigid offers.
+    use mirabel::core::{EnergyRange, FlexOffer, Profile};
+    use mirabel::negotiate::AcceptancePolicy;
+
+    let mut pricing = PreExecutionPricing::default();
+    apply_calibration(&mut pricing.potentials, (0.1, 2.0, 1.0));
+    let policy = AcceptancePolicy {
+        pricing,
+        ..AcceptancePolicy::default()
+    };
+
+    let flexible = FlexOffer::builder(1, 1)
+        .earliest_start(TimeSlot(100))
+        .time_flexibility(24)
+        .assignment_before(TimeSlot(90))
+        .profile(Profile::uniform(4, EnergyRange::new(1.0, 3.0).unwrap()))
+        .build()
+        .unwrap();
+    let rigid = FlexOffer::builder(2, 1)
+        .earliest_start(TimeSlot(100))
+        .assignment_before(TimeSlot(90))
+        .profile(Profile::uniform(4, EnergyRange::fixed(2.0)))
+        .build()
+        .unwrap();
+
+    assert!(policy.decide(&flexible, TimeSlot(40)).is_accepted());
+    assert!(!policy.decide(&rigid, TimeSlot(40)).is_accepted());
+}

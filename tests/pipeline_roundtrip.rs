@@ -1,0 +1,144 @@
+//! Integration: aggregation → scheduling → disaggregation across crates.
+//!
+//! This is the paper's central correctness claim (§4, disaggregation
+//! requirement) exercised at realistic scale through the public API.
+
+use mirabel::aggregate::{AggregationParams, AggregationPipeline, BinPackerConfig};
+use mirabel::core::{
+    AggregateId, Energy, FlexOfferGenerator, GeneratorConfig, TimeSlot, SLOTS_PER_DAY,
+};
+use mirabel::schedule::{Budget, GreedyScheduler, MarketPrices, SchedulingProblem};
+
+fn day_offers(n: usize, seed: u64) -> Vec<mirabel::core::FlexOffer> {
+    FlexOfferGenerator::new(
+        GeneratorConfig {
+            window_start: TimeSlot(0),
+            window_slots: SLOTS_PER_DAY / 2,
+            max_time_flexibility: SLOTS_PER_DAY / 4,
+            max_slices: 2,
+            max_slice_duration: 2,
+            assignment_lead: (1, 4),
+            ..GeneratorConfig::default()
+        },
+        seed,
+    )
+    .take(n)
+    .collect()
+}
+
+fn schedule_and_disaggregate(params: AggregationParams, binpack: Option<BinPackerConfig>) {
+    let offers = day_offers(3_000, 11);
+    let pipeline = AggregationPipeline::from_scratch(params, binpack, offers.clone());
+    let horizon = SLOTS_PER_DAY as usize;
+    let macros: Vec<_> = pipeline
+        .macro_offers()
+        .into_iter()
+        .filter(|m| m.latest_end() <= TimeSlot(horizon as i64))
+        .collect();
+    assert!(!macros.is_empty());
+
+    let baseline: Vec<f64> = (0..horizon)
+        .map(|i| 40.0 * ((i as f64 / horizon as f64) - 0.5))
+        .collect();
+    let problem = SchedulingProblem::new(
+        TimeSlot(0),
+        baseline,
+        macros,
+        MarketPrices::flat(horizon, 0.09, 0.02, 25.0),
+        vec![0.2; horizon],
+    )
+    .unwrap();
+    let result = GreedyScheduler.run(&problem, Budget::evaluations(50_000), 3);
+    assert!(result.solution.is_feasible(&problem));
+
+    // Disaggregate every scheduled macro offer and re-validate all micro
+    // schedules against the original offers; check per-slot conservation.
+    let mut validated = 0usize;
+    for macro_schedule in result.solution.to_schedules(&problem) {
+        let agg_id = AggregateId(macro_schedule.offer_id.value());
+        let micro = pipeline.disaggregate(agg_id, &macro_schedule).unwrap();
+        for (k, &agg_e) in macro_schedule.slot_energies.iter().enumerate() {
+            let t = macro_schedule.start + k as u32;
+            let sum: Energy = micro.iter().map(|s| s.energy_at(t)).sum();
+            assert!(
+                sum.approx_eq(agg_e, 1e-6),
+                "energy conservation at {t}: {sum} vs {agg_e}"
+            );
+        }
+        for s in micro {
+            let offer = offers.iter().find(|o| o.id() == s.offer_id).unwrap();
+            s.validate_against(offer, 1e-6).unwrap();
+            validated += 1;
+        }
+    }
+    assert!(validated > 0);
+}
+
+#[test]
+fn roundtrip_p0() {
+    schedule_and_disaggregate(AggregationParams::p0(), None);
+}
+
+#[test]
+fn roundtrip_p1() {
+    schedule_and_disaggregate(AggregationParams::p1(8), None);
+}
+
+#[test]
+fn roundtrip_p2() {
+    schedule_and_disaggregate(AggregationParams::p2(8), None);
+}
+
+#[test]
+fn roundtrip_p3() {
+    schedule_and_disaggregate(AggregationParams::p3(8, 8), None);
+}
+
+#[test]
+fn roundtrip_with_binpacker() {
+    schedule_and_disaggregate(
+        AggregationParams::p3(8, 8),
+        Some(BinPackerConfig::max_members(25)),
+    );
+}
+
+#[test]
+fn aggregation_enables_larger_instances() {
+    // §8: "aggregation is first used to reduce the number of flex-offers
+    // substantially" — the same scheduling budget goes much further on
+    // the aggregated instance.
+    let offers = day_offers(3_000, 5);
+    let horizon = SLOTS_PER_DAY as usize;
+    let baseline: Vec<f64> = (0..horizon).map(|i| -0.5 * (i % 7) as f64).collect();
+    let prices = MarketPrices::flat(horizon, 0.09, 0.02, 25.0);
+    let penalties = vec![0.2; horizon];
+
+    let pipeline =
+        AggregationPipeline::from_scratch(AggregationParams::p3(16, 16), None, offers.clone());
+    let macros: Vec<_> = pipeline
+        .macro_offers()
+        .into_iter()
+        .filter(|m| m.latest_end() <= TimeSlot(horizon as i64))
+        .collect();
+    let micro_eligible: Vec<_> = offers
+        .iter()
+        .filter(|m| m.latest_end() <= TimeSlot(horizon as i64))
+        .cloned()
+        .collect();
+    assert!(macros.len() * 10 < micro_eligible.len(), "compression too weak");
+
+    let p_macro = SchedulingProblem::new(
+        TimeSlot(0),
+        baseline.clone(),
+        macros,
+        prices.clone(),
+        penalties.clone(),
+    )
+    .unwrap();
+    let budget = Budget::evaluations(20_000);
+    let macro_result = GreedyScheduler.run(&p_macro, budget, 1);
+    // With the aggregated instance the budget suffices for at least one
+    // complete randomized-greedy pass (trajectory non-empty, feasible).
+    assert!(!macro_result.trajectory.is_empty());
+    assert!(macro_result.solution.is_feasible(&p_macro));
+}

@@ -1,0 +1,152 @@
+//! Workspace-level property tests: cross-crate invariants under random
+//! inputs.
+
+use mirabel::aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel::core::{
+    AggregateId, EnergyRange, FlexOffer, Profile, ScheduledFlexOffer, TimeSlot,
+};
+use mirabel::schedule::{evaluate, MarketPrices, SchedulingProblem, Solution};
+use proptest::prelude::*;
+
+fn arb_offer(id: u64) -> impl Strategy<Value = FlexOffer> {
+    (
+        0i64..50,       // earliest start
+        0u32..16,       // time flexibility
+        1u32..6,        // duration
+        0.0f64..4.0,    // min energy per slot
+        0.0f64..3.0,    // extra width
+    )
+        .prop_map(move |(es, tf, dur, lo, w)| {
+            FlexOffer::builder(id, 1)
+                .earliest_start(TimeSlot(es))
+                .time_flexibility(tf)
+                .profile(Profile::uniform(dur, EnergyRange::new(lo, lo + w).unwrap()))
+                .build()
+                .unwrap()
+        })
+}
+
+fn arb_offers(n: usize) -> impl Strategy<Value = Vec<FlexOffer>> {
+    (1..=n).prop_flat_map(|k| {
+        (0..k as u64)
+            .map(arb_offer)
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compression never loses offers, and the flexibility loss is
+    /// bounded by the configured tolerance per offer.
+    #[test]
+    fn aggregation_conserves_offers_and_bounds_loss(
+        offers in arb_offers(40),
+        sat in 0u32..8,
+        tft in 0u32..8,
+    ) {
+        let params = AggregationParams::p3(sat, tft);
+        let pipeline =
+            AggregationPipeline::from_scratch(params, None, offers.clone());
+        let report = pipeline.report();
+        prop_assert_eq!(report.offer_count, offers.len());
+        prop_assert!(report.aggregate_count <= offers.len());
+        // max per-offer time-flexibility loss is the TF tolerance
+        prop_assert!(
+            report.loss_per_offer() <= tft as f64 + 1e-9,
+            "loss {} > tolerance {}", report.loss_per_offer(), tft
+        );
+    }
+
+    /// Incremental deletes leave the pipeline exactly as if the deleted
+    /// offers had never been inserted.
+    #[test]
+    fn incremental_delete_equals_never_inserted(
+        offers in arb_offers(30),
+        keep_mask in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let params = AggregationParams::p3(4, 4);
+        let mut incremental = AggregationPipeline::new(params, None);
+        incremental.apply(
+            offers.iter().cloned().map(FlexOfferUpdate::Insert).collect(),
+        );
+        let deletions: Vec<_> = offers
+            .iter()
+            .zip(&keep_mask)
+            .filter(|(_, &keep)| !keep)
+            .map(|(o, _)| FlexOfferUpdate::Delete(o.id()))
+            .collect();
+        incremental.apply(deletions);
+
+        let kept: Vec<FlexOffer> = offers
+            .iter()
+            .zip(&keep_mask)
+            .filter(|(_, &keep)| keep)
+            .map(|(o, _)| o.clone())
+            .collect();
+        let fresh = AggregationPipeline::from_scratch(params, None, kept);
+        prop_assert_eq!(incremental.report(), fresh.report());
+    }
+
+    /// Every macro-offer schedule disaggregates into member schedules
+    /// that validate, regardless of the shift/fill chosen.
+    #[test]
+    fn disaggregation_valid_for_any_choice(
+        offers in arb_offers(20),
+        shift_frac in 0.0f64..1.0,
+        fill in 0.0f64..1.0,
+    ) {
+        let pipeline = AggregationPipeline::from_scratch(
+            AggregationParams::p3(4, 4),
+            None,
+            offers.clone(),
+        );
+        for macro_offer in pipeline.macro_offers() {
+            let tf = macro_offer.time_flexibility();
+            let shift = (tf as f64 * shift_frac) as u32;
+            let schedule = ScheduledFlexOffer::at_fraction(
+                &macro_offer,
+                macro_offer.earliest_start() + shift,
+                fill,
+            );
+            let micro = pipeline
+                .disaggregate(AggregateId(macro_offer.id().value()), &schedule)
+                .unwrap();
+            for s in micro {
+                let o = offers.iter().find(|o| o.id() == s.offer_id).unwrap();
+                prop_assert!(s.validate_against(o, 1e-6).is_ok());
+            }
+        }
+    }
+
+    /// The schedule cost function is bounded below by the no-market,
+    /// no-offer mismatch floor of zero only when imbalance is zero; and
+    /// random feasible solutions never beat the all-slots-zero residual.
+    #[test]
+    fn cost_is_finite_and_feasibility_preserved(
+        offers in arb_offers(15),
+        seed in 0u64..1000,
+    ) {
+        let horizon = 80usize;
+        let eligible: Vec<FlexOffer> = offers
+            .into_iter()
+            .filter(|o| o.latest_end() <= TimeSlot(horizon as i64))
+            .collect();
+        prop_assume!(!eligible.is_empty());
+        let problem = SchedulingProblem::new(
+            TimeSlot(0),
+            vec![0.5; horizon],
+            eligible,
+            MarketPrices::flat(horizon, 0.08, 0.03, 10.0),
+            vec![0.2; horizon],
+        ).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let s = Solution::random(&problem, &mut rng);
+        prop_assert!(s.is_feasible(&problem));
+        let c = evaluate(&problem, &s);
+        prop_assert!(c.total().is_finite());
+        prop_assert!(c.mismatch_cost >= 0.0);
+        prop_assert!(c.energy_bought >= 0.0);
+        prop_assert!(c.energy_sold >= 0.0);
+    }
+}
