@@ -231,9 +231,7 @@ mod tests {
             GroupUpdate::Removed { group: GroupId(2) },
         ]);
         assert_eq!(out.len(), 2);
-        assert!(
-            matches!(&out[0], SubgroupUpdate::Upsert { subgroup, .. } if subgroup.index == 0)
-        );
+        assert!(matches!(&out[0], SubgroupUpdate::Upsert { subgroup, .. } if subgroup.index == 0));
         assert!(
             matches!(&out[1], SubgroupUpdate::Removed { subgroup } if subgroup.group == GroupId(2))
         );

@@ -155,8 +155,7 @@ impl GroupBuilder {
                                 key.cell = old.cell;
                             }
                             _ => {
-                                key.cell =
-                                    self.cells.entry(key).or_default().allocate(cap);
+                                key.cell = self.cells.entry(key).or_default().allocate(cap);
                             }
                         }
                     }
@@ -169,8 +168,7 @@ impl GroupBuilder {
                                 touched.insert(old);
                             }
                             if self.member_cap.is_some() {
-                                if let Some(dir) =
-                                    self.cells.get_mut(&GroupKey { cell: 0, ..old })
+                                if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..old })
                                 {
                                     dir.release(old.cell);
                                 }
@@ -195,9 +193,7 @@ impl GroupBuilder {
                             touched.insert(key);
                         }
                         if self.member_cap.is_some() {
-                            if let Some(dir) =
-                                self.cells.get_mut(&GroupKey { cell: 0, ..key })
-                            {
+                            if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..key }) {
                                 dir.release(key.cell);
                             }
                         }
@@ -417,11 +413,16 @@ mod tests {
     #[test]
     fn integrated_cap_reuses_freed_cells() {
         let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 2);
-        gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2), offer(3, 5, 2)]));
+        gb.accumulate(inserts(vec![
+            offer(1, 5, 2),
+            offer(2, 5, 2),
+            offer(3, 5, 2),
+        ]));
         gb.flush();
         assert_eq!(gb.group_count(), 2); // cells [2, 1]
-        // delete one of the first cell, insert a new offer: it must fill
-        // the freed slot instead of opening a third cell
+
+        // Delete one of the first cell, insert a new offer: it must fill
+        // the freed slot instead of opening a third cell.
         gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(1))]);
         gb.flush();
         gb.accumulate(inserts(vec![offer(4, 5, 2)]));

@@ -311,7 +311,9 @@ mod tests {
         let micro = agg.disaggregate_at_min(id, TimeSlot(14)).unwrap();
         for (s, m) in micro.iter().zip(agg.members(id).unwrap()) {
             s.validate_against(m, 1e-9).unwrap();
-            assert!(s.total_energy().approx_eq(m.profile().min_total_energy(), 1e-9));
+            assert!(s
+                .total_energy()
+                .approx_eq(m.profile().min_total_energy(), 1e-9));
         }
     }
 

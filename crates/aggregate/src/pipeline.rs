@@ -164,8 +164,7 @@ mod tests {
     #[test]
     fn p1_loses_flexibility_p2_does_not() {
         let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(3).take(2000).collect();
-        let p1 =
-            AggregationPipeline::from_scratch(AggregationParams::p1(16), None, offers.clone());
+        let p1 = AggregationPipeline::from_scratch(AggregationParams::p1(16), None, offers.clone());
         let p2 = AggregationPipeline::from_scratch(AggregationParams::p2(16), None, offers);
         assert!(p1.report().time_flexibility_loss() > 0);
         assert_eq!(p2.report().time_flexibility_loss(), 0);
@@ -175,11 +174,7 @@ mod tests {
     fn wider_tolerances_compress_more() {
         let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(5).take(5000).collect();
         let p0 = AggregationPipeline::from_scratch(AggregationParams::p0(), None, offers.clone());
-        let p3 = AggregationPipeline::from_scratch(
-            AggregationParams::p3(32, 32),
-            None,
-            offers,
-        );
+        let p3 = AggregationPipeline::from_scratch(AggregationParams::p3(32, 32), None, offers);
         assert!(
             p3.report().compression_ratio() > p0.report().compression_ratio(),
             "p3 {} <= p0 {}",
@@ -191,11 +186,8 @@ mod tests {
     #[test]
     fn incremental_matches_from_scratch() {
         let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(7).take(1000).collect();
-        let scratch = AggregationPipeline::from_scratch(
-            AggregationParams::p3(8, 8),
-            None,
-            offers.clone(),
-        );
+        let scratch =
+            AggregationPipeline::from_scratch(AggregationParams::p3(8, 8), None, offers.clone());
         let mut incremental = AggregationPipeline::new(AggregationParams::p3(8, 8), None);
         for chunk in offers.chunks(100) {
             incremental.apply(chunk.iter().cloned().map(FlexOfferUpdate::Insert).collect());
@@ -208,7 +200,13 @@ mod tests {
     fn deletes_reverse_inserts() {
         let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(9).take(500).collect();
         let mut p = AggregationPipeline::new(AggregationParams::p3(8, 8), None);
-        p.apply(offers.iter().cloned().map(FlexOfferUpdate::Insert).collect());
+        p.apply(
+            offers
+                .iter()
+                .cloned()
+                .map(FlexOfferUpdate::Insert)
+                .collect(),
+        );
         assert!(p.aggregate_count() > 0);
         p.apply(
             offers
@@ -251,7 +249,13 @@ mod tests {
             offers.clone(),
         );
         let mut integrated = AggregationPipeline::new_integrated(AggregationParams::p0(), 10);
-        integrated.apply(offers.iter().cloned().map(FlexOfferUpdate::Insert).collect());
+        integrated.apply(
+            offers
+                .iter()
+                .cloned()
+                .map(FlexOfferUpdate::Insert)
+                .collect(),
+        );
         assert_eq!(chained.aggregate_count(), 10);
         assert_eq!(integrated.aggregate_count(), 10);
         for a in integrated.aggregates() {
@@ -278,10 +282,7 @@ mod tests {
         let micro = p.disaggregate(agg_id, &schedule).unwrap();
         assert_eq!(micro.len(), 10);
         for s in &micro {
-            let m = offers
-                .iter()
-                .find(|o| o.id() == s.offer_id)
-                .unwrap();
+            let m = offers.iter().find(|o| o.id() == s.offer_id).unwrap();
             s.validate_against(m, 1e-9).unwrap();
         }
     }

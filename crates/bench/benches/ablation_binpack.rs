@@ -54,8 +54,7 @@ fn binpack(c: &mut Criterion) {
             offers,
             |b, offers| {
                 b.iter(|| {
-                    let mut p =
-                        AggregationPipeline::new_integrated(AggregationParams::p0(), 50);
+                    let mut p = AggregationPipeline::new_integrated(AggregationParams::p0(), 50);
                     p.apply(
                         offers
                             .iter()

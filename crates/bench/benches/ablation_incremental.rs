@@ -35,12 +35,14 @@ fn incremental_vs_scratch(c: &mut Criterion) {
 
     group.bench_with_input(BenchmarkId::from_parameter("incremental"), &(), |b, _| {
         // Build once outside the measurement; measure only the batch.
-        let mut pipeline =
-            AggregationPipeline::from_scratch(params, None, pool.iter().cloned());
+        let mut pipeline = AggregationPipeline::from_scratch(params, None, pool.iter().cloned());
         b.iter(|| {
             let inserts: Vec<_> = batch.iter().cloned().map(FlexOfferUpdate::Insert).collect();
             pipeline.apply(inserts);
-            let deletes: Vec<_> = batch.iter().map(|o| FlexOfferUpdate::Delete(o.id())).collect();
+            let deletes: Vec<_> = batch
+                .iter()
+                .map(|o| FlexOfferUpdate::Delete(o.id()))
+                .collect();
             pipeline.apply(deletes);
         })
     });

@@ -25,8 +25,7 @@ fn aggregation(c: &mut Criterion) {
 
 fn disaggregation(c: &mut Criterion) {
     let offers: Vec<_> = FlexOfferGenerator::with_seed(1).take(20_000).collect();
-    let pipeline =
-        AggregationPipeline::from_scratch(AggregationParams::p3(16, 16), None, offers);
+    let pipeline = AggregationPipeline::from_scratch(AggregationParams::p3(16, 16), None, offers);
     let schedules: Vec<(AggregateId, ScheduledFlexOffer)> = pipeline
         .aggregates()
         .map(|a| {

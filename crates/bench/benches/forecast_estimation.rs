@@ -11,8 +11,7 @@ use mirabel_forecast::{
 use mirabel_timeseries::DemandGenerator;
 
 fn estimators(c: &mut Criterion) {
-    let series =
-        DemandGenerator::default().generate(TimeSlot(0), 10 * SLOTS_PER_DAY as usize, 3);
+    let series = DemandGenerator::default().generate(TimeSlot(0), 10 * SLOTS_PER_DAY as usize, 3);
     let warmup = 7 * SLOTS_PER_DAY as usize;
     let template = HwtModel::daily_weekly();
     let bounds = template.param_bounds();
@@ -34,7 +33,8 @@ fn estimators(c: &mut Criterion) {
                     m.set_params(p);
                     m.evaluate(&s, warmup)
                 });
-                est.estimate(&objective, Budget::evaluations(200), 7).best_error
+                est.estimate(&objective, Budget::evaluations(200), 7)
+                    .best_error
             })
         });
     }

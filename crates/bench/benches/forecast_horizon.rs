@@ -26,11 +26,9 @@ fn fit_and_forecast(c: &mut Criterion) {
     let mut fitted = HwtModel::daily_weekly();
     fitted.fit(&demand);
     for days in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("forecast_days", days),
-            &days,
-            |b, &d| b.iter(|| fitted.forecast(d * SLOTS_PER_DAY as usize)),
-        );
+        group.bench_with_input(BenchmarkId::new("forecast_days", days), &days, |b, &d| {
+            b.iter(|| fitted.forecast(d * SLOTS_PER_DAY as usize))
+        });
     }
     group.bench_function("incremental_update", |b| {
         let mut m = fitted.clone();

@@ -1,10 +1,20 @@
 //! Criterion bench behind Figure 6: cost of one scheduling run at fixed
-//! evaluation budget across instance sizes and algorithms.
+//! evaluation budget across instance sizes and algorithms — plus the
+//! `full_vs_delta` group comparing one-move scoring via a full
+//! `cost::evaluate()` against the `DeltaEvaluator`. Full re-evaluation is
+//! O(offers × duration + horizon) per move while the delta path is
+//! O(offer duration), so the gap must widen linearly with offer count
+//! (≥10× at 1 000 offers is the acceptance bar for this bench).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_bench::paper_ea;
+use mirabel_schedule::cost::evaluate;
+use mirabel_schedule::solution::Placement;
 use mirabel_schedule::{
-    scenario, Budget, EvolutionaryScheduler, GreedyScheduler, ScenarioConfig,
+    scenario, Budget, DeltaEvaluator, GreedyScheduler, ScenarioConfig, Solution,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_scheduling_2000_evals");
@@ -16,18 +26,62 @@ fn schedulers(c: &mut Criterion) {
             ..ScenarioConfig::default()
         });
         group.bench_with_input(BenchmarkId::new("greedy", n), &problem, |b, p| {
-            b.iter(|| GreedyScheduler.run(p, Budget::evaluations(2_000), 3).cost)
+            // Paper's pure restart greedy (polish disabled).
+            b.iter(|| {
+                GreedyScheduler
+                    .run_with_polish(p, Budget::evaluations(2_000), 3, 0)
+                    .cost
+            })
         });
         group.bench_with_input(BenchmarkId::new("ea", n), &problem, |b, p| {
+            // Paper's EA (memetic refinement disabled).
+            b.iter(|| paper_ea().run(p, Budget::evaluations(2_000), 3).cost)
+        });
+    }
+    group.finish();
+}
+
+fn full_vs_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_vs_delta_move_scoring");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let problem = scenario(ScenarioConfig {
+            offer_count: n,
+            seed: 1,
+            ..ScenarioConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let solution = Solution::random(&problem, &mut rng);
+
+        // Full path: score one single-offer move by re-evaluating the
+        // whole schedule (what every scheduler did before the delta
+        // evaluator existed), including the per-move solution clone.
+        group.bench_with_input(BenchmarkId::new("full", n), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| {
-                EvolutionaryScheduler::default()
-                    .run(p, Budget::evaluations(2_000), 3)
-                    .cost
+                let j = rng.gen_range(0..p.offers.len());
+                let mut cand = solution.clone();
+                cand.placements[j] = Placement::random(&p.offers[j], &mut rng);
+                black_box(evaluate(p, &cand).total())
+            })
+        });
+
+        // Delta path: propose + revert on live evaluator state.
+        group.bench_with_input(BenchmarkId::new("delta", n), &problem, |b, p| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut eval = DeltaEvaluator::new(p, solution.clone());
+            b.iter(|| {
+                let j = rng.gen_range(0..p.offers.len());
+                let total = eval.propose(j, |g, offer| {
+                    *g = Placement::random(offer, &mut rng);
+                });
+                eval.revert();
+                black_box(total)
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, schedulers);
+criterion_group!(benches, schedulers, full_vs_delta);
 criterion_main!(benches);

@@ -12,11 +12,11 @@
 //! cargo run --release -p mirabel-bench --bin exhaustive
 //! ```
 
-use mirabel_bench::timed;
+use mirabel_bench::{paper_ea, timed};
 use mirabel_core::{EnergyRange, FlexOffer, Profile, TimeSlot};
 use mirabel_schedule::{
-    search_space_size, Budget, EvolutionaryScheduler, ExhaustiveScheduler, GreedyScheduler,
-    MarketPrices, SchedulingProblem,
+    search_space_size, Budget, ExhaustiveScheduler, GreedyScheduler, MarketPrices,
+    SchedulingProblem,
 };
 
 fn fixed_offer(id: u64, tf: u32, dur: u32, kwh: f64) -> FlexOffer {
@@ -81,12 +81,14 @@ fn main() {
 
     for (name, result) in [
         (
+            // Paper's pure restart greedy (polish disabled).
             "randomized greedy",
-            GreedyScheduler.run(&reduced, Budget::evaluations(20_000), 1),
+            GreedyScheduler.run_with_polish(&reduced, Budget::evaluations(20_000), 1, 0),
         ),
         (
+            // Paper's EA (memetic refinement disabled).
             "evolutionary",
-            EvolutionaryScheduler::default().run(&reduced, Budget::evaluations(20_000), 1),
+            paper_ea().run(&reduced, Budget::evaluations(20_000), 1),
         ),
     ] {
         let gap = result.cost.total() - exact.cost.total();

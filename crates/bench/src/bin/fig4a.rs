@@ -22,11 +22,8 @@ use std::time::Duration;
 fn main() {
     let seconds = if quick_mode() { 3.0 } else { 20.0 };
     let train_days = 21;
-    let series = DemandGenerator::default().generate(
-        TimeSlot(0),
-        train_days * SLOTS_PER_DAY as usize,
-        2010,
-    );
+    let series =
+        DemandGenerator::default().generate(TimeSlot(0), train_days * SLOTS_PER_DAY as usize, 2010);
     let warmup = 14 * SLOTS_PER_DAY as usize;
 
     let template = HwtModel::daily_weekly();
@@ -42,17 +39,26 @@ fn main() {
             "Random Restart Nelder Mead",
             Box::new(RandomRestartNelderMead::default()),
         ),
-        ("Simulated Annealing", Box::new(SimulatedAnnealing::default())),
+        (
+            "Simulated Annealing",
+            Box::new(SimulatedAnnealing::default()),
+        ),
         ("Random Search", Box::new(RandomSearch)),
     ];
 
-    println!("# Figure 4(a) — accuracy (SMAPE) vs estimation time, HWT on synthetic UK-style demand");
+    println!(
+        "# Figure 4(a) — accuracy (SMAPE) vs estimation time, HWT on synthetic UK-style demand"
+    );
     println!("budget: {seconds:.0} s per estimator\n");
 
     let grid: Vec<f64> = (1..=20).map(|i| seconds * i as f64 / 20.0).collect();
     let mut table: Vec<(String, Vec<f64>, f64, usize)> = Vec::new();
     for (name, est) in estimators {
-        let result = est.estimate(&objective, Budget::time(Duration::from_secs_f64(seconds)), 7);
+        let result = est.estimate(
+            &objective,
+            Budget::time(Duration::from_secs_f64(seconds)),
+            7,
+        );
         let points: Vec<(f64, f64)> = result
             .trajectory
             .iter()

@@ -46,8 +46,11 @@ fn fitted_model(train: &TimeSeries, eval_budget: usize, seed: u64) -> HwtModel {
 
 fn main() {
     let day = SLOTS_PER_DAY as usize;
-    let (train_days, repetitions, eval_budget) =
-        if quick_mode() { (21, 2, 60) } else { (28, 5, 250) };
+    let (train_days, repetitions, eval_budget) = if quick_mode() {
+        (21, 2, 60)
+    } else {
+        (28, 5, 250)
+    };
     let horizon_days = 4;
 
     println!("# Figure 4(b) — accuracy (SMAPE) vs forecast horizon, HWT with estimated parameters");
@@ -56,18 +59,7 @@ fn main() {
     );
 
     // From 15 minutes out to 4 days, log-ish spacing like the paper's axis.
-    let grid: Vec<usize> = vec![
-        1,
-        4,
-        8,
-        16,
-        32,
-        day / 2,
-        day,
-        2 * day,
-        3 * day,
-        4 * day,
-    ];
+    let grid: Vec<usize> = vec![1, 4, 8, 16, 32, day / 2, day, 2 * day, 3 * day, 4 * day];
     let mut demand_err = vec![0.0; grid.len()];
     let mut supply_err = vec![0.0; grid.len()];
 

@@ -33,7 +33,9 @@ fn main() {
         ("P3", AggregationParams::p3(16, 16)),
     ];
 
-    println!("# Figure 5 — aggregation experiment ({total} flex-offers, inserts only, bin-packer off)\n");
+    println!(
+        "# Figure 5 — aggregation experiment ({total} flex-offers, inserts only, bin-packer off)\n"
+    );
     println!(
         "| {:>7} | {:>4} | {:>12} | {:>11} | {:>10} | {:>12} | {:>12} |",
         "offers", "par", "aggregates", "compression", "agg time s", "loss/offer", "disagg time s"
@@ -61,8 +63,7 @@ fn main() {
                 let mut micro = 0usize;
                 for agg in pipeline.aggregates() {
                     let offer = agg.to_flex_offer().expect("valid");
-                    let schedule =
-                        ScheduledFlexOffer::at_fraction(&offer, agg.earliest_start, 0.5);
+                    let schedule = ScheduledFlexOffer::at_fraction(&offer, agg.earliest_start, 0.5);
                     micro += pipeline
                         .disaggregate(AggregateId(agg.id.value()), &schedule)
                         .expect("disaggregation requirement")
@@ -97,5 +98,7 @@ fn main() {
         / agg_times.len() as f64;
     println!("\n## Figure 5(d) relationship");
     println!("line fit: disaggregation_time = {a:.3} * aggregation_time + {b:.3}");
-    println!("mean disaggregation/aggregation ratio: {mean_ratio:.3}  (paper: ~1/3, fit 0.36x − 0.68)");
+    println!(
+        "mean disaggregation/aggregation ratio: {mean_ratio:.3}  (paper: ~1/3, fit 0.36x − 0.68)"
+    );
 }

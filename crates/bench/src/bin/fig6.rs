@@ -12,10 +12,8 @@
 //! cargo run --release -p mirabel-bench --bin fig6
 //! ```
 
-use mirabel_bench::{quick_mode, resample_trajectory};
-use mirabel_schedule::{
-    scenario, Budget, EvolutionaryScheduler, GreedyScheduler, ScenarioConfig,
-};
+use mirabel_bench::{paper_ea, quick_mode, resample_trajectory};
+use mirabel_schedule::{scenario, Budget, GreedyScheduler, ScenarioConfig};
 use std::time::Duration;
 
 fn main() {
@@ -50,8 +48,12 @@ fn main() {
             });
             let budget = Budget::time(Duration::from_secs_f64(*seconds));
 
-            let ea = EvolutionaryScheduler::default().run(&problem, budget, 1_000 + run);
-            let gs = GreedyScheduler.run(&problem, budget, 2_000 + run);
+            // Memetic refinement disabled: the figure reproduces the
+            // paper's EA, matching the pure greedy series below.
+            let ea = paper_ea().run(&problem, budget, 1_000 + run);
+            // Polish disabled: the figure reproduces the paper's pure
+            // restart greedy, not the delta-polished variant.
+            let gs = GreedyScheduler.run_with_polish(&problem, budget, 2_000 + run, 0);
 
             let to_points = |traj: &[mirabel_schedule::TrajectoryPoint]| {
                 traj.iter()
@@ -62,10 +64,26 @@ fn main() {
             let gs_curve = resample_trajectory(&to_points(&gs.trajectory), &grid);
             for i in 0..grid.len() {
                 // Before the first recorded point, carry the first value.
-                let first_ea = ea.trajectory.first().map(|p| p.best_cost).unwrap_or(f64::NAN);
-                let first_gs = gs.trajectory.first().map(|p| p.best_cost).unwrap_or(f64::NAN);
-                ea_avg[i] += if ea_curve[i].is_nan() { first_ea } else { ea_curve[i] } / runs as f64;
-                gs_avg[i] += if gs_curve[i].is_nan() { first_gs } else { gs_curve[i] } / runs as f64;
+                let first_ea = ea
+                    .trajectory
+                    .first()
+                    .map(|p| p.best_cost)
+                    .unwrap_or(f64::NAN);
+                let first_gs = gs
+                    .trajectory
+                    .first()
+                    .map(|p| p.best_cost)
+                    .unwrap_or(f64::NAN);
+                ea_avg[i] += if ea_curve[i].is_nan() {
+                    first_ea
+                } else {
+                    ea_curve[i]
+                } / runs as f64;
+                gs_avg[i] += if gs_curve[i].is_nan() {
+                    first_gs
+                } else {
+                    gs_curve[i]
+                } / runs as f64;
             }
             ea_final += ea.cost.total() / runs as f64;
             gs_final += gs.cost.total() / runs as f64;

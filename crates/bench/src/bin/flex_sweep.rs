@@ -11,11 +11,10 @@
 //! cargo run --release -p mirabel-bench --bin flex_sweep
 //! ```
 
-use mirabel_bench::quick_mode;
+use mirabel_bench::{paper_ea, quick_mode};
 use mirabel_core::{EnergyRange, FlexOffer, Profile, TimeSlot};
 use mirabel_schedule::{
-    evaluate, search_space_size, Budget, EvolutionaryScheduler, GreedyScheduler, MarketPrices,
-    SchedulingProblem, Solution,
+    evaluate, search_space_size, Budget, GreedyScheduler, MarketPrices, SchedulingProblem, Solution,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,7 +32,10 @@ fn instance(n: usize, tf: u32, seed: u64) -> SchedulingProblem {
             FlexOffer::builder(i, 1)
                 .earliest_start(TimeSlot(es as i64))
                 .time_flexibility(tf)
-                .profile(Profile::uniform(dur, EnergyRange::new(base, base * 1.3).unwrap()))
+                .profile(Profile::uniform(
+                    dur,
+                    EnergyRange::new(base, base * 1.3).unwrap(),
+                ))
                 .build()
                 .unwrap()
         })
@@ -64,17 +66,21 @@ fn main() {
         "| {:>4} | {:>12} | {:>14} | {:>12} | {:>12} | {:>12} |",
         "tf", "log10(space)", "baseline EUR", "greedy EUR", "EA EUR", "improvement"
     );
-    println!("|-----:|-------------:|---------------:|-------------:|-------------:|-------------:|");
+    println!(
+        "|-----:|-------------:|---------------:|-------------:|-------------:|-------------:|"
+    );
 
     for tf in [0u32, 2, 4, 8, 16, 32, 64] {
         let problem = instance(n, tf, 9);
         let space = search_space_size(&problem).log10();
         let baseline = evaluate(&problem, &Solution::baseline(&problem)).total();
+        // Paper's pure restart greedy (polish disabled).
         let greedy = GreedyScheduler
-            .run(&problem, Budget::evaluations(budget), 1)
+            .run_with_polish(&problem, Budget::evaluations(budget), 1, 0)
             .cost
             .total();
-        let ea = EvolutionaryScheduler::default()
+        // Paper's EA (memetic refinement disabled).
+        let ea = paper_ea()
             .run(&problem, Budget::evaluations(budget), 1)
             .cost
             .total();

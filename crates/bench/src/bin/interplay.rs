@@ -61,9 +61,8 @@ fn main() {
         } else {
             AggregationParams::p3(tol, tol)
         };
-        let (pipeline, agg_secs) = timed(|| {
-            AggregationPipeline::from_scratch(params, None, offers.iter().cloned())
-        });
+        let (pipeline, agg_secs) =
+            timed(|| AggregationPipeline::from_scratch(params, None, offers.iter().cloned()));
         let report = pipeline.report();
         let end = TimeSlot(day as i64);
         let macros: Vec<_> = pipeline
@@ -80,11 +79,14 @@ fn main() {
         )
         .expect("macros fit");
         let sched_budget = (total_seconds - agg_secs).max(0.2);
+        // Paper's pure restart greedy (polish disabled), like the other
+        // figure-reproduction binaries.
         let (result, sched_secs) = timed(|| {
-            GreedyScheduler.run(
+            GreedyScheduler.run_with_polish(
                 &problem,
                 Budget::time(Duration::from_secs_f64(sched_budget)),
                 5,
+                0,
             )
         });
         println!(

@@ -14,6 +14,19 @@ pub fn quick_mode() -> bool {
     std::env::var("MIRABEL_QUICK").is_ok_and(|v| v == "1" || v == "true")
 }
 
+/// The paper's evolutionary algorithm: memetic (delta-scored) local
+/// refinement disabled, so figure reproductions measure the published EA
+/// rather than the improved default, mirroring
+/// `GreedyScheduler::run_with_polish(.., 0)` for the greedy series.
+pub fn paper_ea() -> mirabel_schedule::EvolutionaryScheduler {
+    mirabel_schedule::EvolutionaryScheduler {
+        config: mirabel_schedule::EaConfig {
+            local_search_moves: 0,
+            ..mirabel_schedule::EaConfig::default()
+        },
+    }
+}
+
 /// Time one closure, returning `(result, seconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();

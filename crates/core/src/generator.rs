@@ -111,10 +111,12 @@ impl FlexOfferGenerator {
         let mut slices = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let duration = self.rng.gen_range(1..=c.max_slice_duration);
-            let base = self.rng.gen_range(c.energy_per_slot.0..=c.energy_per_slot.1);
+            let base = self
+                .rng
+                .gen_range(c.energy_per_slot.0..=c.energy_per_slot.1);
             let flex = self.rng.gen_range(0.0..=c.energy_flex_fraction);
-            let energy = EnergyRange::new(base, base * (1.0 + flex))
-                .expect("generator bounds are ordered");
+            let energy =
+                EnergyRange::new(base, base * (1.0 + flex)).expect("generator bounds are ordered");
             slices.push(Slice { duration, energy });
         }
         Profile::new(slices).expect("generator profiles are non-empty")

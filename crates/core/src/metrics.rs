@@ -18,8 +18,7 @@ pub fn energy_flexibility(offer: &FlexOffer) -> Energy {
 /// configurations: time flexibility (slots) weighted by `time_weight` plus
 /// energy flexibility (kWh) weighted by `energy_weight`.
 pub fn total_flexibility(offer: &FlexOffer, time_weight: f64, energy_weight: f64) -> f64 {
-    time_flexibility(offer) as f64 * time_weight
-        + energy_flexibility(offer).kwh() * energy_weight
+    time_flexibility(offer) as f64 * time_weight + energy_flexibility(offer).kwh() * energy_weight
 }
 
 /// Sum of time flexibilities over a population of offers (used by the
@@ -39,7 +38,10 @@ mod tests {
         FlexOffer::builder(1, 1)
             .earliest_start(TimeSlot(0))
             .time_flexibility(tf)
-            .profile(Profile::uniform(4, EnergyRange::new(1.0, 1.0 + width).unwrap()))
+            .profile(Profile::uniform(
+                4,
+                EnergyRange::new(1.0, 1.0 + width).unwrap(),
+            ))
             .build()
             .unwrap()
     }

@@ -25,7 +25,9 @@ pub type SlotSpan = u32;
 ///
 /// `TimeSlot(t)` covers the half-open wall-clock interval
 /// `[t * 15 min, (t + 1) * 15 min)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct TimeSlot(pub i64);
 
 impl TimeSlot {

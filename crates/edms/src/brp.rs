@@ -8,11 +8,11 @@
 //! macro offers to the TSO and disaggregate *its* assignments instead
 //! (paper §2: "the process is essentially repeated at a higher level").
 
-use crate::datastore::{DataStore, EnergyType, MeasurementFact, OfferFact, OfferState, ScheduleFact};
-use crate::message::{Envelope, Message};
-use mirabel_aggregate::{
-    AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate,
+use crate::datastore::{
+    DataStore, EnergyType, MeasurementFact, OfferFact, OfferState, ScheduleFact,
 };
+use crate::message::{Envelope, Message};
+use mirabel_aggregate::{AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate};
 use mirabel_core::{
     AggregateId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot,
 };
@@ -172,7 +172,8 @@ impl BrpNode {
                     state: OfferState::Accepted,
                 });
                 self.pool.insert(offer.id(), (offer.clone(), from));
-                self.pipeline.apply(vec![FlexOfferUpdate::Insert(offer.clone())]);
+                self.pipeline
+                    .apply(vec![FlexOfferUpdate::Insert(offer.clone())]);
                 Message::OfferAccepted {
                     offer: offer.id(),
                     value,
@@ -382,7 +383,8 @@ impl BrpNode {
             let Some((offer, source)) = self.pool.remove(&s.offer_id) else {
                 continue;
             };
-            self.pipeline.apply(vec![FlexOfferUpdate::Delete(s.offer_id)]);
+            self.pipeline
+                .apply(vec![FlexOfferUpdate::Delete(s.offer_id)]);
             let discount = self.config.pricing.discount_per_kwh(&offer, now);
             self.store.record_offer(OfferFact {
                 offer: offer.id(),
@@ -412,10 +414,7 @@ impl BrpNode {
     /// Evaluate how a given set of realized flexible loads would cost
     /// under a baseline — used by the simulation for before/after
     /// comparisons.
-    pub fn cost_of(
-        problem: &SchedulingProblem,
-        solution: &Solution,
-    ) -> f64 {
+    pub fn cost_of(problem: &SchedulingProblem, solution: &Solution) -> f64 {
         evaluate(problem, solution).total()
     }
 }
@@ -488,7 +487,12 @@ mod tests {
     fn local_plan_produces_assignments() {
         let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
         for i in 0..20 {
-            submit(&mut brp, offer(i, i, 110 + (i as i64 % 5), 90, 8), 100 + i, 0);
+            submit(
+                &mut brp,
+                offer(i, i, 110 + (i as i64 % 5), 90, 8),
+                100 + i,
+                0,
+            );
         }
         let baseline: Vec<f64> = (0..96).map(|k| if k < 48 { -2.0 } else { 1.0 }).collect();
         let (envelopes, report) = brp.plan_with_baseline(

@@ -80,7 +80,9 @@ impl Network {
     pub fn send(&mut self, envelope: Envelope) {
         self.stats.sent += 1;
         if self.failure.drop_probability > 0.0
-            && self.rng.gen_bool(self.failure.drop_probability.clamp(0.0, 1.0))
+            && self
+                .rng
+                .gen_bool(self.failure.drop_probability.clamp(0.0, 1.0))
         {
             self.stats.dropped += 1;
             return;

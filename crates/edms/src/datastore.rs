@@ -270,7 +270,10 @@ impl DataStore {
 
     /// Count offers currently in `state`.
     pub fn count_in_state(&self, state: OfferState) -> usize {
-        self.offer_states().values().filter(|&&s| s == state).count()
+        self.offer_states()
+            .values()
+            .filter(|&&s| s == state)
+            .count()
     }
 
     /// Total scheduled energy and flexibility credit over all schedule
@@ -424,7 +427,8 @@ mod tests {
     #[test]
     fn unified_net_load_stitches_past_and_forecast() {
         let mut s = store_with_data(); // measurements for slots 0..4
-        // forecasts for slots 3..8, published at slot 2 and refreshed at 3
+
+        // Forecasts for slots 3..8, published at slot 2 and refreshed at 3.
         for slot in 3..8 {
             s.record_forecast(ForecastFact {
                 slot: TimeSlot(slot),

@@ -38,5 +38,5 @@ pub use comm::{FailureModel, Network, NetworkStats};
 pub use datastore::{DataStore, OfferState};
 pub use message::{Envelope, Message};
 pub use prosumer::ProsumerNode;
-pub use simulation::{SimulationConfig, SimulationReport, simulate};
+pub use simulation::{simulate, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;

@@ -128,7 +128,11 @@ fn gen_offer(
     .expect("non-empty");
     let es = rng.gen_range(0..(horizon - dur));
     let max_tf = horizon - dur - es;
-    let tf = if max_tf == 0 { 0 } else { rng.gen_range(0..=max_tf) };
+    let tf = if max_tf == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_tf)
+    };
     FlexOffer::builder(id, owner.value())
         .earliest_start(window + es)
         .time_flexibility(tf)
@@ -174,14 +178,15 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         for k in 0..cfg.prosumers_per_brp {
             let id = NodeId(1_000 * (1 + b as u64) + k as u64);
             network.register(id);
-            prosumers.push(ProsumerNode::new(id, ActorId(id.value()), NodeId(1 + b as u64)));
+            prosumers.push(ProsumerNode::new(
+                id,
+                ActorId(id.value()),
+                NodeId(1 + b as u64),
+            ));
         }
     }
-    let brp_index: HashMap<NodeId, usize> = brps
-        .iter()
-        .enumerate()
-        .map(|(i, b)| (b.id, i))
-        .collect();
+    let brp_index: HashMap<NodeId, usize> =
+        brps.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
     let prosumer_index: HashMap<NodeId, usize> = prosumers
         .iter()
         .enumerate()
@@ -305,7 +310,11 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
 
     let accepted: usize = brps
         .iter()
-        .map(|b| b.store.count_in_state(OfferState::Accepted) + b.store.count_in_state(OfferState::Assigned) + b.store.count_in_state(OfferState::Expired))
+        .map(|b| {
+            b.store.count_in_state(OfferState::Accepted)
+                + b.store.count_in_state(OfferState::Assigned)
+                + b.store.count_in_state(OfferState::Expired)
+        })
         .sum();
     let rejected: usize = brps
         .iter()

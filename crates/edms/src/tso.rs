@@ -5,9 +5,7 @@
 use crate::message::{Envelope, Message};
 use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
-use mirabel_schedule::{
-    Budget, GreedyScheduler, MarketPrices, SchedulingProblem,
-};
+use mirabel_schedule::{Budget, GreedyScheduler, MarketPrices, SchedulingProblem};
 use std::collections::HashMap;
 
 /// The level-3 node.

@@ -199,7 +199,8 @@ mod tests {
         assert_eq!(d.features().len(), 5);
         assert!(d.features()[0] > 10_000.0); // mean level
         assert!(d.features()[2] > 0.1); // daily amplitude is pronounced
-        // weekend fraction of a 14-day window is 4/14
+
+        // Weekend fraction of a 14-day window is 4/14.
         assert!((d.features()[4] - 4.0 / 14.0).abs() < 0.05);
     }
 

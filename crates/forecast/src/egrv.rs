@@ -131,7 +131,11 @@ impl EgrvModel {
         for d in 1..7 {
             row.push(if dow == d { 1.0 } else { 0.0 });
         }
-        row.push(if self.exog.calendar.is_holiday(t) { 1.0 } else { 0.0 });
+        row.push(if self.exog.calendar.is_holiday(t) {
+            1.0
+        } else {
+            0.0
+        });
         if let Some(temp) = &self.exog.temperature {
             let v = temp.at(t).unwrap_or_else(|| temp.mean());
             row.push(v);
@@ -164,12 +168,7 @@ impl EgrvModel {
 
     /// Fit one period's equation; used by both the serial `fit` and the
     /// parallel path.
-    pub(crate) fn fit_period(
-        &self,
-        period: usize,
-        values: &[f64],
-        start: TimeSlot,
-    ) -> Vec<f64> {
+    pub(crate) fn fit_period(&self, period: usize, values: &[f64], start: TimeSlot) -> Vec<f64> {
         let (rows, ys) = self.training_rows(period, values, start);
         if rows.len() < self.feature_count() {
             // Not enough data: fall back to a mean-only equation.
@@ -404,7 +403,10 @@ mod tests {
 
         let horizon = 7 * SLOTS_PER_DAY as usize;
         let e_with = smape(&test.values()[..horizon], &with_weather.forecast(horizon));
-        let e_without = smape(&test.values()[..horizon], &without_weather.forecast(horizon));
+        let e_without = smape(
+            &test.values()[..horizon],
+            &without_weather.forecast(horizon),
+        );
         assert!(
             e_with < e_without,
             "weather-aware {e_with} vs blind {e_without}"

@@ -243,7 +243,11 @@ impl NelderMead {
             let (lo, hi) = obj.bounds()[i];
             let step = ((hi - lo) * 0.05).max(1e-3);
             let mut p = start.to_vec();
-            p[i] = if p[i] + step <= hi { p[i] + step } else { p[i] - step };
+            p[i] = if p[i] + step <= hi {
+                p[i] + step
+            } else {
+                p[i] - step
+            };
             obj.clamp(&mut p);
             let f = tracker.eval(&p);
             simplex.push((p, f));
@@ -586,10 +590,7 @@ mod tests {
             assert!(w[1].best_error <= w[0].best_error);
             assert!(w[1].evaluations >= w[0].evaluations);
         }
-        assert_eq!(
-            r.trajectory.last().unwrap().best_error,
-            r.best_error
-        );
+        assert_eq!(r.trajectory.last().unwrap().best_error, r.best_error);
     }
 
     #[test]

@@ -186,11 +186,8 @@ mod tests {
                 id += 1;
             }
         }
-        let s = FlexOfferSeries::from_offers(
-            &offers,
-            TimeSlot(0),
-            TimeSlot(21 * SLOTS_PER_DAY as i64),
-        );
+        let s =
+            FlexOfferSeries::from_offers(&offers, TimeSlot(0), TimeSlot(21 * SLOTS_PER_DAY as i64));
         let mut f = FlexOfferForecaster::new();
         f.fit(&s);
         assert!(f.is_fitted());

@@ -100,7 +100,11 @@ struct FrontierPoint {
 const FRONTIER_CAP: usize = 32;
 
 fn pareto_prune(mut points: Vec<FrontierPoint>) -> Vec<FrontierPoint> {
-    points.sort_by(|a, b| a.error.total_cmp(&b.error).then(a.runtime.total_cmp(&b.runtime)));
+    points.sort_by(|a, b| {
+        a.error
+            .total_cmp(&b.error)
+            .then(a.runtime.total_cmp(&b.runtime))
+    });
     let mut out: Vec<FrontierPoint> = Vec::new();
     let mut best_runtime = f64::INFINITY;
     for p in points {
@@ -238,9 +242,9 @@ mod tests {
     fn small_tree() -> HierarchyNode {
         HierarchyNode::internal(
             "brp",
-            0.02,  // a dedicated BRP model is accurate…
-            10.0,  // …but expensive
-            0.8,   // child errors partially cancel
+            0.02, // a dedicated BRP model is accurate…
+            10.0, // …but expensive
+            0.8,  // child errors partially cancel
             vec![
                 HierarchyNode::leaf("prosumer-a", 0.06, 1.0),
                 HierarchyNode::leaf("prosumer-b", 0.08, 1.0),
@@ -310,7 +314,12 @@ mod tests {
 
     #[test]
     fn combine_errors_model() {
-        assert!((combine_child_errors(&[0.1, 0.1], 1.0) - 0.1 / 2f64.sqrt() * 2f64.sqrt() / 2f64.sqrt()).abs() < 1.0);
+        assert!(
+            (combine_child_errors(&[0.1, 0.1], 1.0)
+                - 0.1 / 2f64.sqrt() * 2f64.sqrt() / 2f64.sqrt())
+            .abs()
+                < 1.0
+        );
         // exact: sqrt(0.02)/2
         let e = combine_child_errors(&[0.1, 0.1], 1.0);
         assert!((e - (0.02f64).sqrt() / 2.0).abs() < 1e-12);

@@ -45,15 +45,15 @@ pub mod model;
 pub mod parallel;
 pub mod pubsub;
 
+pub use context::{describe, ContextDescriptor, ContextRepository};
 pub use egrv::{EgrvConfig, EgrvModel, Exogenous};
 pub use estimator::{
     Budget, EstimationResult, Estimator, NelderMead, Objective, RandomRestartNelderMead,
     RandomSearch, SimulatedAnnealing,
 };
+pub use hierarchy::{advise, Configuration, HierarchyNode, NodePlan};
 pub use hwt::{HwtConfig, HwtModel, Seasonality};
 pub use maintenance::{EvaluationStrategy, MaintenanceAction, ModelMaintainer};
-pub use model::ForecastModel;
-pub use context::{describe, ContextDescriptor, ContextRepository};
-pub use hierarchy::{advise, Configuration, HierarchyNode, NodePlan};
 pub use model::create_best_model;
+pub use model::ForecastModel;
 pub use pubsub::{ForecastHub, Subscription};

@@ -184,9 +184,7 @@ mod tests {
     #[test]
     fn ols_handles_collinear_columns_via_ridge() {
         // second and third columns identical: rank deficient
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![1.0, i as f64, i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64, i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| 1.0 + 4.0 * i as f64).collect();
         let beta = ridge_ols(&rows, &y, 1e-6).unwrap();
         // the two collinear coefficients split the true slope

@@ -134,8 +134,7 @@ impl<M: ForecastModel + Clone> ModelMaintainer<M> {
             return 0.0;
         }
         let skip = self.recent.len().saturating_sub(n);
-        let (actual, pred): (Vec<f64>, Vec<f64>) =
-            self.recent.iter().skip(skip).copied().unzip();
+        let (actual, pred): (Vec<f64>, Vec<f64>) = self.recent.iter().skip(skip).copied().unzip();
         smape(&actual, &pred)
     }
 
@@ -222,11 +221,7 @@ impl<M: ForecastModel + Clone> ModelMaintainer<M> {
                 // Context-aware adaptation: a single simplex descent from
                 // the remembered parameters ("achieves a higher forecast
                 // accuracy in less time, especially for complex models").
-                NelderMead::default().estimate_from(
-                    &objective,
-                    self.estimation_budget,
-                    start,
-                )
+                NelderMead::default().estimate_from(&objective, self.estimation_budget, start)
             }
             None => RandomRestartNelderMead::default().estimate(
                 &objective,
@@ -257,11 +252,8 @@ mod tests {
         let s = DemandGenerator::default().generate(TimeSlot(0), 14 * 96, 2);
         let mut m = HwtModel::daily_weekly();
         m.fit(&s);
-        let future = DemandGenerator::default().generate(
-            TimeSlot(14 * 96),
-            7 * SLOTS_PER_DAY as usize,
-            3,
-        );
+        let future =
+            DemandGenerator::default().generate(TimeSlot(14 * 96), 7 * SLOTS_PER_DAY as usize, 3);
         (
             ModelMaintainer::new(m, s, strategy).with_budget(Budget::evaluations(60)),
             future,
@@ -280,9 +272,8 @@ mod tests {
 
     #[test]
     fn time_based_triggers_periodically() {
-        let (mut mm, future) = fitted_maintainer(EvaluationStrategy::TimeBased {
-            every_updates: 96,
-        });
+        let (mut mm, future) =
+            fitted_maintainer(EvaluationStrategy::TimeBased { every_updates: 96 });
         let mut reest = 0;
         for &y in future.values().iter().take(200) {
             if matches!(mm.observe(y), MaintenanceAction::Reestimated { .. }) {
@@ -326,9 +317,7 @@ mod tests {
     #[test]
     fn context_repository_provides_warm_start() {
         let repo = Arc::new(Mutex::new(ContextRepository::new(2.0)));
-        let (mm0, future) = fitted_maintainer(EvaluationStrategy::TimeBased {
-            every_updates: 96,
-        });
+        let (mm0, future) = fitted_maintainer(EvaluationStrategy::TimeBased { every_updates: 96 });
         let mut mm = ModelMaintainer::new(
             mm0.model().clone(),
             mm0.history.clone(),

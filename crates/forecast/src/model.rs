@@ -90,11 +90,7 @@ mod tests {
 
     #[test]
     fn selector_returns_fitted_model() {
-        let s = DemandGenerator::default().generate(
-            TimeSlot(0),
-            21 * SLOTS_PER_DAY as usize,
-            13,
-        );
+        let s = DemandGenerator::default().generate(TimeSlot(0), 21 * SLOTS_PER_DAY as usize, 13);
         let m = create_best_model(&s, &Calendar::new(), 3 * SLOTS_PER_DAY as usize);
         let f = m.forecast(SLOTS_PER_DAY as usize);
         assert_eq!(f.len(), SLOTS_PER_DAY as usize);

@@ -182,11 +182,8 @@ mod tests {
             })
         };
         let par = parallel_random_restart(make, Budget::evaluations(3_000), 1, 7);
-        let serial = RandomRestartNelderMead::default().estimate(
-            &make(),
-            Budget::evaluations(3_000),
-            7,
-        );
+        let serial =
+            RandomRestartNelderMead::default().estimate(&make(), Budget::evaluations(3_000), 7);
         assert_eq!(par.best_params, serial.best_params);
     }
 

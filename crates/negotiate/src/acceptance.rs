@@ -86,7 +86,10 @@ mod tests {
             .earliest_start(TimeSlot(100))
             .time_flexibility(tf)
             .assignment_before(TimeSlot(deadline))
-            .profile(Profile::uniform(4, EnergyRange::new(1.0, 1.0 + width).unwrap()))
+            .profile(Profile::uniform(
+                4,
+                EnergyRange::new(1.0, 1.0 + width).unwrap(),
+            ))
             .build()
             .unwrap()
     }
@@ -119,7 +122,10 @@ mod tests {
     fn rejects_worthless_offer() {
         let policy = AcceptancePolicy::default();
         let d = policy.decide(&offer(0, 0.0, 90), TimeSlot(40));
-        assert_eq!(d, AcceptanceDecision::Reject(RejectionReason::NotProfitable));
+        assert_eq!(
+            d,
+            AcceptanceDecision::Reject(RejectionReason::NotProfitable)
+        );
     }
 
     #[test]

@@ -29,10 +29,7 @@ pub struct ValueObservation {
 /// Solves the 3×3 ridge-regularized normal equations by Gaussian
 /// elimination with partial pivoting. Returns `None` with fewer than
 /// three observations or a singular system.
-pub fn calibrate_weights(
-    observations: &[ValueObservation],
-    ridge: f64,
-) -> Option<(f64, f64, f64)> {
+pub fn calibrate_weights(observations: &[ValueObservation], ridge: f64) -> Option<(f64, f64, f64)> {
     if observations.len() < 3 {
         return None;
     }

@@ -81,17 +81,12 @@ impl Settlement {
         profit_share: Price,
     ) -> Settlement {
         let (charge, credit) = match contract {
-            Contract::Open { tariff_per_kwh, .. } => {
-                (*tariff_per_kwh * energy_kwh, Price::ZERO)
-            }
+            Contract::Open { tariff_per_kwh, .. } => (*tariff_per_kwh * energy_kwh, Price::ZERO),
             Contract::Flex {
                 tariff_per_kwh,
                 discount_per_kwh,
                 ..
-            } => (
-                *tariff_per_kwh * energy_kwh,
-                *discount_per_kwh * energy_kwh,
-            ),
+            } => (*tariff_per_kwh * energy_kwh, *discount_per_kwh * energy_kwh),
         };
         Settlement {
             offer,

@@ -126,7 +126,10 @@ mod tests {
             .earliest_start(TimeSlot(100))
             .time_flexibility(tf)
             .assignment_before(TimeSlot(100 - lead as i64))
-            .profile(Profile::uniform(4, EnergyRange::new(1.0, 1.0 + width).unwrap()))
+            .profile(Profile::uniform(
+                4,
+                EnergyRange::new(1.0, 1.0 + width).unwrap(),
+            ))
             .build()
             .unwrap()
     }

@@ -78,11 +78,7 @@ impl ProfitSharing {
     /// Attribute a total profit over the offers proportionally to their
     /// scheduled energies — a simple, auditable split used by the EDMS
     /// settlement step.
-    pub fn attribute(
-        &self,
-        total_profit: Price,
-        scheduled_energies: &[f64],
-    ) -> Vec<Price> {
+    pub fn attribute(&self, total_profit: Price, scheduled_energies: &[f64]) -> Vec<Price> {
         let total: f64 = scheduled_energies.iter().sum();
         if total <= 0.0 {
             return vec![Price::ZERO; scheduled_energies.len()];
@@ -104,7 +100,10 @@ mod tests {
             .earliest_start(TimeSlot(100))
             .time_flexibility(tf)
             .assignment_before(TimeSlot(80))
-            .profile(Profile::uniform(4, EnergyRange::new(1.0, 1.0 + width).unwrap()))
+            .profile(Profile::uniform(
+                4,
+                EnergyRange::new(1.0, 1.0 + width).unwrap(),
+            ))
             .build()
             .unwrap()
     }

@@ -6,10 +6,11 @@
 //! ablation benches.
 
 use crate::cost::evaluate;
+use crate::delta::DeltaEvaluator;
 use crate::evolutionary::EvolutionaryScheduler;
 use crate::greedy::GreedyScheduler;
 use crate::problem::SchedulingProblem;
-use crate::solution::{Budget, Recorder, ScheduleResult, Solution};
+use crate::solution::{jitter_move, Budget, Recorder, ScheduleResult, Solution};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,14 +34,20 @@ impl Default for AnnealingScheduler {
 
 impl AnnealingScheduler {
     /// Run from a random solution until the budget is exhausted.
+    ///
+    /// The Metropolis loop scores every neighbor through a
+    /// [`DeltaEvaluator`]: propose mutates one offer's placement in
+    /// place, scoring costs O(offer duration), and a rejected move is
+    /// reverted rather than a fresh `Solution` being cloned per
+    /// iteration.
     pub fn run(&self, problem: &SchedulingProblem, budget: Budget, seed: u64) -> ScheduleResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut recorder = Recorder::new(budget);
 
-        let mut current = Solution::random(problem, &mut rng);
-        let mut f_cur = evaluate(problem, &current).total();
+        let mut eval = DeltaEvaluator::new(problem, Solution::random(problem, &mut rng));
+        let mut f_cur = eval.total();
         recorder.record(f_cur);
-        let mut best = current.clone();
+        let mut best = eval.solution().clone();
         let mut f_best = f_cur;
         let scale = f_cur.abs().max(1.0);
         let mut temp = self.initial_temp * scale;
@@ -48,30 +55,18 @@ impl AnnealingScheduler {
         while !recorder.exhausted() && !problem.offers.is_empty() {
             // Neighbor: mutate one random offer's placement.
             let j = rng.gen_range(0..problem.offers.len());
-            let offer = &problem.offers[j];
-            let mut cand = current.clone();
-            {
-                let g = &mut cand.placements[j];
-                if offer.time_flexibility() > 0 && rng.gen_bool(0.6) {
-                    let span = (offer.time_flexibility() / 4).max(1) as i64;
-                    g.start = mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
-                } else {
-                    let k = rng.gen_range(0..g.fractions.len());
-                    g.fractions[k] += rng.gen_range(-0.3..0.3);
-                }
-                g.repair(offer);
-            }
-            let f_cand = evaluate(problem, &cand).total();
+            let f_cand = eval.propose(j, |g, offer| jitter_move(g, offer, &mut rng, 0.6, 0.3));
             recorder.record(f_cand);
             let accept = f_cand <= f_cur
                 || rng.gen_bool((((f_cur - f_cand) / temp.max(1e-12)).exp()).clamp(0.0, 1.0));
             if accept {
-                current = cand;
                 f_cur = f_cand;
                 if f_cur < f_best {
                     f_best = f_cur;
-                    best = current.clone();
+                    best.clone_from(eval.solution());
                 }
+            } else {
+                eval.revert();
             }
             temp *= self.cooling;
         }
@@ -102,9 +97,12 @@ impl HybridScheduler {
             max_evaluations: budget.max_evaluations.saturating_sub(g.evaluations).max(1),
             max_time: budget.max_time.map(|t| t.saturating_sub(t / 5)),
         };
-        let mut result =
-            self.ea
-                .run_seeded(problem, remaining, seed ^ 0x9e37_79b9, vec![g.solution.clone()]);
+        let mut result = self.ea.run_seeded(
+            problem,
+            remaining,
+            seed ^ 0x9e37_79b9,
+            vec![g.solution.clone()],
+        );
         // The hybrid can never be worse than its greedy seed.
         if g.cost.total() < result.cost.total() {
             result.solution = g.solution;
@@ -150,18 +148,42 @@ mod tests {
     }
 
     #[test]
-    fn hybrid_no_worse_than_greedy_alone() {
+    fn hybrid_no_worse_than_its_greedy_seed() {
         let p = small(3);
         let budget = Budget::evaluations(10_000);
-        let g = GreedyScheduler.run(&p, budget, 7);
+        // The hybrid hands 1/5 of its budget to the greedy seeding phase;
+        // its structural guarantee is "never worse than that seed".
+        let seed_budget = Budget::evaluations(budget.max_evaluations / 5);
+        let g = GreedyScheduler.run(&p, seed_budget, 7);
         let h = HybridScheduler::default().run(&p, budget, 7);
         assert!(
             h.cost.total() <= g.cost.total() + 1e-9,
-            "hybrid {} greedy {}",
+            "hybrid {} greedy seed {}",
             h.cost.total(),
             g.cost.total()
         );
         assert!(h.solution.is_feasible(&p));
+    }
+
+    #[test]
+    fn hybrid_not_grossly_worse_than_pure_ea() {
+        // Empirical canary, not an invariant: hybridization exists to
+        // put the EA ahead of a fully random population, so the hybrid
+        // landing far behind the pure EA at the same budget means the
+        // greedy seeding is broken. The 5% slack absorbs parameter or
+        // RNG-stream changes that legitimately jiggle the comparison.
+        let p = small(3);
+        let budget = Budget::evaluations(10_000);
+        let ea = EvolutionaryScheduler::default().run(&p, budget, 7);
+        let h = HybridScheduler::default().run(&p, budget, 7);
+        // Additive slack: a multiplicative factor would invert the bound
+        // for negative totals, which the cost model permits.
+        assert!(
+            h.cost.total() <= ea.cost.total() + 0.05 * ea.cost.total().abs() + 1e-9,
+            "hybrid {} far behind pure EA {}",
+            h.cost.total(),
+            ea.cost.total()
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 
 use crate::problem::SchedulingProblem;
 use crate::solution::Solution;
-use mirabel_core::OfferKind;
 use serde::{Deserialize, Serialize};
 
 /// Cost components of one evaluated schedule (EUR).
@@ -57,12 +56,23 @@ pub(crate) fn slot_cost(r: f64, pen: f64, buy: f64, sell: f64, cap: f64) -> f64 
 /// Residual imbalance per slot after applying a solution's placements
 /// (before market transactions). Positive = deficit.
 pub fn residual_imbalance(problem: &SchedulingProblem, solution: &Solution) -> Vec<f64> {
-    let mut residual = problem.baseline_imbalance.clone();
+    let mut residual = Vec::new();
+    residual_imbalance_into(problem, solution, &mut residual);
+    residual
+}
+
+/// Buffer-reusing variant of [`residual_imbalance`]: clears and fills
+/// `residual` in place so hot-path callers (the delta evaluator, greedy
+/// restarts) avoid one heap allocation per evaluation.
+pub fn residual_imbalance_into(
+    problem: &SchedulingProblem,
+    solution: &Solution,
+    residual: &mut Vec<f64>,
+) {
+    residual.clear();
+    residual.extend_from_slice(&problem.baseline_imbalance);
     for (placement, offer) in solution.placements.iter().zip(&problem.offers) {
-        let sign = match offer.kind() {
-            OfferKind::Consumption => 1.0,
-            OfferKind::Production => -1.0,
-        };
+        let sign = offer.demand_sign();
         let base = problem.slot_index(placement.start);
         for (k, (range, &frac)) in offer
             .profile()
@@ -73,7 +83,6 @@ pub fn residual_imbalance(problem: &SchedulingProblem, solution: &Solution) -> V
             residual[base + k] += sign * range.lerp(frac).kwh();
         }
     }
-    residual
 }
 
 /// Evaluate a solution: place offers, trade optimally, price the residual.
@@ -278,9 +287,11 @@ mod tests {
         // slot_cost (greedy's incremental scorer) must agree with the full
         // evaluation for single-slot problems.
         for &r in &[-20.0, -3.0, 0.0, 2.5, 50.0] {
-            for &(pen, buy, sell, cap) in
-                &[(0.2, 0.08, 0.03, 1000.0), (0.2, 0.5, 0.03, 1000.0), (0.2, 0.08, 0.03, 4.0)]
-            {
+            for &(pen, buy, sell, cap) in &[
+                (0.2, 0.08, 0.03, 1000.0),
+                (0.2, 0.5, 0.03, 1000.0),
+                (0.2, 0.08, 0.03, 4.0),
+            ] {
                 let mut p = empty_problem(1, vec![r]);
                 p.prices = MarketPrices {
                     buy: vec![buy],

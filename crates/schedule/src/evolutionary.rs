@@ -9,8 +9,15 @@
 //! [`Placement`] (start shift + per-slot energy fractions). Uniform
 //! per-gene crossover and repair-after-mutation keep every individual
 //! feasible by construction.
+//!
+//! The EA is *memetic*: after each generation the best individual is
+//! refined by a short burst of single-gene hill-climb moves scored
+//! through the [`DeltaEvaluator`] — the local-mutation path costs
+//! O(offer duration) per move instead of a full re-evaluation, so the
+//! refinement is nearly free relative to the crossover evaluations.
 
 use crate::cost::evaluate;
+use crate::delta::{hill_climb, DeltaEvaluator};
 use crate::problem::SchedulingProblem;
 use crate::solution::{Budget, Placement, Recorder, ScheduleResult, Solution};
 use rand::rngs::StdRng;
@@ -29,6 +36,9 @@ pub struct EaConfig {
     pub mutation_rate: f64,
     /// Individuals copied unchanged into the next generation.
     pub elitism: usize,
+    /// Delta-scored hill-climb moves applied to the generation's best
+    /// individual (memetic refinement); `0` disables the local search.
+    pub local_search_moves: usize,
 }
 
 impl Default for EaConfig {
@@ -39,6 +49,7 @@ impl Default for EaConfig {
             crossover_rate: 0.5,
             mutation_rate: 0.15,
             elitism: 2,
+            local_search_moves: 16,
         }
     }
 }
@@ -136,6 +147,31 @@ impl EvolutionaryScheduler {
                 next.push((child, c));
             }
             population = next;
+
+            // Memetic refinement: first-improvement hill climb on the
+            // generation's best individual, scored via the delta
+            // evaluator (O(offer duration) per move).
+            if cfg.local_search_moves > 0 && !problem.offers.is_empty() && !recorder.exhausted() {
+                let best_idx = population
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                    .map(|(i, _)| i)
+                    .expect("population is non-empty");
+                let (sol, _) = population.swap_remove(best_idx);
+                let mut eval = DeltaEvaluator::new(problem, sol);
+                // Building the evaluator is one full-cost evaluation's
+                // worth of work; charge it to the budget like any other.
+                recorder.tick();
+                let f_cur = hill_climb(
+                    &mut eval,
+                    &mut recorder,
+                    &mut rng,
+                    cfg.local_search_moves,
+                    Self::mutate_gene,
+                );
+                population.push((eval.into_solution(), f_cur));
+            }
         }
 
         population.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -7,6 +7,7 @@
 //! previous solution with a budgeted hill climb over single-offer moves.
 
 use crate::cost::evaluate;
+use crate::delta::{hill_climb, DeltaEvaluator};
 use crate::problem::SchedulingProblem;
 use crate::solution::{Budget, Recorder, ScheduleResult, Solution};
 use rand::rngs::StdRng;
@@ -17,7 +18,9 @@ use rand::{Rng, SeedableRng};
 /// The previous solution's placements are first clamped to the (possibly
 /// changed) offer constraints, then improved by first-improvement hill
 /// climbing: random single-offer start shifts and fraction jitters,
-/// keeping only moves that reduce total cost.
+/// keeping only moves that reduce total cost. Moves are scored through a
+/// [`DeltaEvaluator`] — O(offer duration) per move — which is what makes
+/// repair after a forecast notification cheaper than any full re-run.
 pub fn reschedule(
     problem: &SchedulingProblem,
     previous: &Solution,
@@ -28,7 +31,7 @@ pub fn reschedule(
     let mut recorder = Recorder::new(budget);
 
     // Adopt and repair the previous placements (offer list must match).
-    let mut current = if previous.placements.len() == problem.offers.len() {
+    let current = if previous.placements.len() == problem.offers.len() {
         let mut s = previous.clone();
         for (p, o) in s.placements.iter_mut().zip(&problem.offers) {
             p.repair(o);
@@ -37,20 +40,19 @@ pub fn reschedule(
     } else {
         Solution::baseline(problem)
     };
-    let mut f_cur = evaluate(problem, &current).total();
-    recorder.record(f_cur);
+    let mut eval = DeltaEvaluator::new(problem, current);
+    recorder.record(eval.total());
 
-    while !recorder.exhausted() && !problem.offers.is_empty() {
-        let j = rng.gen_range(0..problem.offers.len());
-        let offer = &problem.offers[j];
-        let mut cand = current.clone();
-        {
-            let g = &mut cand.placements[j];
+    hill_climb(
+        &mut eval,
+        &mut recorder,
+        &mut rng,
+        usize::MAX,
+        |g, offer, rng| {
             match rng.gen_range(0..3) {
                 0 if offer.time_flexibility() > 0 => {
                     let span = (offer.time_flexibility() / 3).max(1) as i64;
-                    g.start =
-                        mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
+                    g.start = mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
                 }
                 1 => {
                     let k = rng.gen_range(0..g.fractions.len());
@@ -63,15 +65,10 @@ pub fn reschedule(
                 }
             }
             g.repair(offer);
-        }
-        let f_cand = evaluate(problem, &cand).total();
-        recorder.record(f_cand);
-        if f_cand < f_cur {
-            current = cand;
-            f_cur = f_cand;
-        }
-    }
+        },
+    );
 
+    let current = eval.into_solution();
     let cost = evaluate(problem, &current);
     recorder.finish(current, cost)
 }

@@ -17,8 +17,11 @@
 //!   construction*;
 //! * [`cost`] — the composed cost function with closed-form optimal
 //!   market transactions;
+//! * [`delta`] — O(move)-time incremental scoring for the search hot
+//!   loops (see below);
 //! * [`greedy`] — the randomized greedy search;
-//! * [`evolutionary`] — the evolutionary algorithm \[3\];
+//! * [`evolutionary`] — the evolutionary algorithm \[3\], with a
+//!   delta-scored memetic refinement step;
 //! * [`anneal`] — a simulated-annealing scheduler and a greedy-seeded
 //!   hybrid (the paper's "hybridizing the existing ones" future work);
 //! * [`exhaustive`] — exact enumeration for tiny instances (the paper's
@@ -26,12 +29,34 @@
 //! * [`incremental`] — rescheduling after forecast changes;
 //! * [`mod@scenario`] — intra-day scenario generator for the Figure 6
 //!   experiments.
+//!
+//! ## Full vs. delta evaluation
+//!
+//! Two evaluation paths coexist by design:
+//!
+//! 1. **Full:** [`cost::evaluate`] rebuilds the residual-imbalance vector
+//!    and prices every horizon slot — O(offers × duration + horizon).
+//!    It is the *reference semantics* of the cost model: simple, stateless
+//!    and obviously correct. Schedulers use it once per run to produce
+//!    the final [`CostBreakdown`].
+//! 2. **Delta:** [`DeltaEvaluator`] caches the residual vector, per-slot
+//!    market/mismatch cost and per-offer activation cost, and updates the
+//!    running total in O(offer duration) when a single offer's placement
+//!    changes — the only kind of move the metaheuristics make. The
+//!    propose → score → accept/revert loop is allocation-free.
+//!
+//! The two paths are kept honest against each other three ways: a
+//! debug-build assertion inside every committed move, property tests
+//! replaying random move sequences, and the `full_vs_delta` bench that
+//! tracks the speedup (per-move delta cost is independent of the offer
+//! count, so the gap widens linearly with instance size).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anneal;
 pub mod cost;
+pub mod delta;
 pub mod evolutionary;
 pub mod exhaustive;
 pub mod greedy;
@@ -42,6 +67,7 @@ pub mod solution;
 
 pub use anneal::{AnnealingScheduler, HybridScheduler};
 pub use cost::{evaluate, CostBreakdown};
+pub use delta::DeltaEvaluator;
 pub use evolutionary::{EaConfig, EvolutionaryScheduler};
 pub use exhaustive::{search_space_size, ExhaustiveScheduler};
 pub use greedy::GreedyScheduler;

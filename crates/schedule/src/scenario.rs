@@ -70,7 +70,11 @@ pub fn scenario(cfg: ScenarioConfig) -> SchedulingProblem {
         let dur = profile.total_duration() as usize;
         let es = rng.gen_range(0..=(h - dur)) as u32;
         let max_tf = (h - dur) as u32 - es;
-        let tf = if max_tf == 0 { 0 } else { rng.gen_range(0..=max_tf) };
+        let tf = if max_tf == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_tf)
+        };
         let kind = if rng.gen_bool(cfg.production_fraction) {
             OfferKind::Production
         } else {

@@ -15,13 +15,31 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// One offer's resolved flexibility.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// Chosen start slot.
     pub start: TimeSlot,
     /// Per-profile-slot fraction in `[0, 1]` between the slot's min and
     /// max energy.
     pub fractions: Vec<f64>,
+}
+
+impl Clone for Placement {
+    fn clone(&self) -> Placement {
+        Placement {
+            start: self.start,
+            fractions: self.fractions.clone(),
+        }
+    }
+
+    /// Buffer-reusing `clone_from` (the derive would fall back to a
+    /// fresh allocation): hot paths snapshot best-so-far solutions with
+    /// `clone_from`, which must not allocate once capacity exists.
+    fn clone_from(&mut self, source: &Placement) {
+        self.start = source.start;
+        self.fractions.clear();
+        self.fractions.extend_from_slice(&source.fractions);
+    }
 }
 
 impl Placement {
@@ -39,7 +57,9 @@ impl Placement {
         let shift = if tf == 0 { 0 } else { rng.gen_range(0..=tf) };
         Placement {
             start: offer.earliest_start() + shift,
-            fractions: (0..offer.duration()).map(|_| rng.gen_range(0.0..=1.0)).collect(),
+            fractions: (0..offer.duration())
+                .map(|_| rng.gen_range(0.0..=1.0))
+                .collect(),
         }
     }
 
@@ -73,12 +93,49 @@ impl Placement {
     }
 }
 
+/// Shared single-offer neighbor move (annealing neighbors, greedy
+/// polish): with probability `p_shift` — and available flexibility —
+/// shift the start by up to ±`time_flexibility/4` slots, otherwise
+/// jitter one random fraction by ±`jitter`; always repaired back into
+/// the offer's constraints.
+pub(crate) fn jitter_move(
+    g: &mut Placement,
+    offer: &FlexOffer,
+    rng: &mut StdRng,
+    p_shift: f64,
+    jitter: f64,
+) {
+    if offer.time_flexibility() > 0 && rng.gen_bool(p_shift) {
+        let span = (offer.time_flexibility() / 4).max(1) as i64;
+        g.start = mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
+    } else {
+        let k = rng.gen_range(0..g.fractions.len());
+        g.fractions[k] += rng.gen_range(-jitter..jitter);
+    }
+    g.repair(offer);
+}
+
 /// A complete candidate schedule: one placement per problem offer, in the
 /// problem's offer order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Solution {
     /// Placements aligned with `problem.offers`.
     pub placements: Vec<Placement>,
+}
+
+impl Clone for Solution {
+    fn clone(&self) -> Solution {
+        Solution {
+            placements: self.placements.clone(),
+        }
+    }
+
+    /// `Vec::clone_from` reuses the outer buffer and calls
+    /// [`Placement::clone_from`] element-wise, so snapshotting a
+    /// best-so-far solution is allocation-free at steady state.
+    fn clone_from(&mut self, source: &Solution) {
+        self.placements.clone_from(&source.placements);
+    }
 }
 
 impl Solution {

@@ -1,0 +1,81 @@
+//! Property tests for the delta evaluator: after an arbitrary sequence of
+//! random single-offer moves (with arbitrary interleaved reverts), the
+//! running total must equal the reference `cost::evaluate()` recomputed
+//! from scratch, within 1e-6.
+
+use mirabel_schedule::cost::evaluate;
+use mirabel_schedule::solution::Placement;
+use mirabel_schedule::{scenario, DeltaEvaluator, ScenarioConfig, Solution};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #[test]
+    fn running_total_matches_full_reevaluation(
+        scenario_seed in 0u64..500,
+        offer_count in 1usize..14,
+        move_seed in 0u64..500,
+        moves in 1usize..80,
+        revert_bits in proptest::collection::vec(any::<bool>(), 80),
+    ) {
+        let problem = scenario(ScenarioConfig {
+            offer_count,
+            seed: scenario_seed,
+            ..ScenarioConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let start = Solution::random(&problem, &mut rng);
+        let mut eval = DeltaEvaluator::new(&problem, start);
+
+        for (m, &revert) in revert_bits.iter().enumerate().take(moves) {
+            let j = rng.gen_range(0..problem.offers.len());
+            let placement = Placement::random(&problem.offers[j], &mut rng);
+            eval.apply_move(j, placement);
+            if revert {
+                eval.revert();
+            }
+            let reference = evaluate(&problem, eval.solution()).total();
+            prop_assert!(
+                (eval.total() - reference).abs() < 1e-6,
+                "after move {m}: delta total {} vs full {reference}",
+                eval.total()
+            );
+        }
+    }
+
+    #[test]
+    fn propose_repair_path_matches_full_reevaluation(
+        scenario_seed in 0u64..500,
+        offer_count in 1usize..10,
+        move_seed in 0u64..500,
+        moves in 1usize..60,
+    ) {
+        let problem = scenario(ScenarioConfig {
+            offer_count,
+            seed: scenario_seed,
+            ..ScenarioConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let mut eval = DeltaEvaluator::new(&problem, Solution::baseline(&problem));
+
+        for m in 0..moves {
+            let j = rng.gen_range(0..problem.offers.len());
+            let f_cand = eval.propose(j, |g, offer| {
+                if offer.time_flexibility() > 0 && rng.gen_bool(0.5) {
+                    let span = (offer.time_flexibility() / 2).max(1) as i64;
+                    g.start = mirabel_core::TimeSlot(g.start.index() + rng.gen_range(-span..=span));
+                }
+                for f in &mut g.fractions {
+                    *f += rng.gen_range(-0.4..0.4);
+                }
+                g.repair(offer);
+            });
+            let reference = evaluate(&problem, eval.solution()).total();
+            prop_assert!(
+                (f_cand - reference).abs() < 1e-6,
+                "after propose {m}: delta total {f_cand} vs full {reference}"
+            );
+        }
+    }
+}

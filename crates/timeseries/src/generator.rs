@@ -95,7 +95,8 @@ impl DemandGenerator {
         let sigma = self.base * self.noise;
         for i in 0..len {
             let t = start + i as u32;
-            let eps: f64 = rng.gen_range(-1.0..1.0) * sigma * (1.0 - self.noise_ar * self.noise_ar).sqrt();
+            let eps: f64 =
+                rng.gen_range(-1.0..1.0) * sigma * (1.0 - self.noise_ar * self.noise_ar).sqrt();
             ar = self.noise_ar * ar + eps;
             values.push((self.expected(t) + ar).max(0.0));
         }
@@ -309,7 +310,10 @@ mod tests {
         let t0 = TimeSlot(10); // Monday early morning
         let same = (g.expected(t0 + SLOTS_PER_DAY) - g.expected(t0)).abs();
         let opposite = (g.expected(t0 + SLOTS_PER_DAY / 2) - g.expected(t0)).abs();
-        assert!(same < opposite, "daily pattern missing: {same} vs {opposite}");
+        assert!(
+            same < opposite,
+            "daily pattern missing: {same} vs {opposite}"
+        );
     }
 
     #[test]
@@ -328,9 +332,7 @@ mod tests {
         let temp = g.temperature(TimeSlot(0), 365 * 96, 3);
         // winter (day 0) colder than summer (day ~182)
         let winter = temp.window(TimeSlot(0), TimeSlot(96 * 7)).mean();
-        let summer = temp
-            .window(TimeSlot(96 * 180), TimeSlot(96 * 187))
-            .mean();
+        let summer = temp.window(TimeSlot(96 * 180), TimeSlot(96 * 187)).mean();
         assert!(winter < summer - 10.0, "winter {winter} summer {summer}");
         // deterministic per seed
         assert_eq!(temp, g.temperature(TimeSlot(0), 365 * 96, 3));

@@ -277,11 +277,7 @@ mod tests {
         let pairs: Vec<_> = s.iter().collect();
         assert_eq!(
             pairs,
-            vec![
-                (TimeSlot(5), 1.0),
-                (TimeSlot(6), 2.0),
-                (TimeSlot(7), 3.0)
-            ]
+            vec![(TimeSlot(5), 1.0), (TimeSlot(6), 2.0), (TimeSlot(7), 3.0)]
         );
     }
 

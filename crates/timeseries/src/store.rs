@@ -187,7 +187,10 @@ mod tests {
             .unwrap();
         let s = store.series(A, Metric::Consumption).unwrap();
         assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
-        assert_eq!(store.latest(A, Metric::Consumption), Some((TimeSlot(2), 3.0)));
+        assert_eq!(
+            store.latest(A, Metric::Consumption),
+            Some((TimeSlot(2), 3.0))
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ fn main() {
     )
     .take(5_000)
     .collect();
-    println!("{} flex-offers received for the planning day\n", offers.len());
+    println!(
+        "{} flex-offers received for the planning day\n",
+        offers.len()
+    );
 
     // --- §8 interplay: aggregation level vs scheduling outcome ----------
     println!(

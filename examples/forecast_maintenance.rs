@@ -7,11 +7,11 @@
 //! ```
 
 use mirabel::core::{TimeSlot, SLOTS_PER_DAY};
+use mirabel::forecast::context::ContextRepository;
 use mirabel::forecast::{
     Budget, EvaluationStrategy, ForecastHub, ForecastModel, HwtModel, MaintenanceAction,
     ModelMaintainer,
 };
-use mirabel::forecast::context::ContextRepository;
 use mirabel::timeseries::DemandGenerator;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -88,7 +88,13 @@ fn main() {
          ({}% suppressed as insignificant)",
         100 * (publishes - delivered) / publishes.max(1)
     );
-    println!("  final rolling one-step SMAPE: {:.4}", maintainer.rolling_error());
+    println!(
+        "  final rolling one-step SMAPE: {:.4}",
+        maintainer.rolling_error()
+    );
     assert!(notifications > 0);
-    assert!(reestimations > 0, "the structural break must trigger adaptation");
+    assert!(
+        reestimations > 0,
+        "the structural break must trigger adaptation"
+    );
 }

@@ -3,9 +3,7 @@
 
 use mirabel::core::{TimeSlot, SLOTS_PER_DAY};
 use mirabel::forecast::{ForecastHub, ForecastModel, HwtModel};
-use mirabel::schedule::{
-    evaluate, reschedule, scenario, Budget, GreedyScheduler, ScenarioConfig,
-};
+use mirabel::schedule::{evaluate, reschedule, scenario, Budget, GreedyScheduler, ScenarioConfig};
 use mirabel::timeseries::{smape, DemandGenerator};
 
 #[test]
@@ -36,11 +34,7 @@ fn forecast_driven_scheduling_beats_no_flexibility() {
     let planned = GreedyScheduler.run(&problem, Budget::evaluations(40_000), 7);
 
     let mut truth_problem = problem.clone();
-    truth_problem.baseline_imbalance = truth
-        .values()
-        .iter()
-        .map(|v| (v - mean) * 0.3)
-        .collect();
+    truth_problem.baseline_imbalance = truth.values().iter().map(|v| (v - mean) * 0.3).collect();
     let baseline_cost = evaluate(
         &truth_problem,
         &mirabel::schedule::Solution::baseline(&truth_problem),

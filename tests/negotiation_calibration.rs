@@ -47,7 +47,10 @@ fn flexibility_driven_problem() -> SchedulingProblem {
                 .earliest_start(TimeSlot(0))
                 .time_flexibility(tf as u32)
                 .assignment_before(TimeSlot(-8))
-                .profile(Profile::uniform(2, EnergyRange::new(2.0, 2.0 + width).unwrap()))
+                .profile(Profile::uniform(
+                    2,
+                    EnergyRange::new(2.0, 2.0 + width).unwrap(),
+                ))
                 .build()
                 .unwrap()
         })
@@ -88,8 +91,8 @@ fn calibration_learns_from_realized_profits() {
         assert!(pay.eur() >= 0.0);
     }
 
-    let weights = calibrate_weights(&observations, 1e-6)
-        .expect("enough observations for a 3x3 system");
+    let weights =
+        calibrate_weights(&observations, 1e-6).expect("enough observations for a 3x3 system");
     let mut calibrated = cfg;
     apply_calibration(&mut calibrated, weights);
     // weights were renormalized to a convex combination

@@ -125,7 +125,10 @@ fn aggregation_enables_larger_instances() {
         .filter(|m| m.latest_end() <= TimeSlot(horizon as i64))
         .cloned()
         .collect();
-    assert!(macros.len() * 10 < micro_eligible.len(), "compression too weak");
+    assert!(
+        macros.len() * 10 < micro_eligible.len(),
+        "compression too weak"
+    );
 
     let p_macro = SchedulingProblem::new(
         TimeSlot(0),

@@ -2,19 +2,17 @@
 //! inputs.
 
 use mirabel::aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
-use mirabel::core::{
-    AggregateId, EnergyRange, FlexOffer, Profile, ScheduledFlexOffer, TimeSlot,
-};
+use mirabel::core::{AggregateId, EnergyRange, FlexOffer, Profile, ScheduledFlexOffer, TimeSlot};
 use mirabel::schedule::{evaluate, MarketPrices, SchedulingProblem, Solution};
 use proptest::prelude::*;
 
 fn arb_offer(id: u64) -> impl Strategy<Value = FlexOffer> {
     (
-        0i64..50,       // earliest start
-        0u32..16,       // time flexibility
-        1u32..6,        // duration
-        0.0f64..4.0,    // min energy per slot
-        0.0f64..3.0,    // extra width
+        0i64..50,    // earliest start
+        0u32..16,    // time flexibility
+        1u32..6,     // duration
+        0.0f64..4.0, // min energy per slot
+        0.0f64..3.0, // extra width
     )
         .prop_map(move |(es, tf, dur, lo, w)| {
             FlexOffer::builder(id, 1)
@@ -27,11 +25,7 @@ fn arb_offer(id: u64) -> impl Strategy<Value = FlexOffer> {
 }
 
 fn arb_offers(n: usize) -> impl Strategy<Value = Vec<FlexOffer>> {
-    (1..=n).prop_flat_map(|k| {
-        (0..k as u64)
-            .map(arb_offer)
-            .collect::<Vec<_>>()
-    })
+    (1..=n).prop_flat_map(|k| (0..k as u64).map(arb_offer).collect::<Vec<_>>())
 }
 
 proptest! {

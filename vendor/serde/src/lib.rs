@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No actual
+//! serialization is performed anywhere in the workspace; replacing this
+//! stub with real serde is a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
