@@ -1,12 +1,33 @@
 //! The level-2 balance-responsible-party (trader) node: the full LEDMS.
 //!
-//! The Control component is [`BrpNode::handle`] +
-//! [`BrpNode::plan_with_baseline`]: collect offers from prosumers, decide
-//! acceptance (Negotiation), aggregate incrementally (Aggregation),
-//! forecast the baseline (Forecasting), schedule the macro offers
-//! (Scheduling), disaggregate and send assignments back — or forward the
-//! macro offers to the TSO and disaggregate *its* assignments instead
-//! (paper §2: "the process is essentially repeated at a higher level").
+//! The Control component is [`BrpNode::handle`] plus the planning
+//! life-cycle: collect offers from prosumers, decide acceptance
+//! (Negotiation), aggregate incrementally (Aggregation), forecast the
+//! baseline (Forecasting), schedule the macro offers (Scheduling),
+//! disaggregate and send assignments back — or forward the macro offers
+//! to the TSO and disaggregate *its* assignments instead (paper §2: "the
+//! process is essentially repeated at a higher level").
+//!
+//! ## Event-driven incremental replanning
+//!
+//! Planning is split into three phases so forecast updates between
+//! scheduling and assignment are processed in time proportional to the
+//! *change*, not the problem:
+//!
+//! 1. [`BrpNode::prepare_plan`] schedules the eligible macro offers and
+//!    keeps the result as a **live** [`DeltaEvaluator`] (owning its
+//!    problem) instead of throwing the search state away;
+//! 2. [`BrpNode::on_forecast_event`] consumes a typed
+//!    [`ForecastEvent`] from the pub/sub hub: the event's slot ranges
+//!    drive [`DeltaEvaluator::rebase`] (re-pricing only the moved
+//!    slots), [`repair_scope`] restricts moves to offers that can reach
+//!    them, and [`repair_parallel`] runs K multi-start repair chains on
+//!    worker threads, keeping the best;
+//! 3. [`BrpNode::commit_plan`] disaggregates the live solution into
+//!    micro assignments once the window's deadline approaches.
+//!
+//! [`BrpNode::plan_with_baseline`] runs phases 1+3 back-to-back for
+//! callers without forecast updates.
 
 use crate::datastore::{
     DataStore, EnergyType, MeasurementFact, OfferFact, OfferState, ScheduleFact,
@@ -16,14 +37,14 @@ use mirabel_aggregate::{AggregationParams, AggregationPipeline, BinPackerConfig,
 use mirabel_core::{
     AggregateId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot,
 };
-use mirabel_forecast::{ForecastModel, HwtConfig, HwtModel, Seasonality};
+use mirabel_forecast::{ForecastEvent, ForecastModel, HwtConfig, HwtModel, Seasonality};
 use mirabel_negotiate::{AcceptanceDecision, AcceptancePolicy, PreExecutionPricing};
 use mirabel_schedule::{
-    evaluate, Budget, EvolutionaryScheduler, GreedyScheduler, HybridScheduler, MarketPrices,
-    SchedulingProblem, Solution,
+    evaluate, repair_parallel, repair_scope, Budget, DeltaEvaluator, EvolutionaryScheduler,
+    GreedyScheduler, HybridScheduler, MarketPrices, RepairConfig, SchedulingProblem, Solution,
 };
 use mirabel_timeseries::TimeSeries;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which metaheuristic the BRP runs (paper §6 provides two; the hybrid is
 /// the future-work extension).
@@ -54,10 +75,15 @@ pub struct BrpConfig {
     pub pricing: PreExecutionPricing,
     /// Forward macro offers to the TSO instead of scheduling locally.
     pub forward_to_tso: bool,
+    /// Parallel multi-start chains (K) per incremental repair.
+    pub repair_chains: usize,
+    /// Proposed moves per repair chain.
+    pub repair_moves: usize,
 }
 
 impl Default for BrpConfig {
     fn default() -> BrpConfig {
+        let repair = RepairConfig::default();
         BrpConfig {
             aggregation: AggregationParams::p3(8, 8),
             binpacker: None,
@@ -66,6 +92,8 @@ impl Default for BrpConfig {
             acceptance: AcceptancePolicy::default(),
             pricing: PreExecutionPricing::default(),
             forward_to_tso: false,
+            repair_chains: repair.chains,
+            repair_moves: repair.moves_per_chain,
         }
     }
 }
@@ -85,6 +113,28 @@ pub struct PlanReport {
     pub cost: Option<f64>,
 }
 
+/// Outcome of one incremental replan ([`BrpNode::on_forecast_event`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanReport {
+    /// Slots whose forecast moved (and were re-priced by the rebase).
+    pub changed_slots: usize,
+    /// Offers inside the repair scope.
+    pub scoped_offers: usize,
+    /// Total cost right after the rebase, before repair.
+    pub cost_before: f64,
+    /// Total cost after the parallel multi-start repair.
+    pub cost_after: f64,
+}
+
+/// The live planning state kept between [`BrpNode::prepare_plan`] and
+/// [`BrpNode::commit_plan`]: the evaluator owns its problem, so forecast
+/// events can rebase it in place — no problem reconstruction, no resync.
+#[derive(Debug)]
+struct LivePlan {
+    eval: DeltaEvaluator<'static>,
+    window_start: TimeSlot,
+}
+
 /// The level-2 node.
 #[derive(Debug)]
 pub struct BrpNode {
@@ -93,13 +143,16 @@ pub struct BrpNode {
     /// Parent TSO, if any.
     pub parent: Option<NodeId>,
     config: BrpConfig,
-    /// Offer pool: id → (offer, source node).
-    pool: HashMap<FlexOfferId, (FlexOffer, NodeId)>,
+    /// Offer pool: id → (offer, source node). Ordered so every walk
+    /// (expiry, planning) is deterministic across runs.
+    pool: BTreeMap<FlexOfferId, (FlexOffer, NodeId)>,
     pipeline: AggregationPipeline,
     /// The Data Management component.
     pub store: DataStore,
     /// Exported macro-offer id → local aggregate id (TSO path).
-    exports: HashMap<u64, AggregateId>,
+    exports: BTreeMap<u64, AggregateId>,
+    /// Current plan awaiting commitment, if any.
+    live: Option<LivePlan>,
     seed: u64,
 }
 
@@ -111,10 +164,11 @@ impl BrpNode {
             id,
             parent,
             config,
-            pool: HashMap::new(),
+            pool: BTreeMap::new(),
             pipeline,
             store: DataStore::new(),
-            exports: HashMap::new(),
+            exports: BTreeMap::new(),
+            live: None,
             seed: id.value().wrapping_mul(0x9e37_79b9),
         }
     }
@@ -243,9 +297,11 @@ impl BrpNode {
     }
 
     /// Plan the window `[window_start, window_start+horizon)` against an
-    /// externally supplied baseline (the simulation's ground truth or a
-    /// test fixture). Returns assignment envelopes plus the report.
-    pub fn plan_with_baseline(
+    /// externally supplied baseline and keep the result as a live
+    /// evaluator for incremental replanning. Returns forwarding
+    /// envelopes (TSO mode only) plus the report; assignments are
+    /// produced later by [`commit_plan`](Self::commit_plan).
+    pub fn prepare_plan(
         &mut self,
         now: TimeSlot,
         window_start: TimeSlot,
@@ -253,6 +309,7 @@ impl BrpNode {
         prices: MarketPrices,
         penalties: Vec<f64>,
     ) -> (Vec<Envelope>, PlanReport) {
+        self.live = None;
         let mut report = PlanReport {
             expired: self.expire(now),
             ..PlanReport::default()
@@ -304,8 +361,109 @@ impl BrpNode {
         };
         report.cost = Some(result.cost.total());
 
-        let envelopes = self.disaggregate_and_assign(&problem, &result.solution, now);
-        report.assignments = envelopes.len();
+        // Keep the search state alive: forecast events rebase this
+        // evaluator in place instead of rebuilding the problem.
+        self.live = Some(LivePlan {
+            eval: DeltaEvaluator::new_owned(problem, result.solution),
+            window_start,
+        });
+        (Vec::new(), report)
+    }
+
+    /// React to a typed forecast change event on the live plan: rebase
+    /// the evaluator to the event's forecast (re-pricing only the
+    /// changed slots), then run a parallel multi-start repair restricted
+    /// to the offers that can reach those slots. Returns `None` when
+    /// there is no live plan or the event does not match its horizon.
+    ///
+    /// The event's ranges are relative to the *hub's* last delivery; if
+    /// the live baseline has diverged from that lineage (e.g. the plan
+    /// was prepared from a post-processed forecast), the extra differing
+    /// slots are detected by an O(horizon) scan and folded into the
+    /// rebase, so the result is always exact.
+    pub fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
+        let live = self.live.as_mut()?;
+        let horizon = live.eval.problem().horizon();
+        if event.forecast.len() != horizon {
+            return None;
+        }
+        let mut touched = vec![false; horizon];
+        for t in event.changed_slots() {
+            if t < horizon {
+                touched[t] = true;
+            }
+        }
+        for (i, (new, old)) in event
+            .forecast
+            .iter()
+            .zip(&live.eval.problem().baseline_imbalance)
+            .enumerate()
+        {
+            if new != old {
+                touched[i] = true;
+            }
+        }
+        let changed: Vec<usize> = touched
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .collect();
+        let cost_before = live.eval.rebase(&event.forecast, &changed);
+        let scope = repair_scope(live.eval.problem(), &changed);
+        self.seed = self.seed.wrapping_add(1);
+        let cost_after = repair_parallel(
+            &mut live.eval,
+            &scope,
+            RepairConfig {
+                chains: self.config.repair_chains,
+                moves_per_chain: self.config.repair_moves,
+                seed: self.seed,
+            },
+        );
+        Some(ReplanReport {
+            changed_slots: changed.len(),
+            scoped_offers: scope.len(),
+            cost_before,
+            cost_after,
+        })
+    }
+
+    /// Commit the live plan: disaggregate the current (possibly
+    /// repaired) solution into micro assignments and drop the live
+    /// state. Returns the assignment envelopes plus the final schedule
+    /// cost, or `None` when no plan is live.
+    pub fn commit_plan(&mut self, now: TimeSlot) -> Option<(Vec<Envelope>, f64)> {
+        let live = self.live.take()?;
+        let cost = live.eval.total();
+        let eval = live.eval;
+        let envelopes = self.disaggregate_and_assign(eval.problem(), eval.solution(), now);
+        Some((envelopes, cost))
+    }
+
+    /// Window start of the live plan, if one is pending commitment.
+    pub fn live_window(&self) -> Option<TimeSlot> {
+        self.live.as_ref().map(|l| l.window_start)
+    }
+
+    /// One-shot planning: [`prepare_plan`](Self::prepare_plan) followed
+    /// immediately by [`commit_plan`](Self::commit_plan) — for callers
+    /// with no forecast updates between scheduling and assignment.
+    pub fn plan_with_baseline(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> (Vec<Envelope>, PlanReport) {
+        let (mut envelopes, mut report) =
+            self.prepare_plan(now, window_start, baseline, prices, penalties);
+        if let Some((assignments, cost)) = self.commit_plan(now) {
+            report.cost = Some(cost);
+            report.assignments = assignments.len();
+            envelopes.extend(assignments);
+        }
         (envelopes, report)
     }
 
@@ -585,6 +743,124 @@ mod tests {
         for e in &micro_envs {
             assert!(matches!(e.message, Message::Assignment { .. }));
         }
+    }
+
+    #[test]
+    fn prepare_replan_commit_cycle() {
+        use mirabel_forecast::ForecastHub;
+
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        for i in 0..20 {
+            submit(
+                &mut brp,
+                offer(i, i, 110 + (i as i64 % 5), 90, 8),
+                100 + i,
+                0,
+            );
+        }
+        let hub = ForecastHub::new();
+        let sub = hub.subscribe(96, 0.0);
+        let baseline: Vec<f64> = (0..96).map(|k| if k < 48 { -2.0 } else { 1.0 }).collect();
+        hub.publish(&baseline);
+        let event = hub.poll(sub).unwrap();
+
+        let (envelopes, report) = brp.prepare_plan(
+            TimeSlot(80),
+            TimeSlot(96),
+            event.forecast,
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert!(envelopes.is_empty(), "no assignments before commit");
+        assert!(report.eligible_macro > 0);
+        assert_eq!(brp.live_window(), Some(TimeSlot(96)));
+        // Nothing assigned yet: the pool still holds every offer.
+        assert_eq!(brp.pool_size(), 20);
+
+        // Intra-day refinement: a contiguous block of slots moves.
+        let mut refined = baseline.clone();
+        for v in refined.iter_mut().skip(20).take(10) {
+            *v += 1.5;
+        }
+        hub.publish(&refined);
+        let event = hub.poll(sub).unwrap();
+        assert_eq!(event.changed_slot_count(), 10);
+        let replan = brp.on_forecast_event(&event).expect("live plan exists");
+        assert_eq!(replan.changed_slots, 10);
+        assert!(replan.scoped_offers > 0);
+        assert!(replan.cost_after <= replan.cost_before);
+
+        let (assignments, cost) = brp.commit_plan(TimeSlot(80)).expect("live plan");
+        assert_eq!(assignments.len(), 20);
+        assert!((cost - replan.cost_after).abs() < 1e-9);
+        assert_eq!(brp.pool_size(), 0);
+        assert_eq!(brp.store.count_in_state(OfferState::Assigned), 20);
+        // Committed: nothing live anymore.
+        assert!(brp.commit_plan(TimeSlot(80)).is_none());
+        assert!(brp.on_forecast_event(&event).is_none());
+    }
+
+    #[test]
+    fn forecast_event_from_diverged_lineage_is_still_exact() {
+        // The plan is prepared from a baseline that is NOT the hub's
+        // last delivery (post-processed forecast). A later event whose
+        // ranges under-report the differences against the live baseline
+        // must still rebase every differing slot (lineage guard).
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        // Live baseline: hub forecast shifted by a constant the hub
+        // never saw.
+        let hub_forecast = vec![0.5; 96];
+        let live_baseline: Vec<f64> = hub_forecast.iter().map(|v| v + 0.1).collect();
+        brp.prepare_plan(
+            TimeSlot(80),
+            TimeSlot(96),
+            live_baseline,
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        // Event: relative to hub lineage only slot 7 changed, but vs the
+        // live baseline *every* slot differs.
+        let mut new_forecast = hub_forecast.clone();
+        new_forecast[7] = 3.0;
+        let event = mirabel_forecast::ForecastEvent {
+            subscription: 0,
+            forecast: new_forecast,
+            changed: vec![mirabel_forecast::SlotRange { start: 7, end: 8 }],
+            max_relative_change: 5.0,
+        };
+        let replan = brp.on_forecast_event(&event).expect("live plan exists");
+        // All 96 slots differ from the live baseline and must be listed.
+        assert_eq!(replan.changed_slots, 96);
+        // Debug builds additionally verify the rebase against the full
+        // evaluation inside DeltaEvaluator (no panic = exact).
+        assert!(brp.commit_plan(TimeSlot(80)).is_some());
+    }
+
+    #[test]
+    fn forecast_event_with_wrong_horizon_ignored() {
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        for i in 0..5 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        brp.prepare_plan(
+            TimeSlot(80),
+            TimeSlot(96),
+            vec![0.5; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        let event = mirabel_forecast::ForecastEvent {
+            subscription: 0,
+            forecast: vec![0.5; 48], // horizon mismatch
+            changed: vec![mirabel_forecast::SlotRange { start: 0, end: 48 }],
+            max_relative_change: f64::INFINITY,
+        };
+        assert!(brp.on_forecast_event(&event).is_none());
+        // Live plan untouched and still committable.
+        assert!(brp.commit_plan(TimeSlot(80)).is_some());
     }
 
     #[test]

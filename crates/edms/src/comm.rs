@@ -12,9 +12,21 @@ use crate::message::Envelope;
 use mirabel_core::{NodeId, TimeSlot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Message-loss and delay injection.
+///
+/// Build with the fluent constructors instead of struct literals:
+///
+/// ```
+/// use mirabel_edms::FailureModel;
+///
+/// let lossy = FailureModel::drop(0.4);
+/// let slow = FailureModel::delay(3);
+/// let both = FailureModel::drop(0.1).delayed_by(2);
+/// assert_eq!(both.drop_probability, 0.1);
+/// assert_eq!(both.delay_slots, 2);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct FailureModel {
     /// Probability that a message is silently dropped.
@@ -25,10 +37,37 @@ pub struct FailureModel {
 
 impl Default for FailureModel {
     fn default() -> FailureModel {
+        FailureModel::reliable()
+    }
+}
+
+impl FailureModel {
+    /// Lossless, instant delivery.
+    pub fn reliable() -> FailureModel {
         FailureModel {
             drop_probability: 0.0,
             delay_slots: 0,
         }
+    }
+
+    /// Drop each message with probability `p` (clamped to `[0, 1]` at
+    /// send time).
+    pub fn drop(p: f64) -> FailureModel {
+        FailureModel {
+            drop_probability: p,
+            delay_slots: 0,
+        }
+    }
+
+    /// Delay every delivered message by `slots`.
+    pub fn delay(slots: u32) -> FailureModel {
+        FailureModel::reliable().delayed_by(slots)
+    }
+
+    /// Builder step: add a fixed delivery delay to this model.
+    pub fn delayed_by(mut self, slots: u32) -> FailureModel {
+        self.delay_slots = slots;
+        self
     }
 }
 
@@ -48,7 +87,10 @@ pub struct NetworkStats {
 /// The in-process message network.
 #[derive(Debug)]
 pub struct Network {
-    inboxes: HashMap<NodeId, VecDeque<(TimeSlot, Envelope)>>,
+    /// Per-node inboxes, keyed in sorted `NodeId` order so any walk over
+    /// the map (now or future) is deterministic across runs — `HashMap`
+    /// iteration order would vary per process.
+    inboxes: BTreeMap<NodeId, VecDeque<(TimeSlot, Envelope)>>,
     failure: FailureModel,
     rng: StdRng,
     stats: NetworkStats,
@@ -57,13 +99,13 @@ pub struct Network {
 impl Network {
     /// Reliable network.
     pub fn reliable() -> Network {
-        Network::new(FailureModel::default(), 0)
+        Network::new(FailureModel::reliable(), 0)
     }
 
     /// Network with the given failure model and RNG seed.
     pub fn new(failure: FailureModel, seed: u64) -> Network {
         Network {
-            inboxes: HashMap::new(),
+            inboxes: BTreeMap::new(),
             failure,
             rng: StdRng::seed_from_u64(seed),
             stats: NetworkStats::default(),
@@ -172,13 +214,7 @@ mod tests {
 
     #[test]
     fn drop_probability_one_drops_everything() {
-        let mut n = Network::new(
-            FailureModel {
-                drop_probability: 1.0,
-                delay_slots: 0,
-            },
-            1,
-        );
+        let mut n = Network::new(FailureModel::drop(1.0), 1);
         n.register(NodeId(1));
         for _ in 0..10 {
             n.send(env(1, 0));
@@ -189,13 +225,7 @@ mod tests {
 
     #[test]
     fn partial_drop_rate() {
-        let mut n = Network::new(
-            FailureModel {
-                drop_probability: 0.5,
-                delay_slots: 0,
-            },
-            7,
-        );
+        let mut n = Network::new(FailureModel::drop(0.5), 7);
         n.register(NodeId(1));
         for _ in 0..200 {
             n.send(env(1, 0));
@@ -207,13 +237,7 @@ mod tests {
 
     #[test]
     fn delayed_delivery() {
-        let mut n = Network::new(
-            FailureModel {
-                drop_probability: 0.0,
-                delay_slots: 3,
-            },
-            1,
-        );
+        let mut n = Network::new(FailureModel::delay(3), 1);
         n.register(NodeId(1));
         n.send(env(1, 10));
         assert!(n.drain(NodeId(1), TimeSlot(12)).is_empty());
@@ -223,13 +247,7 @@ mod tests {
 
     #[test]
     fn drain_preserves_undue_messages() {
-        let mut n = Network::new(
-            FailureModel {
-                drop_probability: 0.0,
-                delay_slots: 5,
-            },
-            1,
-        );
+        let mut n = Network::new(FailureModel::delay(5), 1);
         n.register(NodeId(1));
         n.send(env(1, 0)); // due at 5
         n.send(env(1, 10)); // due at 15

@@ -11,7 +11,7 @@
 
 use mirabel_core::{ActorId, FlexOfferId, Price, TimeSlot};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Energy-type dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -115,7 +115,7 @@ pub struct PriceFact {
 /// The star-schema store of one LEDMS node.
 #[derive(Debug, Default)]
 pub struct DataStore {
-    actors: HashMap<ActorId, ActorDim>,
+    actors: BTreeMap<ActorId, ActorDim>,
     measurements: Vec<MeasurementFact>,
     offers: Vec<OfferFact>,
     schedules: Vec<ScheduleFact>,
@@ -189,7 +189,7 @@ impl DataStore {
             }
         }
         // Future: freshest forecast per slot.
-        let mut freshest: HashMap<i64, (TimeSlot, f64)> = HashMap::new();
+        let mut freshest: BTreeMap<i64, (TimeSlot, f64)> = BTreeMap::new();
         for f in &self.forecasts {
             if f.slot >= from && f.slot < to && f.slot > now {
                 match freshest.get(&f.slot.index()) {
@@ -214,8 +214,8 @@ impl DataStore {
         energy_type: EnergyType,
         from: TimeSlot,
         to: TimeSlot,
-    ) -> HashMap<ActorId, f64> {
-        let mut out = HashMap::new();
+    ) -> BTreeMap<ActorId, f64> {
+        let mut out = BTreeMap::new();
         for m in &self.measurements {
             if m.energy_type == energy_type && m.slot >= from && m.slot < to {
                 *out.entry(m.actor).or_insert(0.0) += m.kwh;
@@ -231,8 +231,8 @@ impl DataStore {
         energy_type: EnergyType,
         from: TimeSlot,
         to: TimeSlot,
-    ) -> HashMap<u32, f64> {
-        let mut out = HashMap::new();
+    ) -> BTreeMap<u32, f64> {
+        let mut out = BTreeMap::new();
         for m in &self.measurements {
             if m.energy_type == energy_type && m.slot >= from && m.slot < to {
                 if let Some(actor) = self.actors.get(&m.actor) {
@@ -260,8 +260,8 @@ impl DataStore {
     }
 
     /// Latest recorded state of each offer.
-    pub fn offer_states(&self) -> HashMap<FlexOfferId, OfferState> {
-        let mut out = HashMap::new();
+    pub fn offer_states(&self) -> BTreeMap<FlexOfferId, OfferState> {
+        let mut out = BTreeMap::new();
         for f in &self.offers {
             out.insert(f.offer, f.state); // facts are appended in time order
         }

@@ -16,11 +16,15 @@
 //!   star-schema store (dimension + fact tables, \[6\]);
 //! * [`prosumer`] / [`brp`] / [`tso`] — the three node roles, wiring the
 //!   aggregation, forecasting, scheduling and negotiation crates together
-//!   (the Control component is each node's `step`/`plan` method);
+//!   (the Control component is each node's `step`/`plan` method); the
+//!   BRP's planning life-cycle (`prepare_plan` → `on_forecast_event` →
+//!   `commit_plan`) implements event-driven incremental replanning on a
+//!   live delta evaluator;
 //! * [`simulation`] — an end-to-end balancing simulation of a full
-//!   three-level hierarchy, including the open-contract fallback on
-//!   message loss or missed deadlines ("the overall system would
-//!   gracefully behave as in the traditional setting").
+//!   three-level hierarchy, including pub/sub-driven intra-day forecast
+//!   refinements and the open-contract fallback on message loss or
+//!   missed deadlines ("the overall system would gracefully behave as in
+//!   the traditional setting").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +37,7 @@ pub mod prosumer;
 pub mod simulation;
 pub mod tso;
 
-pub use brp::{BrpConfig, BrpNode, PlanReport, SchedulerKind};
+pub use brp::{BrpConfig, BrpNode, PlanReport, ReplanReport, SchedulerKind};
 pub use comm::{FailureModel, Network, NetworkStats};
 pub use datastore::{DataStore, OfferState};
 pub use message::{Envelope, Message};

@@ -8,7 +8,7 @@
 
 use crate::message::{Envelope, Message};
 use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, ScheduledFlexOffer, TimeSlot};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A prosumer's view of one of its offers.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +32,7 @@ pub struct ProsumerNode {
     pub actor: ActorId,
     /// The responsible BRP's node id.
     pub brp: NodeId,
-    offers: HashMap<FlexOfferId, (FlexOffer, OfferStatus)>,
+    offers: BTreeMap<FlexOfferId, (FlexOffer, OfferStatus)>,
     fallback_count: usize,
     assigned_count: usize,
 }
@@ -44,7 +44,7 @@ impl ProsumerNode {
             id,
             actor,
             brp,
-            offers: HashMap::new(),
+            offers: BTreeMap::new(),
             fallback_count: 0,
             assigned_count: 0,
         }

@@ -6,6 +6,15 @@
 //! traditional (open-contract) world — while remaining robust to message
 //! loss and missed deadlines, which only convert offers back into open
 //! contracts.
+//!
+//! Forecasting is wired through the pub/sub hub: each cycle publishes an
+//! initial day-ahead baseline forecast, the BRPs plan against it, and a
+//! later intra-day *refinement* (a few slots move, the rest stay put)
+//! reaches them as a typed [`ForecastEvent`](mirabel_forecast::ForecastEvent). BRPs react with
+//! change-proportional work — rebase the live evaluator on exactly the
+//! changed slots, repair with parallel multi-start chains — instead of
+//! rebuilding and resolving the whole scheduling problem. Execution and
+//! the imbalance accounting use the refined baseline as ground truth.
 
 use crate::brp::{BrpConfig, BrpNode, SchedulerKind};
 use crate::comm::{FailureModel, Network, NetworkStats};
@@ -18,10 +27,11 @@ use mirabel_core::{
     ActorId, EnergyRange, FlexOffer, NodeId, Price, Profile, ScheduledFlexOffer, Slice, TimeSlot,
     SLOTS_PER_DAY,
 };
+use mirabel_forecast::ForecastHub;
 use mirabel_schedule::MarketPrices;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::f64::consts::PI;
 
 /// Simulation parameters.
@@ -46,6 +56,11 @@ pub struct SimulationConfig {
     pub scheduler: SchedulerKind,
     /// Scheduling budget (cost evaluations per plan).
     pub budget_evaluations: usize,
+    /// Fraction of baseline slots perturbed by the intra-day forecast
+    /// refinement each cycle (0.0 disables refinements).
+    pub refine_fraction: f64,
+    /// Parallel multi-start chains per incremental repair.
+    pub repair_chains: usize,
 }
 
 impl Default for SimulationConfig {
@@ -60,6 +75,8 @@ impl Default for SimulationConfig {
             use_tso: false,
             scheduler: SchedulerKind::Greedy,
             budget_evaluations: 8_000,
+            refine_fraction: 0.1,
+            repair_chains: 4,
         }
     }
 }
@@ -77,6 +94,8 @@ pub struct SimulationReport {
     pub assigned: usize,
     /// Offers that fell back to the open contract.
     pub fallbacks: usize,
+    /// Incremental replans triggered by forecast refinement events.
+    pub replans: usize,
     /// Σ|residual| if every offer had run on the open contract.
     pub imbalance_before: f64,
     /// Σ|residual| with the realized (scheduled + fallback) execution.
@@ -167,10 +186,19 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                     scheduler: cfg.scheduler,
                     budget_evaluations: cfg.budget_evaluations,
                     forward_to_tso: cfg.use_tso,
+                    repair_chains: cfg.repair_chains.max(1),
                     ..BrpConfig::default()
                 },
             )
         })
+        .collect();
+
+    // Forecast pub/sub: every BRP subscribes to baseline updates for the
+    // planning horizon; refinements reach it as typed slot-range events.
+    let hub = ForecastHub::new();
+    let subscriptions: Vec<u64> = brps
+        .iter()
+        .map(|_| hub.subscribe(s as usize, 0.0))
         .collect();
 
     let mut prosumers: Vec<ProsumerNode> = Vec::new();
@@ -185,20 +213,14 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             ));
         }
     }
-    let brp_index: HashMap<NodeId, usize> =
-        brps.iter().enumerate().map(|(i, b)| (b.id, i)).collect();
-    let prosumer_index: HashMap<NodeId, usize> = prosumers
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (p.id, i))
-        .collect();
-
     // --- Cycle loop ----------------------------------------------------
     let mut next_offer_id: u64 = 1;
     let mut offers_submitted = 0usize;
+    let mut replans = 0usize;
     // Shadow open-contract execution of every submitted offer, plus the
-    // ground-truth baseline, per executed window.
-    let mut shadow_load: HashMap<i64, f64> = HashMap::new();
+    // ground-truth baseline, per executed window. Ordered map: the
+    // accounting walk must be reproducible byte-for-byte across runs.
+    let mut shadow_load: BTreeMap<i64, f64> = BTreeMap::new();
     let mut baselines: Vec<(TimeSlot, Vec<f64>)> = Vec::new();
 
     let total_flex_per_window =
@@ -237,26 +259,62 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             }
         }
 
-        // 3. Prosumers see accept/reject; BRPs plan the next window.
+        // 3. Prosumers see accept/reject; the day-ahead baseline
+        //    forecast is published, and BRPs plan the window from their
+        //    pub/sub event.
         let t2 = t0 + 8u32;
         for p in prosumers.iter_mut() {
             for env in network.drain(p.id, t2) {
                 p.handle(env);
             }
         }
-        let baseline = window_baseline(scale, s as usize, &mut rng);
-        baselines.push((window, baseline.clone()));
+        let forecast0 = window_baseline(scale, s as usize, &mut rng);
         let prices = MarketPrices::flat(s as usize, 0.09, 0.02, scale * 0.4);
         let penalties = vec![0.2; s as usize];
-        for brp in brps.iter_mut() {
-            let (envelopes, _report) = brp.plan_with_baseline(
+        hub.publish(&forecast0);
+        for (brp, &sub) in brps.iter_mut().zip(&subscriptions) {
+            let event = hub.poll(sub).expect("initial publish always notifies");
+            let (envelopes, _report) = brp.prepare_plan(
                 t2,
                 window,
-                baseline.clone(),
+                event.forecast,
                 prices.clone(),
                 penalties.clone(),
             );
             network.send_all(envelopes);
+        }
+
+        // 3b. Intra-day forecast refinement: a few slots move (RES
+        //     ramps, weather fronts), the rest stay put. The refined
+        //     forecast is the execution ground truth; BRPs receive it
+        //     as a typed change event and replan incrementally.
+        let baseline = if cfg.refine_fraction > 0.0 {
+            let mut refined = forecast0.clone();
+            for v in refined.iter_mut() {
+                if rng.gen_bool(cfg.refine_fraction.clamp(0.0, 1.0)) {
+                    *v += scale * rng.gen_range(-0.3..0.3);
+                }
+            }
+            hub.publish(&refined);
+            for (brp, &sub) in brps.iter_mut().zip(&subscriptions) {
+                if let Some(event) = hub.poll(sub) {
+                    if brp.on_forecast_event(&event).is_some() {
+                        replans += 1;
+                    }
+                }
+            }
+            refined
+        } else {
+            forecast0
+        };
+        baselines.push((window, baseline.clone()));
+
+        // 3c. Commit: disaggregate the (repaired) plans into micro
+        //      assignments.
+        for brp in brps.iter_mut() {
+            if let Some((envelopes, _cost)) = brp.commit_plan(t2) {
+                network.send_all(envelopes);
+            }
         }
 
         // 4. TSO round (3-level mode).
@@ -292,7 +350,6 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             }
             p.on_slot(window);
         }
-        let _ = (&brp_index, &prosumer_index);
     }
 
     // --- Accounting ----------------------------------------------------
@@ -327,6 +384,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         rejected,
         assigned: prosumers.iter().map(|p| p.assigned_count()).sum(),
         fallbacks: prosumers.iter().map(|p| p.fallback_count()).sum(),
+        replans,
         imbalance_before,
         imbalance_after,
         network: network.stats(),
@@ -370,10 +428,7 @@ mod tests {
     #[test]
     fn total_message_loss_degrades_gracefully() {
         let report = simulate(SimulationConfig {
-            failure: FailureModel {
-                drop_probability: 1.0,
-                delay_slots: 0,
-            },
+            failure: FailureModel::drop(1.0),
             ..SimulationConfig::default()
         });
         // nothing assigned, everything falls back — but nothing crashes
@@ -391,10 +446,7 @@ mod tests {
         });
         let lossy = simulate(SimulationConfig {
             seed: 11,
-            failure: FailureModel {
-                drop_probability: 0.4,
-                delay_slots: 0,
-            },
+            failure: FailureModel::drop(0.4),
             ..SimulationConfig::default()
         });
         assert!(lossy.fallbacks > 0);
@@ -430,5 +482,26 @@ mod tests {
             ..SimulationConfig::default()
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forecast_refinements_trigger_incremental_replans() {
+        let report = simulate(SimulationConfig {
+            seed: 7,
+            ..SimulationConfig::default()
+        });
+        assert!(report.replans > 0, "refinements should replan: {report:?}");
+        assert!(report.imbalance_after < report.imbalance_before);
+    }
+
+    #[test]
+    fn disabling_refinement_means_no_replans() {
+        let report = simulate(SimulationConfig {
+            seed: 7,
+            refine_fraction: 0.0,
+            ..SimulationConfig::default()
+        });
+        assert_eq!(report.replans, 0);
+        assert!(report.assigned > 0);
     }
 }

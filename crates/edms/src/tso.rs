@@ -6,7 +6,7 @@ use crate::message::{Envelope, Message};
 use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
 use mirabel_schedule::{Budget, GreedyScheduler, MarketPrices, SchedulingProblem};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The level-3 node.
 #[derive(Debug)]
@@ -14,7 +14,7 @@ pub struct TsoNode {
     /// This node's id.
     pub id: NodeId,
     /// Pool of macro offers received from BRPs: id → (offer, source BRP).
-    pool: HashMap<FlexOfferId, (FlexOffer, NodeId)>,
+    pool: BTreeMap<FlexOfferId, (FlexOffer, NodeId)>,
     pipeline: AggregationPipeline,
     budget_evaluations: usize,
     seed: u64,
@@ -26,7 +26,7 @@ impl TsoNode {
     pub fn new(id: NodeId, aggregation: AggregationParams, budget_evaluations: usize) -> TsoNode {
         TsoNode {
             id,
-            pool: HashMap::new(),
+            pool: BTreeMap::new(),
             pipeline: AggregationPipeline::new(aggregation, None),
             budget_evaluations,
             seed: id.value().wrapping_mul(0x51ed_270b),

@@ -25,7 +25,8 @@
 //! * [`hierarchy`] — the advisor that places models in a node hierarchy
 //!   under accuracy/runtime constraints,
 //! * [`pubsub`] — publish-subscribe forecast queries with significance
-//!   thresholds,
+//!   thresholds, delivering typed slot-range change events that drive
+//!   incremental rescheduling downstream,
 //! * [`flexoffer_forecast`] — flex-offer (multivariate) forecasting by
 //!   decomposition into univariate series,
 //! * [`parallel`] — parallelized multi-equation model estimation.
@@ -56,4 +57,4 @@ pub use hwt::{HwtConfig, HwtModel, Seasonality};
 pub use maintenance::{EvaluationStrategy, MaintenanceAction, ModelMaintainer};
 pub use model::create_best_model;
 pub use model::ForecastModel;
-pub use pubsub::{ForecastHub, Subscription};
+pub use pubsub::{ForecastEvent, ForecastHub, SlotRange, Subscription};

@@ -9,9 +9,18 @@
 //! Subscribers register a horizon and a *significance threshold*; the hub
 //! forwards a published forecast to a subscriber only when it deviates
 //! from the last forecast that subscriber saw by more than the threshold.
+//!
+//! Delivered events are **typed deltas**, not opaque snapshots: every
+//! [`ForecastEvent`] carries the contiguous [`SlotRange`]s whose values
+//! actually moved since the subscriber's last event. Downstream
+//! schedulers feed those ranges straight into
+//! `DeltaEvaluator::rebase` + scoped repair, so the cost of reacting to
+//! a notification is proportional to the *change* — the event tells the
+//! subscriber exactly where to look.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::ops::Range;
 
 /// A subscriber registration.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,23 +34,66 @@ pub struct Subscription {
     pub threshold: f64,
 }
 
-/// A delivered notification.
+/// A contiguous half-open range `[start, end)` of forecast slots whose
+/// values changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRange {
+    /// First changed slot (inclusive).
+    pub start: usize,
+    /// One past the last changed slot.
+    pub end: usize,
+}
+
+impl SlotRange {
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The covered slot indices as an iterator-friendly range.
+    pub fn slots(&self) -> Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// A delivered typed forecast change event.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Notification {
+pub struct ForecastEvent {
     /// Target subscription.
     pub subscription: u64,
     /// The forecast (truncated to the subscriber's horizon).
     pub forecast: Vec<f64>,
+    /// Contiguous slot ranges that differ from the last event this
+    /// subscriber received. The initial event reports the full horizon.
+    pub changed: Vec<SlotRange>,
     /// The maximum relative change that triggered the delivery
-    /// (`f64::INFINITY` for the initial notification).
+    /// (`f64::INFINITY` for the initial event).
     pub max_relative_change: f64,
+}
+
+impl ForecastEvent {
+    /// Total number of changed slots across all ranges.
+    pub fn changed_slot_count(&self) -> usize {
+        self.changed.iter().map(SlotRange::len).sum()
+    }
+
+    /// Flatten the changed ranges into individual slot indices (the
+    /// shape `DeltaEvaluator::rebase` consumes).
+    pub fn changed_slots(&self) -> Vec<usize> {
+        self.changed.iter().flat_map(SlotRange::slots).collect()
+    }
 }
 
 #[derive(Debug)]
 struct SubEntry {
     sub: Subscription,
     last_notified: Option<Vec<f64>>,
-    queue: VecDeque<Notification>,
+    queue: VecDeque<ForecastEvent>,
 }
 
 #[derive(Debug, Default)]
@@ -91,8 +143,9 @@ impl ForecastHub {
         inner.subs.len() != before
     }
 
-    /// Publish a new forecast; queues notifications for every subscriber
-    /// whose significance threshold is exceeded. Returns the ids notified.
+    /// Publish a new forecast; queues a typed change event for every
+    /// subscriber whose significance threshold is exceeded. Returns the
+    /// ids notified.
     pub fn publish(&self, forecast: &[f64]) -> Vec<u64> {
         let mut inner = self.inner.lock();
         inner.publishes += 1;
@@ -106,10 +159,12 @@ impl ForecastHub {
                 Some(prev) => max_relative_change(prev, view),
             };
             if change > entry.sub.threshold {
+                let changed = changed_ranges(entry.last_notified.as_deref(), view);
                 entry.last_notified = Some(view.to_vec());
-                entry.queue.push_back(Notification {
+                entry.queue.push_back(ForecastEvent {
                     subscription: entry.sub.id,
                     forecast: view.to_vec(),
+                    changed,
                     max_relative_change: change,
                 });
                 notified.push(entry.sub.id);
@@ -120,8 +175,8 @@ impl ForecastHub {
         notified
     }
 
-    /// Pop the oldest pending notification for subscriber `id`.
-    pub fn poll(&self, id: u64) -> Option<Notification> {
+    /// Pop the oldest pending event for subscriber `id`.
+    pub fn poll(&self, id: u64) -> Option<ForecastEvent> {
         let mut inner = self.inner.lock();
         inner
             .subs
@@ -158,6 +213,36 @@ fn max_relative_change(prev: &[f64], new: &[f64]) -> f64 {
     worst
 }
 
+/// Group the slots where `prev` and `new` differ (at all — the
+/// significance threshold gates *delivery*, not the reported delta: a
+/// rebase must see every moved slot to stay exact) into contiguous
+/// ranges. No previous forecast, or a length change, reports the full
+/// horizon.
+fn changed_ranges(prev: Option<&[f64]>, new: &[f64]) -> Vec<SlotRange> {
+    let full = vec![SlotRange {
+        start: 0,
+        end: new.len(),
+    }];
+    let Some(prev) = prev else { return full };
+    if prev.len() != new.len() {
+        return full;
+    }
+    let mut ranges: Vec<SlotRange> = Vec::new();
+    for (i, (a, b)) in prev.iter().zip(new).enumerate() {
+        if a == b {
+            continue;
+        }
+        match ranges.last_mut() {
+            Some(last) if last.end == i => last.end = i + 1,
+            _ => ranges.push(SlotRange {
+                start: i,
+                end: i + 1,
+            }),
+        }
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +256,9 @@ mod tests {
         let n = hub.poll(id).unwrap();
         assert_eq!(n.forecast, vec![1.0, 2.0, 3.0, 4.0]); // truncated to horizon
         assert!(n.max_relative_change.is_infinite());
+        // the initial event reports the whole horizon as changed
+        assert_eq!(n.changed, vec![SlotRange { start: 0, end: 4 }]);
+        assert_eq!(n.changed_slot_count(), 4);
     }
 
     #[test]
@@ -187,6 +275,8 @@ mod tests {
         assert_eq!(notified, vec![id]);
         let n = hub.poll(id).unwrap();
         assert!((n.max_relative_change - 0.15).abs() < 1e-9);
+        // only slot 0 moved since the last delivered event
+        assert_eq!(n.changed, vec![SlotRange { start: 0, end: 1 }]);
     }
 
     #[test]
@@ -245,6 +335,61 @@ mod tests {
         let id = hub.subscribe(10, 0.1);
         assert_eq!(hub.publish(&[1.0, 2.0]), vec![id]);
         assert_eq!(hub.poll(id).unwrap().forecast.len(), 2);
+    }
+
+    #[test]
+    fn changed_ranges_group_contiguous_slots() {
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(8, 0.0);
+        hub.publish(&[10.0; 8]);
+        hub.poll(id).unwrap();
+        // Slots 1,2 and 5 move; 1-2 must merge into one range.
+        let mut next = [10.0; 8];
+        next[1] = 12.0;
+        next[2] = 13.0;
+        next[5] = 9.0;
+        assert_eq!(hub.publish(&next), vec![id]);
+        let event = hub.poll(id).unwrap();
+        assert_eq!(
+            event.changed,
+            vec![
+                SlotRange { start: 1, end: 3 },
+                SlotRange { start: 5, end: 6 }
+            ]
+        );
+        assert_eq!(event.changed_slots(), vec![1, 2, 5]);
+        assert_eq!(event.changed_slot_count(), 3);
+    }
+
+    #[test]
+    fn suppressed_changes_accumulate_into_next_event() {
+        // A sub-threshold wobble is not delivered, but once a later
+        // publish crosses the threshold the event's ranges must cover
+        // *every* slot that differs from the last delivered forecast —
+        // including the earlier suppressed wobble.
+        let hub = ForecastHub::new();
+        let id = hub.subscribe(4, 0.10);
+        hub.publish(&[100.0, 100.0, 100.0, 100.0]);
+        hub.poll(id).unwrap();
+        assert!(hub.publish(&[100.0, 104.0, 100.0, 100.0]).is_empty()); // 4% — suppressed
+        assert_eq!(hub.publish(&[100.0, 104.0, 100.0, 120.0]), vec![id]); // 20% on slot 3
+        let event = hub.poll(id).unwrap();
+        assert_eq!(
+            event.changed,
+            vec![
+                SlotRange { start: 1, end: 2 },
+                SlotRange { start: 3, end: 4 }
+            ]
+        );
+    }
+
+    #[test]
+    fn slot_range_helpers() {
+        let r = SlotRange { start: 3, end: 7 };
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.slots().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        assert!(SlotRange { start: 5, end: 5 }.is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! O(move)-time incremental schedule scoring.
 //!
 //! Every metaheuristic in this crate searches by perturbing *one offer at
-//! a time*, yet the reference [`evaluate`](crate::cost::evaluate) rebuilds
+//! a time*, yet the reference [`evaluate`] rebuilds
 //! the entire residual-imbalance vector and re-prices every horizon slot
 //! per candidate — O(offers × duration + horizon) work for a move that
 //! only disturbs the handful of slots inside one offer's window. The paper
@@ -20,9 +20,30 @@
 //! the touched-slot log are reused across moves.
 //!
 //! In debug builds every committed move is cross-checked against the full
-//! [`evaluate`](crate::cost::evaluate); the release hot path trusts the
+//! [`evaluate`]; the release hot path trusts the
 //! delta bookkeeping (drift is bounded by one f64 rounding per touched
 //! slot per move and verified to stay under 1e-6 by the property tests).
+//!
+//! ## Event-driven replanning
+//!
+//! Beyond single-offer moves, the evaluator supports the event-driven
+//! replanning pipeline (forecast pub/sub event → [`rebase`] → scoped
+//! repair):
+//!
+//! * [`DeltaEvaluator::rebase`] re-prices *only* the slots whose forecast
+//!   baseline moved — O(changed slots), not O(horizon + offers) — so a
+//!   pub/sub notification touching a handful of slots never pays a full
+//!   [`resync`](DeltaEvaluator::resync);
+//! * [`DeltaEvaluator::new_owned`] builds an evaluator that owns its
+//!   problem, which is what lets a BRP node keep a *live* evaluator
+//!   across planning cycles and rebase it in place;
+//! * [`DeltaEvaluator::fork`] cheaply clones the cached cost state
+//!   (sharing the problem by reference) for parallel multi-start repair
+//!   chains — per-move state is thread-local by construction;
+//! * [`DeltaEvaluator::adopt_scoped`] merges a winning chain's placements
+//!   back into the live evaluator, move by debug-checked move.
+//!
+//! [`rebase`]: DeltaEvaluator::rebase
 
 use crate::cost::{evaluate, residual_imbalance_into, slot_cost, CostBreakdown};
 use crate::problem::SchedulingProblem;
@@ -30,6 +51,7 @@ use crate::solution::{Placement, Recorder, Solution};
 use mirabel_core::FlexOffer;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::borrow::Cow;
 
 /// Undo log for the last uncommitted move.
 #[derive(Debug)]
@@ -60,7 +82,9 @@ struct Undo {
 /// ```
 #[derive(Debug)]
 pub struct DeltaEvaluator<'p> {
-    problem: &'p SchedulingProblem,
+    /// Borrowed for search-loop evaluators, owned for live (cross-cycle)
+    /// evaluators that must survive forecast rebases.
+    problem: Cow<'p, SchedulingProblem>,
     solution: Solution,
     /// Residual imbalance per slot (before market transactions).
     residual: Vec<f64>,
@@ -81,11 +105,24 @@ impl<'p> DeltaEvaluator<'p> {
     /// only O(offers × duration + horizon) entry point; every subsequent
     /// move costs O(offer duration).
     pub fn new(problem: &'p SchedulingProblem, solution: Solution) -> DeltaEvaluator<'p> {
+        DeltaEvaluator::from_cow(Cow::Borrowed(problem), solution)
+    }
+
+    /// Like [`new`](Self::new), but the evaluator *owns* the problem, so
+    /// it can outlive the caller's scope (`DeltaEvaluator<'static>`) and
+    /// be [`rebase`](Self::rebase)d without cloning. This is the shape a
+    /// BRP node keeps alive between planning cycles.
+    pub fn new_owned(problem: SchedulingProblem, solution: Solution) -> DeltaEvaluator<'static> {
+        DeltaEvaluator::from_cow(Cow::Owned(problem), solution)
+    }
+
+    fn from_cow(problem: Cow<'p, SchedulingProblem>, solution: Solution) -> DeltaEvaluator<'p> {
         assert_eq!(
             solution.placements.len(),
             problem.offers.len(),
             "solution/offer arity mismatch"
         );
+        let start = problem.start;
         let mut eval = DeltaEvaluator {
             problem,
             solution,
@@ -94,13 +131,13 @@ impl<'p> DeltaEvaluator<'p> {
             offer_costs: Vec::new(),
             total: 0.0,
             scratch: Placement {
-                start: problem.start,
+                start,
                 fractions: Vec::new(),
             },
             undo: Undo {
                 offer_idx: 0,
                 old_placement: Placement {
-                    start: problem.start,
+                    start,
                     fractions: Vec::new(),
                 },
                 old_offer_cost: 0.0,
@@ -117,8 +154,8 @@ impl<'p> DeltaEvaluator<'p> {
     /// log). Useful to squash accumulated float drift on very long runs;
     /// costs the same as [`new`](Self::new).
     pub fn resync(&mut self) {
-        residual_imbalance_into(self.problem, &self.solution, &mut self.residual);
-        let p = self.problem;
+        residual_imbalance_into(&self.problem, &self.solution, &mut self.residual);
+        let p: &SchedulingProblem = &self.problem;
         self.slot_costs.clear();
         self.slot_costs
             .extend(self.residual.iter().enumerate().map(|(i, &r)| {
@@ -149,8 +186,114 @@ impl<'p> DeltaEvaluator<'p> {
     }
 
     /// The problem being evaluated.
-    pub fn problem(&self) -> &'p SchedulingProblem {
-        self.problem
+    pub fn problem(&self) -> &SchedulingProblem {
+        &self.problem
+    }
+
+    /// Cheap clone of the cached cost state, sharing the problem by
+    /// reference: copies the solution and the residual/cost vectors but
+    /// performs no re-pricing. This is how parallel multi-start repair
+    /// spawns K independent chains from one live evaluator — each fork's
+    /// per-move state is private, so chains are embarrassingly parallel.
+    pub fn fork(&self) -> DeltaEvaluator<'_> {
+        let start = self.problem.start;
+        DeltaEvaluator {
+            problem: Cow::Borrowed(&*self.problem),
+            solution: self.solution.clone(),
+            residual: self.residual.clone(),
+            slot_costs: self.slot_costs.clone(),
+            offer_costs: self.offer_costs.clone(),
+            total: self.total,
+            scratch: Placement {
+                start,
+                fractions: Vec::new(),
+            },
+            undo: Undo {
+                offer_idx: 0,
+                old_placement: Placement {
+                    start,
+                    fractions: Vec::new(),
+                },
+                old_offer_cost: 0.0,
+                old_total: 0.0,
+                touched: Vec::new(),
+                active: false,
+            },
+        }
+    }
+
+    /// Re-baseline the evaluator after a forecast update: `new_baseline`
+    /// replaces the problem's baseline imbalance, and **only** the slots
+    /// listed in `changed_slots` are re-priced — O(changed slots) work,
+    /// independent of horizon length and offer count. This is the
+    /// batched-forecast-update path: a pub/sub notification that moved a
+    /// few slots must not pay a full [`resync`](Self::resync).
+    ///
+    /// Slots *not* listed in `changed_slots` must be unchanged in
+    /// `new_baseline` (debug builds verify this). The one-level undo log
+    /// is invalidated: a move proposed before the rebase can no longer be
+    /// reverted. Returns the new total cost.
+    ///
+    /// On a borrowed evaluator the first rebase clones the problem
+    /// (`Cow::to_mut`); build live evaluators with
+    /// [`new_owned`](Self::new_owned) to make every rebase clone-free.
+    pub fn rebase(&mut self, new_baseline: &[f64], changed_slots: &[usize]) -> f64 {
+        assert_eq!(
+            new_baseline.len(),
+            self.problem.horizon(),
+            "rebase baseline/horizon arity mismatch"
+        );
+        #[cfg(debug_assertions)]
+        for (i, (new, old)) in new_baseline
+            .iter()
+            .zip(&self.problem.baseline_imbalance)
+            .enumerate()
+        {
+            debug_assert!(
+                new == old || changed_slots.contains(&i),
+                "slot {i} changed ({old} -> {new}) but is not in changed_slots"
+            );
+        }
+        self.undo.active = false;
+        let problem = self.problem.to_mut();
+        for &t in changed_slots {
+            let delta = new_baseline[t] - problem.baseline_imbalance[t];
+            problem.baseline_imbalance[t] = new_baseline[t];
+            self.residual[t] += delta;
+            let sc = slot_cost(
+                self.residual[t],
+                problem.imbalance_penalty[t],
+                problem.prices.buy[t],
+                problem.prices.sell[t],
+                problem.prices.max_trade_per_slot,
+            );
+            self.total += sc - self.slot_costs[t];
+            self.slot_costs[t] = sc;
+        }
+        #[cfg(debug_assertions)]
+        self.assert_in_sync();
+        self.total
+    }
+
+    /// Merge a repaired solution back into this evaluator: for every
+    /// offer index in `scope`, adopt `winner`'s placement if it differs
+    /// from the current one. Each adoption is a regular debug-checked
+    /// [`apply_move`](Self::apply_move) — O(scope × offer duration)
+    /// total. The undo log is left cleared (a multi-move adoption cannot
+    /// be reverted as a unit). Returns the new total cost.
+    pub fn adopt_scoped(&mut self, winner: &Solution, scope: &[usize]) -> f64 {
+        assert_eq!(
+            winner.placements.len(),
+            self.solution.placements.len(),
+            "adopted solution arity mismatch"
+        );
+        for &j in scope {
+            if self.solution.placements[j] != winner.placements[j] {
+                self.apply_move(j, winner.placements[j].clone());
+            }
+        }
+        self.undo.active = false;
+        self.total
     }
 
     /// Current solution (read-only).
@@ -166,7 +309,7 @@ impl<'p> DeltaEvaluator<'p> {
     /// Full cost breakdown of the current solution (O(horizon); intended
     /// for reporting once search finishes, not for the hot loop).
     pub fn breakdown(&self) -> CostBreakdown {
-        evaluate(self.problem, &self.solution)
+        evaluate(&self.problem, &self.solution)
     }
 
     /// Replace offer `j`'s placement, updating only the slots inside the
@@ -174,7 +317,11 @@ impl<'p> DeltaEvaluator<'p> {
     /// previous state can be restored with [`revert`](Self::revert) until
     /// the next move is applied.
     pub fn apply_move(&mut self, j: usize, new_placement: Placement) -> f64 {
-        let offer = &self.problem.offers[j];
+        // Split-borrow the problem (shared) away from the mutable cache
+        // fields: with a Cow-held problem, `offer` borrows `self`, so the
+        // cache updates below must go through disjoint field borrows.
+        let p: &SchedulingProblem = &self.problem;
+        let offer = &p.offers[j];
         debug_assert_eq!(
             new_placement.fractions.len(),
             offer.duration() as usize,
@@ -195,7 +342,7 @@ impl<'p> DeltaEvaluator<'p> {
 
         // Withdraw the old placement's energy from its window…
         let old = std::mem::replace(&mut self.solution.placements[j], new_placement);
-        let base = self.problem.slot_index(old.start);
+        let base = p.slot_index(old.start);
         for (k, (range, &frac)) in offer
             .profile()
             .slot_ranges()
@@ -203,15 +350,15 @@ impl<'p> DeltaEvaluator<'p> {
             .enumerate()
         {
             let t = base + k;
-            self.snapshot(t);
+            snapshot(&mut self.undo, &self.residual, &self.slot_costs, t);
             self.residual[t] -= sign * range.lerp(frac).kwh();
         }
 
         // …deposit the new placement's energy into its window
         // (snapshots first: they must capture pre-deposit values)…
-        let base = self.problem.slot_index(self.solution.placements[j].start);
+        let base = p.slot_index(self.solution.placements[j].start);
         for k in 0..offer.duration() as usize {
-            self.snapshot(base + k);
+            snapshot(&mut self.undo, &self.residual, &self.slot_costs, base + k);
         }
         let new = &self.solution.placements[j];
         for (k, (range, &frac)) in offer
@@ -224,7 +371,6 @@ impl<'p> DeltaEvaluator<'p> {
         }
 
         // …and re-price exactly the touched slots.
-        let p = self.problem;
         for i in 0..self.undo.touched.len() {
             let t = self.undo.touched[i].0;
             let sc = slot_cost(
@@ -300,23 +446,11 @@ impl<'p> DeltaEvaluator<'p> {
         self.assert_in_sync();
     }
 
-    /// Record `(slot, residual, slot_cost)` the first time a move touches
-    /// slot `t`. Windows are a handful of slots, so the linear duplicate
-    /// scan beats any hashing.
-    #[inline]
-    fn snapshot(&mut self, t: usize) {
-        if !self.undo.touched.iter().any(|&(s, _, _)| s == t) {
-            self.undo
-                .touched
-                .push((t, self.residual[t], self.slot_costs[t]));
-        }
-    }
-
     /// Debug-build cross-check: the running total must agree with the
     /// reference full evaluation.
     #[cfg(debug_assertions)]
     fn assert_in_sync(&self) {
-        let reference = evaluate(self.problem, &self.solution).total();
+        let reference = evaluate(&self.problem, &self.solution).total();
         let tol = 1e-6 * reference.abs().max(1.0);
         debug_assert!(
             (self.total - reference).abs() <= tol,
@@ -327,25 +461,43 @@ impl<'p> DeltaEvaluator<'p> {
     }
 }
 
+/// Record `(slot, residual, slot_cost)` the first time a move touches
+/// slot `t`. Windows are a handful of slots, so the linear duplicate
+/// scan beats any hashing. (Free function so [`DeltaEvaluator`] methods
+/// can call it while the Cow-held problem is split-borrowed.)
+#[inline]
+fn snapshot(undo: &mut Undo, residual: &[f64], slot_costs: &[f64], t: usize) {
+    if !undo.touched.iter().any(|&(s, _, _)| s == t) {
+        undo.touched.push((t, residual[t], slot_costs[t]));
+    }
+}
+
 /// Budget-guarded first-improvement hill climb over single-offer moves,
 /// shared by the greedy polish, the EA's memetic refinement and
 /// incremental rescheduling: propose a mutation of a random offer's
 /// placement, record the candidate, keep it only if it lowers the total.
-/// Returns the final running total.
+/// When `scope` is `Some`, moves are restricted to the listed offer
+/// indices (the repair scope of a forecast delta); `None` searches every
+/// offer. Returns the final running total.
 pub(crate) fn hill_climb(
     eval: &mut DeltaEvaluator<'_>,
     recorder: &mut Recorder,
     rng: &mut StdRng,
     max_moves: usize,
+    scope: Option<&[usize]>,
     mut mutate: impl FnMut(&mut Placement, &FlexOffer, &mut StdRng),
 ) -> f64 {
-    let n = eval.problem().offers.len();
+    let n = match scope {
+        Some(s) => s.len(),
+        None => eval.problem().offers.len(),
+    };
     let mut f_cur = eval.total();
     for _ in 0..max_moves {
         if n == 0 || recorder.exhausted() {
             break;
         }
-        let j = rng.gen_range(0..n);
+        let pick = rng.gen_range(0..n);
+        let j = scope.map_or(pick, |s| s[pick]);
         let f_cand = eval.propose(j, |g, offer| mutate(g, offer, rng));
         recorder.record(f_cand);
         if f_cand < f_cur {
@@ -481,6 +633,81 @@ mod tests {
         assert!((total - reference).abs() < 1e-9);
         eval.revert();
         assert_eq!(eval.total(), before);
+    }
+
+    #[test]
+    fn rebase_matches_fresh_evaluator() {
+        let p = problem(20, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut eval = DeltaEvaluator::new_owned(p.clone(), Solution::random(&p, &mut rng));
+        // Change a scattered subset of slots.
+        let changed: Vec<usize> = vec![3, 4, 5, 40, 41, 90];
+        let mut new_baseline = p.baseline_imbalance.clone();
+        for &t in &changed {
+            new_baseline[t] += rng.gen_range(-2.0..2.0);
+        }
+        let total = eval.rebase(&new_baseline, &changed);
+        let mut updated = p.clone();
+        updated.baseline_imbalance = new_baseline;
+        let reference = DeltaEvaluator::new(&updated, eval.solution().clone()).total();
+        assert!(
+            (total - reference).abs() < 1e-9,
+            "rebase {total} vs fresh {reference}"
+        );
+        // Moves after a rebase still track the full evaluation.
+        for _ in 0..50 {
+            let j = rng.gen_range(0..updated.offers.len());
+            let t = eval.apply_move(j, Placement::random(&updated.offers[j], &mut rng));
+            let full = evaluate(&updated, eval.solution()).total();
+            assert!((t - full).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rebase_invalidates_undo() {
+        let p = problem(5, 19);
+        let mut eval = DeltaEvaluator::new_owned(p.clone(), Solution::baseline(&p));
+        eval.apply_move(0, Placement::baseline(&p.offers[0]));
+        let baseline = eval.problem().baseline_imbalance.clone();
+        eval.rebase(&baseline, &[]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval.revert()));
+        assert!(result.is_err(), "revert across a rebase must panic");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let p = problem(15, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let eval = DeltaEvaluator::new(&p, Solution::random(&p, &mut rng));
+        let before = eval.total();
+        let mut forked = eval.fork();
+        assert_eq!(forked.total(), before);
+        // Mutating the fork leaves the parent untouched (checked via a
+        // later parent move whose debug assertion would catch drift).
+        for _ in 0..30 {
+            let j = rng.gen_range(0..p.offers.len());
+            forked.apply_move(j, Placement::random(&p.offers[j], &mut rng));
+        }
+        assert_eq!(eval.total(), before);
+        let reference = evaluate(&p, forked.solution()).total();
+        assert!((forked.total() - reference).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adopt_scoped_converges_to_winner() {
+        let p = problem(12, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut eval = DeltaEvaluator::new(&p, Solution::baseline(&p));
+        let mut forked = eval.fork();
+        let scope: Vec<usize> = vec![1, 3, 5, 7];
+        for &j in &scope {
+            forked.apply_move(j, Placement::random(&p.offers[j], &mut rng));
+        }
+        let winner_total = forked.total();
+        let winner = forked.into_solution();
+        let total = eval.adopt_scoped(&winner, &scope);
+        assert!((total - winner_total).abs() < 1e-6);
+        assert_eq!(eval.solution(), &winner);
     }
 
     #[test]

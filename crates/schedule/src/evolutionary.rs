@@ -168,6 +168,7 @@ impl EvolutionaryScheduler {
                     &mut recorder,
                     &mut rng,
                     cfg.local_search_moves,
+                    None,
                     Self::mutate_gene,
                 );
                 population.push((eval.into_solution(), f_cur));

@@ -160,6 +160,7 @@ impl GreedyScheduler {
                 &mut recorder,
                 &mut rng,
                 polish_moves,
+                None,
                 |g, o, rng| jitter_move(g, o, rng, 0.5, 0.2),
             );
             let candidate = eval.into_solution();

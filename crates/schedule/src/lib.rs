@@ -26,7 +26,9 @@
 //!   hybrid (the paper's "hybridizing the existing ones" future work);
 //! * [`exhaustive`] — exact enumeration for tiny instances (the paper's
 //!   850-million-solution optimality probe);
-//! * [`incremental`] — rescheduling after forecast changes;
+//! * [`incremental`] — rescheduling after forecast changes, including
+//!   the scoped parallel multi-start repair behind event-driven
+//!   replanning;
 //! * [`mod@scenario`] — intra-day scenario generator for the Figure 6
 //!   experiments.
 //!
@@ -50,6 +52,25 @@
 //! replaying random move sequences, and the `full_vs_delta` bench that
 //! tracks the speedup (per-move delta cost is independent of the offer
 //! count, so the gap widens linearly with instance size).
+//!
+//! ## Event-driven incremental replanning
+//!
+//! When forecasts change *after* a schedule exists, work should be
+//! proportional to the change, not the problem. The pipeline is:
+//!
+//! 1. a typed forecast change event (see `mirabel_forecast::pubsub`)
+//!    names the slot ranges that actually moved;
+//! 2. [`DeltaEvaluator::rebase`] re-prices exactly those slots on the
+//!    *live* evaluator kept from the previous planning run — O(changed
+//!    slots), no resync;
+//! 3. [`incremental::repair_scope`] restricts the repair to offers whose
+//!    reachable windows overlap the changed slots;
+//! 4. [`incremental::repair_parallel`] runs K multi-start hill-climb
+//!    chains on forked evaluators (thread-local per-move state) and
+//!    adopts the best chain.
+//!
+//! The `rebase_vs_resync` bench tracks this path against the full
+//! resync-and-reschedule alternative.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -71,7 +92,7 @@ pub use delta::DeltaEvaluator;
 pub use evolutionary::{EaConfig, EvolutionaryScheduler};
 pub use exhaustive::{search_space_size, ExhaustiveScheduler};
 pub use greedy::GreedyScheduler;
-pub use incremental::reschedule;
+pub use incremental::{repair_parallel, repair_scope, reschedule, RepairConfig};
 pub use problem::{MarketPrices, SchedulingProblem};
 pub use scenario::{scenario, ScenarioConfig};
 pub use solution::{Budget, Placement, ScheduleResult, Solution, TrajectoryPoint};

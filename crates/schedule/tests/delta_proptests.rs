@@ -1,7 +1,9 @@
 //! Property tests for the delta evaluator: after an arbitrary sequence of
 //! random single-offer moves (with arbitrary interleaved reverts), the
 //! running total must equal the reference `cost::evaluate()` recomputed
-//! from scratch, within 1e-6.
+//! from scratch, within 1e-6 — and a `rebase()` onto a perturbed
+//! baseline must be indistinguishable from a fresh `resync()` against
+//! the updated problem.
 
 use mirabel_schedule::cost::evaluate;
 use mirabel_schedule::solution::Placement;
@@ -75,6 +77,73 @@ proptest! {
             prop_assert!(
                 (f_cand - reference).abs() < 1e-6,
                 "after propose {m}: delta total {f_cand} vs full {reference}"
+            );
+        }
+    }
+
+    /// Rebase correctness: for random slot subsets and random move
+    /// sequences, `rebase(changed_slots)` followed by evaluation equals
+    /// a fresh `resync()` (i.e. a freshly built evaluator) on the
+    /// updated baseline — and subsequent moves stay in sync too.
+    #[test]
+    fn rebase_equals_fresh_resync_on_updated_baseline(
+        scenario_seed in 0u64..500,
+        offer_count in 1usize..12,
+        move_seed in 0u64..500,
+        pre_moves in 0usize..30,
+        post_moves in 0usize..30,
+        slot_bits in proptest::collection::vec(any::<bool>(), 96),
+    ) {
+        let problem = scenario(ScenarioConfig {
+            offer_count,
+            seed: scenario_seed,
+            ..ScenarioConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let mut eval =
+            DeltaEvaluator::new_owned(problem.clone(), Solution::random(&problem, &mut rng));
+
+        // Arbitrary optimization history before the forecast update.
+        for _ in 0..pre_moves {
+            let j = rng.gen_range(0..problem.offers.len());
+            eval.apply_move(j, Placement::random(&problem.offers[j], &mut rng));
+        }
+
+        // Random changed-slot subset, random perturbation on each.
+        let changed: Vec<usize> = slot_bits
+            .iter()
+            .take(problem.horizon())
+            .enumerate()
+            .filter(|(_, &bit)| bit)
+            .map(|(i, _)| i)
+            .collect();
+        let mut new_baseline = problem.baseline_imbalance.clone();
+        for &t in &changed {
+            new_baseline[t] += rng.gen_range(-3.0..3.0);
+        }
+
+        let rebased_total = eval.rebase(&new_baseline, &changed);
+
+        // Reference: a brand-new evaluator (one full resync) over the
+        // updated problem and the same solution.
+        let mut updated = problem.clone();
+        updated.baseline_imbalance = new_baseline;
+        let fresh = DeltaEvaluator::new(&updated, eval.solution().clone());
+        prop_assert!(
+            (rebased_total - fresh.total()).abs() < 1e-6,
+            "rebase {rebased_total} vs fresh resync {}",
+            fresh.total()
+        );
+
+        // Moves after the rebase must track the full evaluation of the
+        // updated problem.
+        for m in 0..post_moves {
+            let j = rng.gen_range(0..updated.offers.len());
+            let total = eval.apply_move(j, Placement::random(&updated.offers[j], &mut rng));
+            let reference = evaluate(&updated, eval.solution()).total();
+            prop_assert!(
+                (total - reference).abs() < 1e-6,
+                "after post-rebase move {m}: delta {total} vs full {reference}"
             );
         }
     }

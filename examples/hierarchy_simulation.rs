@@ -67,10 +67,7 @@ fn main() {
         run(
             &format!("{:.0}% message loss", drop * 100.0),
             SimulationConfig {
-                failure: FailureModel {
-                    drop_probability: drop,
-                    delay_slots: 0,
-                },
+                failure: FailureModel::drop(drop),
                 ..base
             },
         );

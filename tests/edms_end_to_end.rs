@@ -70,10 +70,7 @@ fn graceful_degradation_is_monotone_in_loss_rate() {
     for (i, drop) in [0.0, 0.5, 1.0].into_iter().enumerate() {
         let r = simulate(SimulationConfig {
             seed: 13,
-            failure: FailureModel {
-                drop_probability: drop,
-                delay_slots: 0,
-            },
+            failure: FailureModel::drop(drop),
             ..SimulationConfig::default()
         });
         assert_eq!(r.assigned + r.fallbacks, r.offers_submitted);
@@ -94,10 +91,7 @@ fn graceful_degradation_is_monotone_in_loss_rate() {
 fn message_delay_within_cycle_tolerance_still_works() {
     let r = simulate(SimulationConfig {
         seed: 21,
-        failure: FailureModel {
-            drop_probability: 0.0,
-            delay_slots: 3,
-        },
+        failure: FailureModel::delay(3),
         ..SimulationConfig::default()
     });
     assert!(r.assigned > 0, "delays broke the pipeline: {r:?}");

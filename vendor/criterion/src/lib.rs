@@ -7,9 +7,25 @@
 //! on stdout so the bench trajectory can be recorded from CI logs.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Smoke-test mode (`cargo bench -- --test`): run every benchmark body
+/// once to prove it still works, skipping the timed measurement loop.
+/// Mirrors real criterion's `--test` flag; enabled by `criterion_main!`
+/// when the flag is present on the command line.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable smoke-test mode (used by `criterion_main!`).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Benchmark identifier: `function/parameter`.
 #[derive(Debug, Clone)]
@@ -60,6 +76,13 @@ pub struct Bencher {
 impl Bencher {
     /// Measure `f`, storing the median per-iteration time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            // Smoke test: one execution, no measurement loop.
+            let start = Instant::now();
+            black_box(f());
+            self.last_median_ns = start.elapsed().as_nanos() as f64;
+            return;
+        }
         // Warm-up and calibration: find how many iterations fit ~5 ms.
         let start = Instant::now();
         black_box(f());
@@ -165,11 +188,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare `main` running each group (ignores CLI args such as `--bench`).
+/// Declare `main` running each group. Honours `--test` (smoke mode: one
+/// execution per benchmark, no measurement loop) and ignores other CLI
+/// args such as `--bench`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::set_test_mode(std::env::args().any(|a| a == "--test"));
             $($group();)+
         }
     };
