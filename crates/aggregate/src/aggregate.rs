@@ -18,6 +18,7 @@ use mirabel_core::{
     SlotSpan, TimeSlot,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A macro flex-offer produced by the n-to-1 aggregator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,8 +38,10 @@ pub struct AggregatedFlexOffer {
     pub profile: Profile,
     /// Energy-weighted mean member activation price.
     pub unit_price: Price,
-    /// Members folded into this aggregate.
-    pub member_ids: Vec<FlexOfferId>,
+    /// Members folded into this aggregate, ascending. Shared so cloning
+    /// an aggregate through the update stream never copies the id list
+    /// (1 000-member aggregates are cloned per trickle emission).
+    pub member_ids: Arc<Vec<FlexOfferId>>,
 }
 
 impl AggregatedFlexOffer {
@@ -115,7 +118,7 @@ impl AggregatedFlexOffer {
             assignment_before,
             profile,
             unit_price,
-            member_ids,
+            member_ids: Arc::new(member_ids),
         }
     }
 

@@ -7,22 +7,49 @@
 //! this, a so called bin-packer is designed. … It should be noticed that
 //! this bin-packer is an optional feature and can be turned off."
 //!
-//! The packer consumes group updates and splits each group's members into
-//! bounded sub-groups (first-fit in stable member order). It remembers the
-//! sub-group count per group so shrinking groups emit `Removed` updates
-//! for vanished sub-groups.
+//! The packer consumes group **membership deltas** and maintains its bins
+//! incrementally: a removed offer leaves exactly its bin, an added offer
+//! first-fits into the existing bins (emptied bins are reused before new
+//! ones open). One trickle update therefore touches O(bins of the group)
+//! state instead of re-packing the whole group, and downstream sub-group
+//! updates are deltas too — unchanged members generate no traffic.
 
 use crate::config::BinPackerConfig;
+use crate::slab::OfferSlab;
 use crate::update::{GroupUpdate, SubgroupId, SubgroupUpdate};
-use mirabel_core::{FlexOffer, GroupId};
-use std::collections::HashMap;
+use mirabel_core::{FlexOffer, FlexOfferId, GroupId};
+use std::collections::{BTreeMap, HashMap};
+
+/// One bounded sub-group of a similarity group. The member list is kept
+/// in insertion order; the running energy total tracks the packing bound.
+#[derive(Debug, Default)]
+struct Bin {
+    members: Vec<FlexOfferId>,
+    energy: f64,
+}
+
+/// Incremental packing state of one group.
+#[derive(Debug, Default)]
+struct GroupBins {
+    /// Index in this vector = sub-group index. Emptied bins stay as
+    /// reusable holes so indices remain stable.
+    bins: Vec<Bin>,
+    /// Offer → bin index.
+    assign: HashMap<FlexOfferId, u32>,
+}
+
+/// Per-flush membership delta of one bin.
+#[derive(Debug, Default)]
+struct BinDelta {
+    added: Vec<FlexOfferId>,
+    removed: Vec<FlexOffer>,
+}
 
 /// Splits similarity groups into bounds-satisfying sub-groups.
 #[derive(Debug)]
 pub struct BinPacker {
     config: BinPackerConfig,
-    /// Sub-group count previously emitted per group.
-    emitted: HashMap<GroupId, u32>,
+    groups: HashMap<GroupId, GroupBins>,
 }
 
 impl BinPacker {
@@ -30,7 +57,7 @@ impl BinPacker {
     pub fn new(config: BinPackerConfig) -> BinPacker {
         BinPacker {
             config,
-            emitted: HashMap::new(),
+            groups: HashMap::new(),
         }
     }
 
@@ -39,72 +66,116 @@ impl BinPacker {
         &self.config
     }
 
-    /// Partition members by first-fit under the configured bounds.
-    fn partition(&self, members: &[FlexOffer]) -> Vec<Vec<FlexOffer>> {
-        let mut bins: Vec<Vec<FlexOffer>> = Vec::new();
-        let mut bin_energy: Vec<f64> = Vec::new();
-        for offer in members {
-            let e = offer.profile().max_total_energy().kwh();
-            let fits = |i: usize, bins: &[Vec<FlexOffer>], bin_energy: &[f64]| -> bool {
-                if let Some(mm) = self.config.max_members {
-                    if bins[i].len() >= mm {
-                        return false;
-                    }
-                }
-                if let Some(me) = self.config.max_energy_kwh {
-                    // A bin accepts an offer if empty (oversized single
-                    // offers still get a bin) or if the energy bound holds.
-                    if !bins[i].is_empty() && bin_energy[i] + e > me {
-                        return false;
-                    }
-                }
-                true
-            };
-            let slot = (0..bins.len()).find(|&i| fits(i, &bins, &bin_energy));
-            match slot {
-                Some(i) => {
-                    bins[i].push(offer.clone());
-                    bin_energy[i] += e;
-                }
-                None => {
-                    bins.push(vec![offer.clone()]);
-                    bin_energy.push(e);
-                }
+    /// Whether `bin` can take another offer of energy `e` kWh. An empty
+    /// bin always accepts, so oversized single offers still get packed.
+    fn fits(config: &BinPackerConfig, bin: &Bin, e: f64) -> bool {
+        if bin.members.is_empty() {
+            return true;
+        }
+        if let Some(mm) = config.max_members {
+            if bin.members.len() >= mm {
+                return false;
             }
         }
-        bins
+        if let Some(me) = config.max_energy_kwh {
+            if bin.energy + e > me {
+                return false;
+            }
+        }
+        true
     }
 
-    /// Consume group updates, emit sub-group updates.
-    pub fn apply(&mut self, updates: Vec<GroupUpdate>) -> Vec<SubgroupUpdate> {
+    /// Consume group deltas, maintain the bins, emit sub-group deltas.
+    pub fn apply(&mut self, updates: Vec<GroupUpdate>, slab: &OfferSlab) -> Vec<SubgroupUpdate> {
         let mut out = Vec::new();
         for u in updates {
             match u {
                 GroupUpdate::Removed { group } => {
-                    let n = self.emitted.remove(&group).unwrap_or(0);
-                    for index in 0..n {
-                        out.push(SubgroupUpdate::Removed {
-                            subgroup: SubgroupId { group, index },
-                        });
+                    if let Some(entry) = self.groups.remove(&group) {
+                        for (index, bin) in entry.bins.iter().enumerate() {
+                            if !bin.members.is_empty() {
+                                out.push(SubgroupUpdate::Removed {
+                                    subgroup: SubgroupId {
+                                        group,
+                                        index: index as u32,
+                                    },
+                                });
+                            }
+                        }
                     }
                 }
-                GroupUpdate::Upsert { group, members } => {
-                    let bins = self.partition(&members);
-                    let new_n = bins.len() as u32;
-                    let old_n = self.emitted.insert(group, new_n).unwrap_or(0);
-                    for (i, bin) in bins.into_iter().enumerate() {
-                        out.push(SubgroupUpdate::Upsert {
-                            subgroup: SubgroupId {
-                                group,
-                                index: i as u32,
-                            },
-                            members: bin,
-                        });
+                GroupUpdate::Upsert {
+                    group,
+                    added,
+                    removed,
+                } => {
+                    let entry = self.groups.entry(group).or_default();
+                    let mut deltas: BTreeMap<u32, BinDelta> = BTreeMap::new();
+                    // Detach every departing member first, THEN re-sum
+                    // the touched bins: a batch may remove several
+                    // members of one bin, and mid-removal "survivors"
+                    // that are later entries of the same removed list
+                    // are already gone from the slab.
+                    for offer in removed {
+                        let idx = entry
+                            .assign
+                            .remove(&offer.id())
+                            .expect("removed offer was packed");
+                        let bin = &mut entry.bins[idx as usize];
+                        bin.members.retain(|&m| m != offer.id());
+                        deltas.entry(idx).or_default().removed.push(offer);
                     }
-                    for index in new_n..old_n {
-                        out.push(SubgroupUpdate::Removed {
-                            subgroup: SubgroupId { group, index },
-                        });
+                    for &idx in deltas.keys() {
+                        // Re-sum from the true survivors (all still in the
+                        // slab) instead of subtracting: the running total
+                        // stays drift-free across long delete streams.
+                        let bin = &mut entry.bins[idx as usize];
+                        bin.energy = bin
+                            .members
+                            .iter()
+                            .map(|m| {
+                                slab.get(*m)
+                                    .expect("bin member is in the slab")
+                                    .profile()
+                                    .max_total_energy()
+                                    .kwh()
+                            })
+                            .sum();
+                    }
+                    for id in added {
+                        let e = slab
+                            .get(id)
+                            .expect("added offer is in the slab")
+                            .profile()
+                            .max_total_energy()
+                            .kwh();
+                        let config = &self.config;
+                        let idx = match (0..entry.bins.len())
+                            .find(|&i| BinPacker::fits(config, &entry.bins[i], e))
+                        {
+                            Some(i) => i,
+                            None => {
+                                entry.bins.push(Bin::default());
+                                entry.bins.len() - 1
+                            }
+                        };
+                        let bin = &mut entry.bins[idx];
+                        bin.members.push(id);
+                        bin.energy += e;
+                        entry.assign.insert(id, idx as u32);
+                        deltas.entry(idx as u32).or_default().added.push(id);
+                    }
+                    for (index, delta) in deltas {
+                        let subgroup = SubgroupId { group, index };
+                        if entry.bins[index as usize].members.is_empty() {
+                            out.push(SubgroupUpdate::Removed { subgroup });
+                        } else if !(delta.added.is_empty() && delta.removed.is_empty()) {
+                            out.push(SubgroupUpdate::Upsert {
+                                subgroup,
+                                added: delta.added,
+                                removed: delta.removed,
+                            });
+                        }
                     }
                 }
             }
@@ -118,9 +189,14 @@ impl BinPacker {
         updates
             .into_iter()
             .map(|u| match u {
-                GroupUpdate::Upsert { group, members } => SubgroupUpdate::Upsert {
+                GroupUpdate::Upsert {
+                    group,
+                    added,
+                    removed,
+                } => SubgroupUpdate::Upsert {
                     subgroup: SubgroupId { group, index: 0 },
-                    members,
+                    added,
+                    removed,
                 },
                 GroupUpdate::Removed { group } => SubgroupUpdate::Removed {
                     subgroup: SubgroupId { group, index: 0 },
@@ -143,38 +219,66 @@ mod tests {
             .unwrap()
     }
 
-    fn upsert(group: u64, members: Vec<FlexOffer>) -> GroupUpdate {
+    /// Stock a slab and produce the matching group upsert delta.
+    fn upsert(slab: &mut OfferSlab, group: u64, members: Vec<FlexOffer>) -> GroupUpdate {
+        let added = members.iter().map(|o| o.id()).collect();
+        for o in members {
+            slab.insert(o);
+        }
         GroupUpdate::Upsert {
             group: GroupId(group),
-            members,
+            added,
+            removed: vec![],
         }
+    }
+
+    /// Remove offers from the slab and produce the matching delta.
+    fn remove(slab: &mut OfferSlab, group: u64, ids: Vec<u64>) -> GroupUpdate {
+        let removed = ids
+            .into_iter()
+            .map(|id| slab.remove(FlexOfferId(id)).expect("offer in slab"))
+            .collect();
+        GroupUpdate::Upsert {
+            group: GroupId(group),
+            added: vec![],
+            removed,
+        }
+    }
+
+    fn upsert_sizes(out: &[SubgroupUpdate]) -> Vec<usize> {
+        out.iter()
+            .filter_map(|u| match u {
+                SubgroupUpdate::Upsert { added, .. } => Some(added.len()),
+                _ => None,
+            })
+            .collect()
     }
 
     #[test]
     fn member_bound_splits_groups() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::max_members(3));
         let members: Vec<FlexOffer> = (0..10).map(|i| offer(i, 1.0)).collect();
-        let out = bp.apply(vec![upsert(1, members)]);
-        let upserts: Vec<_> = out
-            .iter()
-            .filter_map(|u| match u {
-                SubgroupUpdate::Upsert { members, .. } => Some(members.len()),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(upserts, vec![3, 3, 3, 1]);
+        let u = upsert(&mut slab, 1, members);
+        let out = bp.apply(vec![u], &slab);
+        assert_eq!(upsert_sizes(&out), vec![3, 3, 3, 1]);
     }
 
     #[test]
     fn energy_bound_respected() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::max_energy(5.0));
-        let members = vec![offer(1, 3.0), offer(2, 3.0), offer(3, 1.0)];
-        let out = bp.apply(vec![upsert(1, members)]);
+        let u = upsert(
+            &mut slab,
+            1,
+            vec![offer(1, 3.0), offer(2, 3.0), offer(3, 1.0)],
+        );
+        let out = bp.apply(vec![u], &slab);
         for u in &out {
-            if let SubgroupUpdate::Upsert { members, .. } = u {
-                let total: f64 = members
+            if let SubgroupUpdate::Upsert { added, .. } = u {
+                let total: f64 = added
                     .iter()
-                    .map(|o| o.profile().max_total_energy().kwh())
+                    .map(|id| slab.get(*id).unwrap().profile().max_total_energy().kwh())
                     .sum();
                 assert!(total <= 5.0 + 1e-9, "bin energy {total}");
             }
@@ -185,32 +289,97 @@ mod tests {
 
     #[test]
     fn oversized_single_offer_still_packed() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::max_energy(1.0));
-        let out = bp.apply(vec![upsert(1, vec![offer(1, 50.0)])]);
+        let u = upsert(&mut slab, 1, vec![offer(1, 50.0)]);
+        let out = bp.apply(vec![u], &slab);
         assert_eq!(out.len(), 1);
-        assert!(matches!(&out[0], SubgroupUpdate::Upsert { members, .. } if members.len() == 1));
+        assert!(matches!(&out[0], SubgroupUpdate::Upsert { added, .. } if added.len() == 1));
     }
 
     #[test]
-    fn shrinking_group_removes_stale_subgroups() {
+    fn removal_touches_only_its_bin() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::max_members(2));
-        bp.apply(vec![upsert(1, (0..6).map(|i| offer(i, 1.0)).collect())]); // 3 bins
-        let out = bp.apply(vec![upsert(1, (0..2).map(|i| offer(i, 1.0)).collect())]); // 1 bin
-        let removed: Vec<u32> = out
-            .iter()
-            .filter_map(|u| match u {
-                SubgroupUpdate::Removed { subgroup } => Some(subgroup.index),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(removed, vec![1, 2]);
+        let u = upsert(&mut slab, 1, (0..6).map(|i| offer(i, 1.0)).collect());
+        bp.apply(vec![u], &slab); // bins [0,1] [2,3] [4,5]
+        let u = remove(&mut slab, 1, vec![3]);
+        let out = bp.apply(vec![u], &slab);
+        // only bin 1 emits an update
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            SubgroupUpdate::Upsert {
+                subgroup, removed, ..
+            } => {
+                assert_eq!(subgroup.index, 1);
+                assert_eq!(removed.len(), 1);
+                assert_eq!(removed[0].id(), FlexOfferId(3));
+            }
+            other => panic!("expected upsert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emptied_bin_is_removed_and_reused() {
+        let mut slab = OfferSlab::new();
+        let mut bp = BinPacker::new(BinPackerConfig::max_members(1));
+        let u = upsert(&mut slab, 1, vec![offer(1, 1.0), offer(2, 1.0)]);
+        bp.apply(vec![u], &slab); // bins [1] [2]
+        let u = remove(&mut slab, 1, vec![1]);
+        let out = bp.apply(vec![u], &slab);
+        assert!(
+            matches!(&out[0], SubgroupUpdate::Removed { subgroup } if subgroup.index == 0),
+            "got {out:?}"
+        );
+        // a new offer first-fits into the freed bin 0, not a fresh bin 2
+        let u = upsert(&mut slab, 1, vec![offer(3, 1.0)]);
+        let out = bp.apply(vec![u], &slab);
+        assert!(
+            matches!(&out[0], SubgroupUpdate::Upsert { subgroup, .. } if subgroup.index == 0),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn batch_removal_of_same_bin_members_does_not_panic() {
+        // Regression: deleting several members of ONE bin in a single
+        // flush must not look the already-slab-removed members up
+        // during the bin-energy re-sum.
+        let mut slab = OfferSlab::new();
+        let mut bp = BinPacker::new(BinPackerConfig::max_members(3));
+        let u = upsert(
+            &mut slab,
+            1,
+            vec![offer(1, 1.0), offer(2, 2.0), offer(3, 4.0)],
+        );
+        bp.apply(vec![u], &slab); // one bin [1,2,3]
+        let u = remove(&mut slab, 1, vec![1, 2]);
+        let out = bp.apply(vec![u], &slab);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            SubgroupUpdate::Upsert {
+                subgroup, removed, ..
+            } => {
+                assert_eq!(subgroup.index, 0);
+                assert_eq!(removed.len(), 2);
+            }
+            other => panic!("expected upsert, got {other:?}"),
+        }
+        // The surviving bin's running energy equals offer 3's.
+        let u = upsert(&mut slab, 1, vec![offer(4, 1.0)]);
+        bp.apply(vec![u], &slab);
+        let entry = bp.groups.get(&GroupId(1)).unwrap();
+        assert_eq!(entry.bins[0].members.len(), 2);
+        assert!((entry.bins[0].energy - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn group_removal_cascades() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::max_members(1));
-        bp.apply(vec![upsert(7, vec![offer(1, 1.0), offer(2, 1.0)])]);
-        let out = bp.apply(vec![GroupUpdate::Removed { group: GroupId(7) }]);
+        let u = upsert(&mut slab, 7, vec![offer(1, 1.0), offer(2, 1.0)]);
+        bp.apply(vec![u], &slab);
+        let out = bp.apply(vec![GroupUpdate::Removed { group: GroupId(7) }], &slab);
         assert_eq!(out.len(), 2);
         assert!(out
             .iter()
@@ -219,15 +388,21 @@ mod tests {
 
     #[test]
     fn unbounded_config_keeps_one_bin() {
+        let mut slab = OfferSlab::new();
         let mut bp = BinPacker::new(BinPackerConfig::default());
-        let out = bp.apply(vec![upsert(1, (0..100).map(|i| offer(i, 1.0)).collect())]);
+        let u = upsert(&mut slab, 1, (0..100).map(|i| offer(i, 1.0)).collect());
+        let out = bp.apply(vec![u], &slab);
         assert_eq!(out.len(), 1);
     }
 
     #[test]
     fn passthrough_maps_one_to_one() {
         let out = BinPacker::passthrough(vec![
-            upsert(1, vec![offer(1, 1.0)]),
+            GroupUpdate::Upsert {
+                group: GroupId(1),
+                added: vec![FlexOfferId(1)],
+                removed: vec![],
+            },
             GroupUpdate::Removed { group: GroupId(2) },
         ]);
         assert_eq!(out.len(), 2);

@@ -4,14 +4,18 @@
 //! Offers are bucketed on a grid over (kind, earliest start, time
 //! flexibility, optionally duration); a tolerance of `t` slots yields
 //! buckets of width `t + 1`, so attribute values within one group deviate
-//! by at most `t`. Updates are accumulated and, when flushed, emitted as
-//! group updates for the bin-packer / aggregator.
+//! by at most `t`. Updates are accumulated and, when flushed, the offer
+//! values move into the pipeline's [`OfferSlab`] and the group changes
+//! are emitted as **member deltas** (`added` ids / `removed` owned
+//! values) for the bin-packer / aggregator — a flush touching one offer
+//! emits O(1) delta entries, never a member snapshot.
 
 use crate::config::AggregationParams;
+use crate::slab::OfferSlab;
 use crate::update::{FlexOfferUpdate, GroupUpdate};
 use mirabel_core::{FlexOffer, FlexOfferId, GroupId, OfferKind};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Bucketed similarity key. `cell` is 0 unless the integrated member cap
 /// is active, in which case it sub-partitions an attribute bucket into
@@ -56,16 +60,19 @@ impl CellDirectory {
     }
 }
 
+/// Per-flush membership delta of one group.
 #[derive(Debug, Default)]
-struct Group {
-    members: HashMap<FlexOfferId, FlexOffer>,
+struct DeltaAcc {
+    added: BTreeSet<FlexOfferId>,
+    removed: Vec<FlexOffer>,
 }
 
 /// Incremental similarity grouping.
 #[derive(Debug)]
 pub struct GroupBuilder {
     params: AggregationParams,
-    groups: HashMap<GroupKey, (GroupId, Group)>,
+    /// Group id and current member ids (values live in the slab).
+    groups: HashMap<GroupKey, (GroupId, BTreeSet<FlexOfferId>)>,
     /// Reverse index: offer → its group key.
     index: HashMap<FlexOfferId, GroupKey>,
     /// Updates accumulated since the last flush.
@@ -135,96 +142,145 @@ impl GroupBuilder {
         self.pending.len()
     }
 
-    /// Process all queued updates and emit the group changes.
-    pub fn flush(&mut self) -> Vec<GroupUpdate> {
+    /// Process all queued updates, moving offer values into `slab`, and
+    /// emit the per-group membership deltas in deterministic (sorted
+    /// group key) order.
+    pub fn flush(&mut self, slab: &mut OfferSlab) -> Vec<GroupUpdate> {
         let pending = std::mem::take(&mut self.pending);
-        let mut touched: HashSet<GroupKey> = HashSet::new();
+        let mut acc: HashMap<GroupKey, DeltaAcc> = HashMap::new();
         for u in pending {
             match u {
-                FlexOfferUpdate::Insert(offer) => {
-                    let mut key = self.key_of(&offer);
-                    // Integrated bin-packing: place the offer into the
-                    // first attribute-bucket cell with room.
-                    if let Some(cap) = self.member_cap {
-                        // Re-inserting the same id into the same bucket
-                        // keeps its cell (membership is replaced, not
-                        // duplicated).
-                        let prior = self.index.get(&offer.id()).copied();
-                        match prior {
-                            Some(old) if GroupKey { cell: 0, ..old } == key => {
-                                key.cell = old.cell;
-                            }
-                            _ => {
-                                key.cell = self.cells.entry(key).or_default().allocate(cap);
-                            }
-                        }
-                    }
-                    // Re-insert under a different key ⇒ remove from the old
-                    // group first.
-                    if let Some(old) = self.index.insert(offer.id(), key) {
-                        if old != key {
-                            if let Some((_, g)) = self.groups.get_mut(&old) {
-                                g.members.remove(&offer.id());
-                                touched.insert(old);
-                            }
-                            if self.member_cap.is_some() {
-                                if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..old })
-                                {
-                                    dir.release(old.cell);
-                                }
-                            }
-                        }
-                    }
-                    let (_, group) = match self.groups.entry(key) {
-                        Entry::Occupied(e) => e.into_mut(),
-                        Entry::Vacant(e) => {
-                            let id = GroupId(self.next_group);
-                            self.next_group += 1;
-                            e.insert((id, Group::default()))
-                        }
-                    };
-                    group.members.insert(offer.id(), offer);
-                    touched.insert(key);
-                }
-                FlexOfferUpdate::Delete(id) => {
-                    if let Some(key) = self.index.remove(&id) {
-                        if let Some((_, g)) = self.groups.get_mut(&key) {
-                            g.members.remove(&id);
-                            touched.insert(key);
-                        }
-                        if self.member_cap.is_some() {
-                            if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..key }) {
-                                dir.release(key.cell);
-                            }
-                        }
-                    }
-                }
+                FlexOfferUpdate::Insert(offer) => self.insert(offer, slab, &mut acc),
+                FlexOfferUpdate::Delete(id) => self.delete(id, slab, &mut acc),
             }
         }
 
         // Deterministic emission order: group ids and downstream aggregate
         // ids must not depend on hash iteration order.
-        let mut touched: Vec<GroupKey> = touched.into_iter().collect();
+        let mut touched: Vec<GroupKey> = acc.keys().copied().collect();
         touched.sort_unstable();
         let mut out = Vec::with_capacity(touched.len());
         for key in touched {
-            let Some((gid, group)) = self.groups.get(&key) else {
+            let delta = acc.remove(&key).expect("key from acc");
+            let Some((gid, members)) = self.groups.get(&key) else {
                 continue;
             };
-            if group.members.is_empty() {
+            if members.is_empty() {
                 let gid = *gid;
                 self.groups.remove(&key);
                 out.push(GroupUpdate::Removed { group: gid });
-            } else {
-                let mut members: Vec<FlexOffer> = group.members.values().cloned().collect();
-                members.sort_by_key(|o| o.id());
+            } else if !(delta.added.is_empty() && delta.removed.is_empty()) {
+                let mut removed = delta.removed;
+                removed.sort_by_key(|o| o.id());
                 out.push(GroupUpdate::Upsert {
                     group: *gid,
-                    members,
+                    added: delta.added.into_iter().collect(),
+                    removed,
                 });
             }
         }
         out
+    }
+
+    fn insert(
+        &mut self,
+        offer: FlexOffer,
+        slab: &mut OfferSlab,
+        acc: &mut HashMap<GroupKey, DeltaAcc>,
+    ) {
+        let id = offer.id();
+        let mut key = self.key_of(&offer);
+        // Integrated bin-packing: place the offer into the first
+        // attribute-bucket cell with room. Re-inserting the same id into
+        // the same bucket keeps its cell (membership is replaced, not
+        // duplicated).
+        if let Some(cap) = self.member_cap {
+            match self.index.get(&id).copied() {
+                Some(old) if GroupKey { cell: 0, ..old } == key => {
+                    key.cell = old.cell;
+                }
+                _ => {
+                    key.cell = self.cells.entry(key).or_default().allocate(cap);
+                }
+            }
+        }
+        let displaced = slab.insert(offer);
+        match self.index.insert(id, key) {
+            Some(old) if old != key => {
+                // Moved between groups: leave the old one…
+                if let Some((_, members)) = self.groups.get_mut(&old) {
+                    members.remove(&id);
+                }
+                let old_acc = acc.entry(old).or_default();
+                if !old_acc.added.remove(&id) {
+                    // The old value was folded into the old group before
+                    // this flush — downstream must subtract it.
+                    old_acc
+                        .removed
+                        .push(displaced.expect("indexed offer is in the slab"));
+                }
+                if self.member_cap.is_some() {
+                    if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..old }) {
+                        dir.release(old.cell);
+                    }
+                }
+                self.join(id, key, acc);
+            }
+            Some(_) => {
+                // Same group, new attribute values: old value out, new
+                // value in (unless the old value was itself added this
+                // flush and never left the builder).
+                let a = acc.entry(key).or_default();
+                if !a.added.contains(&id) {
+                    a.removed
+                        .push(displaced.expect("indexed offer is in the slab"));
+                }
+                a.added.insert(id);
+            }
+            None => {
+                debug_assert!(displaced.is_none(), "unindexed offer was in the slab");
+                self.join(id, key, acc);
+            }
+        }
+    }
+
+    /// Register `id` as a member of the group at `key`, creating the
+    /// group on first use.
+    fn join(&mut self, id: FlexOfferId, key: GroupKey, acc: &mut HashMap<GroupKey, DeltaAcc>) {
+        let (_, members) = match self.groups.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let gid = GroupId(self.next_group);
+                self.next_group += 1;
+                e.insert((gid, BTreeSet::new()))
+            }
+        };
+        members.insert(id);
+        acc.entry(key).or_default().added.insert(id);
+    }
+
+    fn delete(
+        &mut self,
+        id: FlexOfferId,
+        slab: &mut OfferSlab,
+        acc: &mut HashMap<GroupKey, DeltaAcc>,
+    ) {
+        let Some(key) = self.index.remove(&id) else {
+            return;
+        };
+        if let Some((_, members)) = self.groups.get_mut(&key) {
+            members.remove(&id);
+        }
+        let removed = slab.remove(id).expect("indexed offer is in the slab");
+        let a = acc.entry(key).or_default();
+        if !a.added.remove(&id) {
+            a.removed.push(removed);
+        }
+        if self.member_cap.is_some() {
+            if let Some(dir) = self.cells.get_mut(&GroupKey { cell: 0, ..key }) {
+                dir.release(key.cell);
+            }
+        }
     }
 
     /// Current number of non-empty groups.
@@ -256,8 +312,29 @@ mod tests {
         offers.into_iter().map(FlexOfferUpdate::Insert).collect()
     }
 
+    /// Collected (added ids, removed ids) across all upserts of a flush.
+    fn delta_ids(updates: &[GroupUpdate]) -> (Vec<u64>, Vec<u64>) {
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for u in updates {
+            if let GroupUpdate::Upsert {
+                added: a,
+                removed: r,
+                ..
+            } = u
+            {
+                added.extend(a.iter().map(|id| id.value()));
+                removed.extend(r.iter().map(|o| o.id().value()));
+            }
+        }
+        added.sort_unstable();
+        removed.sort_unstable();
+        (added, removed)
+    }
+
     #[test]
     fn p0_groups_only_identical_attributes() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(inserts(vec![
             offer(1, 10, 4),
@@ -265,26 +342,29 @@ mod tests {
             offer(3, 10, 5), // different TF
             offer(4, 11, 4), // different start
         ]));
-        let updates = gb.flush();
+        let updates = gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 3);
         assert_eq!(updates.len(), 3);
         assert_eq!(gb.offer_count(), 4);
+        assert_eq!(slab.len(), 4);
     }
 
     #[test]
     fn tolerances_widen_buckets() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p3(4, 4));
         gb.accumulate(inserts(vec![
             offer(1, 10, 4),
             offer(2, 12, 6), // within ±4 of both
         ]));
-        gb.flush();
+        gb.flush(&mut slab);
         // bucket width 5: starts 10,12 both in bucket 2; tf 4,6 — 4/5=0, 6/5=1.
         // tf values land in different buckets here, so choose values that share one:
         assert_eq!(gb.group_count(), 2);
+        let mut slab2 = OfferSlab::new();
         let mut gb2 = GroupBuilder::new(AggregationParams::p3(4, 4));
         gb2.accumulate(inserts(vec![offer(1, 10, 5), offer(2, 12, 8)]));
-        gb2.flush();
+        gb2.flush(&mut slab2);
         assert_eq!(gb2.group_count(), 1);
     }
 
@@ -293,13 +373,16 @@ mod tests {
         // Property: two offers in the same bucket differ by at most the
         // tolerance in each attribute.
         let params = AggregationParams::p3(7, 3);
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(params);
         let offers: Vec<FlexOffer> = (0..500)
             .map(|i| offer(i, (i % 97) as i64, (i % 13) as u32))
             .collect();
         gb.accumulate(inserts(offers));
-        for u in gb.flush() {
-            if let GroupUpdate::Upsert { members, .. } = u {
+        for u in gb.flush(&mut slab) {
+            if let GroupUpdate::Upsert { added, .. } = u {
+                let members: Vec<&FlexOffer> =
+                    added.iter().map(|id| slab.get(*id).unwrap()).collect();
                 for a in &members {
                     for b in &members {
                         assert!(
@@ -318,6 +401,7 @@ mod tests {
 
     #[test]
     fn consumption_production_never_mix() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p3(1000, 1000));
         let cons = offer(1, 10, 4);
         let prod = FlexOffer::builder(2, 1)
@@ -329,80 +413,151 @@ mod tests {
             .unwrap();
         gb.accumulate(inserts(vec![cons]));
         gb.accumulate(vec![FlexOfferUpdate::Insert(prod)]);
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2);
     }
 
     #[test]
-    fn delete_shrinks_and_removes_groups() {
+    fn delete_emits_owned_value_and_removes_empty_groups() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 1);
 
         gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(1))]);
-        let u1 = gb.flush();
+        let u1 = gb.flush(&mut slab);
         assert_eq!(u1.len(), 1);
-        assert!(matches!(&u1[0], GroupUpdate::Upsert { members, .. } if members.len() == 1));
+        match &u1[0] {
+            GroupUpdate::Upsert { added, removed, .. } => {
+                assert!(added.is_empty());
+                assert_eq!(removed.len(), 1);
+                assert_eq!(removed[0].id(), FlexOfferId(1));
+                assert_eq!(removed[0].earliest_start(), TimeSlot(5));
+            }
+            other => panic!("expected upsert, got {other:?}"),
+        }
+        assert!(!slab.contains(FlexOfferId(1)));
 
         gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(2))]);
-        let u2 = gb.flush();
+        let u2 = gb.flush(&mut slab);
         assert!(matches!(&u2[0], GroupUpdate::Removed { .. }));
         assert_eq!(gb.group_count(), 0);
         assert_eq!(gb.offer_count(), 0);
+        assert!(slab.is_empty());
     }
 
     #[test]
     fn delete_unknown_offer_is_noop() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(99))]);
-        assert!(gb.flush().is_empty());
+        assert!(gb.flush(&mut slab).is_empty());
     }
 
     #[test]
     fn reinsert_moves_between_groups() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(inserts(vec![offer(1, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         // same id, different attributes: moves to a new group
         gb.accumulate(inserts(vec![offer(1, 50, 9)]));
-        let updates = gb.flush();
+        let updates = gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 1);
         assert_eq!(gb.offer_count(), 1);
-        // old group removed + new group upserted
+        assert_eq!(slab.len(), 1);
+        // old group removed + new group upserted with the id
         assert_eq!(updates.len(), 2);
+        assert!(updates
+            .iter()
+            .any(|u| matches!(u, GroupUpdate::Removed { .. })));
+        let (added, removed) = delta_ids(&updates);
+        assert_eq!(added, vec![1]);
+        // the old value vanished with its whole group, so no subtraction
+        // delta is needed for it
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn replacement_in_same_group_emits_old_value_and_new_id() {
+        let mut slab = OfferSlab::new();
+        let mut gb = GroupBuilder::new(AggregationParams::p3(100, 100));
+        gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 6, 3)]));
+        gb.flush(&mut slab);
+        assert_eq!(gb.group_count(), 1);
+        // same id, same bucket, different attribute values
+        gb.accumulate(inserts(vec![offer(1, 7, 4)]));
+        let updates = gb.flush(&mut slab);
+        assert_eq!(updates.len(), 1);
+        match &updates[0] {
+            GroupUpdate::Upsert { added, removed, .. } => {
+                assert_eq!(added, &vec![FlexOfferId(1)]);
+                assert_eq!(removed.len(), 1);
+                assert_eq!(removed[0].earliest_start(), TimeSlot(5));
+            }
+            other => panic!("expected upsert, got {other:?}"),
+        }
+        assert_eq!(
+            slab.get(FlexOfferId(1)).unwrap().earliest_start(),
+            TimeSlot(7)
+        );
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_flush_cancels_out() {
+        let mut slab = OfferSlab::new();
+        let mut gb = GroupBuilder::new(AggregationParams::p0());
+        gb.accumulate(inserts(vec![offer(1, 5, 2)]));
+        gb.flush(&mut slab);
+        // Offer 2 joins and leaves within one batch: the group must see
+        // no delta for it at all.
+        gb.accumulate(vec![
+            FlexOfferUpdate::Insert(offer(2, 5, 2)),
+            FlexOfferUpdate::Delete(FlexOfferId(2)),
+        ]);
+        let updates = gb.flush(&mut slab);
+        assert!(updates.is_empty(), "got {updates:?}");
+        assert_eq!(gb.offer_count(), 1);
+        assert!(!slab.contains(FlexOfferId(2)));
     }
 
     #[test]
     fn accumulate_defers_processing() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(inserts(vec![offer(1, 5, 2)]));
         assert_eq!(gb.pending_len(), 1);
         assert_eq!(gb.group_count(), 0); // not yet processed
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.pending_len(), 0);
         assert_eq!(gb.group_count(), 1);
     }
 
     #[test]
     fn flush_batches_touch_each_group_once() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(AggregationParams::p0());
         gb.accumulate(inserts((0..100).map(|i| offer(i, 5, 2)).collect()));
-        let updates = gb.flush();
+        let updates = gb.flush(&mut slab);
         assert_eq!(updates.len(), 1); // all in one group, one update
+        let (added, removed) = delta_ids(&updates);
+        assert_eq!(added.len(), 100);
+        assert!(removed.is_empty());
     }
 
     #[test]
     fn integrated_cap_bounds_group_sizes() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 3);
         gb.accumulate(inserts((0..10).map(|i| offer(i, 5, 2)).collect()));
-        let updates = gb.flush();
+        let updates = gb.flush(&mut slab);
         // 10 identical offers, cap 3 → 4 groups (3+3+3+1)
         assert_eq!(gb.group_count(), 4);
         let mut sizes: Vec<usize> = updates
             .iter()
             .filter_map(|u| match u {
-                GroupUpdate::Upsert { members, .. } => Some(members.len()),
+                GroupUpdate::Upsert { added, .. } => Some(added.len()),
                 _ => None,
             })
             .collect();
@@ -412,57 +567,60 @@ mod tests {
 
     #[test]
     fn integrated_cap_reuses_freed_cells() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 2);
         gb.accumulate(inserts(vec![
             offer(1, 5, 2),
             offer(2, 5, 2),
             offer(3, 5, 2),
         ]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2); // cells [2, 1]
 
         // Delete one of the first cell, insert a new offer: it must fill
         // the freed slot instead of opening a third cell.
         gb.accumulate(vec![FlexOfferUpdate::Delete(FlexOfferId(1))]);
-        gb.flush();
+        gb.flush(&mut slab);
         gb.accumulate(inserts(vec![offer(4, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2);
         assert_eq!(gb.offer_count(), 3);
     }
 
     #[test]
     fn integrated_cap_reinsert_same_bucket_keeps_cell() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 2);
         gb.accumulate(inserts(vec![offer(1, 5, 2), offer(2, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 1);
         // re-insert offer 1 with identical attributes: stays in its cell,
         // no phantom occupancy
         gb.accumulate(inserts(vec![offer(1, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 1);
         assert_eq!(gb.offer_count(), 2);
         // the group still has room for nobody (cap 2) — a third offer
         // opens a second cell
         gb.accumulate(inserts(vec![offer(3, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2);
     }
 
     #[test]
     fn integrated_cap_reinsert_other_bucket_releases_cell() {
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::with_member_cap(AggregationParams::p0(), 1);
         gb.accumulate(inserts(vec![offer(1, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         // move offer 1 to a different attribute bucket
         gb.accumulate(inserts(vec![offer(1, 50, 9)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.offer_count(), 1);
         // the old bucket's cell was released: a new offer at (5,2) fits
         // into cell 0 again
         gb.accumulate(inserts(vec![offer(2, 5, 2)]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2);
     }
 
@@ -470,6 +628,7 @@ mod tests {
     fn duration_tolerance_optional_dimension() {
         let mut params = AggregationParams::p0();
         params.duration_tolerance = Some(0);
+        let mut slab = OfferSlab::new();
         let mut gb = GroupBuilder::new(params);
         let mut long = offer(2, 10, 4);
         // Rebuild with a longer profile.
@@ -480,7 +639,7 @@ mod tests {
             .build()
             .unwrap();
         gb.accumulate(inserts(vec![offer(1, 10, 4), long]));
-        gb.flush();
+        gb.flush(&mut slab);
         assert_eq!(gb.group_count(), 2); // durations 2 vs 5 split
     }
 }

@@ -55,9 +55,60 @@ impl AggregationReport {
     }
 }
 
+/// Counters of the n-to-1 aggregator's delta-fold machinery: how much
+/// work the incremental path did and how often the drift-bounding exact
+/// re-fold kicked in. Cheap observability for the 10⁶-offer ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// Members folded *into* aggregates by delta updates.
+    pub folded_in: u64,
+    /// Members folded *out of* aggregates by delta updates.
+    pub folded_out: u64,
+    /// Exact re-folds performed to squash accumulated float drift.
+    pub refolds: u64,
+    /// Aggregate snapshots emitted.
+    pub emitted: u64,
+}
+
+impl DeltaStats {
+    /// Merge another counter set into this one.
+    pub fn absorb(&mut self, other: DeltaStats) {
+        self.folded_in += other.folded_in;
+        self.folded_out += other.folded_out;
+        self.refolds += other.refolds;
+        self.emitted += other.emitted;
+    }
+
+    /// Total member operations delta-folded.
+    pub fn delta_ops(&self) -> u64 {
+        self.folded_in + self.folded_out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_stats_absorb() {
+        let mut a = DeltaStats {
+            folded_in: 3,
+            folded_out: 1,
+            refolds: 0,
+            emitted: 2,
+        };
+        a.absorb(DeltaStats {
+            folded_in: 2,
+            folded_out: 2,
+            refolds: 1,
+            emitted: 1,
+        });
+        assert_eq!(a.folded_in, 5);
+        assert_eq!(a.folded_out, 3);
+        assert_eq!(a.refolds, 1);
+        assert_eq!(a.emitted, 3);
+        assert_eq!(a.delta_ops(), 8);
+    }
 
     #[test]
     fn ratios() {

@@ -1,11 +1,45 @@
 //! The n-to-1 aggregator (paper §4): maintains one [`AggregatedFlexOffer`]
 //! per sub-group and disaggregates scheduled aggregates back into micro
 //! schedules.
+//!
+//! ## Delta-folding
+//!
+//! The aggregator no longer re-folds a sub-group's full member list on
+//! every change. Each internal `AggregateEntry` keeps incremental state — value
+//! multisets for the min-folded attributes (earliest start, time
+//! flexibility, assignment deadline, profile end), the per-slot Minkowski
+//! energy sums, and the running price/energy totals — so applying a
+//! member delta costs O(changed members × profile length + log group),
+//! independent of the group size. Float drift from repeated add/subtract
+//! is bounded by a periodic exact re-fold (every `REFOLD_OPS` member
+//! operations the entry is rebuilt from the slab), and every emitted
+//! aggregate is cross-checked against [`AggregatedFlexOffer::build`] in
+//! debug builds — the same trust-but-verify pattern as the scheduler's
+//! `DeltaEvaluator` vs `cost::evaluate`.
+//!
+//! ## Shard-parallel flush
+//!
+//! Sub-group deltas of one flush are independent across groups, so
+//! [`NToOneAggregator::apply`] partitions them by group-id hash across
+//! scoped worker threads (the `std::thread::scope` pattern shared with
+//! `incremental::repair_parallel` and `forecast::parallel`) and merges
+//! the folded results in sorted sub-group order. Fresh aggregate ids are
+//! assigned during the sorted merge, so the emitted update stream — ids
+//! included — is identical for any thread count.
 
 use crate::aggregate::AggregatedFlexOffer;
+use crate::metrics::DeltaStats;
+use crate::slab::OfferSlab;
 use crate::update::{AggregateUpdate, SubgroupId, SubgroupUpdate};
-use mirabel_core::{AggregateId, DomainError, FlexOffer, ScheduledFlexOffer, TimeSlot};
-use std::collections::HashMap;
+use mirabel_core::{
+    AggregateId, DomainError, EnergyRange, FlexOffer, FlexOfferId, OfferKind, Price, Profile,
+    ScheduledFlexOffer, TimeSlot,
+};
+use std::collections::BTreeMap;
+
+/// Member operations (adds + removes) an entry absorbs before the next
+/// exact re-fold squashes accumulated float drift.
+const REFOLD_OPS: u32 = 4096;
 
 /// Errors from disaggregation.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,54 +61,471 @@ impl std::fmt::Display for DisaggregationError {
 
 impl std::error::Error for DisaggregationError {}
 
+/// Insert `v` into a value multiset.
+fn multi_insert<K: Ord>(set: &mut BTreeMap<K, u32>, v: K) {
+    *set.entry(v).or_insert(0) += 1;
+}
+
+/// Remove `v` from a value multiset.
+fn multi_remove<K: Ord + std::fmt::Debug>(set: &mut BTreeMap<K, u32>, v: K) {
+    match set.get_mut(&v) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            set.remove(&v);
+        }
+        None => panic!("value {v:?} not in multiset"),
+    }
+}
+
+/// Incrementally folded state of one aggregate.
 #[derive(Debug, Clone)]
 struct AggregateEntry {
+    kind: OfferKind,
+    /// Member ids, ascending.
+    members: Vec<FlexOfferId>,
+    /// Multiset of member earliest starts (min = aggregate start).
+    starts: BTreeMap<i64, u32>,
+    /// Multiset of member time flexibilities (min = aggregate TF).
+    flexes: BTreeMap<u32, u32>,
+    /// Multiset of member assignment deadlines (min = aggregate's).
+    deadlines: BTreeMap<i64, u32>,
+    /// Multiset of member profile end slots (max = aggregate span end).
+    ends: BTreeMap<i64, u32>,
+    /// Slot of `lo[0]`/`hi[0]`; `<=` the current aggregate start.
+    base: i64,
+    /// Per-slot Minkowski minimum energies relative to `base`.
+    lo: Vec<f64>,
+    /// Per-slot Minkowski maximum energies relative to `base`.
+    hi: Vec<f64>,
+    /// Σ member max total energy (price weighting denominator).
+    energy: f64,
+    /// Σ member max total energy × unit price.
+    weighted_price: f64,
+    /// Member operations since the last exact re-fold.
+    ops: u32,
+    /// Snapshot emitted for (and after) the last delta application.
     aggregate: AggregatedFlexOffer,
-    members: Vec<FlexOffer>,
+}
+
+impl AggregateEntry {
+    fn empty() -> AggregateEntry {
+        AggregateEntry {
+            kind: OfferKind::Consumption,
+            members: Vec::new(),
+            starts: BTreeMap::new(),
+            flexes: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
+            ends: BTreeMap::new(),
+            base: 0,
+            lo: Vec::new(),
+            hi: Vec::new(),
+            energy: 0.0,
+            weighted_price: 0.0,
+            ops: 0,
+            aggregate: AggregatedFlexOffer {
+                id: AggregateId(0),
+                kind: OfferKind::Consumption,
+                earliest_start: TimeSlot(0),
+                latest_start: TimeSlot(0),
+                assignment_before: TimeSlot(0),
+                profile: Profile::uniform(1, EnergyRange::ZERO),
+                unit_price: Price::ZERO,
+                member_ids: std::sync::Arc::new(Vec::new()),
+            },
+        }
+    }
+
+    /// Fold one member in: O(profile length + log group).
+    fn add(&mut self, o: &FlexOffer) {
+        if self.members.is_empty() {
+            self.kind = o.kind();
+            self.base = o.earliest_start().index();
+        }
+        debug_assert_eq!(o.kind(), self.kind, "aggregate must not mix kinds");
+        let es = o.earliest_start().index();
+        multi_insert(&mut self.starts, es);
+        multi_insert(&mut self.flexes, o.time_flexibility());
+        multi_insert(&mut self.deadlines, o.assignment_before().index());
+        multi_insert(&mut self.ends, es + o.duration() as i64);
+
+        if es < self.base {
+            let pad = (self.base - es) as usize;
+            self.lo.splice(0..0, std::iter::repeat_n(0.0, pad));
+            self.hi.splice(0..0, std::iter::repeat_n(0.0, pad));
+            self.base = es;
+        }
+        let offset = (es - self.base) as usize;
+        let need = offset + o.duration() as usize;
+        if self.lo.len() < need {
+            self.lo.resize(need, 0.0);
+            self.hi.resize(need, 0.0);
+        }
+        for (k, r) in o.profile().slot_ranges().enumerate() {
+            self.lo[offset + k] += r.min().kwh();
+            self.hi[offset + k] += r.max().kwh();
+        }
+
+        let e = o.profile().max_total_energy().kwh();
+        self.energy += e;
+        self.weighted_price += e * o.unit_price().eur();
+
+        let pos = self
+            .members
+            .binary_search(&o.id())
+            .expect_err("added member already present");
+        self.members.insert(pos, o.id());
+        self.ops += 1;
+    }
+
+    /// Fold one member out: the exact inverse of [`add`](Self::add).
+    fn remove(&mut self, o: &FlexOffer) {
+        let es = o.earliest_start().index();
+        multi_remove(&mut self.starts, es);
+        multi_remove(&mut self.flexes, o.time_flexibility());
+        multi_remove(&mut self.deadlines, o.assignment_before().index());
+        multi_remove(&mut self.ends, es + o.duration() as i64);
+
+        let offset = (es - self.base) as usize;
+        for (k, r) in o.profile().slot_ranges().enumerate() {
+            self.lo[offset + k] -= r.min().kwh();
+            self.hi[offset + k] -= r.max().kwh();
+        }
+
+        let e = o.profile().max_total_energy().kwh();
+        self.energy -= e;
+        self.weighted_price -= e * o.unit_price().eur();
+
+        let pos = self
+            .members
+            .binary_search(&o.id())
+            .expect("removed member present");
+        self.members.remove(pos);
+        self.ops += 1;
+    }
+
+    /// Drop the (≈ zero) slots outside the surviving members' span so the
+    /// emitted profile starts at the aggregate's earliest start.
+    fn compact(&mut self) {
+        let es = *self.starts.keys().next().expect("non-empty aggregate");
+        if es > self.base {
+            let cut = (es - self.base) as usize;
+            self.lo.drain(0..cut);
+            self.hi.drain(0..cut);
+            self.base = es;
+        }
+        let end = *self.ends.keys().next_back().expect("non-empty aggregate");
+        let span = (end - self.base) as usize;
+        self.lo.truncate(span);
+        self.hi.truncate(span);
+    }
+
+    /// Rebuild the folded state exactly from the member values in `slab`
+    /// (drift squash; costs the same as a from-scratch fold).
+    fn refold(&mut self, slab: &OfferSlab) {
+        let members = std::mem::take(&mut self.members);
+        let snapshot = self.aggregate.clone();
+        *self = AggregateEntry::empty();
+        self.aggregate = snapshot;
+        for id in members {
+            self.add(slab.get(id).expect("member is in the slab"));
+        }
+        self.ops = 0;
+    }
+
+    /// Refresh the emitted snapshot from the folded state.
+    fn refresh(&mut self, id: AggregateId) {
+        let earliest = *self.starts.keys().next().expect("non-empty aggregate");
+        let flex = *self.flexes.keys().next().expect("non-empty aggregate");
+        let deadline = *self.deadlines.keys().next().expect("non-empty aggregate");
+        let ranges: Vec<EnergyRange> = self
+            .lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| {
+                // Repeated subtraction can invert a degenerate range by a
+                // few ulps; clamp instead of failing.
+                EnergyRange::new(l.min(h), h).expect("folded bounds are ordered")
+            })
+            .collect();
+        let profile = Profile::from_slot_ranges(ranges)
+            .expect("span >= 1")
+            .normalize();
+        let unit_price = if self.energy > 0.0 {
+            Price(self.weighted_price / self.energy)
+        } else {
+            Price::ZERO
+        };
+        self.aggregate = AggregatedFlexOffer {
+            id,
+            kind: self.kind,
+            earliest_start: TimeSlot(earliest),
+            latest_start: TimeSlot(earliest) + flex,
+            assignment_before: TimeSlot(deadline),
+            profile,
+            unit_price,
+            member_ids: std::sync::Arc::new(self.members.clone()),
+        };
+    }
+
+    /// Debug-build cross-check: the delta-folded snapshot must agree with
+    /// the reference from-scratch fold (same pattern as `DeltaEvaluator`
+    /// vs `cost::evaluate`).
+    #[cfg(debug_assertions)]
+    fn assert_matches_build(&self, slab: &OfferSlab) {
+        let members: Vec<FlexOffer> = self
+            .members
+            .iter()
+            .map(|id| slab.get(*id).expect("member is in the slab").clone())
+            .collect();
+        let reference = AggregatedFlexOffer::build(self.aggregate.id, &members);
+        let a = &self.aggregate;
+        debug_assert_eq!(a.kind, reference.kind);
+        debug_assert_eq!(a.earliest_start, reference.earliest_start);
+        debug_assert_eq!(a.latest_start, reference.latest_start);
+        debug_assert_eq!(a.assignment_before, reference.assignment_before);
+        debug_assert_eq!(a.member_ids, reference.member_ids);
+        debug_assert_eq!(
+            a.profile.total_duration(),
+            reference.profile.total_duration()
+        );
+        for (k, (ours, theirs)) in a
+            .profile
+            .slot_ranges()
+            .zip(reference.profile.slot_ranges())
+            .enumerate()
+        {
+            let tol = 1e-6 * theirs.max().kwh().abs().max(1.0);
+            debug_assert!(
+                (ours.min() - theirs.min()).kwh().abs() <= tol
+                    && (ours.max() - theirs.max()).kwh().abs() <= tol,
+                "slot {k}: folded {ours} diverged from reference {theirs}"
+            );
+        }
+        let tol = 1e-6 * reference.unit_price.eur().abs().max(1.0);
+        debug_assert!(
+            (a.unit_price.eur() - reference.unit_price.eur()).abs() <= tol,
+            "price {} diverged from reference {}",
+            a.unit_price,
+            reference.unit_price
+        );
+    }
+}
+
+/// Result of folding one sub-group's delta on a worker.
+#[derive(Debug)]
+enum Outcome {
+    Upsert {
+        entry: Box<AggregateEntry>,
+        stats: DeltaStats,
+    },
+    Removed,
 }
 
 /// Maintains aggregates per sub-group; performs disaggregation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NToOneAggregator {
-    by_subgroup: HashMap<SubgroupId, AggregateId>,
-    store: HashMap<AggregateId, AggregateEntry>,
+    by_subgroup: BTreeMap<SubgroupId, AggregateId>,
+    store: BTreeMap<AggregateId, AggregateEntry>,
     next_id: u64,
+    threads: usize,
+    stats: DeltaStats,
+}
+
+impl Default for NToOneAggregator {
+    fn default() -> NToOneAggregator {
+        NToOneAggregator::new()
+    }
 }
 
 impl NToOneAggregator {
-    /// Empty aggregator.
+    /// Empty aggregator (single-threaded flush).
     pub fn new() -> NToOneAggregator {
-        NToOneAggregator::default()
+        NToOneAggregator {
+            by_subgroup: BTreeMap::new(),
+            store: BTreeMap::new(),
+            next_id: 0,
+            threads: 1,
+            stats: DeltaStats::default(),
+        }
     }
 
-    /// Consume sub-group updates; maintain aggregates; emit aggregate
-    /// updates.
-    pub fn apply(&mut self, updates: Vec<SubgroupUpdate>) -> Vec<AggregateUpdate> {
-        let mut out = Vec::with_capacity(updates.len());
+    /// Worker threads used per flush (ignored below 2 touched groups).
+    /// The emitted update stream is identical for any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Cumulative delta-fold statistics.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Fold one sub-group delta into `entry`.
+    fn fold(
+        entry: &mut AggregateEntry,
+        id: AggregateId,
+        added: Vec<FlexOfferId>,
+        removed: Vec<FlexOffer>,
+        slab: &OfferSlab,
+    ) -> DeltaStats {
+        let mut stats = DeltaStats {
+            folded_out: removed.len() as u64,
+            folded_in: added.len() as u64,
+            emitted: 1,
+            refolds: 0,
+        };
+        for offer in &removed {
+            entry.remove(offer);
+        }
+        for id in added {
+            entry.add(slab.get(id).expect("added offer is in the slab"));
+        }
+        debug_assert!(
+            !entry.members.is_empty(),
+            "sub-group upserts are never empty"
+        );
+        if entry.ops >= REFOLD_OPS {
+            entry.refold(slab);
+            stats.refolds += 1;
+        }
+        entry.compact();
+        entry.refresh(id);
+        #[cfg(debug_assertions)]
+        entry.assert_matches_build(slab);
+        stats
+    }
+
+    /// Consume sub-group deltas; maintain aggregates; emit aggregate
+    /// updates. Folding is partitioned by group-id hash across
+    /// [`set_threads`](Self::set_threads) scoped worker threads; results
+    /// are merged (and fresh aggregate ids assigned) in sorted sub-group
+    /// order, so the output is deterministic for any thread count.
+    pub fn apply(
+        &mut self,
+        updates: Vec<SubgroupUpdate>,
+        slab: &OfferSlab,
+    ) -> Vec<AggregateUpdate> {
+        // Take each touched sub-group's entry out of the store so the
+        // workers own them exclusively.
+        struct Work {
+            subgroup: SubgroupId,
+            id: Option<AggregateId>,
+            entry: Box<AggregateEntry>,
+            added: Vec<FlexOfferId>,
+            removed: Vec<FlexOffer>,
+        }
+        let mut outcomes: Vec<(SubgroupId, Option<AggregateId>, Outcome)> = Vec::new();
+        let mut work: Vec<Work> = Vec::new();
         for u in updates {
             match u {
-                SubgroupUpdate::Upsert { subgroup, members } => {
-                    let id = *self.by_subgroup.entry(subgroup).or_insert_with(|| {
-                        let id = AggregateId(self.next_id);
-                        self.next_id += 1;
-                        id
-                    });
-                    let aggregate = AggregatedFlexOffer::build(id, &members);
-                    out.push(AggregateUpdate::Upsert(aggregate.clone()));
-                    self.store.insert(id, AggregateEntry { aggregate, members });
-                }
                 SubgroupUpdate::Removed { subgroup } => {
-                    if let Some(id) = self.by_subgroup.remove(&subgroup) {
+                    let id = self.by_subgroup.get(&subgroup).copied();
+                    outcomes.push((subgroup, id, Outcome::Removed));
+                }
+                SubgroupUpdate::Upsert {
+                    subgroup,
+                    added,
+                    removed,
+                } => {
+                    let id = self.by_subgroup.get(&subgroup).copied();
+                    let entry = id
+                        .and_then(|i| self.store.remove(&i))
+                        .map(Box::new)
+                        .unwrap_or_else(|| Box::new(AggregateEntry::empty()));
+                    work.push(Work {
+                        subgroup,
+                        id,
+                        entry,
+                        added,
+                        removed,
+                    });
+                }
+            }
+        }
+
+        let threads = self.threads.min(work.len()).max(1);
+        if threads <= 1 {
+            for w in work {
+                let mut entry = w.entry;
+                let stats = Self::fold(
+                    &mut entry,
+                    w.id.unwrap_or(AggregateId(0)),
+                    w.added,
+                    w.removed,
+                    slab,
+                );
+                outcomes.push((w.subgroup, w.id, Outcome::Upsert { entry, stats }));
+            }
+        } else {
+            // Shard by group-id hash; all sub-groups of one group land on
+            // one worker, preserving their relative order.
+            let mut shards: Vec<Vec<Work>> = (0..threads).map(|_| Vec::new()).collect();
+            for w in work {
+                let h = w.subgroup.group.value().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                shards[(h >> 32) as usize % threads].push(w);
+            }
+            let folded: Vec<Vec<(SubgroupId, Option<AggregateId>, Outcome)>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = shards
+                        .into_iter()
+                        .map(|shard| {
+                            s.spawn(move || {
+                                shard
+                                    .into_iter()
+                                    .map(|w| {
+                                        let mut entry = w.entry;
+                                        let stats = Self::fold(
+                                            &mut entry,
+                                            w.id.unwrap_or(AggregateId(0)),
+                                            w.added,
+                                            w.removed,
+                                            slab,
+                                        );
+                                        (w.subgroup, w.id, Outcome::Upsert { entry, stats })
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fold worker panicked"))
+                        .collect()
+                });
+            outcomes.extend(folded.into_iter().flatten());
+        }
+
+        // Deterministic merge: sorted sub-group order fixes both the
+        // emission order and the allocation order of fresh aggregate ids.
+        outcomes.sort_by_key(|(sg, _, _)| *sg);
+        let mut out = Vec::with_capacity(outcomes.len());
+        for (subgroup, id, outcome) in outcomes {
+            match outcome {
+                Outcome::Removed => {
+                    if let Some(id) = id {
+                        self.by_subgroup.remove(&subgroup);
                         self.store.remove(&id);
                         out.push(AggregateUpdate::Removed(id));
                     }
+                }
+                Outcome::Upsert { mut entry, stats } => {
+                    let id = id.unwrap_or_else(|| {
+                        let id = AggregateId(self.next_id);
+                        self.next_id += 1;
+                        self.by_subgroup.insert(subgroup, id);
+                        id
+                    });
+                    entry.aggregate.id = id;
+                    self.stats.absorb(stats);
+                    out.push(AggregateUpdate::Upsert(entry.aggregate.clone()));
+                    self.store.insert(id, *entry);
                 }
             }
         }
         out
     }
 
-    /// Iterate the maintained aggregates.
+    /// Iterate the maintained aggregates in ascending id order.
     pub fn aggregates(&self) -> impl Iterator<Item = &AggregatedFlexOffer> {
         self.store.values().map(|e| &e.aggregate)
     }
@@ -84,8 +535,9 @@ impl NToOneAggregator {
         self.store.get(&id).map(|e| &e.aggregate)
     }
 
-    /// The members of one aggregate.
-    pub fn members(&self, id: AggregateId) -> Option<&[FlexOffer]> {
+    /// The member ids of one aggregate, ascending. Resolve values against
+    /// the pipeline's offer slab.
+    pub fn member_ids(&self, id: AggregateId) -> Option<&[FlexOfferId]> {
         self.store.get(&id).map(|e| e.members.as_slice())
     }
 
@@ -107,6 +559,7 @@ impl NToOneAggregator {
         &self,
         id: AggregateId,
         schedule: &ScheduledFlexOffer,
+        slab: &OfferSlab,
     ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
         let entry = self
             .store
@@ -130,7 +583,8 @@ impl NToOneAggregator {
             .collect();
 
         let mut out = Vec::with_capacity(entry.members.len());
-        for m in &entry.members {
+        for &mid in &entry.members {
+            let m = slab.get(mid).expect("member is in the slab");
             let offset = (m.earliest_start() - agg.earliest_start) as usize;
             let start = m.earliest_start() + delta;
             let slot_energies = m
@@ -156,6 +610,7 @@ impl NToOneAggregator {
         &self,
         id: AggregateId,
         start: TimeSlot,
+        slab: &OfferSlab,
     ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
         let entry = self
             .store
@@ -166,14 +621,14 @@ impl NToOneAggregator {
             .to_flex_offer()
             .map_err(DisaggregationError::InvalidSchedule)?;
         let schedule = ScheduledFlexOffer::at_min(&as_offer, start);
-        self.disaggregate(id, &schedule)
+        self.disaggregate(id, &schedule, slab)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mirabel_core::{Energy, EnergyRange, GroupId, Profile};
+    use mirabel_core::{Energy, EnergyRange, GroupId};
     use proptest::prelude::*;
 
     fn member(id: u64, start: i64, tf: u32, slots: u32, lo: f64, hi: f64) -> FlexOffer {
@@ -192,30 +647,43 @@ mod tests {
         }
     }
 
-    fn aggregator_with(members: Vec<FlexOffer>) -> (NToOneAggregator, AggregateId) {
+    /// Stock the slab and produce the add-only delta for one sub-group.
+    fn add_update(
+        slab: &mut OfferSlab,
+        subgroup: SubgroupId,
+        members: Vec<FlexOffer>,
+    ) -> SubgroupUpdate {
+        let added = members.iter().map(|o| o.id()).collect();
+        for o in members {
+            slab.insert(o);
+        }
+        SubgroupUpdate::Upsert {
+            subgroup,
+            added,
+            removed: vec![],
+        }
+    }
+
+    fn aggregator_with(members: Vec<FlexOffer>) -> (NToOneAggregator, OfferSlab, AggregateId) {
+        let mut slab = OfferSlab::new();
         let mut agg = NToOneAggregator::new();
-        let updates = agg.apply(vec![SubgroupUpdate::Upsert {
-            subgroup: sg(0, 0),
-            members,
-        }]);
+        let u = add_update(&mut slab, sg(0, 0), members);
+        let updates = agg.apply(vec![u], &slab);
         let id = match &updates[0] {
             AggregateUpdate::Upsert(a) => a.id,
             _ => panic!("expected upsert"),
         };
-        (agg, id)
+        (agg, slab, id)
     }
 
     #[test]
-    fn upsert_reuses_aggregate_id() {
+    fn incremental_add_reuses_aggregate_id() {
+        let mut slab = OfferSlab::new();
         let mut agg = NToOneAggregator::new();
-        let u1 = agg.apply(vec![SubgroupUpdate::Upsert {
-            subgroup: sg(0, 0),
-            members: vec![member(1, 10, 4, 2, 1.0, 2.0)],
-        }]);
-        let u2 = agg.apply(vec![SubgroupUpdate::Upsert {
-            subgroup: sg(0, 0),
-            members: vec![member(1, 10, 4, 2, 1.0, 2.0), member(2, 10, 4, 2, 1.0, 2.0)],
-        }]);
+        let u = add_update(&mut slab, sg(0, 0), vec![member(1, 10, 4, 2, 1.0, 2.0)]);
+        let u1 = agg.apply(vec![u], &slab);
+        let u = add_update(&mut slab, sg(0, 0), vec![member(2, 10, 4, 2, 1.0, 2.0)]);
+        let u2 = agg.apply(vec![u], &slab);
         let id1 = match &u1[0] {
             AggregateUpdate::Upsert(a) => a.id,
             _ => panic!(),
@@ -231,22 +699,88 @@ mod tests {
 
     #[test]
     fn removal_emits_removed() {
+        let mut slab = OfferSlab::new();
         let mut agg = NToOneAggregator::new();
-        agg.apply(vec![SubgroupUpdate::Upsert {
-            subgroup: sg(0, 0),
-            members: vec![member(1, 10, 4, 2, 1.0, 2.0)],
-        }]);
-        let out = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }]);
+        let u = add_update(&mut slab, sg(0, 0), vec![member(1, 10, 4, 2, 1.0, 2.0)]);
+        agg.apply(vec![u], &slab);
+        let out = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }], &slab);
         assert!(matches!(out[0], AggregateUpdate::Removed(_)));
         assert_eq!(agg.aggregate_count(), 0);
         // double removal is a no-op
-        let out2 = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }]);
+        let out2 = agg.apply(vec![SubgroupUpdate::Removed { subgroup: sg(0, 0) }], &slab);
         assert!(out2.is_empty());
     }
 
     #[test]
+    fn delta_remove_matches_rebuild() {
+        // Fold three members in, remove the one that defines every min:
+        // the delta-folded result must match a fresh build of the rest.
+        let a = member(1, 8, 2, 4, 0.5, 3.0); // earliest start + min TF
+        let b = member(2, 10, 6, 2, 1.0, 2.0);
+        let c = member(3, 12, 9, 3, 0.0, 1.5);
+        let (mut agg, mut slab, id) = aggregator_with(vec![a.clone(), b.clone(), c.clone()]);
+        let removed = slab.remove(a.id()).unwrap();
+        let out = agg.apply(
+            vec![SubgroupUpdate::Upsert {
+                subgroup: sg(0, 0),
+                added: vec![],
+                removed: vec![removed],
+            }],
+            &slab,
+        );
+        let folded = match &out[0] {
+            AggregateUpdate::Upsert(a) => a.clone(),
+            _ => panic!("expected upsert"),
+        };
+        let reference = AggregatedFlexOffer::build(id, &[b, c]);
+        assert_eq!(folded.earliest_start, reference.earliest_start);
+        assert_eq!(folded.latest_start, reference.latest_start);
+        assert_eq!(folded.member_ids, reference.member_ids);
+        assert_eq!(folded.duration(), reference.duration());
+        for (x, y) in folded
+            .profile
+            .slot_ranges()
+            .zip(reference.profile.slot_ranges())
+        {
+            assert!(x.min().approx_eq(y.min(), 1e-9) && x.max().approx_eq(y.max(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_the_stream() {
+        let mk = |threads: usize| {
+            let mut slab = OfferSlab::new();
+            let mut agg = NToOneAggregator::new();
+            agg.set_threads(threads);
+            let mut streams = Vec::new();
+            // Ten groups, three rounds of updates.
+            for round in 0..3u64 {
+                let updates: Vec<SubgroupUpdate> = (0..10u64)
+                    .map(|g| {
+                        add_update(
+                            &mut slab,
+                            sg(g, 0),
+                            vec![member(
+                                1000 * round + g,
+                                (10 + g) as i64,
+                                4,
+                                2,
+                                1.0,
+                                2.0 + round as f64,
+                            )],
+                        )
+                    })
+                    .collect();
+                streams.push(agg.apply(updates, &slab));
+            }
+            streams
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
     fn disaggregate_identical_members_splits_energy() {
-        let (agg, id) = aggregator_with(vec![
+        let (agg, slab, id) = aggregator_with(vec![
             member(1, 10, 4, 2, 1.0, 2.0),
             member(2, 10, 4, 2, 1.0, 2.0),
         ]);
@@ -257,7 +791,7 @@ mod tests {
             start: TimeSlot(12),
             slot_energies: vec![Energy::from_kwh(3.0); 2],
         };
-        let micro = agg.disaggregate(id, &schedule).unwrap();
+        let micro = agg.disaggregate(id, &schedule, &slab).unwrap();
         assert_eq!(micro.len(), 2);
         for s in &micro {
             assert_eq!(s.start, TimeSlot(12));
@@ -270,7 +804,7 @@ mod tests {
     #[test]
     fn disaggregate_respects_member_windows() {
         // members at different earliest starts (P2-style group)
-        let (agg, id) = aggregator_with(vec![
+        let (agg, slab, id) = aggregator_with(vec![
             member(1, 10, 4, 2, 1.0, 1.0),
             member(2, 12, 4, 2, 2.0, 2.0),
         ]);
@@ -278,24 +812,24 @@ mod tests {
         assert_eq!(a.earliest_start, TimeSlot(10));
         let macro_offer = a.to_flex_offer().unwrap();
         let schedule = ScheduledFlexOffer::at_min(&macro_offer, TimeSlot(13)); // δ=3
-        let micro = agg.disaggregate(id, &schedule).unwrap();
+        let micro = agg.disaggregate(id, &schedule, &slab).unwrap();
         assert_eq!(micro[0].start, TimeSlot(13)); // 10 + 3
         assert_eq!(micro[1].start, TimeSlot(15)); // 12 + 3
-        for (s, m) in micro.iter().zip(agg.members(id).unwrap()) {
-            s.validate_against(m, 1e-9).unwrap();
+        for (s, &mid) in micro.iter().zip(agg.member_ids(id).unwrap()) {
+            s.validate_against(slab.get(mid).unwrap(), 1e-9).unwrap();
         }
     }
 
     #[test]
     fn disaggregate_rejects_bad_schedule() {
-        let (agg, id) = aggregator_with(vec![member(1, 10, 4, 2, 1.0, 2.0)]);
+        let (agg, slab, id) = aggregator_with(vec![member(1, 10, 4, 2, 1.0, 2.0)]);
         let macro_offer = agg.aggregate(id).unwrap().to_flex_offer().unwrap();
         let bad_start = ScheduledFlexOffer::at_min(&macro_offer, TimeSlot(99));
         assert!(matches!(
-            agg.disaggregate(id, &bad_start),
+            agg.disaggregate(id, &bad_start, &slab),
             Err(DisaggregationError::InvalidSchedule(_))
         ));
-        let unknown = agg.disaggregate(AggregateId(999), &bad_start);
+        let unknown = agg.disaggregate(AggregateId(999), &bad_start, &slab);
         assert!(matches!(
             unknown,
             Err(DisaggregationError::UnknownAggregate(_))
@@ -304,12 +838,13 @@ mod tests {
 
     #[test]
     fn disaggregate_at_min_validates_members() {
-        let (agg, id) = aggregator_with(vec![
+        let (agg, slab, id) = aggregator_with(vec![
             member(1, 10, 6, 3, 0.5, 1.5),
             member(2, 11, 8, 2, 1.0, 4.0),
         ]);
-        let micro = agg.disaggregate_at_min(id, TimeSlot(14)).unwrap();
-        for (s, m) in micro.iter().zip(agg.members(id).unwrap()) {
+        let micro = agg.disaggregate_at_min(id, TimeSlot(14), &slab).unwrap();
+        for (s, &mid) in micro.iter().zip(agg.member_ids(id).unwrap()) {
+            let m = slab.get(mid).unwrap();
             s.validate_against(m, 1e-9).unwrap();
             assert!(s
                 .total_energy()
@@ -343,7 +878,7 @@ mod tests {
                     los[i] + widths[i],
                 ))
                 .collect();
-            let (agg, id) = aggregator_with(members.clone());
+            let (agg, slab, id) = aggregator_with(members.clone());
             let a = agg.aggregate(id).unwrap();
             let macro_offer = a.to_flex_offer().unwrap();
 
@@ -352,7 +887,7 @@ mod tests {
             let schedule = ScheduledFlexOffer::at_fraction(&macro_offer, start, fill);
             schedule.validate_against(&macro_offer, 1e-9).unwrap();
 
-            let micro = agg.disaggregate(id, &schedule).unwrap();
+            let micro = agg.disaggregate(id, &schedule, &slab).unwrap();
             prop_assert_eq!(micro.len(), members.len());
 
             // every member schedule valid

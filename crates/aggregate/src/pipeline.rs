@@ -1,19 +1,22 @@
 //! The chained aggregation pipeline (paper §4): group-builder →
-//! (optional) bin-packer → n-to-1 aggregator, with incremental updates
-//! flowing through all three.
+//! (optional) bin-packer → n-to-1 aggregator, with incremental **delta**
+//! updates flowing through all three and every offer value stored once
+//! in the pipeline's [`OfferSlab`].
 
 use crate::aggregate::AggregatedFlexOffer;
 use crate::binpack::BinPacker;
 use crate::config::{AggregationParams, BinPackerConfig};
 use crate::group::GroupBuilder;
-use crate::metrics::AggregationReport;
+use crate::metrics::{AggregationReport, DeltaStats};
 use crate::nto1::{DisaggregationError, NToOneAggregator};
+use crate::slab::OfferSlab;
 use crate::update::{AggregateUpdate, FlexOfferUpdate};
-use mirabel_core::{AggregateId, FlexOffer, ScheduledFlexOffer};
+use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, ScheduledFlexOffer};
 
 /// The full aggregation component.
 #[derive(Debug)]
 pub struct AggregationPipeline {
+    slab: OfferSlab,
     groups: GroupBuilder,
     binpacker: Option<BinPacker>,
     aggregator: NToOneAggregator,
@@ -24,22 +27,30 @@ impl AggregationPipeline {
     /// bin-packer (as in the Figure 5 experiment).
     pub fn new(params: AggregationParams, binpacker: Option<BinPackerConfig>) -> Self {
         AggregationPipeline {
+            slab: OfferSlab::new(),
             groups: GroupBuilder::new(params),
             binpacker: binpacker.map(BinPacker::new),
             aggregator: NToOneAggregator::new(),
         }
     }
 
+    /// Worker threads used by the shard-parallel flush (the n-to-1 fold
+    /// is partitioned by group hash). The emitted update stream is
+    /// identical for any value; the default is 1.
+    pub fn set_flush_threads(&mut self, threads: usize) {
+        self.aggregator.set_threads(threads);
+    }
+
     /// Run a batch of offer updates through the whole chain; returns the
     /// aggregated flex-offer updates.
     pub fn apply(&mut self, updates: Vec<FlexOfferUpdate>) -> Vec<AggregateUpdate> {
         self.groups.accumulate(updates);
-        let group_updates = self.groups.flush();
+        let group_updates = self.groups.flush(&mut self.slab);
         let subgroup_updates = match &mut self.binpacker {
-            Some(bp) => bp.apply(group_updates),
+            Some(bp) => bp.apply(group_updates, &self.slab),
             None => BinPacker::passthrough(group_updates),
         };
-        self.aggregator.apply(subgroup_updates)
+        self.aggregator.apply(subgroup_updates, &self.slab)
     }
 
     /// Pipeline with the *integrated* bounded group-builder (§4 Research
@@ -48,6 +59,7 @@ impl AggregationPipeline {
     /// bin-packer stage is skipped.
     pub fn new_integrated(params: AggregationParams, member_cap: u32) -> Self {
         AggregationPipeline {
+            slab: OfferSlab::new(),
             groups: GroupBuilder::with_member_cap(params, member_cap),
             binpacker: None,
             aggregator: NToOneAggregator::new(),
@@ -65,30 +77,32 @@ impl AggregationPipeline {
         p
     }
 
-    /// Iterate current aggregates.
+    /// Iterate current aggregates (ascending aggregate id).
     pub fn aggregates(&self) -> impl Iterator<Item = &AggregatedFlexOffer> {
         self.aggregator.aggregates()
     }
 
     /// Aggregates as plain flex-offers for the scheduler, in stable id
-    /// order (schedulers are order-sensitive; hash order is not
-    /// reproducible).
+    /// order (schedulers are order-sensitive; the aggregate store
+    /// iterates in id order by construction).
     pub fn macro_offers(&self) -> Vec<FlexOffer> {
-        let mut out: Vec<FlexOffer> = self
-            .aggregator
+        self.aggregator
             .aggregates()
             .map(|a| {
                 a.to_flex_offer()
                     .expect("aggregates are valid flex-offers by construction")
             })
-            .collect();
-        out.sort_by_key(|o| o.id());
-        out
+            .collect()
     }
 
     /// Look up one aggregate.
     pub fn aggregate(&self, id: AggregateId) -> Option<&AggregatedFlexOffer> {
         self.aggregator.aggregate(id)
+    }
+
+    /// Look up one pooled micro offer in the slab.
+    pub fn offer(&self, id: FlexOfferId) -> Option<&FlexOffer> {
+        self.slab.get(id)
     }
 
     /// Disaggregate a scheduled aggregate (see
@@ -98,7 +112,7 @@ impl AggregationPipeline {
         id: AggregateId,
         schedule: &ScheduledFlexOffer,
     ) -> Result<Vec<ScheduledFlexOffer>, DisaggregationError> {
-        self.aggregator.disaggregate(id, schedule)
+        self.aggregator.disaggregate(id, schedule, &self.slab)
     }
 
     /// Current quality metrics (Figure 5 quantities).
@@ -110,10 +124,11 @@ impl AggregationPipeline {
             let agg_tf = agg.time_flexibility() as u64;
             let members = self
                 .aggregator
-                .members(agg.id)
+                .member_ids(agg.id)
                 .expect("aggregate has members");
             offers += members.len();
-            for m in members {
+            for &mid in members {
+                let m = self.slab.get(mid).expect("member is in the slab");
                 total_tf += m.time_flexibility() as u64;
                 retained += agg_tf;
             }
@@ -126,9 +141,19 @@ impl AggregationPipeline {
         }
     }
 
+    /// Cumulative delta-fold statistics of the n-to-1 stage.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.aggregator.stats()
+    }
+
     /// Number of similarity groups currently maintained.
     pub fn group_count(&self) -> usize {
         self.groups.group_count()
+    }
+
+    /// Number of offers currently pooled in the slab.
+    pub fn offer_count(&self) -> usize {
+        self.slab.len()
     }
 
     /// Number of aggregates currently maintained.
@@ -208,6 +233,8 @@ mod tests {
                 .collect(),
         );
         assert!(p.aggregate_count() > 0);
+        let stats_before = p.delta_stats();
+        assert_eq!(stats_before.folded_in, 500);
         p.apply(
             offers
                 .iter()
@@ -216,6 +243,7 @@ mod tests {
         );
         assert_eq!(p.aggregate_count(), 0);
         assert_eq!(p.group_count(), 0);
+        assert_eq!(p.offer_count(), 0);
         assert_eq!(p.report().offer_count, 0);
     }
 
@@ -297,6 +325,25 @@ mod tests {
         let aggs: Vec<_> = p.aggregates().collect();
         assert_eq!(aggs.len(), 1);
         assert_eq!(aggs[0].earliest_start, TimeSlot(50));
-        let _ = FlexOfferId(1);
+        assert_eq!(
+            p.offer(FlexOfferId(1)).unwrap().earliest_start(),
+            TimeSlot(50)
+        );
+    }
+
+    #[test]
+    fn flush_threads_do_not_change_results() {
+        let offers: Vec<FlexOffer> = FlexOfferGenerator::with_seed(11).take(2000).collect();
+        let run = |threads: usize| {
+            let mut p = AggregationPipeline::new(AggregationParams::p3(8, 8), None);
+            p.set_flush_threads(threads);
+            let mut streams = Vec::new();
+            for chunk in offers.chunks(500) {
+                streams.push(p.apply(chunk.iter().cloned().map(FlexOfferUpdate::Insert).collect()));
+            }
+            let aggregates: Vec<AggregatedFlexOffer> = p.aggregates().cloned().collect();
+            (streams, aggregates)
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -1,0 +1,159 @@
+//! Single-copy flex-offer storage for the aggregation pipeline.
+//!
+//! The paper's trader node ingests more than 10⁶ micro flex-offers per
+//! day. The original pipeline cloned every offer through each update
+//! stream (group-builder → bin-packer → n-to-1 aggregator), so one
+//! trickle insert into a 1 000-member group copied a thousand offers.
+//! [`OfferSlab`] stores each offer exactly once; the stages exchange
+//! [`FlexOfferId`]s (additions) or the displaced owned value (removals)
+//! and resolve ids against the slab when they need attributes.
+//!
+//! Internally the slab is a slot vector with a free list, plus an
+//! id → slot index so lookups stay O(1) for the arbitrary (sparse,
+//! externally assigned) offer ids the EDMS produces.
+
+use mirabel_core::{FlexOffer, FlexOfferId};
+use std::collections::HashMap;
+
+/// Id-indexed, single-copy offer store shared by the pipeline stages.
+#[derive(Debug, Default)]
+pub struct OfferSlab {
+    slots: Vec<Option<FlexOffer>>,
+    free: Vec<u32>,
+    index: HashMap<FlexOfferId, u32>,
+}
+
+impl OfferSlab {
+    /// Empty slab.
+    pub fn new() -> OfferSlab {
+        OfferSlab::default()
+    }
+
+    /// Slab with room for `n` offers before reallocating.
+    pub fn with_capacity(n: usize) -> OfferSlab {
+        OfferSlab {
+            slots: Vec::with_capacity(n),
+            free: Vec::new(),
+            index: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Number of stored offers.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the slab is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `id` is stored.
+    pub fn contains(&self, id: FlexOfferId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Insert (or replace) an offer, keyed by its own id. Returns the
+    /// displaced value when the id was already present — the displaced
+    /// offer is what downstream delta-folds subtract, so ownership moves
+    /// to the caller instead of being cloned.
+    pub fn insert(&mut self, offer: FlexOffer) -> Option<FlexOffer> {
+        match self.index.entry(offer.id()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = *e.get() as usize;
+                self.slots[slot].replace(offer)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(offer);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(offer));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                e.insert(slot);
+                None
+            }
+        }
+    }
+
+    /// Remove an offer, returning the owned value (for downstream
+    /// subtraction) when present.
+    pub fn remove(&mut self, id: FlexOfferId) -> Option<FlexOffer> {
+        let slot = self.index.remove(&id)?;
+        self.free.push(slot);
+        self.slots[slot as usize].take()
+    }
+
+    /// Look up an offer by id.
+    pub fn get(&self, id: FlexOfferId) -> Option<&FlexOffer> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirabel_core::{EnergyRange, Profile, TimeSlot};
+
+    fn offer(id: u64, start: i64) -> FlexOffer {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(start))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = OfferSlab::new();
+        assert!(slab.is_empty());
+        assert!(slab.insert(offer(1, 10)).is_none());
+        assert!(slab.insert(offer(2, 20)).is_none());
+        assert_eq!(slab.len(), 2);
+        assert!(slab.contains(FlexOfferId(1)));
+        assert_eq!(
+            slab.get(FlexOfferId(2)).unwrap().earliest_start(),
+            TimeSlot(20)
+        );
+        let removed = slab.remove(FlexOfferId(1)).unwrap();
+        assert_eq!(removed.id(), FlexOfferId(1));
+        assert_eq!(slab.len(), 1);
+        assert!(slab.get(FlexOfferId(1)).is_none());
+        assert!(slab.remove(FlexOfferId(1)).is_none());
+    }
+
+    #[test]
+    fn replace_returns_displaced_value() {
+        let mut slab = OfferSlab::new();
+        slab.insert(offer(7, 10));
+        let displaced = slab.insert(offer(7, 99)).unwrap();
+        assert_eq!(displaced.earliest_start(), TimeSlot(10));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(
+            slab.get(FlexOfferId(7)).unwrap().earliest_start(),
+            TimeSlot(99)
+        );
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut slab = OfferSlab::new();
+        for i in 0..10 {
+            slab.insert(offer(i, i as i64));
+        }
+        for i in 0..10 {
+            slab.remove(FlexOfferId(i));
+        }
+        for i in 10..20 {
+            slab.insert(offer(i, i as i64));
+        }
+        assert_eq!(slab.len(), 10);
+        // slot vector did not grow past the original ten entries
+        assert!(slab.slots.len() <= 10);
+    }
+}

@@ -5,6 +5,17 @@
 //! similar flex-offer groups and produces group-updates … the bin-packer
 //! … produce\[s\] sub-group updates … the produced sub-group updates are
 //! issued to the n-to-1 aggregator."
+//!
+//! ## Delta streams
+//!
+//! Group and sub-group updates carry member **deltas**, not member
+//! snapshots: `added` lists the ids of offers that joined (their values
+//! live in the pipeline's [`OfferSlab`](crate::slab::OfferSlab)), and
+//! `removed` carries the **owned** previous values of offers that left —
+//! ownership moves down the stream, so a removal is never cloned, and the
+//! n-to-1 aggregator has the exact old value it must subtract from its
+//! delta-folded bounds. An offer whose attributes changed in place
+//! appears in both lists (old value out, new id in).
 
 use crate::aggregate::AggregatedFlexOffer;
 use mirabel_core::{FlexOffer, FlexOfferId, GroupId};
@@ -20,16 +31,20 @@ pub enum FlexOfferUpdate {
     Delete(FlexOfferId),
 }
 
-/// Output of the group-builder: which similarity groups changed.
+/// Output of the group-builder: which similarity groups changed, as
+/// member deltas.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GroupUpdate {
-    /// A group was created or its membership changed; carries the current
-    /// member snapshot.
+    /// A group was created or its membership changed.
     Upsert {
         /// The group.
         group: GroupId,
-        /// Current members (cloned snapshot).
-        members: Vec<FlexOffer>,
+        /// Offers that joined, in ascending id order; resolve against the
+        /// pipeline's offer slab.
+        added: Vec<FlexOfferId>,
+        /// Previous values of offers that left (owned, in ascending id
+        /// order) — what downstream delta-folds subtract.
+        removed: Vec<FlexOffer>,
     },
     /// A group became empty and was removed.
     Removed {
@@ -53,15 +68,18 @@ impl std::fmt::Display for SubgroupId {
     }
 }
 
-/// Output of the bin-packer: which bounded sub-groups changed.
+/// Output of the bin-packer: which bounded sub-groups changed, as member
+/// deltas (same conventions as [`GroupUpdate`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SubgroupUpdate {
-    /// A sub-group was created or changed; carries the member snapshot.
+    /// A sub-group was created or changed.
     Upsert {
         /// The sub-group.
         subgroup: SubgroupId,
-        /// Current members.
-        members: Vec<FlexOffer>,
+        /// Ids of offers that joined this sub-group.
+        added: Vec<FlexOfferId>,
+        /// Previous values of offers that left this sub-group.
+        removed: Vec<FlexOffer>,
     },
     /// A sub-group disappeared.
     Removed {

@@ -40,8 +40,9 @@ use mirabel_core::{
 use mirabel_forecast::{ForecastEvent, ForecastModel, HwtConfig, HwtModel, Seasonality};
 use mirabel_negotiate::{AcceptanceDecision, AcceptancePolicy, PreExecutionPricing};
 use mirabel_schedule::{
-    evaluate, repair_parallel, repair_scope, Budget, DeltaEvaluator, EvolutionaryScheduler,
-    GreedyScheduler, HybridScheduler, MarketPrices, RepairConfig, SchedulingProblem, Solution,
+    evaluate, multi_start, repair_parallel, repair_scope, Budget, DeltaEvaluator,
+    EvolutionaryScheduler, GreedyScheduler, HybridScheduler, MarketPrices, RepairConfig,
+    SchedulingProblem, Solution,
 };
 use mirabel_timeseries::TimeSeries;
 use std::collections::BTreeMap;
@@ -79,6 +80,12 @@ pub struct BrpConfig {
     pub repair_chains: usize,
     /// Proposed moves per repair chain.
     pub repair_moves: usize,
+    /// Parallel best-of-K restarts of the *initial* scheduler run (1 =
+    /// single start; chain 0 always reproduces the single-start result).
+    pub initial_starts: usize,
+    /// Worker threads for the aggregation pipeline's shard-parallel
+    /// flush (results are identical for any value).
+    pub flush_threads: usize,
 }
 
 impl Default for BrpConfig {
@@ -94,6 +101,8 @@ impl Default for BrpConfig {
             forward_to_tso: false,
             repair_chains: repair.chains,
             repair_moves: repair.moves_per_chain,
+            initial_starts: 1,
+            flush_threads: 1,
         }
     }
 }
@@ -159,7 +168,8 @@ pub struct BrpNode {
 impl BrpNode {
     /// Create a BRP node.
     pub fn new(id: NodeId, parent: Option<NodeId>, config: BrpConfig) -> BrpNode {
-        let pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
+        let mut pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
+        pipeline.set_flush_threads(config.flush_threads);
         BrpNode {
             id,
             parent,
@@ -246,7 +256,9 @@ impl BrpNode {
         vec![Envelope::new(self.id, from, now, reply)]
     }
 
-    /// Drop offers whose assignment deadline has passed.
+    /// Drop offers whose assignment deadline has passed. The round's
+    /// deletes go through the pipeline as ONE batch, so each touched
+    /// group is flushed once instead of once per expired offer.
     fn expire(&mut self, now: TimeSlot) -> usize {
         let expired: Vec<FlexOfferId> = self
             .pool
@@ -256,13 +268,20 @@ impl BrpNode {
             .collect();
         for id in &expired {
             let (offer, _) = self.pool.remove(id).expect("present");
-            self.pipeline.apply(vec![FlexOfferUpdate::Delete(*id)]);
             self.store.record_offer(OfferFact {
                 offer: *id,
                 actor: offer.owner(),
                 slot: now,
                 state: OfferState::Expired,
             });
+        }
+        if !expired.is_empty() {
+            self.pipeline.apply(
+                expired
+                    .iter()
+                    .map(|id| FlexOfferUpdate::Delete(*id))
+                    .collect(),
+            );
         }
         expired.len()
     }
@@ -347,17 +366,24 @@ impl BrpNode {
             return (vec![env], report);
         }
 
-        // Schedule locally.
+        // Schedule locally: K parallel best-of restarts of the chosen
+        // scheduler (chain 0 reproduces the single-start result, so
+        // `initial_starts > 1` can only improve the plan).
         let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
             .expect("eligible macros fit the window");
         let budget = Budget::evaluations(self.config.budget_evaluations);
         self.seed = self.seed.wrapping_add(1);
+        let starts = self.config.initial_starts.max(1);
         let result = match self.config.scheduler {
-            SchedulerKind::Greedy => GreedyScheduler.run(&problem, budget, self.seed),
-            SchedulerKind::Evolutionary => {
-                EvolutionaryScheduler::default().run(&problem, budget, self.seed)
-            }
-            SchedulerKind::Hybrid => HybridScheduler::default().run(&problem, budget, self.seed),
+            SchedulerKind::Greedy => multi_start(starts, self.seed, |s| {
+                GreedyScheduler.run(&problem, budget, s)
+            }),
+            SchedulerKind::Evolutionary => multi_start(starts, self.seed, |s| {
+                EvolutionaryScheduler::default().run(&problem, budget, s)
+            }),
+            SchedulerKind::Hybrid => multi_start(starts, self.seed, |s| {
+                HybridScheduler::default().run(&problem, budget, s)
+            }),
         };
         report.cost = Some(result.cost.total());
 
@@ -475,6 +501,10 @@ impl BrpNode {
         now: TimeSlot,
     ) -> Vec<Envelope> {
         let mut out = Vec::new();
+        // Collect every assigned offer's delete and run them through the
+        // pipeline as one batch after the loop: each touched group is
+        // flushed once per planning round, not once per micro assignment.
+        let mut deletes = Vec::new();
         let schedules = solution.to_schedules(problem);
         for macro_schedule in schedules {
             let agg_id = AggregateId(macro_schedule.offer_id.value());
@@ -486,8 +516,7 @@ impl BrpNode {
                 let Some((offer, source)) = self.pool.remove(&schedule.offer_id) else {
                     continue;
                 };
-                self.pipeline
-                    .apply(vec![FlexOfferUpdate::Delete(schedule.offer_id)]);
+                deletes.push(FlexOfferUpdate::Delete(schedule.offer_id));
                 let discount = self.config.pricing.discount_per_kwh(&offer, now);
                 self.store.record_offer(OfferFact {
                     offer: offer.id(),
@@ -511,6 +540,9 @@ impl BrpNode {
                     },
                 ));
             }
+        }
+        if !deletes.is_empty() {
+            self.pipeline.apply(deletes);
         }
         out
     }
@@ -537,12 +569,12 @@ impl BrpNode {
             Err(_) => return Vec::new(),
         };
         let mut out = Vec::new();
+        let mut deletes = Vec::new();
         for s in micro {
             let Some((offer, source)) = self.pool.remove(&s.offer_id) else {
                 continue;
             };
-            self.pipeline
-                .apply(vec![FlexOfferUpdate::Delete(s.offer_id)]);
+            deletes.push(FlexOfferUpdate::Delete(s.offer_id));
             let discount = self.config.pricing.discount_per_kwh(&offer, now);
             self.store.record_offer(OfferFact {
                 offer: offer.id(),
@@ -565,6 +597,9 @@ impl BrpNode {
                     discount_per_kwh: discount,
                 },
             ));
+        }
+        if !deletes.is_empty() {
+            self.pipeline.apply(deletes);
         }
         out
     }
@@ -672,6 +707,70 @@ mod tests {
         // pool drained, facts recorded
         assert_eq!(brp.pool_size(), 0);
         assert_eq!(brp.store.count_in_state(OfferState::Assigned), 20);
+    }
+
+    #[test]
+    fn binpacked_plan_batches_same_bin_deletes() {
+        // Regression: committing a plan deletes every assigned offer in
+        // ONE pipeline batch; with the bin-packer on, several members of
+        // the same bin go in a single flush.
+        let config = BrpConfig {
+            binpacker: Some(BinPackerConfig::max_members(3)),
+            ..BrpConfig::default()
+        };
+        let mut brp = BrpNode::new(NodeId(1), None, config);
+        for i in 0..9 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        assert!(brp.aggregate_count() >= 3);
+        let (envelopes, report) = brp.plan_with_baseline(
+            TimeSlot(80),
+            TimeSlot(96),
+            vec![-1.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(report.assignments, 9);
+        assert_eq!(envelopes.len(), 9);
+        assert_eq!(brp.pool_size(), 0);
+        assert_eq!(brp.aggregate_count(), 0);
+    }
+
+    #[test]
+    fn multi_start_initial_plan_never_worse() {
+        let plan_cost = |starts: usize| {
+            let mut brp = BrpNode::new(
+                NodeId(1),
+                None,
+                BrpConfig {
+                    initial_starts: starts,
+                    budget_evaluations: 4_000,
+                    ..BrpConfig::default()
+                },
+            );
+            for i in 0..20 {
+                submit(
+                    &mut brp,
+                    offer(i, i, 110 + (i as i64 % 5), 90, 8),
+                    100 + i,
+                    0,
+                );
+            }
+            let baseline: Vec<f64> = (0..96).map(|k| if k < 48 { -2.0 } else { 1.0 }).collect();
+            let (_, report) = brp.plan_with_baseline(
+                TimeSlot(80),
+                TimeSlot(96),
+                baseline,
+                MarketPrices::flat(96, 0.08, 0.03, 100.0),
+                vec![0.2; 96],
+            );
+            report.cost.expect("scheduled locally")
+        };
+        let single = plan_cost(1);
+        let multi = plan_cost(3);
+        // Chain 0 of the multi-start shares the single-start seed, so
+        // best-of-3 can never be worse.
+        assert!(multi <= single + 1e-9, "multi {multi} vs single {single}");
     }
 
     #[test]

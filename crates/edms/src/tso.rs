@@ -89,6 +89,8 @@ impl TsoNode {
         );
 
         let mut out = Vec::new();
+        // Batch the round's deletes so each touched group flushes once.
+        let mut deletes = Vec::new();
         for macro_schedule in result.solution.to_schedules(&problem) {
             let agg_id = AggregateId(macro_schedule.offer_id.value());
             let members = match self.pipeline.disaggregate(agg_id, &macro_schedule) {
@@ -99,8 +101,7 @@ impl TsoNode {
                 let Some((_, source_brp)) = self.pool.remove(&schedule.offer_id) else {
                     continue;
                 };
-                self.pipeline
-                    .apply(vec![FlexOfferUpdate::Delete(schedule.offer_id)]);
+                deletes.push(FlexOfferUpdate::Delete(schedule.offer_id));
                 out.push(Envelope::new(
                     self.id,
                     source_brp,
@@ -111,6 +112,9 @@ impl TsoNode {
                     },
                 ));
             }
+        }
+        if !deletes.is_empty() {
+            self.pipeline.apply(deletes);
         }
         out
     }

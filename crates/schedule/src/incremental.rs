@@ -183,6 +183,52 @@ pub fn repair_parallel(eval: &mut DeltaEvaluator<'_>, scope: &[usize], cfg: Repa
     eval.total()
 }
 
+/// Parallel multi-start for the *initial* schedulers: run `chains`
+/// independent scheduler invocations on scoped worker threads — chain
+/// `i` seeded with `base_seed + i` — and keep the lowest-cost result.
+/// Chain 0 uses `base_seed` itself, so the best-of-K result is never
+/// worse than the corresponding single-start run; with `chains == 1`
+/// it reproduces the single-start run exactly.
+///
+/// This is the construction-side sibling of [`repair_parallel`]: the
+/// repair path forks a live [`DeltaEvaluator`] because its chains share
+/// a starting solution, whereas initial constructions are independent,
+/// so each chain simply runs the scheduler closure (`GreedyScheduler`,
+/// `AnnealingScheduler`, …) with its own seed. `evaluations` in the
+/// returned result sums all chains (the cost actually paid);
+/// wall-clock is one chain's worth on idle cores.
+pub fn multi_start<F>(chains: usize, base_seed: u64, run: F) -> ScheduleResult
+where
+    F: Fn(u64) -> ScheduleResult + Sync,
+{
+    assert!(chains >= 1, "multi_start needs at least one chain");
+    if chains == 1 {
+        return run(base_seed);
+    }
+    let mut results: Vec<ScheduleResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..chains)
+            .map(|i| {
+                let run = &run;
+                s.spawn(move || run(base_seed.wrapping_add(i as u64)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("start chain panicked"))
+            .collect()
+    });
+    let total_evaluations: usize = results.iter().map(|r| r.evaluations).sum();
+    let mut best = 0;
+    for i in 1..results.len() {
+        if results[i].cost.total() < results[best].cost.total() {
+            best = i;
+        }
+    }
+    let mut winner = results.swap_remove(best);
+    winner.evaluations = total_evaluations;
+    winner
+}
+
 /// One repair chain: a budgeted scoped hill climb (shared mutation
 /// kernel) on a forked evaluator.
 fn run_chain(chain: &mut DeltaEvaluator<'_>, scope: &[usize], moves: usize, seed: u64) -> f64 {
@@ -332,6 +378,46 @@ mod tests {
         let reference = evaluate(multi.problem(), multi.solution()).total();
         assert!((multi_total - reference).abs() < 1e-6);
         assert!(multi.solution().is_feasible(multi.problem()));
+    }
+
+    #[test]
+    fn multi_start_single_chain_reproduces_single_run() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 20,
+            seed: 17,
+            ..ScenarioConfig::default()
+        });
+        let budget = Budget::evaluations(5_000);
+        let direct = GreedyScheduler.run(&p, budget, 42);
+        let multi = multi_start(1, 42, |s| GreedyScheduler.run(&p, budget, s));
+        assert_eq!(direct.solution, multi.solution);
+        assert_eq!(direct.evaluations, multi.evaluations);
+    }
+
+    #[test]
+    fn multi_start_never_loses_to_single_start() {
+        let p = scenario(ScenarioConfig {
+            offer_count: 40,
+            seed: 19,
+            ..ScenarioConfig::default()
+        });
+        let budget = Budget::evaluations(4_000);
+        let single = GreedyScheduler.run(&p, budget, 7);
+        let multi = multi_start(4, 7, |s| GreedyScheduler.run(&p, budget, s));
+        // Chain 0 shares the single run's seed, so best-of-4 can never
+        // be worse than it.
+        assert!(
+            multi.cost.total() <= single.cost.total() + 1e-9,
+            "multi {} vs single {}",
+            multi.cost.total(),
+            single.cost.total()
+        );
+        assert!(multi.solution.is_feasible(&p));
+        // Evaluations account for every chain.
+        assert!(multi.evaluations >= single.evaluations);
+        // Determinism: independent of thread scheduling.
+        let again = multi_start(4, 7, |s| GreedyScheduler.run(&p, budget, s));
+        assert_eq!(multi.solution, again.solution);
     }
 
     #[test]

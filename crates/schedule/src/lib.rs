@@ -28,7 +28,8 @@
 //!   850-million-solution optimality probe);
 //! * [`incremental`] — rescheduling after forecast changes, including
 //!   the scoped parallel multi-start repair behind event-driven
-//!   replanning;
+//!   replanning and [`incremental::multi_start`], the best-of-K
+//!   parallel restart harness for the initial schedulers;
 //! * [`mod@scenario`] — intra-day scenario generator for the Figure 6
 //!   experiments.
 //!
@@ -92,7 +93,7 @@ pub use delta::DeltaEvaluator;
 pub use evolutionary::{EaConfig, EvolutionaryScheduler};
 pub use exhaustive::{search_space_size, ExhaustiveScheduler};
 pub use greedy::GreedyScheduler;
-pub use incremental::{repair_parallel, repair_scope, reschedule, RepairConfig};
+pub use incremental::{multi_start, repair_parallel, repair_scope, reschedule, RepairConfig};
 pub use problem::{MarketPrices, SchedulingProblem};
 pub use scenario::{scenario, ScenarioConfig};
 pub use solution::{Budget, Placement, ScheduleResult, Solution, TrajectoryPoint};
