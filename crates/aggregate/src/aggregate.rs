@@ -13,12 +13,12 @@
 //! start shift `δ` therefore maps to the per-member shift `δ`, which every
 //! member admits — the disaggregation requirement holds by construction.
 
+use crate::members::MemberIds;
 use mirabel_core::{
     AggregateId, DomainError, EnergyRange, FlexOffer, FlexOfferId, OfferKind, Price, Profile,
     SlotSpan, TimeSlot,
 };
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// A macro flex-offer produced by the n-to-1 aggregator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,10 +38,12 @@ pub struct AggregatedFlexOffer {
     pub profile: Profile,
     /// Energy-weighted mean member activation price.
     pub unit_price: Price,
-    /// Members folded into this aggregate, ascending. Shared so cloning
-    /// an aggregate through the update stream never copies the id list
-    /// (1 000-member aggregates are cloned per trickle emission).
-    pub member_ids: Arc<Vec<FlexOfferId>>,
+    /// Members folded into this aggregate, ascending. Chunked with
+    /// per-chunk structural sharing ([`MemberIds`]), so both cloning an
+    /// emitted aggregate *and* producing the emission snapshot after a
+    /// trickle delta are O(members ⁄ chunk) pointer work — never an
+    /// O(members) id copy.
+    pub member_ids: MemberIds,
 }
 
 impl AggregatedFlexOffer {
@@ -118,7 +120,7 @@ impl AggregatedFlexOffer {
             assignment_before,
             profile,
             unit_price,
-            member_ids: Arc::new(member_ids),
+            member_ids: member_ids.into_iter().collect(),
         }
     }
 
@@ -141,7 +143,17 @@ impl AggregatedFlexOffer {
     /// treat micro and macro offers uniformly. The flex-offer id reuses
     /// the aggregate's numeric id (the scheduler round-trips it).
     pub fn to_flex_offer(&self) -> Result<FlexOffer, DomainError> {
-        FlexOffer::builder(self.id.value(), 0)
+        self.to_flex_offer_as(self.id.value(), 0)
+    }
+
+    /// Like [`to_flex_offer`](Self::to_flex_offer), but under a caller-
+    /// chosen id and owner — what a BRP uses to export this aggregate
+    /// up the hierarchy in a globally-unique id space. Both views apply
+    /// the same constraint mapping (including the assignment-deadline
+    /// clamp), so the exported wire value can never diverge from what
+    /// local consumers derive.
+    pub fn to_flex_offer_as(&self, id: u64, owner: u64) -> Result<FlexOffer, DomainError> {
+        FlexOffer::builder(id, owner)
             .kind(self.kind)
             .earliest_start(self.earliest_start)
             .latest_start(self.latest_start)

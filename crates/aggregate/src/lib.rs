@@ -78,6 +78,7 @@ pub mod aggregate;
 pub mod binpack;
 pub mod config;
 pub mod group;
+pub mod members;
 pub mod metrics;
 pub mod nto1;
 pub mod pipeline;
@@ -88,6 +89,7 @@ pub use aggregate::AggregatedFlexOffer;
 pub use binpack::BinPacker;
 pub use config::{AggregationParams, BinPackerConfig};
 pub use group::GroupBuilder;
+pub use members::MemberIds;
 pub use metrics::{AggregationReport, DeltaStats};
 pub use nto1::{DisaggregationError, NToOneAggregator};
 pub use pipeline::AggregationPipeline;

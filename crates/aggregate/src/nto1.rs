@@ -28,6 +28,7 @@
 //! included — is identical for any thread count.
 
 use crate::aggregate::AggregatedFlexOffer;
+use crate::members::MemberIds;
 use crate::metrics::DeltaStats;
 use crate::slab::OfferSlab;
 use crate::update::{AggregateUpdate, SubgroupId, SubgroupUpdate};
@@ -81,8 +82,8 @@ fn multi_remove<K: Ord + std::fmt::Debug>(set: &mut BTreeMap<K, u32>, v: K) {
 #[derive(Debug, Clone)]
 struct AggregateEntry {
     kind: OfferKind,
-    /// Member ids, ascending.
-    members: Vec<FlexOfferId>,
+    /// Member ids, ascending (chunked; emission snapshots share chunks).
+    members: MemberIds,
     /// Multiset of member earliest starts (min = aggregate start).
     starts: BTreeMap<i64, u32>,
     /// Multiset of member time flexibilities (min = aggregate TF).
@@ -111,7 +112,7 @@ impl AggregateEntry {
     fn empty() -> AggregateEntry {
         AggregateEntry {
             kind: OfferKind::Consumption,
-            members: Vec::new(),
+            members: MemberIds::new(),
             starts: BTreeMap::new(),
             flexes: BTreeMap::new(),
             deadlines: BTreeMap::new(),
@@ -130,7 +131,7 @@ impl AggregateEntry {
                 assignment_before: TimeSlot(0),
                 profile: Profile::uniform(1, EnergyRange::ZERO),
                 unit_price: Price::ZERO,
-                member_ids: std::sync::Arc::new(Vec::new()),
+                member_ids: MemberIds::new(),
             },
         }
     }
@@ -169,11 +170,7 @@ impl AggregateEntry {
         self.energy += e;
         self.weighted_price += e * o.unit_price().eur();
 
-        let pos = self
-            .members
-            .binary_search(&o.id())
-            .expect_err("added member already present");
-        self.members.insert(pos, o.id());
+        self.members.insert(o.id()); // panics if already present
         self.ops += 1;
     }
 
@@ -195,11 +192,7 @@ impl AggregateEntry {
         self.energy -= e;
         self.weighted_price -= e * o.unit_price().eur();
 
-        let pos = self
-            .members
-            .binary_search(&o.id())
-            .expect("removed member present");
-        self.members.remove(pos);
+        self.members.remove(o.id()); // panics if absent
         self.ops += 1;
     }
 
@@ -226,7 +219,7 @@ impl AggregateEntry {
         let snapshot = self.aggregate.clone();
         *self = AggregateEntry::empty();
         self.aggregate = snapshot;
-        for id in members {
+        for id in members.iter() {
             self.add(slab.get(id).expect("member is in the slab"));
         }
         self.ops = 0;
@@ -263,7 +256,9 @@ impl AggregateEntry {
             assignment_before: TimeSlot(deadline),
             profile,
             unit_price,
-            member_ids: std::sync::Arc::new(self.members.clone()),
+            // Chunk-table clone: O(members ⁄ chunk) pointer bumps, so a
+            // trickle emission never re-copies a huge group's id list.
+            member_ids: self.members.clone(),
         };
     }
 
@@ -275,7 +270,7 @@ impl AggregateEntry {
         let members: Vec<FlexOffer> = self
             .members
             .iter()
-            .map(|id| slab.get(*id).expect("member is in the slab").clone())
+            .map(|id| slab.get(id).expect("member is in the slab").clone())
             .collect();
         let reference = AggregatedFlexOffer::build(self.aggregate.id, &members);
         let a = &self.aggregate;
@@ -537,8 +532,8 @@ impl NToOneAggregator {
 
     /// The member ids of one aggregate, ascending. Resolve values against
     /// the pipeline's offer slab.
-    pub fn member_ids(&self, id: AggregateId) -> Option<&[FlexOfferId]> {
-        self.store.get(&id).map(|e| e.members.as_slice())
+    pub fn member_ids(&self, id: AggregateId) -> Option<&MemberIds> {
+        self.store.get(&id).map(|e| &e.members)
     }
 
     /// Number of maintained aggregates.
@@ -583,7 +578,7 @@ impl NToOneAggregator {
             .collect();
 
         let mut out = Vec::with_capacity(entry.members.len());
-        for &mid in &entry.members {
+        for mid in entry.members.iter() {
             let m = slab.get(mid).expect("member is in the slab");
             let offset = (m.earliest_start() - agg.earliest_start) as usize;
             let start = m.earliest_start() + delta;
@@ -815,7 +810,7 @@ mod tests {
         let micro = agg.disaggregate(id, &schedule, &slab).unwrap();
         assert_eq!(micro[0].start, TimeSlot(13)); // 10 + 3
         assert_eq!(micro[1].start, TimeSlot(15)); // 12 + 3
-        for (s, &mid) in micro.iter().zip(agg.member_ids(id).unwrap()) {
+        for (s, mid) in micro.iter().zip(agg.member_ids(id).unwrap().iter()) {
             s.validate_against(slab.get(mid).unwrap(), 1e-9).unwrap();
         }
     }
@@ -843,7 +838,7 @@ mod tests {
             member(2, 11, 8, 2, 1.0, 4.0),
         ]);
         let micro = agg.disaggregate_at_min(id, TimeSlot(14), &slab).unwrap();
-        for (s, &mid) in micro.iter().zip(agg.member_ids(id).unwrap()) {
+        for (s, mid) in micro.iter().zip(agg.member_ids(id).unwrap().iter()) {
             let m = slab.get(mid).unwrap();
             s.validate_against(m, 1e-9).unwrap();
             assert!(s

@@ -127,7 +127,7 @@ impl AggregationPipeline {
                 .member_ids(agg.id)
                 .expect("aggregate has members");
             offers += members.len();
-            for &mid in members {
+            for mid in members.iter() {
                 let m = self.slab.get(mid).expect("member is in the slab");
                 total_tf += m.time_flexibility() as u64;
                 retained += agg_tf;

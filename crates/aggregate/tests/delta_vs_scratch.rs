@@ -30,7 +30,7 @@ fn offer(id: u64, es: i64, tf: u32, dur: u32, lo: f64, width: f64) -> FlexOffer 
 /// function of the surviving offer set, so keying on it aligns the two.
 fn by_members(p: &AggregationPipeline) -> BTreeMap<Vec<FlexOfferId>, AggregatedFlexOffer> {
     p.aggregates()
-        .map(|a| (a.member_ids.as_ref().clone(), a.clone()))
+        .map(|a| (a.member_ids.to_vec(), a.clone()))
         .collect()
 }
 
@@ -158,7 +158,7 @@ proptest! {
             let members: Vec<FlexOffer> = a
                 .member_ids
                 .iter()
-                .map(|id| p.offer(*id).expect("member in slab").clone())
+                .map(|id| p.offer(id).expect("member in slab").clone())
                 .collect();
             let reference = Agg::build(AggregateId(a.id.value()), &members);
             prop_assert_eq!(a.earliest_start, reference.earliest_start);

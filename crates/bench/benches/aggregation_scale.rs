@@ -76,6 +76,35 @@ fn trickle(c: &mut Criterion) {
     group.finish();
 }
 
+/// Emission churn on huge groups: one member in, one member out of a
+/// 10 k / 100 k-member aggregate. The delta *fold* was already O(Δ);
+/// this pins the last O(members) leftover — the per-emission member-id
+/// snapshot. With the chunked `MemberIds` the snapshot is a chunk-table
+/// clone (O(members ⁄ 512) pointer bumps), so the curve must stay
+/// near-flat from 10 k to 100 k members instead of growing 10×.
+fn emission_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_scale_emission_churn");
+    group.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        let mut pipeline = AggregationPipeline::from_scratch(
+            AggregationParams::p0(),
+            None,
+            (0..n).map(identical_offer),
+        );
+        assert_eq!(pipeline.aggregate_count(), 1);
+        let mut next = n;
+        group.bench_with_input(BenchmarkId::new("insert_delete", n), &n, move |b, _| {
+            b.iter(|| {
+                let out = pipeline.apply(vec![FlexOfferUpdate::Insert(identical_offer(next))]);
+                assert_eq!(out.len(), 1);
+                pipeline.apply(vec![FlexOfferUpdate::Delete(FlexOfferId(next))]);
+                next += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Shard-parallel flush: one churn batch touching 128 groups of 4 000
 /// members each (one insert + one delete per group, a single flush),
 /// folded on 1 vs 4 worker threads. The group-builder phase is
@@ -132,5 +161,11 @@ fn parallel_flush(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, from_scratch, trickle, parallel_flush);
+criterion_group!(
+    benches,
+    from_scratch,
+    trickle,
+    emission_churn,
+    parallel_flush
+);
 criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Level-3 incremental replanning vs from-scratch rebuilds.
+//!
+//! The acceptance bar of the unified node runtime: after a single BRP
+//! delta or a forecast event, the TSO's replan cost must be O(changed) —
+//! splice/rebase on the live evaluator plus a scoped repair — and beat a
+//! full `prepare_plan` (problem reconstruction + scheduler run) at 1 k
+//! and 10 k pooled macro offers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_aggregate::{AggregationParams, FlexOfferUpdate};
+use mirabel_core::{EnergyRange, FlexOffer, FlexOfferId, NodeId, Profile, TimeSlot};
+use mirabel_edms::{Envelope, Message, RuntimeConfig, TsoNode};
+use mirabel_schedule::MarketPrices;
+
+const HORIZON: usize = 96;
+const WINDOW: TimeSlot = TimeSlot(96);
+
+fn macro_offer(id: u64, i: u64) -> FlexOffer {
+    // Spread starts across the window; tf + dur always fits.
+    let es = 96 + (i % 84) as i64;
+    FlexOffer::builder(id, 1)
+        .earliest_start(TimeSlot(es))
+        .time_flexibility(6)
+        .assignment_before(TimeSlot(es - 10))
+        .profile(Profile::uniform(4, EnergyRange::new(0.5, 2.0).unwrap()))
+        .build()
+        .unwrap()
+}
+
+fn deltas(updates: Vec<FlexOfferUpdate>) -> Envelope {
+    Envelope::new(
+        NodeId(1),
+        NodeId(99),
+        TimeSlot(0),
+        Message::MacroOfferDeltas(updates),
+    )
+}
+
+fn pooled_tso(n: u64) -> TsoNode {
+    let mut tso = TsoNode::with_config(
+        NodeId(99),
+        AggregationParams::p0(),
+        RuntimeConfig {
+            // The runtime's default planning budget (20 k evaluations)
+            // for every pool size: what a node actually pays when it
+            // reconstructs instead of replanning incrementally.
+            repair_moves: 200,
+            repair_chains: 2,
+            ..RuntimeConfig::default()
+        },
+    );
+    tso.handle(
+        deltas(
+            (0..n)
+                .map(|i| FlexOfferUpdate::Insert(macro_offer(1_000_000 + i, i)))
+                .collect(),
+        ),
+        TimeSlot(0),
+    );
+    tso
+}
+
+fn prices() -> MarketPrices {
+    MarketPrices::flat(HORIZON, 0.08, 0.03, 1_000.0)
+}
+
+fn prepare(tso: &mut TsoNode, baseline: Vec<f64>) {
+    tso.prepare_plan(TimeSlot(90), WINDOW, baseline, prices(), vec![0.2; HORIZON]);
+}
+
+/// Full rebuild: reconstruct the problem from the pool and re-run the
+/// scheduler — what `TsoNode::plan` did before the unified runtime.
+fn full_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tso_replan_full_rebuild");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        let mut tso = pooled_tso(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, move |b, _| {
+            b.iter(|| prepare(&mut tso, vec![-2.0; HORIZON]))
+        });
+    }
+    group.finish();
+}
+
+/// Incremental offer delta: one BRP insert+delete trickle spliced into
+/// the live plan (O(duration) each) plus a scoped repair.
+fn offer_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tso_replan_offer_delta");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        let mut tso = pooled_tso(n);
+        prepare(&mut tso, vec![-2.0; HORIZON]);
+        let mut next = n;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, move |b, _| {
+            b.iter(|| {
+                tso.handle(
+                    deltas(vec![
+                        FlexOfferUpdate::Insert(macro_offer(1_000_000 + next, next)),
+                        FlexOfferUpdate::Delete(FlexOfferId(1_000_000 + next - n)),
+                    ]),
+                    TimeSlot(91),
+                );
+                next += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Incremental forecast event: a 10-slot refinement rebased onto the
+/// live evaluator plus a scoped repair — no problem reconstruction.
+fn forecast_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tso_replan_forecast_event");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        let mut tso = pooled_tso(n);
+        prepare(&mut tso, vec![-2.0; HORIZON]);
+        let mut flip = 0.0f64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, move |b, _| {
+            b.iter(|| {
+                flip = 0.5 - flip;
+                let mut forecast = vec![-2.0; HORIZON];
+                for v in forecast.iter_mut().skip(40).take(10) {
+                    *v += flip;
+                }
+                let event = mirabel_forecast::ForecastEvent {
+                    subscription: 0,
+                    forecast,
+                    changed: vec![mirabel_forecast::SlotRange { start: 40, end: 50 }],
+                    max_relative_change: 1.0,
+                };
+                tso.on_forecast_event(&event).expect("live plan")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_rebuild, offer_delta, forecast_event);
+criterion_main!(benches);

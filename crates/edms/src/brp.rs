@@ -4,27 +4,32 @@
 //! life-cycle: collect offers from prosumers, decide acceptance
 //! (Negotiation), aggregate incrementally (Aggregation), forecast the
 //! baseline (Forecasting), schedule the macro offers (Scheduling),
-//! disaggregate and send assignments back — or forward the macro offers
-//! to the TSO and disaggregate *its* assignments instead (paper §2: "the
-//! process is essentially repeated at a higher level").
+//! disaggregate and send assignments back — or forward the macro-offer
+//! *delta stream* to the TSO and disaggregate *its* assignments instead
+//! (paper §2: "the process is essentially repeated at a higher level").
 //!
-//! ## Event-driven incremental replanning
+//! ## The unified life-cycle
 //!
-//! Planning is split into three phases so forecast updates between
-//! scheduling and assignment are processed in time proportional to the
-//! *change*, not the problem:
+//! Planning runs on the shared [`PlanEngine`]
+//! — the same prepare → replan → commit machinery the TSO uses one level
+//! up:
 //!
 //! 1. [`BrpNode::prepare_plan`] schedules the eligible macro offers and
-//!    keeps the result as a **live** [`DeltaEvaluator`] (owning its
+//!    keeps the result as a **live** `DeltaEvaluator` (owning its
 //!    problem) instead of throwing the search state away;
 //! 2. [`BrpNode::on_forecast_event`] consumes a typed
-//!    [`ForecastEvent`] from the pub/sub hub: the event's slot ranges
-//!    drive [`DeltaEvaluator::rebase`] (re-pricing only the moved
-//!    slots), [`repair_scope`] restricts moves to offers that can reach
-//!    them, and [`repair_parallel`] runs K multi-start repair chains on
-//!    worker threads, keeping the best;
+//!    [`ForecastEvent`] from the pub/sub hub: rebase on exactly the
+//!    changed slots, scoped parallel multi-start repair — and offers
+//!    submitted *while the plan is live* are spliced straight into the
+//!    evaluator by the engine's offer-delta folding;
 //! 3. [`BrpNode::commit_plan`] disaggregates the live solution into
 //!    micro assignments once the window's deadline approaches.
+//!
+//! In TSO mode (`forward_to_tso`), the BRP does not schedule locally;
+//! instead every aggregate change its pipeline emits is staged as an
+//! export delta and flushed upward as one
+//! [`Message::MacroOfferDeltas`] batch per planning round — snapshots
+//! never cross the wire.
 //!
 //! [`BrpNode::plan_with_baseline`] runs phases 1+3 back-to-back for
 //! callers without forecast updates.
@@ -33,31 +38,20 @@ use crate::datastore::{
     DataStore, EnergyType, MeasurementFact, OfferFact, OfferState, ScheduleFact,
 };
 use crate::message::{Envelope, Message};
-use mirabel_aggregate::{AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate};
+use crate::runtime::{Node, NodeRuntime, PlanEngine, RuntimeConfig};
+use mirabel_aggregate::{
+    AggregateUpdate, AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate,
+};
 use mirabel_core::{
     AggregateId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot,
 };
 use mirabel_forecast::{ForecastEvent, ForecastModel, HwtConfig, HwtModel, Seasonality};
 use mirabel_negotiate::{AcceptanceDecision, AcceptancePolicy, PreExecutionPricing};
-use mirabel_schedule::{
-    evaluate, multi_start, repair_parallel, repair_scope, Budget, DeltaEvaluator,
-    EvolutionaryScheduler, GreedyScheduler, HybridScheduler, MarketPrices, RepairConfig,
-    SchedulingProblem, Solution,
-};
+use mirabel_schedule::{evaluate, MarketPrices, SchedulingProblem, Solution};
 use mirabel_timeseries::TimeSeries;
 use std::collections::BTreeMap;
 
-/// Which metaheuristic the BRP runs (paper §6 provides two; the hybrid is
-/// the future-work extension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulerKind {
-    /// Randomized greedy search.
-    Greedy,
-    /// Evolutionary algorithm.
-    Evolutionary,
-    /// Greedy-seeded EA.
-    Hybrid,
-}
+pub use crate::runtime::{PlanReport, ReplanReport, SchedulerKind};
 
 /// BRP configuration.
 #[derive(Debug, Clone)]
@@ -74,7 +68,8 @@ pub struct BrpConfig {
     pub acceptance: AcceptancePolicy,
     /// Pricing scheme for assignments.
     pub pricing: PreExecutionPricing,
-    /// Forward macro offers to the TSO instead of scheduling locally.
+    /// Forward macro-offer deltas to the TSO instead of scheduling
+    /// locally.
     pub forward_to_tso: bool,
     /// Parallel multi-start chains (K) per incremental repair.
     pub repair_chains: usize,
@@ -90,58 +85,34 @@ pub struct BrpConfig {
 
 impl Default for BrpConfig {
     fn default() -> BrpConfig {
-        let repair = RepairConfig::default();
+        let runtime = RuntimeConfig::default();
         BrpConfig {
             aggregation: AggregationParams::p3(8, 8),
             binpacker: None,
-            scheduler: SchedulerKind::Greedy,
-            budget_evaluations: 20_000,
+            scheduler: runtime.scheduler,
+            budget_evaluations: runtime.budget_evaluations,
             acceptance: AcceptancePolicy::default(),
             pricing: PreExecutionPricing::default(),
             forward_to_tso: false,
-            repair_chains: repair.chains,
-            repair_moves: repair.moves_per_chain,
-            initial_starts: 1,
+            repair_chains: runtime.repair_chains,
+            repair_moves: runtime.repair_moves,
+            initial_starts: runtime.initial_starts,
             flush_threads: 1,
         }
     }
 }
 
-/// Outcome of one planning run.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct PlanReport {
-    /// Offers expired (assignment deadline passed) and dropped.
-    pub expired: usize,
-    /// Macro offers eligible for the window.
-    pub eligible_macro: usize,
-    /// Macro offers forwarded to the TSO.
-    pub forwarded: usize,
-    /// Micro assignments produced.
-    pub assignments: usize,
-    /// Total schedule cost, when scheduled locally.
-    pub cost: Option<f64>,
-}
-
-/// Outcome of one incremental replan ([`BrpNode::on_forecast_event`]).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReplanReport {
-    /// Slots whose forecast moved (and were re-priced by the rebase).
-    pub changed_slots: usize,
-    /// Offers inside the repair scope.
-    pub scoped_offers: usize,
-    /// Total cost right after the rebase, before repair.
-    pub cost_before: f64,
-    /// Total cost after the parallel multi-start repair.
-    pub cost_after: f64,
-}
-
-/// The live planning state kept between [`BrpNode::prepare_plan`] and
-/// [`BrpNode::commit_plan`]: the evaluator owns its problem, so forecast
-/// events can rebase it in place — no problem reconstruction, no resync.
-#[derive(Debug)]
-struct LivePlan {
-    eval: DeltaEvaluator<'static>,
-    window_start: TimeSlot,
+impl BrpConfig {
+    /// The shared runtime knobs carried by this configuration.
+    fn runtime(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            scheduler: self.scheduler,
+            budget_evaluations: self.budget_evaluations,
+            initial_starts: self.initial_starts,
+            repair_chains: self.repair_chains,
+            repair_moves: self.repair_moves,
+        }
+    }
 }
 
 /// The level-2 node.
@@ -155,14 +126,19 @@ pub struct BrpNode {
     /// Offer pool: id → (offer, source node). Ordered so every walk
     /// (expiry, planning) is deterministic across runs.
     pool: BTreeMap<FlexOfferId, (FlexOffer, NodeId)>,
-    pipeline: AggregationPipeline,
+    /// The shared planning runtime: pipeline + live plan.
+    engine: PlanEngine,
     /// The Data Management component.
     pub store: DataStore,
     /// Exported macro-offer id → local aggregate id (TSO path).
     exports: BTreeMap<u64, AggregateId>,
-    /// Current plan awaiting commitment, if any.
-    live: Option<LivePlan>,
-    seed: u64,
+    /// Net export deltas staged since the last forward (TSO path),
+    /// keyed by export id: `Some(aggregate)` = upsert pending (the
+    /// offer value is materialized once, at flush), `None` = delete
+    /// pending. Later changes to the same aggregate overwrite earlier
+    /// ones, so both the staging cost and the wire are proportional to
+    /// the number of aggregates that changed, not to churn.
+    outbox: BTreeMap<u64, Option<AggregateId>>,
 }
 
 impl BrpNode {
@@ -170,16 +146,20 @@ impl BrpNode {
     pub fn new(id: NodeId, parent: Option<NodeId>, config: BrpConfig) -> BrpNode {
         let mut pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
         pipeline.set_flush_threads(config.flush_threads);
+        let engine = PlanEngine::new(
+            pipeline,
+            config.runtime(),
+            id.value().wrapping_mul(0x9e37_79b9),
+        );
         BrpNode {
             id,
             parent,
             config,
             pool: BTreeMap::new(),
-            pipeline,
+            engine,
             store: DataStore::new(),
             exports: BTreeMap::new(),
-            live: None,
-            seed: id.value().wrapping_mul(0x9e37_79b9),
+            outbox: BTreeMap::new(),
         }
     }
 
@@ -190,7 +170,46 @@ impl BrpNode {
 
     /// Current number of aggregates.
     pub fn aggregate_count(&self) -> usize {
-        self.pipeline.aggregate_count()
+        self.engine.pipeline().aggregate_count()
+    }
+
+    /// Export deltas staged for the next forward (TSO mode).
+    pub fn staged_deltas(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Run pool deltas through the engine (pipeline + live-plan fold)
+    /// and stage the aggregate changes as export deltas in TSO mode.
+    fn apply_updates(&mut self, updates: Vec<FlexOfferUpdate>) {
+        let (agg_updates, _fold) = self.engine.apply_offer_updates(updates);
+        // Stage only when the deltas can actually be flushed somewhere:
+        // without a parent the outbox would grow without bound.
+        if self.config.forward_to_tso && self.parent.is_some() {
+            self.stage_exports(&agg_updates);
+        }
+    }
+
+    /// Stage the pipeline's aggregate changes for the next upward flush
+    /// in the export id space (`brp-id * 1e9 + aggregate id`). Only the
+    /// *net* per-id effect is kept, and upserts stage the aggregate id —
+    /// the offer value is materialized once, at flush, never per
+    /// emission.
+    fn stage_exports(&mut self, updates: &[AggregateUpdate]) {
+        for u in updates {
+            match u {
+                AggregateUpdate::Upsert(agg) => {
+                    let export_id = self.id.value() * 1_000_000_000 + agg.id.value();
+                    self.exports.insert(export_id, agg.id);
+                    self.outbox.insert(export_id, Some(agg.id));
+                }
+                AggregateUpdate::Removed(agg_id) => {
+                    let export_id = self.id.value() * 1_000_000_000 + agg_id.value();
+                    if self.exports.remove(&export_id).is_some() {
+                        self.outbox.insert(export_id, None);
+                    }
+                }
+            }
+        }
     }
 
     /// Handle one message; returns reply envelopes.
@@ -236,12 +255,9 @@ impl BrpNode {
                     state: OfferState::Accepted,
                 });
                 self.pool.insert(offer.id(), (offer.clone(), from));
-                self.pipeline
-                    .apply(vec![FlexOfferUpdate::Insert(offer.clone())]);
-                Message::OfferAccepted {
-                    offer: offer.id(),
-                    value,
-                }
+                let id = offer.id();
+                self.apply_updates(vec![FlexOfferUpdate::Insert(offer)]);
+                Message::OfferAccepted { offer: id, value }
             }
             AcceptanceDecision::Reject(_) => {
                 self.store.record_offer(OfferFact {
@@ -276,7 +292,7 @@ impl BrpNode {
             });
         }
         if !expired.is_empty() {
-            self.pipeline.apply(
+            self.apply_updates(
                 expired
                     .iter()
                     .map(|id| FlexOfferUpdate::Delete(*id))
@@ -305,21 +321,12 @@ impl BrpNode {
         model.forecast(horizon)
     }
 
-    /// Macro offers that fit entirely inside `[start, start+horizon)`.
-    fn eligible_macros(&self, start: TimeSlot, horizon: usize) -> Vec<FlexOffer> {
-        let end = start + horizon as u32;
-        self.pipeline
-            .macro_offers()
-            .into_iter()
-            .filter(|m| m.earliest_start() >= start && m.latest_end() <= end)
-            .collect()
-    }
-
     /// Plan the window `[window_start, window_start+horizon)` against an
     /// externally supplied baseline and keep the result as a live
-    /// evaluator for incremental replanning. Returns forwarding
-    /// envelopes (TSO mode only) plus the report; assignments are
-    /// produced later by [`commit_plan`](Self::commit_plan).
+    /// evaluator for incremental replanning. In TSO mode, flushes the
+    /// staged export deltas upward instead. Returns forwarding envelopes
+    /// plus the report; assignments are produced later by
+    /// [`commit_plan`](Self::commit_plan).
     pub fn prepare_plan(
         &mut self,
         now: TimeSlot,
@@ -328,131 +335,58 @@ impl BrpNode {
         prices: MarketPrices,
         penalties: Vec<f64>,
     ) -> (Vec<Envelope>, PlanReport) {
-        self.live = None;
+        // A new round starts: expiry deltas must not be folded into the
+        // previous window's (now stale) live plan.
+        self.engine.abandon();
         let mut report = PlanReport {
             expired: self.expire(now),
             ..PlanReport::default()
         };
-        let horizon = baseline.len();
-        let macros = self.eligible_macros(window_start, horizon);
-        report.eligible_macro = macros.len();
-        if macros.is_empty() {
-            return (Vec::new(), report);
-        }
 
         if self.config.forward_to_tso {
+            report.eligible_macro = self.engine.eligible_count(window_start, baseline.len());
             let Some(parent) = self.parent else {
                 return (Vec::new(), report);
             };
-            // Export with globally-unique ids: brp-id * 1e9 + aggregate id.
-            let mut exported = Vec::with_capacity(macros.len());
-            for m in macros {
-                let agg_id = AggregateId(m.id().value());
-                let export_id = self.id.value() * 1_000_000_000 + m.id().value();
-                self.exports.insert(export_id, agg_id);
-                let rebuilt = FlexOffer::builder(export_id, self.id.value())
-                    .kind(m.kind())
-                    .earliest_start(m.earliest_start())
-                    .latest_start(m.latest_start())
-                    .assignment_before(m.assignment_before())
-                    .profile(m.profile().clone())
-                    .unit_price(m.unit_price())
-                    .build()
-                    .expect("macro offers are valid");
-                exported.push(rebuilt);
+            // Materialize the net staged changes: one offer build per
+            // aggregate that actually changed this round.
+            let deltas: Vec<FlexOfferUpdate> = std::mem::take(&mut self.outbox)
+                .into_iter()
+                .map(|(export_id, entry)| match entry {
+                    Some(agg_id) => {
+                        let agg = self
+                            .engine
+                            .pipeline()
+                            .aggregate(agg_id)
+                            .expect("staged upsert outlives the round or is overwritten");
+                        FlexOfferUpdate::Insert(
+                            agg.to_flex_offer_as(export_id, self.id.value())
+                                .expect("aggregates are valid flex-offers"),
+                        )
+                    }
+                    None => FlexOfferUpdate::Delete(FlexOfferId(export_id)),
+                })
+                .collect();
+            report.forwarded = deltas.len();
+            if deltas.is_empty() {
+                return (Vec::new(), report);
             }
-            report.forwarded = exported.len();
-            let env = Envelope::new(self.id, parent, now, Message::MacroOffers(exported));
+            let env = Envelope::new(self.id, parent, now, Message::MacroOfferDeltas(deltas));
             return (vec![env], report);
         }
 
-        // Schedule locally: K parallel best-of restarts of the chosen
-        // scheduler (chain 0 reproduces the single-start result, so
-        // `initial_starts > 1` can only improve the plan).
-        let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
-            .expect("eligible macros fit the window");
-        let budget = Budget::evaluations(self.config.budget_evaluations);
-        self.seed = self.seed.wrapping_add(1);
-        let starts = self.config.initial_starts.max(1);
-        let result = match self.config.scheduler {
-            SchedulerKind::Greedy => multi_start(starts, self.seed, |s| {
-                GreedyScheduler.run(&problem, budget, s)
-            }),
-            SchedulerKind::Evolutionary => multi_start(starts, self.seed, |s| {
-                EvolutionaryScheduler::default().run(&problem, budget, s)
-            }),
-            SchedulerKind::Hybrid => multi_start(starts, self.seed, |s| {
-                HybridScheduler::default().run(&problem, budget, s)
-            }),
-        };
-        report.cost = Some(result.cost.total());
-
-        // Keep the search state alive: forecast events rebase this
-        // evaluator in place instead of rebuilding the problem.
-        self.live = Some(LivePlan {
-            eval: DeltaEvaluator::new_owned(problem, result.solution),
-            window_start,
-        });
+        let (eligible, cost) = self
+            .engine
+            .prepare(window_start, baseline, prices, penalties);
+        report.eligible_macro = eligible;
+        report.cost = cost;
         (Vec::new(), report)
     }
 
-    /// React to a typed forecast change event on the live plan: rebase
-    /// the evaluator to the event's forecast (re-pricing only the
-    /// changed slots), then run a parallel multi-start repair restricted
-    /// to the offers that can reach those slots. Returns `None` when
-    /// there is no live plan or the event does not match its horizon.
-    ///
-    /// The event's ranges are relative to the *hub's* last delivery; if
-    /// the live baseline has diverged from that lineage (e.g. the plan
-    /// was prepared from a post-processed forecast), the extra differing
-    /// slots are detected by an O(horizon) scan and folded into the
-    /// rebase, so the result is always exact.
+    /// React to a typed forecast change event on the live plan (see
+    /// [`PlanEngine::on_forecast_event`]).
     pub fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
-        let live = self.live.as_mut()?;
-        let horizon = live.eval.problem().horizon();
-        if event.forecast.len() != horizon {
-            return None;
-        }
-        let mut touched = vec![false; horizon];
-        for t in event.changed_slots() {
-            if t < horizon {
-                touched[t] = true;
-            }
-        }
-        for (i, (new, old)) in event
-            .forecast
-            .iter()
-            .zip(&live.eval.problem().baseline_imbalance)
-            .enumerate()
-        {
-            if new != old {
-                touched[i] = true;
-            }
-        }
-        let changed: Vec<usize> = touched
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t)
-            .map(|(i, _)| i)
-            .collect();
-        let cost_before = live.eval.rebase(&event.forecast, &changed);
-        let scope = repair_scope(live.eval.problem(), &changed);
-        self.seed = self.seed.wrapping_add(1);
-        let cost_after = repair_parallel(
-            &mut live.eval,
-            &scope,
-            RepairConfig {
-                chains: self.config.repair_chains,
-                moves_per_chain: self.config.repair_moves,
-                seed: self.seed,
-            },
-        );
-        Some(ReplanReport {
-            changed_slots: changed.len(),
-            scoped_offers: scope.len(),
-            cost_before,
-            cost_after,
-        })
+        self.engine.on_forecast_event(event)
     }
 
     /// Commit the live plan: disaggregate the current (possibly
@@ -460,16 +394,14 @@ impl BrpNode {
     /// state. Returns the assignment envelopes plus the final schedule
     /// cost, or `None` when no plan is live.
     pub fn commit_plan(&mut self, now: TimeSlot) -> Option<(Vec<Envelope>, f64)> {
-        let live = self.live.take()?;
-        let cost = live.eval.total();
-        let eval = live.eval;
-        let envelopes = self.disaggregate_and_assign(eval.problem(), eval.solution(), now);
+        let (problem, solution, cost) = self.engine.commit()?;
+        let envelopes = self.disaggregate_and_assign(&problem, &solution, now);
         Some((envelopes, cost))
     }
 
     /// Window start of the live plan, if one is pending commitment.
     pub fn live_window(&self) -> Option<TimeSlot> {
-        self.live.as_ref().map(|l| l.window_start)
+        self.engine.live_window()
     }
 
     /// One-shot planning: [`prepare_plan`](Self::prepare_plan) followed
@@ -508,7 +440,7 @@ impl BrpNode {
         let schedules = solution.to_schedules(problem);
         for macro_schedule in schedules {
             let agg_id = AggregateId(macro_schedule.offer_id.value());
-            let micro = match self.pipeline.disaggregate(agg_id, &macro_schedule) {
+            let micro = match self.engine.pipeline().disaggregate(agg_id, &macro_schedule) {
                 Ok(m) => m,
                 Err(_) => continue,
             };
@@ -542,7 +474,7 @@ impl BrpNode {
             }
         }
         if !deletes.is_empty() {
-            self.pipeline.apply(deletes);
+            self.apply_updates(deletes);
         }
         out
     }
@@ -555,7 +487,7 @@ impl BrpNode {
         _discount: Price,
         now: TimeSlot,
     ) -> Vec<Envelope> {
-        let Some(agg_id) = self.exports.remove(&schedule.offer_id.value()) else {
+        let Some(agg_id) = self.exports.get(&schedule.offer_id.value()).copied() else {
             return Vec::new();
         };
         // Rewrite the schedule to reference the local aggregate id.
@@ -564,7 +496,7 @@ impl BrpNode {
             start: schedule.start,
             slot_energies: schedule.slot_energies,
         };
-        let micro = match self.pipeline.disaggregate(agg_id, &local) {
+        let micro = match self.engine.pipeline().disaggregate(agg_id, &local) {
             Ok(m) => m,
             Err(_) => return Vec::new(),
         };
@@ -599,7 +531,10 @@ impl BrpNode {
             ));
         }
         if !deletes.is_empty() {
-            self.pipeline.apply(deletes);
+            // Deleting the assigned members collapses the aggregate; the
+            // resulting `Removed` delta is staged so the TSO's pool
+            // forgets the export too.
+            self.apply_updates(deletes);
         }
         out
     }
@@ -609,6 +544,43 @@ impl BrpNode {
     /// comparisons.
     pub fn cost_of(problem: &SchedulingProblem, solution: &Solution) -> f64 {
         evaluate(problem, solution).total()
+    }
+}
+
+impl Node for BrpNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        BrpNode::handle(self, envelope, now)
+    }
+}
+
+impl NodeRuntime for BrpNode {
+    fn prepare_plan(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> (Vec<Envelope>, PlanReport) {
+        BrpNode::prepare_plan(self, now, window_start, baseline, prices, penalties)
+    }
+
+    fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
+        BrpNode::on_forecast_event(self, event)
+    }
+
+    fn commit_plan(&mut self, now: TimeSlot) -> Vec<Envelope> {
+        BrpNode::commit_plan(self, now)
+            .map(|(envelopes, _)| envelopes)
+            .unwrap_or_default()
+    }
+
+    fn live_window(&self) -> Option<TimeSlot> {
+        BrpNode::live_window(self)
     }
 }
 
@@ -774,7 +746,7 @@ mod tests {
     }
 
     #[test]
-    fn forwarding_exports_unique_ids() {
+    fn forwarding_stages_and_flushes_deltas() {
         let config = BrpConfig {
             forward_to_tso: true,
             ..BrpConfig::default()
@@ -783,6 +755,7 @@ mod tests {
         for i in 0..10 {
             submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
         }
+        assert!(brp.staged_deltas() > 0, "submissions stage export deltas");
         let (envelopes, report) = brp.plan_with_baseline(
             TimeSlot(80),
             TimeSlot(96),
@@ -793,13 +766,61 @@ mod tests {
         assert!(report.forwarded > 0);
         assert_eq!(envelopes.len(), 1);
         assert_eq!(envelopes[0].to, NodeId(99));
-        if let Message::MacroOffers(offers) = &envelopes[0].message {
-            for o in offers {
-                assert!(o.id().value() >= 3_000_000_000);
-            }
-        } else {
-            panic!("expected MacroOffers");
+        let Message::MacroOfferDeltas(deltas) = &envelopes[0].message else {
+            panic!("expected MacroOfferDeltas");
+        };
+        for d in deltas {
+            let FlexOfferUpdate::Insert(o) = d else {
+                panic!("first forward carries only inserts, got {d:?}");
+            };
+            assert!(o.id().value() >= 3_000_000_000, "export ids are global");
         }
+        // Flushed: a second plan with no new offers forwards nothing.
+        assert_eq!(brp.staged_deltas(), 0);
+        let (envelopes, report) = brp.plan_with_baseline(
+            TimeSlot(81),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(report.forwarded, 0);
+        assert!(envelopes.is_empty());
+    }
+
+    #[test]
+    fn forwarding_trickle_change_stays_a_trickle() {
+        // After the initial flush, one more submission must forward a
+        // delta batch proportional to the change — not the pool.
+        let config = BrpConfig {
+            forward_to_tso: true,
+            aggregation: AggregationParams::p0(),
+            ..BrpConfig::default()
+        };
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), config);
+        for i in 0..50 {
+            submit(&mut brp, offer(i, i, 110 + i as i64, 90, 4), 100 + i, 0);
+        }
+        brp.plan_with_baseline(
+            TimeSlot(10),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        submit(&mut brp, offer(777, 7, 120, 90, 4), 100, 11);
+        let (envelopes, report) = brp.plan_with_baseline(
+            TimeSlot(12),
+            TimeSlot(96),
+            vec![0.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(report.forwarded, 1, "one new offer → one delta");
+        let Message::MacroOfferDeltas(deltas) = &envelopes[0].message else {
+            panic!("expected MacroOfferDeltas");
+        };
+        assert_eq!(deltas.len(), 1);
     }
 
     #[test]
@@ -819,12 +840,21 @@ mod tests {
             MarketPrices::flat(96, 0.08, 0.03, 100.0),
             vec![0.2; 96],
         );
-        let Message::MacroOffers(exported) = &envelopes[0].message else {
-            panic!("expected MacroOffers");
+        let Message::MacroOfferDeltas(deltas) = &envelopes[0].message else {
+            panic!("expected MacroOfferDeltas");
         };
-        // TSO schedules the first exported macro offer at its earliest
-        // start, minimum energy.
-        let macro_offer = &exported[0];
+        let exported: Vec<&FlexOffer> = deltas
+            .iter()
+            .map(|d| match d {
+                FlexOfferUpdate::Insert(o) => o,
+                other => panic!("expected insert, got {other:?}"),
+            })
+            .collect();
+        // The flush coalesces the round's staged stream to its net
+        // effect: the 5 submissions collapse into one final-snapshot
+        // insert — schedule it at its earliest start, minimum energy.
+        assert_eq!(exported.len(), 1, "coalesced to the net change");
+        let macro_offer = *exported.last().unwrap();
         let schedule = ScheduledFlexOffer::at_min(macro_offer, macro_offer.earliest_start());
         let micro_envs = brp.handle(
             Envelope::new(
@@ -842,6 +872,9 @@ mod tests {
         for e in &micro_envs {
             assert!(matches!(e.message, Message::Assignment { .. }));
         }
+        // The emptied aggregate's removal is staged so the TSO's pool
+        // forgets the export on the next flush.
+        assert!(brp.outbox.values().any(|d| d.is_none()));
     }
 
     #[test]
@@ -897,6 +930,28 @@ mod tests {
         // Committed: nothing live anymore.
         assert!(brp.commit_plan(TimeSlot(80)).is_none());
         assert!(brp.on_forecast_event(&event).is_none());
+    }
+
+    #[test]
+    fn late_submission_folds_into_live_plan() {
+        // An offer accepted between prepare and commit is spliced into
+        // the live evaluator — the commit covers it without a replan.
+        let mut brp = BrpNode::new(NodeId(1), None, BrpConfig::default());
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        brp.prepare_plan(
+            TimeSlot(80),
+            TimeSlot(96),
+            vec![-1.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(brp.live_window(), Some(TimeSlot(96)));
+        submit(&mut brp, offer(55, 5, 120, 90, 8), 155, 1);
+        let (assignments, _) = brp.commit_plan(TimeSlot(80)).expect("live plan");
+        assert_eq!(assignments.len(), 11, "late offer is committed too");
+        assert_eq!(brp.pool_size(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::message::Envelope;
 use mirabel_core::{NodeId, TimeSlot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Message-loss and delay injection.
 ///
@@ -84,16 +84,28 @@ pub struct NetworkStats {
     pub dead_lettered: u64,
 }
 
+/// One queued message with its delivery metadata.
+#[derive(Debug)]
+struct InFlight {
+    /// First slot at which the message can be drained.
+    available: TimeSlot,
+    /// Global send sequence number — the tie-breaker that makes
+    /// delayed-delivery ordering total.
+    seq: u64,
+    envelope: Envelope,
+}
+
 /// The in-process message network.
 #[derive(Debug)]
 pub struct Network {
     /// Per-node inboxes, keyed in sorted `NodeId` order so any walk over
     /// the map (now or future) is deterministic across runs — `HashMap`
     /// iteration order would vary per process.
-    inboxes: BTreeMap<NodeId, VecDeque<(TimeSlot, Envelope)>>,
+    inboxes: BTreeMap<NodeId, Vec<InFlight>>,
     failure: FailureModel,
     rng: StdRng,
     stats: NetworkStats,
+    next_seq: u64,
 }
 
 impl Network {
@@ -109,6 +121,7 @@ impl Network {
             failure,
             rng: StdRng::seed_from_u64(seed),
             stats: NetworkStats::default(),
+            next_seq: 0,
         }
     }
 
@@ -117,10 +130,12 @@ impl Network {
         self.inboxes.entry(node).or_default();
     }
 
-    /// Send one message; it becomes visible to the recipient
-    /// `delay_slots` after `sent_at` (or never, if dropped).
-    pub fn send(&mut self, envelope: Envelope) {
+    /// Route one message into the network; it becomes visible to the
+    /// recipient `delay_slots` after `sent_at` (or never, if dropped).
+    pub fn route(&mut self, envelope: Envelope) {
         self.stats.sent += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         if self.failure.drop_probability > 0.0
             && self
                 .rng
@@ -132,7 +147,11 @@ impl Network {
         let available = envelope.sent_at + self.failure.delay_slots;
         match self.inboxes.get_mut(&envelope.to) {
             Some(q) => {
-                q.push_back((available, envelope));
+                q.push(InFlight {
+                    available,
+                    seq,
+                    envelope,
+                });
                 self.stats.delivered += 1;
             }
             None => {
@@ -141,29 +160,30 @@ impl Network {
         }
     }
 
-    /// Send many messages.
+    /// Route many messages.
     pub fn send_all(&mut self, envelopes: impl IntoIterator<Item = Envelope>) {
         for e in envelopes {
-            self.send(e);
+            self.route(e);
         }
     }
 
     /// Drain the messages available to `node` at time `now`.
+    ///
+    /// Delivery order within one drain is explicitly deterministic:
+    /// messages are handed over sorted by `(sent_at, from, seq)`. Under
+    /// a delay model, several sends can mature in the same slot — the
+    /// sort guarantees their relative order never depends on inbox
+    /// insertion history.
     pub fn drain(&mut self, node: NodeId, now: TimeSlot) -> Vec<Envelope> {
         let Some(q) = self.inboxes.get_mut(&node) else {
             return Vec::new();
         };
-        let mut out = Vec::new();
-        let mut rest = VecDeque::new();
-        while let Some((available, env)) = q.pop_front() {
-            if available <= now {
-                out.push(env);
-            } else {
-                rest.push_back((available, env));
-            }
-        }
+        let (mut due, rest): (Vec<InFlight>, Vec<InFlight>) = std::mem::take(q)
+            .into_iter()
+            .partition(|m| m.available <= now);
         *q = rest;
-        out
+        due.sort_by_key(|m| (m.envelope.sent_at, m.envelope.from, m.seq));
+        due.into_iter().map(|m| m.envelope).collect()
     }
 
     /// Number of undelivered messages queued for `node`.
@@ -198,7 +218,7 @@ mod tests {
     fn reliable_delivery() {
         let mut n = Network::reliable();
         n.register(NodeId(1));
-        n.send(env(1, 0));
+        n.route(env(1, 0));
         let got = n.drain(NodeId(1), TimeSlot(0));
         assert_eq!(got.len(), 1);
         assert_eq!(n.stats().delivered, 1);
@@ -208,7 +228,7 @@ mod tests {
     #[test]
     fn unregistered_recipient_dead_letters() {
         let mut n = Network::reliable();
-        n.send(env(42, 0));
+        n.route(env(42, 0));
         assert_eq!(n.stats().dead_lettered, 1);
     }
 
@@ -217,7 +237,7 @@ mod tests {
         let mut n = Network::new(FailureModel::drop(1.0), 1);
         n.register(NodeId(1));
         for _ in 0..10 {
-            n.send(env(1, 0));
+            n.route(env(1, 0));
         }
         assert_eq!(n.stats().dropped, 10);
         assert!(n.drain(NodeId(1), TimeSlot(100)).is_empty());
@@ -228,7 +248,7 @@ mod tests {
         let mut n = Network::new(FailureModel::drop(0.5), 7);
         n.register(NodeId(1));
         for _ in 0..200 {
-            n.send(env(1, 0));
+            n.route(env(1, 0));
         }
         let s = n.stats();
         assert_eq!(s.dropped + s.delivered, 200);
@@ -239,18 +259,55 @@ mod tests {
     fn delayed_delivery() {
         let mut n = Network::new(FailureModel::delay(3), 1);
         n.register(NodeId(1));
-        n.send(env(1, 10));
+        n.route(env(1, 10));
         assert!(n.drain(NodeId(1), TimeSlot(12)).is_empty());
         assert_eq!(n.pending(NodeId(1)), 1);
         assert_eq!(n.drain(NodeId(1), TimeSlot(13)).len(), 1);
     }
 
     #[test]
+    fn delayed_delivery_order_is_sent_at_from_seq() {
+        // Three messages from different senders, sent out of (sent_at,
+        // from) order, all maturing before the same drain: the handover
+        // must sort by (sent_at, from, seq) — never by insertion order.
+        let mut n = Network::new(FailureModel::delay(5), 1);
+        n.register(NodeId(1));
+        let from = |f: u64, at: i64| {
+            Envelope::new(
+                NodeId(f),
+                NodeId(1),
+                TimeSlot(at),
+                Message::OfferRejected {
+                    offer: FlexOfferId(f),
+                },
+            )
+        };
+        n.route(from(9, 2));
+        n.route(from(5, 1));
+        n.route(from(5, 1)); // same (sent_at, from): seq breaks the tie
+        n.route(from(3, 1));
+        let got = n.drain(NodeId(1), TimeSlot(100));
+        let order: Vec<(i64, u64)> = got
+            .iter()
+            .map(|e| (e.sent_at.index(), e.from.value()))
+            .collect();
+        assert_eq!(order, vec![(1, 3), (1, 5), (1, 5), (2, 9)]);
+        // Replaying the same sequence yields the identical order.
+        let mut m = Network::new(FailureModel::delay(5), 1);
+        m.register(NodeId(1));
+        m.route(from(9, 2));
+        m.route(from(5, 1));
+        m.route(from(5, 1));
+        m.route(from(3, 1));
+        assert_eq!(m.drain(NodeId(1), TimeSlot(100)), got);
+    }
+
+    #[test]
     fn drain_preserves_undue_messages() {
         let mut n = Network::new(FailureModel::delay(5), 1);
         n.register(NodeId(1));
-        n.send(env(1, 0)); // due at 5
-        n.send(env(1, 10)); // due at 15
+        n.route(env(1, 0)); // due at 5
+        n.route(env(1, 10)); // due at 15
         assert_eq!(n.drain(NodeId(1), TimeSlot(5)).len(), 1);
         assert_eq!(n.pending(NodeId(1)), 1);
         assert_eq!(n.drain(NodeId(1), TimeSlot(15)).len(), 1);

@@ -2,29 +2,46 @@
 //!
 //! The MIRABEL node architecture and hierarchy (paper §2, §3).
 //!
-//! The EDMS is a hierarchy of homogeneous nodes: prosumers (level 1)
-//! issue flex-offers; balance-responsible parties (level 2) accept,
-//! aggregate, forecast, schedule, disaggregate and price them; TSOs
-//! (level 3) repeat the process over the BRPs' macro flex-offers.
+//! The EDMS is a hierarchy of **homogeneous** nodes — "the process is
+//! essentially repeated at a higher level" — and this crate makes that
+//! literal: one prepare → replan → commit life-cycle, defined once in
+//! [`runtime`], runs at every planning level:
+//!
+//! * **level 1** — [`prosumer`]s issue flex-offers, execute assignments,
+//!   and fall back to the open contract on loss or missed deadlines;
+//! * **level 2** — [`brp`]s (balance-responsible parties) accept,
+//!   aggregate, forecast, schedule, disaggregate and price those offers,
+//!   keeping their plan **live** on a delta evaluator between scheduling
+//!   and commitment;
+//! * **level 3** — the [`tso`] repeats the identical cycle over the
+//!   BRPs' *macro-offer delta streams*: a trickle change at level 1
+//!   arrives at level 3 as a trickle
+//!   ([`Message::MacroOfferDeltas`](message::Message)),
+//!   is spliced into the live level-3 plan in O(changed), and never
+//!   forces a problem reconstruction.
 //!
 //! Components per the paper's LEDMS description:
 //!
+//! * [`runtime`] — the unified node runtime: the [`Node`] /
+//!   [`NodeRuntime`] traits the simulation's generic event pump drives,
+//!   and the [`PlanEngine`] each planning node embeds (aggregation
+//!   pipeline + live [`DeltaEvaluator`](mirabel_schedule::DeltaEvaluator)
+//!   + pub/sub-driven incremental replanning);
 //! * [`comm`] — the Communication component: an in-process message
-//!   network with failure/delay injection;
+//!   network with failure/delay injection and explicitly deterministic
+//!   delayed-delivery ordering;
 //! * [`message`] — the message vocabulary exchanged between nodes;
 //! * [`datastore`] — the Data Management component: a multidimensional
 //!   star-schema store (dimension + fact tables, \[6\]);
 //! * [`prosumer`] / [`brp`] / [`tso`] — the three node roles, wiring the
-//!   aggregation, forecasting, scheduling and negotiation crates together
-//!   (the Control component is each node's `step`/`plan` method); the
-//!   BRP's planning life-cycle (`prepare_plan` → `on_forecast_event` →
-//!   `commit_plan`) implements event-driven incremental replanning on a
-//!   live delta evaluator;
+//!   aggregation, forecasting, scheduling and negotiation crates
+//!   together on top of the shared runtime;
 //! * [`simulation`] — an end-to-end balancing simulation of a full
-//!   three-level hierarchy, including pub/sub-driven intra-day forecast
-//!   refinements and the open-contract fallback on message loss or
-//!   missed deadlines ("the overall system would gracefully behave as in
-//!   the traditional setting").
+//!   three-level hierarchy: a generic event pump over the planner list,
+//!   pub/sub-driven intra-day forecast refinements replanned
+//!   incrementally at **every** level, and the open-contract fallback on
+//!   message loss or missed deadlines ("the overall system would
+//!   gracefully behave as in the traditional setting").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,13 +51,18 @@ pub mod comm;
 pub mod datastore;
 pub mod message;
 pub mod prosumer;
+pub mod runtime;
 pub mod simulation;
 pub mod tso;
 
-pub use brp::{BrpConfig, BrpNode, PlanReport, ReplanReport, SchedulerKind};
+pub use brp::{BrpConfig, BrpNode};
 pub use comm::{FailureModel, Network, NetworkStats};
 pub use datastore::{DataStore, OfferState};
 pub use message::{Envelope, Message};
 pub use prosumer::ProsumerNode;
+pub use runtime::{
+    Node, NodeRuntime, OfferDeltaReport, PlanEngine, PlanReport, ReplanReport, RuntimeConfig,
+    SchedulerKind,
+};
 pub use simulation::{simulate, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;

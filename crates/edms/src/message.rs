@@ -1,6 +1,7 @@
 //! Messages exchanged between EDMS nodes (paper §3: "flex-offers, supply
 //! and demand measurements, forecasts, etc.").
 
+use mirabel_aggregate::FlexOfferUpdate;
 use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot};
 use serde::{Deserialize, Serialize};
 
@@ -38,9 +39,13 @@ pub enum Message {
         /// kWh per slot (positive consumption, negative production).
         values: Vec<f64>,
     },
-    /// BRP → TSO: macro (aggregated) flex-offers for higher-level
-    /// balancing.
-    MacroOffers(Vec<FlexOffer>),
+    /// BRP → TSO: macro (aggregated) flex-offer **deltas** for
+    /// higher-level balancing. The BRP forwards the change stream its
+    /// aggregation pipeline emits — inserts carry the new/updated macro
+    /// offer value, deletes carry only the id — instead of re-sending
+    /// full pool snapshots, so a trickle change at level 1 stays a
+    /// trickle on the level 2 → level 3 wire.
+    MacroOfferDeltas(Vec<FlexOfferUpdate>),
 }
 
 /// A routed message.

@@ -7,6 +7,7 @@
 //! BRP rejected it, the message was lost, or the deadline was missed.
 
 use crate::message::{Envelope, Message};
+use crate::runtime::Node;
 use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, ScheduledFlexOffer, TimeSlot};
 use std::collections::BTreeMap;
 
@@ -136,6 +137,20 @@ impl ProsumerNode {
     /// All offers ever submitted.
     pub fn offer_count(&self) -> usize {
         self.offers.len()
+    }
+}
+
+impl Node for ProsumerNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Level 1 in the unified hierarchy: prosumers consume decisions and
+    /// assignments but never reply on the spot (their own messages
+    /// originate from [`ProsumerNode::submit`]).
+    fn handle(&mut self, envelope: Envelope, _now: TimeSlot) -> Vec<Envelope> {
+        ProsumerNode::handle(self, envelope);
+        Vec::new()
     }
 }
 

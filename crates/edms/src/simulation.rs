@@ -7,20 +7,33 @@
 //! loss and missed deadlines, which only convert offers back into open
 //! contracts.
 //!
-//! Forecasting is wired through the pub/sub hub: each cycle publishes an
-//! initial day-ahead baseline forecast, the BRPs plan against it, and a
-//! later intra-day *refinement* (a few slots move, the rest stay put)
-//! reaches them as a typed [`ForecastEvent`](mirabel_forecast::ForecastEvent). BRPs react with
-//! change-proportional work — rebase the live evaluator on exactly the
-//! changed slots, repair with parallel multi-start chains — instead of
-//! rebuilding and resolving the whole scheduling problem. Execution and
-//! the imbalance accounting use the refined baseline as ground truth.
+//! ## The generic event pump
+//!
+//! The cycle loop no longer hand-orders per-level calls: every planning
+//! node (level-2 BRPs, the level-3 TSO) is a
+//! [`NodeRuntime`], and each phase is a *wave* over the planner list —
+//! drain the inbox through the [`Node`] trait, then invoke the life-cycle
+//! phase. Planning waves run bottom-up (a BRP's macro-offer deltas must
+//! reach the TSO before it prepares); commit waves run top-down (the
+//! TSO's assignments must reach the BRPs before they disaggregate).
+//!
+//! ## Forecasts are pub/sub all the way up
+//!
+//! Every planner — **including the TSO** — subscribes to the
+//! [`ForecastHub`]. Each cycle publishes a day-ahead baseline; planners
+//! prepare from their own polled event. A later intra-day *refinement*
+//! (a few slots move, the rest stay put) reaches all levels as a typed
+//! [`ForecastEvent`](mirabel_forecast::ForecastEvent), and each level
+//! replans with change-proportional work — rebase the live evaluator on
+//! exactly the changed slots, repair with parallel multi-start chains —
+//! instead of rebuilding and resolving its scheduling problem. Execution
+//! and the imbalance accounting use the refined baseline as ground truth.
 
 use crate::brp::{BrpConfig, BrpNode, SchedulerKind};
 use crate::comm::{FailureModel, Network, NetworkStats};
 use crate::datastore::OfferState;
-use crate::message::Envelope;
 use crate::prosumer::ProsumerNode;
+use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
 use mirabel_aggregate::AggregationParams;
 use mirabel_core::{
@@ -94,7 +107,8 @@ pub struct SimulationReport {
     pub assigned: usize,
     /// Offers that fell back to the open contract.
     pub fallbacks: usize,
-    /// Incremental replans triggered by forecast refinement events.
+    /// Incremental replans triggered by forecast refinement events
+    /// (across every hierarchy level, TSO included).
     pub replans: usize,
     /// Σ|residual| if every offer had run on the open contract.
     pub imbalance_before: f64,
@@ -162,6 +176,15 @@ fn gen_offer(
         .expect("generated offers are valid")
 }
 
+/// Drain `node`'s inbox at `now`, handle every message, route replies.
+/// This is the whole event pump — identical for every hierarchy level.
+fn pump<N: Node + ?Sized>(network: &mut Network, node: &mut N, now: TimeSlot) {
+    for envelope in network.drain(node.node_id(), now) {
+        let replies = node.handle(envelope, now);
+        network.send_all(replies);
+    }
+}
+
 /// Run the simulation.
 pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
     let s = SLOTS_PER_DAY;
@@ -170,7 +193,15 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
 
     // --- Topology -----------------------------------------------------
     let tso_id = NodeId(9_999);
-    let mut tso = TsoNode::new(tso_id, AggregationParams::p0(), cfg.budget_evaluations);
+    let mut tso = TsoNode::with_config(
+        tso_id,
+        AggregationParams::p0(),
+        RuntimeConfig {
+            budget_evaluations: cfg.budget_evaluations,
+            repair_chains: cfg.repair_chains.max(1),
+            ..RuntimeConfig::default()
+        },
+    );
     if cfg.use_tso {
         network.register(tso_id);
     }
@@ -193,13 +224,17 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         })
         .collect();
 
-    // Forecast pub/sub: every BRP subscribes to baseline updates for the
-    // planning horizon; refinements reach it as typed slot-range events.
+    // Forecast pub/sub: EVERY planner — the BRPs and, in 3-level mode,
+    // the TSO — subscribes to baseline updates for the planning horizon;
+    // refinements reach each as typed slot-range events.
     let hub = ForecastHub::new();
-    let subscriptions: Vec<u64> = brps
+    let mut subscriptions: BTreeMap<NodeId, u64> = brps
         .iter()
-        .map(|_| hub.subscribe(s as usize, 0.0))
+        .map(|b| (b.id, hub.subscribe(s as usize, 0.0)))
         .collect();
+    if cfg.use_tso {
+        subscriptions.insert(tso_id, hub.subscribe(s as usize, 0.0));
+    }
 
     let mut prosumers: Vec<ProsumerNode> = Vec::new();
     for b in 0..cfg.brps {
@@ -232,6 +267,14 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         let window = t0 + s; // next-day execution window
         let deadline = t0 + s / 2;
 
+        // The planner hierarchy, bottom-up. Rebuilt per cycle so the
+        // borrow is scoped; the *pump* below is the only traversal.
+        let mut levels: Vec<Vec<&mut dyn NodeRuntime>> =
+            vec![brps.iter_mut().map(|b| b as &mut dyn NodeRuntime).collect()];
+        if cfg.use_tso {
+            levels.push(vec![&mut tso]);
+        }
+
         // 1. Prosumers issue offers for the next window.
         for p in prosumers.iter_mut() {
             for _ in 0..cfg.offers_per_prosumer {
@@ -246,48 +289,47 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                         .or_insert(0.0) += offer.demand_sign() * e.kwh();
                 }
                 let env = p.submit(offer, t0);
-                network.send(env);
+                network.route(env);
             }
         }
 
-        // 2. BRPs ingest submissions, reply.
-        let t1 = t0 + 4u32;
-        for brp in brps.iter_mut() {
-            for env in network.drain(brp.id, t1) {
-                let replies = brp.handle(env, t1);
-                network.send_all(replies);
-            }
-        }
-
-        // 3. Prosumers see accept/reject; the day-ahead baseline
-        //    forecast is published, and BRPs plan the window from their
-        //    pub/sub event.
-        let t2 = t0 + 8u32;
-        for p in prosumers.iter_mut() {
-            for env in network.drain(p.id, t2) {
-                p.handle(env);
-            }
-        }
+        // 2. Planning wave, bottom-up: the day-ahead baseline forecast is
+        //    published once; each level pumps its inbox (submissions at
+        //    level 2, macro-offer deltas at level 3) and prepares a live
+        //    plan from its own pub/sub event. A level's upward envelopes
+        //    are in flight before the next level pumps.
         let forecast0 = window_baseline(scale, s as usize, &mut rng);
         let prices = MarketPrices::flat(s as usize, 0.09, 0.02, scale * 0.4);
         let penalties = vec![0.2; s as usize];
         hub.publish(&forecast0);
-        for (brp, &sub) in brps.iter_mut().zip(&subscriptions) {
-            let event = hub.poll(sub).expect("initial publish always notifies");
-            let (envelopes, _report) = brp.prepare_plan(
-                t2,
-                window,
-                event.forecast,
-                prices.clone(),
-                penalties.clone(),
-            );
-            network.send_all(envelopes);
+        for (l, level) in levels.iter_mut().enumerate() {
+            let now = t0 + 4u32 * (l as u32 + 1);
+            for node in level.iter_mut() {
+                pump(&mut network, &mut **node, now);
+                let sub = subscriptions[&node.node_id()];
+                let event = hub.poll(sub).expect("initial publish always notifies");
+                let (envelopes, _report) = node.prepare_plan(
+                    now,
+                    window,
+                    event.forecast,
+                    prices.clone(),
+                    penalties.clone(),
+                );
+                network.send_all(envelopes);
+            }
         }
 
-        // 3b. Intra-day forecast refinement: a few slots move (RES
-        //     ramps, weather fronts), the rest stay put. The refined
-        //     forecast is the execution ground truth; BRPs receive it
-        //     as a typed change event and replan incrementally.
+        // 2b. Prosumers see accept/reject decisions.
+        let t2 = t0 + 8u32;
+        for p in prosumers.iter_mut() {
+            pump(&mut network, p, t2);
+        }
+
+        // 3. Intra-day forecast refinement: a few slots move (RES ramps,
+        //    weather fronts), the rest stay put. The refined forecast is
+        //    the execution ground truth; every level receives it as a
+        //    typed change event and replans incrementally — O(changed),
+        //    no problem reconstruction anywhere in the hierarchy.
         let baseline = if cfg.refine_fraction > 0.0 {
             let mut refined = forecast0.clone();
             for v in refined.iter_mut() {
@@ -296,10 +338,13 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                 }
             }
             hub.publish(&refined);
-            for (brp, &sub) in brps.iter_mut().zip(&subscriptions) {
-                if let Some(event) = hub.poll(sub) {
-                    if brp.on_forecast_event(&event).is_some() {
-                        replans += 1;
+            for level in levels.iter_mut() {
+                for node in level.iter_mut() {
+                    let sub = subscriptions[&node.node_id()];
+                    if let Some(event) = hub.poll(sub) {
+                        if node.on_forecast_event(&event).is_some() {
+                            replans += 1;
+                        }
                     }
                 }
             }
@@ -309,35 +354,19 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         };
         baselines.push((window, baseline.clone()));
 
-        // 3c. Commit: disaggregate the (repaired) plans into micro
-        //      assignments.
-        for brp in brps.iter_mut() {
-            if let Some((envelopes, _cost)) = brp.commit_plan(t2) {
+        // 4. Commit wave, top-down: the TSO disaggregates its (possibly
+        //    repaired) plan into per-BRP assignments; each BRP pumps
+        //    those into micro assignments and commits its own local plan
+        //    (2-level mode) — one generic loop, highest level first.
+        let top = levels.len() - 1;
+        for (l, level) in levels.iter_mut().enumerate().rev() {
+            // Stagger commit times top-down so a level's assignments are
+            // deliverable before the level below pumps.
+            let now = t0 + 12u32 + 4u32 * (top - l) as u32;
+            for node in level.iter_mut() {
+                pump(&mut network, &mut **node, now);
+                let envelopes = node.commit_plan(now);
                 network.send_all(envelopes);
-            }
-        }
-
-        // 4. TSO round (3-level mode).
-        if cfg.use_tso {
-            let t3 = t0 + 12u32;
-            for env in network.drain(tso_id, t3) {
-                tso.handle(env);
-            }
-            let assignments = tso.plan(
-                t3,
-                window,
-                baseline.clone(),
-                prices.clone(),
-                penalties.clone(),
-            );
-            network.send_all(assignments);
-
-            let t4 = t0 + 16u32;
-            for brp in brps.iter_mut() {
-                for env in network.drain(brp.id, t4) {
-                    let micro = brp.handle(env, t4);
-                    network.send_all(micro);
-                }
             }
         }
 
@@ -345,9 +374,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         //    start — unassigned offers fall back to the open contract.
         let t5 = t0 + 20u32;
         for p in prosumers.iter_mut() {
-            for env in network.drain(p.id, t5) {
-                p.handle(env);
-            }
+            pump(&mut network, p, t5);
             p.on_slot(window);
         }
     }
@@ -391,12 +418,6 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
     }
 }
 
-/// Convenience: route a single message sequence by hand (used in tests
-/// and examples that need finer control than [`simulate`]).
-pub fn route(network: &mut Network, envelope: Envelope) {
-    network.send(envelope);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +444,24 @@ mod tests {
         });
         assert!(report.assigned > 0, "TSO path produced no assignments");
         assert!(report.imbalance_after < report.imbalance_before);
+    }
+
+    #[test]
+    fn three_level_hierarchy_replans_at_the_tso() {
+        // In 3-level mode the BRPs forward deltas instead of holding
+        // live plans, so every incremental replan happens at the TSO —
+        // which subscribes to the hub like any BRP and reacts to each
+        // cycle's refinement event.
+        let report = simulate(SimulationConfig {
+            use_tso: true,
+            seed: 9,
+            ..SimulationConfig::default()
+        });
+        assert!(
+            report.replans > 0,
+            "TSO should replan on refinements: {report:?}"
+        );
+        assert!(report.assigned > 0);
     }
 
     #[test]
@@ -472,6 +511,42 @@ mod tests {
     }
 
     #[test]
+    fn offer_conservation_with_tso_and_loss() {
+        // The delta wire self-heals under loss: a dropped MacroOfferDeltas
+        // envelope leaves ghost/stale entries in the TSO pool only until
+        // their assignment deadline (TSO-side expiry), and every offer
+        // still terminates exactly once (assignment or open-contract
+        // fallback) — the paper's graceful-degradation guarantee at
+        // level 3.
+        for drop in [0.2, 0.5] {
+            let r = simulate(SimulationConfig {
+                seed: 37,
+                use_tso: true,
+                cycles: 4,
+                failure: FailureModel::drop(drop),
+                ..SimulationConfig::default()
+            });
+            assert_eq!(
+                r.assigned + r.fallbacks,
+                r.offers_submitted,
+                "conservation at drop {drop}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn offer_conservation_with_tso_and_delays() {
+        let r = simulate(SimulationConfig {
+            seed: 29,
+            use_tso: true,
+            failure: FailureModel::delay(3),
+            ..SimulationConfig::default()
+        });
+        assert_eq!(r.assigned + r.fallbacks, r.offers_submitted);
+        assert!(r.assigned > 0, "delayed TSO path assigned nothing: {r:?}");
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let a = simulate(SimulationConfig {
             seed: 5,
@@ -482,6 +557,19 @@ mod tests {
             ..SimulationConfig::default()
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_tso_and_delay() {
+        let mk = || {
+            simulate(SimulationConfig {
+                seed: 31,
+                use_tso: true,
+                failure: FailureModel::delay(2),
+                ..SimulationConfig::default()
+            })
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

@@ -1,11 +1,35 @@
 //! The level-3 TSO node: "the process is essentially repeated at a higher
 //! level: the aggregated flex-offers are sent to a TSO's node for further
 //! aggregation, scheduling, and disaggregation" (paper §2).
+//!
+//! The TSO runs the **same** prepare → replan → commit life-cycle as the
+//! BRP, on the shared [`PlanEngine`]:
+//!
+//! * [`TsoNode::handle`] consumes the BRPs' macro-offer **delta**
+//!   streams ([`Message::MacroOfferDeltas`]): inserts and deletes flow
+//!   through the TSO's own aggregation pipeline, and — when a plan is
+//!   live — are spliced into the live evaluator at O(changed) cost, so
+//!   a trickle change at level 1 replans at level 3 as a trickle, never
+//!   a problem reconstruction;
+//! * [`TsoNode::prepare_plan`] schedules the window-eligible
+//!   second-level aggregates and keeps the evaluator live;
+//! * [`TsoNode::on_forecast_event`] rebases on a pub/sub forecast event
+//!   exactly like a BRP (the TSO subscribes to the same hub);
+//! * [`TsoNode::commit_plan`] disaggregates one level — back to the BRP
+//!   macro offers — and sends each assignment to its source BRP.
+//!
+//! Pooled offers are stored **once**, in the pipeline's `OfferSlab`; the
+//! TSO keeps only an id → source-BRP map ([`TsoNode::source_of`]) beside
+//! it — no cloned `FlexOffer` pool.
 
 use crate::message::{Envelope, Message};
+use crate::runtime::{
+    Node, NodeRuntime, OfferDeltaReport, PlanEngine, PlanReport, ReplanReport, RuntimeConfig,
+};
 use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
-use mirabel_schedule::{Budget, GreedyScheduler, MarketPrices, SchedulingProblem};
+use mirabel_forecast::ForecastEvent;
+use mirabel_schedule::{MarketPrices, SchedulingProblem, Solution};
 use std::collections::BTreeMap;
 
 /// The level-3 node.
@@ -13,92 +37,210 @@ use std::collections::BTreeMap;
 pub struct TsoNode {
     /// This node's id.
     pub id: NodeId,
-    /// Pool of macro offers received from BRPs: id → (offer, source BRP).
-    pool: BTreeMap<FlexOfferId, (FlexOffer, NodeId)>,
-    pipeline: AggregationPipeline,
-    budget_evaluations: usize,
-    seed: u64,
+    /// Source BRP per pooled macro offer. Offer *values* live exactly
+    /// once, in the pipeline's slab — resolve them with
+    /// [`pooled_offer`](Self::pooled_offer).
+    sources: BTreeMap<FlexOfferId, NodeId>,
+    /// The shared planning runtime: pipeline + live plan.
+    engine: PlanEngine,
+    /// Fold report of the last delta batch applied to a live plan.
+    last_fold: Option<OfferDeltaReport>,
 }
 
 impl TsoNode {
     /// Create a TSO aggregating BRP macro offers with the given
     /// thresholds.
     pub fn new(id: NodeId, aggregation: AggregationParams, budget_evaluations: usize) -> TsoNode {
+        TsoNode::with_config(
+            id,
+            aggregation,
+            RuntimeConfig {
+                budget_evaluations,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// Create a TSO with full control over the runtime knobs.
+    pub fn with_config(id: NodeId, aggregation: AggregationParams, cfg: RuntimeConfig) -> TsoNode {
         TsoNode {
             id,
-            pool: BTreeMap::new(),
-            pipeline: AggregationPipeline::new(aggregation, None),
-            budget_evaluations,
-            seed: id.value().wrapping_mul(0x51ed_270b),
+            sources: BTreeMap::new(),
+            engine: PlanEngine::new(
+                AggregationPipeline::new(aggregation, None),
+                cfg,
+                id.value().wrapping_mul(0x51ed_270b),
+            ),
+            last_fold: None,
         }
     }
 
     /// Macro offers currently pooled.
     pub fn pool_size(&self) -> usize {
-        self.pool.len()
+        self.sources.len()
     }
 
     /// Second-level aggregates currently maintained.
     pub fn aggregate_count(&self) -> usize {
-        self.pipeline.aggregate_count()
+        self.engine.pipeline().aggregate_count()
     }
 
-    /// Handle a message (only `MacroOffers` is meaningful to a TSO).
-    pub fn handle(&mut self, envelope: Envelope) {
-        if let Message::MacroOffers(offers) = envelope.message {
-            let updates = offers
-                .into_iter()
-                .map(|o| {
-                    self.pool.insert(o.id(), (o.clone(), envelope.from));
-                    FlexOfferUpdate::Insert(o)
-                })
-                .collect();
-            self.pipeline.apply(updates);
+    /// The BRP a pooled macro offer came from.
+    pub fn source_of(&self, id: FlexOfferId) -> Option<NodeId> {
+        self.sources.get(&id).copied()
+    }
+
+    /// Resolve a pooled macro offer against the pipeline's slab (the
+    /// single store).
+    pub fn pooled_offer(&self, id: FlexOfferId) -> Option<&FlexOffer> {
+        self.engine.pipeline().offer(id)
+    }
+
+    /// The TSO's aggregation pipeline (read-only; diagnostics and
+    /// equivalence tests).
+    pub fn pipeline(&self) -> &AggregationPipeline {
+        self.engine.pipeline()
+    }
+
+    /// Ids of the pooled macro offers, ascending.
+    pub fn pooled_ids(&self) -> Vec<FlexOfferId> {
+        self.sources.keys().copied().collect()
+    }
+
+    /// Fold report of the most recent delta batch that touched a live
+    /// plan (how much incremental replanning it cost).
+    pub fn last_offer_delta_report(&self) -> Option<&OfferDeltaReport> {
+        self.last_fold.as_ref()
+    }
+
+    /// The live plan's problem, when one is pending commitment (the
+    /// level-3 equivalence tests compare it against a from-scratch
+    /// rebuild).
+    pub fn live_problem(&self) -> Option<&SchedulingProblem> {
+        self.engine.live_problem()
+    }
+
+    /// The live plan's current solution.
+    pub fn live_solution(&self) -> Option<&Solution> {
+        self.engine.live_solution()
+    }
+
+    /// The live plan's current total cost.
+    pub fn live_cost(&self) -> Option<f64> {
+        self.engine.live_cost()
+    }
+
+    /// Handle a message (only `MacroOfferDeltas` is meaningful to a
+    /// TSO). Deltas update the pool *and* any live plan in O(changed).
+    pub fn handle(&mut self, envelope: Envelope, _now: TimeSlot) -> Vec<Envelope> {
+        if let Message::MacroOfferDeltas(updates) = envelope.message {
+            let mut accepted = Vec::with_capacity(updates.len());
+            for u in updates {
+                match u {
+                    FlexOfferUpdate::Insert(offer) => {
+                        self.sources.insert(offer.id(), envelope.from);
+                        accepted.push(FlexOfferUpdate::Insert(offer));
+                    }
+                    FlexOfferUpdate::Delete(id) => {
+                        // Deletes for offers this TSO already assigned
+                        // (and dropped at commit) are expected no-ops.
+                        if self.sources.remove(&id).is_some() {
+                            accepted.push(FlexOfferUpdate::Delete(id));
+                        }
+                    }
+                }
+            }
+            // The report always describes the LAST batch: None when the
+            // batch had no effect (all-unknown deletes) or no plan was
+            // live to fold into.
+            self.last_fold = if accepted.is_empty() {
+                None
+            } else {
+                self.engine.apply_offer_updates(accepted).1
+            };
         }
+        Vec::new()
     }
 
-    /// Schedule the pooled macro offers over `[window_start,
-    /// window_start+baseline.len())` and return per-BRP assignments
-    /// (disaggregated one level, back to the BRP macro offers).
-    pub fn plan(
+    /// Drop pooled macro offers whose assignment deadline has passed —
+    /// the same timeout rule every other level applies, and what makes
+    /// the delta wire *self-healing*: a lost `Delete` leaves a ghost
+    /// offer only until its deadline, never forever.
+    fn expire(&mut self, now: TimeSlot) -> usize {
+        let expired: Vec<FlexOfferId> = self
+            .sources
+            .keys()
+            .filter(|id| {
+                self.engine
+                    .pipeline()
+                    .offer(**id)
+                    .is_some_and(|o| o.is_expired(now))
+            })
+            .copied()
+            .collect();
+        for id in &expired {
+            self.sources.remove(id);
+        }
+        if !expired.is_empty() {
+            self.engine.apply_offer_updates(
+                expired
+                    .iter()
+                    .map(|id| FlexOfferUpdate::Delete(*id))
+                    .collect(),
+            );
+        }
+        expired.len()
+    }
+
+    /// Phase 1: schedule the pooled macro offers eligible for
+    /// `[window_start, window_start+baseline.len())` and keep the result
+    /// live. Assignments are produced by [`commit_plan`](Self::commit_plan).
+    pub fn prepare_plan(
         &mut self,
         now: TimeSlot,
         window_start: TimeSlot,
         baseline: Vec<f64>,
         prices: MarketPrices,
         penalties: Vec<f64>,
-    ) -> Vec<Envelope> {
-        let horizon = baseline.len();
-        let end = window_start + horizon as u32;
-        let macros: Vec<FlexOffer> = self
-            .pipeline
-            .macro_offers()
-            .into_iter()
-            .filter(|m| m.earliest_start() >= window_start && m.latest_end() <= end)
-            .collect();
-        if macros.is_empty() {
-            return Vec::new();
-        }
-        let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
-            .expect("eligible macros fit the window");
-        self.seed = self.seed.wrapping_add(1);
-        let result = GreedyScheduler.run(
-            &problem,
-            Budget::evaluations(self.budget_evaluations),
-            self.seed,
-        );
+    ) -> (Vec<Envelope>, PlanReport) {
+        self.last_fold = None;
+        // Stale live plan first: expiry deltas must not fold into it.
+        self.engine.abandon();
+        let expired = self.expire(now);
+        let (eligible, cost) = self
+            .engine
+            .prepare(window_start, baseline, prices, penalties);
+        let report = PlanReport {
+            expired,
+            eligible_macro: eligible,
+            cost,
+            ..PlanReport::default()
+        };
+        (Vec::new(), report)
+    }
 
+    /// Phase 2: incremental replan after a forecast change event (see
+    /// [`PlanEngine::on_forecast_event`]).
+    pub fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
+        self.engine.on_forecast_event(event)
+    }
+
+    /// Phase 3: disaggregate the live solution one level (back to the
+    /// BRP macro offers) and address each assignment to its source BRP.
+    /// Returns the envelopes plus the final schedule cost.
+    pub fn commit_plan(&mut self, now: TimeSlot) -> Option<(Vec<Envelope>, f64)> {
+        let (problem, solution, cost) = self.engine.commit()?;
         let mut out = Vec::new();
         // Batch the round's deletes so each touched group flushes once.
         let mut deletes = Vec::new();
-        for macro_schedule in result.solution.to_schedules(&problem) {
+        for macro_schedule in solution.to_schedules(&problem) {
             let agg_id = AggregateId(macro_schedule.offer_id.value());
-            let members = match self.pipeline.disaggregate(agg_id, &macro_schedule) {
+            let members = match self.engine.pipeline().disaggregate(agg_id, &macro_schedule) {
                 Ok(m) => m,
                 Err(_) => continue,
             };
             for schedule in members {
-                let Some((_, source_brp)) = self.pool.remove(&schedule.offer_id) else {
+                let Some(source_brp) = self.sources.remove(&schedule.offer_id) else {
                     continue;
                 };
                 deletes.push(FlexOfferUpdate::Delete(schedule.offer_id));
@@ -114,9 +256,67 @@ impl TsoNode {
             }
         }
         if !deletes.is_empty() {
-            self.pipeline.apply(deletes);
+            self.engine.apply_offer_updates(deletes);
         }
-        out
+        Some((out, cost))
+    }
+
+    /// Window start of the live plan, if one is pending commitment.
+    pub fn live_window(&self) -> Option<TimeSlot> {
+        self.engine.live_window()
+    }
+
+    /// One-shot planning: [`prepare_plan`](Self::prepare_plan) followed
+    /// immediately by [`commit_plan`](Self::commit_plan).
+    pub fn plan(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> Vec<Envelope> {
+        self.prepare_plan(now, window_start, baseline, prices, penalties);
+        self.commit_plan(now)
+            .map(|(envelopes, _)| envelopes)
+            .unwrap_or_default()
+    }
+}
+
+impl Node for TsoNode {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        TsoNode::handle(self, envelope, now)
+    }
+}
+
+impl NodeRuntime for TsoNode {
+    fn prepare_plan(
+        &mut self,
+        now: TimeSlot,
+        window_start: TimeSlot,
+        baseline: Vec<f64>,
+        prices: MarketPrices,
+        penalties: Vec<f64>,
+    ) -> (Vec<Envelope>, PlanReport) {
+        TsoNode::prepare_plan(self, now, window_start, baseline, prices, penalties)
+    }
+
+    fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
+        TsoNode::on_forecast_event(self, event)
+    }
+
+    fn commit_plan(&mut self, now: TimeSlot) -> Vec<Envelope> {
+        TsoNode::commit_plan(self, now)
+            .map(|(envelopes, _)| envelopes)
+            .unwrap_or_default()
+    }
+
+    fn live_window(&self) -> Option<TimeSlot> {
+        TsoNode::live_window(self)
     }
 }
 
@@ -135,34 +335,51 @@ mod tests {
             .unwrap()
     }
 
-    #[test]
-    fn pools_macro_offers() {
-        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
-        tso.handle(Envelope::new(
-            NodeId(1),
+    fn deltas_from(from: u64, updates: Vec<FlexOfferUpdate>) -> Envelope {
+        Envelope::new(
+            NodeId(from),
             NodeId(99),
             TimeSlot(0),
-            Message::MacroOffers(vec![macro_offer(1_000_000_001, 120)]),
-        ));
+            Message::MacroOfferDeltas(updates),
+        )
+    }
+
+    fn insert(tso: &mut TsoNode, from: u64, offer: FlexOffer) {
+        tso.handle(
+            deltas_from(from, vec![FlexOfferUpdate::Insert(offer)]),
+            TimeSlot(0),
+        );
+    }
+
+    #[test]
+    fn pools_macro_offer_deltas_without_cloning() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 120));
         assert_eq!(tso.pool_size(), 1);
         assert_eq!(tso.aggregate_count(), 1);
+        assert_eq!(tso.source_of(FlexOfferId(1_000_000_001)), Some(NodeId(1)));
+        // The value lives once, in the slab.
+        assert!(tso.pooled_offer(FlexOfferId(1_000_000_001)).is_some());
+        // Deletes shrink the pool; unknown deletes are tolerated no-ops.
+        tso.handle(
+            deltas_from(
+                1,
+                vec![
+                    FlexOfferUpdate::Delete(FlexOfferId(1_000_000_001)),
+                    FlexOfferUpdate::Delete(FlexOfferId(42)),
+                ],
+            ),
+            TimeSlot(0),
+        );
+        assert_eq!(tso.pool_size(), 0);
+        assert_eq!(tso.aggregate_count(), 0);
     }
 
     #[test]
     fn plan_sends_assignments_to_source_brps() {
         let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
-        tso.handle(Envelope::new(
-            NodeId(1),
-            NodeId(99),
-            TimeSlot(0),
-            Message::MacroOffers(vec![macro_offer(1_000_000_001, 120)]),
-        ));
-        tso.handle(Envelope::new(
-            NodeId(2),
-            NodeId(99),
-            TimeSlot(0),
-            Message::MacroOffers(vec![macro_offer(2_000_000_001, 120)]),
-        ));
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 120));
+        insert(&mut tso, 2, macro_offer(2_000_000_001, 120));
         let envelopes = tso.plan(
             TimeSlot(100),
             TimeSlot(96),
@@ -183,12 +400,7 @@ mod tests {
     #[test]
     fn offers_outside_window_deferred() {
         let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 1_000);
-        tso.handle(Envelope::new(
-            NodeId(1),
-            NodeId(99),
-            TimeSlot(0),
-            Message::MacroOffers(vec![macro_offer(1_000_000_001, 500)]),
-        ));
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 500));
         let envelopes = tso.plan(
             TimeSlot(100),
             TimeSlot(96),
@@ -198,5 +410,73 @@ mod tests {
         );
         assert!(envelopes.is_empty());
         assert_eq!(tso.pool_size(), 1); // still pooled for a later window
+    }
+
+    #[test]
+    fn delta_while_live_splices_into_plan() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 4_000);
+        for i in 0..10u64 {
+            insert(
+                &mut tso,
+                1 + i % 2,
+                macro_offer(1_000_000_000 + i, 110 + i as i64),
+            );
+        }
+        let (_, report) = tso.prepare_plan(
+            TimeSlot(90),
+            TimeSlot(96),
+            vec![-4.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(report.eligible_macro, 10);
+        assert_eq!(tso.live_window(), Some(TimeSlot(96)));
+
+        // A trickle of BRP deltas while the plan is live: one insert,
+        // one delete. The live problem is spliced, not rebuilt.
+        tso.handle(
+            deltas_from(
+                2,
+                vec![
+                    FlexOfferUpdate::Insert(macro_offer(2_000_000_777, 130)),
+                    FlexOfferUpdate::Delete(FlexOfferId(1_000_000_003)),
+                ],
+            ),
+            TimeSlot(91),
+        );
+        let fold = tso.last_offer_delta_report().expect("live plan folded");
+        assert_eq!(fold.inserted, 1);
+        assert_eq!(fold.removed, 1);
+        assert!(fold.cost_after <= fold.cost_before);
+        let problem = tso.live_problem().expect("still live");
+        assert_eq!(problem.offers.len(), 10); // 10 - 1 + 1
+
+        // Commit covers the spliced offer and skips the deleted one.
+        let (envelopes, _) = tso.commit_plan(TimeSlot(92)).expect("live plan");
+        assert_eq!(envelopes.len(), 10);
+        assert_eq!(tso.pool_size(), 0);
+        assert!(envelopes.iter().any(|e| e.to == NodeId(2)));
+    }
+
+    #[test]
+    fn ineligible_delta_pools_but_does_not_splice() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 2_000);
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 120));
+        tso.prepare_plan(
+            TimeSlot(90),
+            TimeSlot(96),
+            vec![-1.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        // Outside the live window: pooled for later, not spliced.
+        insert(&mut tso, 1, macro_offer(1_000_000_002, 500));
+        let fold = tso.last_offer_delta_report().expect("fold ran");
+        assert_eq!(fold.inserted, 0);
+        assert_eq!(tso.live_problem().unwrap().offers.len(), 1);
+        assert_eq!(tso.pool_size(), 2);
+        let (envelopes, _) = tso.commit_plan(TimeSlot(91)).unwrap();
+        assert_eq!(envelopes.len(), 1);
+        assert_eq!(tso.pool_size(), 1);
     }
 }

@@ -1,0 +1,304 @@
+//! Level-3 incremental-vs-scratch equivalence: the TSO's delta-driven
+//! life-cycle must end in exactly the state a from-scratch rebuild
+//! reaches — the `delta_vs_scratch` contract of the aggregate crate,
+//! lifted one hierarchy level.
+//!
+//! Two properties are pinned down:
+//!
+//! 1. after any interleaving of `MacroOfferDeltas` batches, forecast
+//!    events, and live-plan splices, the TSO's *live scheduling problem*
+//!    (offer set + baseline) equals the problem a fresh TSO builds from
+//!    the cumulative snapshot, and the live evaluator's cost equals the
+//!    reference full evaluation of its solution;
+//! 2. the TSO's pool (ids, sources, slab contents, aggregate membership)
+//!    replayed through random delta sequences equals the
+//!    snapshot-forwarding baseline model.
+
+use mirabel_aggregate::{AggregationParams, FlexOfferUpdate};
+use mirabel_core::{EnergyRange, FlexOffer, FlexOfferId, NodeId, Profile, TimeSlot};
+use mirabel_edms::{Envelope, Message, RuntimeConfig, TsoNode};
+use mirabel_forecast::ForecastHub;
+use mirabel_schedule::{evaluate, MarketPrices};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn macro_offer(id: u64, es: i64, tf: u32) -> FlexOffer {
+    FlexOffer::builder(id, 1)
+        .earliest_start(TimeSlot(es))
+        .time_flexibility(tf)
+        .assignment_before(TimeSlot(es - 10))
+        .profile(Profile::uniform(4, EnergyRange::new(2.0, 6.0).unwrap()))
+        .build()
+        .unwrap()
+}
+
+fn deltas(from: u64, updates: Vec<FlexOfferUpdate>) -> Envelope {
+    Envelope::new(
+        NodeId(from),
+        NodeId(99),
+        TimeSlot(0),
+        Message::MacroOfferDeltas(updates),
+    )
+}
+
+fn tso(budget: usize) -> TsoNode {
+    TsoNode::with_config(
+        NodeId(99),
+        AggregationParams::p0(),
+        RuntimeConfig {
+            budget_evaluations: budget,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Sorted signature of a live problem's offer set, keyed by the member
+/// *export ids* behind each scheduled aggregate: aggregate ids and
+/// insertion order are history-dependent (fresh ids for spliced
+/// aggregates, `swap_remove` on departures), but the set of (members,
+/// window) pairs must be identical between the incremental and scratch
+/// paths.
+fn offer_signature(t: &TsoNode, p: &mirabel_schedule::SchedulingProblem) -> Vec<(Vec<u64>, i64)> {
+    let mut sig: Vec<(Vec<u64>, i64)> = p
+        .offers
+        .iter()
+        .map(|o| {
+            let agg = t
+                .pipeline()
+                .aggregate(mirabel_core::AggregateId(o.id().value()))
+                .expect("scheduled aggregate is maintained");
+            (
+                agg.member_ids.iter().map(|id| id.value()).collect(),
+                o.earliest_start().index(),
+            )
+        })
+        .collect();
+    sig.sort_unstable();
+    sig
+}
+
+#[test]
+fn tso_incremental_replan_equals_scratch_rebuild() {
+    let horizon = 96usize;
+    let window = TimeSlot(96);
+    let prices = MarketPrices::flat(horizon, 0.08, 0.03, 1000.0);
+    let penalties = vec![0.2; horizon];
+
+    // Incremental TSO: pooled via deltas, prepared on the initial
+    // forecast, then hit by an offer-delta trickle AND a forecast event.
+    let mut a = tso(4_000);
+    let initial: Vec<FlexOfferUpdate> = (0..30u64)
+        .map(|i| FlexOfferUpdate::Insert(macro_offer(1_000_000_000 + i, 100 + (i as i64 % 60), 8)))
+        .collect();
+    a.handle(deltas(1, initial), TimeSlot(0));
+
+    let hub = ForecastHub::new();
+    let sub = hub.subscribe(horizon, 0.0);
+    let forecast0 = vec![-3.0; horizon];
+    hub.publish(&forecast0);
+    let event0 = hub.poll(sub).unwrap();
+    let (_, report) = a.prepare_plan(
+        TimeSlot(80),
+        window,
+        event0.forecast,
+        prices.clone(),
+        penalties.clone(),
+    );
+    assert_eq!(report.eligible_macro, 30);
+
+    // Offer trickle while live: two inserts, one delete, one attribute
+    // update of an existing offer (same export id, new attributes —
+    // under p0 that moves it to a new similarity group, so the live
+    // plan sees the old aggregate leave and a new one arrive).
+    a.handle(
+        deltas(
+            2,
+            vec![
+                FlexOfferUpdate::Insert(macro_offer(2_000_000_001, 130, 6)),
+                FlexOfferUpdate::Insert(macro_offer(2_000_000_002, 140, 4)),
+                FlexOfferUpdate::Delete(FlexOfferId(1_000_000_005)),
+                FlexOfferUpdate::Insert(macro_offer(1_000_000_006, 151, 3)),
+            ],
+        ),
+        TimeSlot(81),
+    );
+    let fold = a.last_offer_delta_report().expect("live plan folded");
+    assert_eq!(fold.inserted, 3);
+    assert_eq!(fold.removed, 2);
+    assert!(fold.cost_after <= fold.cost_before + 1e-9);
+
+    // Forecast refinement: a contiguous block moves; the TSO replans on
+    // exactly those slots.
+    let mut refined = forecast0.clone();
+    for v in refined.iter_mut().skip(30).take(12) {
+        *v += 2.0;
+    }
+    hub.publish(&refined);
+    let event1 = hub.poll(sub).unwrap();
+    let replan = a.on_forecast_event(&event1).expect("live plan exists");
+    assert_eq!(replan.changed_slots, 12);
+    assert!(replan.cost_after <= replan.cost_before + 1e-9);
+
+    // Scratch TSO: the cumulative final snapshot, prepared directly on
+    // the refined forecast.
+    let mut b = tso(4_000);
+    let mut snapshot: Vec<FlexOfferUpdate> = (0..30u64)
+        .filter(|i| *i != 5)
+        .map(|i| {
+            if i == 6 {
+                FlexOfferUpdate::Insert(macro_offer(1_000_000_006, 151, 3))
+            } else {
+                FlexOfferUpdate::Insert(macro_offer(1_000_000_000 + i, 100 + (i as i64 % 60), 8))
+            }
+        })
+        .collect();
+    snapshot.push(FlexOfferUpdate::Insert(macro_offer(2_000_000_001, 130, 6)));
+    snapshot.push(FlexOfferUpdate::Insert(macro_offer(2_000_000_002, 140, 4)));
+    b.handle(deltas(1, snapshot), TimeSlot(0));
+    b.prepare_plan(
+        TimeSlot(82),
+        window,
+        refined.clone(),
+        prices.clone(),
+        penalties.clone(),
+    );
+
+    // Equivalence: same live problem (offer set + baseline), and the
+    // incremental evaluator's cost is exact (equals the reference full
+    // evaluation — never drifted state).
+    let pa = a.live_problem().expect("a live");
+    let pb = b.live_problem().expect("b live");
+    assert_eq!(offer_signature(&a, pa), offer_signature(&b, pb));
+    assert_eq!(pa.baseline_imbalance, pb.baseline_imbalance);
+    let cost = a.live_cost().unwrap();
+    let reference = evaluate(pa, a.live_solution().unwrap()).total();
+    assert!(
+        (cost - reference).abs() < 1e-6,
+        "incremental cost {cost} drifted from reference {reference}"
+    );
+
+    // Both commit cleanly; every assignment goes to the offer's source.
+    let (env_a, _) = a.commit_plan(TimeSlot(83)).unwrap();
+    let (env_b, _) = b.commit_plan(TimeSlot(83)).unwrap();
+    assert_eq!(env_a.len(), 31);
+    assert_eq!(env_b.len(), 31);
+    assert_eq!(a.pool_size(), 0);
+    for e in &env_a {
+        let Message::Assignment { schedule, .. } = &e.message else {
+            panic!("expected assignment");
+        };
+        // Batch 2 came from BRP 2 — including the re-announced
+        // 1_000_000_006, whose source is last-writer-wins.
+        let expected = if schedule.offer_id.value() >= 2_000_000_000
+            || schedule.offer_id.value() == 1_000_000_006
+        {
+            NodeId(2)
+        } else {
+            NodeId(1)
+        };
+        assert_eq!(e.to, expected, "assignment routed to its source BRP");
+    }
+}
+
+#[test]
+fn forecast_event_with_wrong_horizon_ignored_at_level_3() {
+    let mut t = tso(1_000);
+    t.handle(
+        deltas(1, vec![FlexOfferUpdate::Insert(macro_offer(7, 120, 8))]),
+        TimeSlot(0),
+    );
+    t.prepare_plan(
+        TimeSlot(90),
+        TimeSlot(96),
+        vec![0.0; 96],
+        MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+        vec![0.2; 96],
+    );
+    let event = mirabel_forecast::ForecastEvent {
+        subscription: 0,
+        forecast: vec![0.0; 48],
+        changed: vec![mirabel_forecast::SlotRange { start: 0, end: 48 }],
+        max_relative_change: f64::INFINITY,
+    };
+    assert!(t.on_forecast_event(&event).is_none());
+    assert!(t.commit_plan(TimeSlot(91)).is_some());
+}
+
+/// One step of the snapshot-forwarding baseline: a plain map of
+/// id → (offer, source), exactly what the pre-delta TSO pool was.
+type PoolModel = BTreeMap<u64, (FlexOffer, u64)>;
+
+fn apply_to_model(model: &mut PoolModel, from: u64, updates: &[FlexOfferUpdate]) {
+    for u in updates {
+        match u {
+            FlexOfferUpdate::Insert(o) => {
+                model.insert(o.id().value(), (o.clone(), from));
+            }
+            FlexOfferUpdate::Delete(id) => {
+                model.remove(&id.value());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random BRP flush sequences through `MacroOfferDeltas` leave the
+    /// TSO pool identical to the snapshot-forwarding baseline: same ids,
+    /// same sources, same slab values, same aggregate membership union.
+    #[test]
+    fn macro_offer_deltas_match_snapshot_baseline(
+        batches in proptest::collection::vec(
+            (
+                1u64..=3, // source BRP
+                proptest::collection::vec(
+                    (any::<bool>(), 0u64..24, 100i64..160, 0u32..10),
+                    1..8,
+                ),
+            ),
+            1..12,
+        )
+    ) {
+        let mut t = tso(500);
+        let mut model: PoolModel = BTreeMap::new();
+        for (from, ops) in &batches {
+            let updates: Vec<FlexOfferUpdate> = ops
+                .iter()
+                .map(|(insert, id, es, tf)| {
+                    if *insert {
+                        FlexOfferUpdate::Insert(macro_offer(1_000 + id, *es, *tf))
+                    } else {
+                        FlexOfferUpdate::Delete(FlexOfferId(1_000 + id))
+                    }
+                })
+                .collect();
+            apply_to_model(&mut model, *from, &updates);
+            t.handle(deltas(*from, updates), TimeSlot(0));
+        }
+
+        // Pool size, ids and sources match the baseline.
+        prop_assert_eq!(t.pool_size(), model.len());
+        let ids = t.pooled_ids();
+        let expected: Vec<FlexOfferId> =
+            model.keys().map(|id| FlexOfferId(*id)).collect();
+        prop_assert_eq!(&ids, &expected);
+        for (id, (offer, source)) in &model {
+            prop_assert_eq!(t.source_of(FlexOfferId(*id)), Some(NodeId(*source)));
+            // The slab holds the latest value, stored exactly once.
+            let pooled = t.pooled_offer(FlexOfferId(*id)).expect("pooled");
+            prop_assert_eq!(pooled.earliest_start(), offer.earliest_start());
+            prop_assert_eq!(pooled.time_flexibility(), offer.time_flexibility());
+        }
+        // The aggregates partition exactly the pooled ids.
+        let mut members: Vec<u64> = t
+            .pipeline()
+            .aggregates()
+            .flat_map(|a| a.member_ids.iter().map(|id| id.value()))
+            .collect();
+        members.sort_unstable();
+        let expected_members: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(members, expected_members);
+        prop_assert_eq!(t.pipeline().offer_count(), model.len());
+    }
+}

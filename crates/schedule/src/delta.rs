@@ -275,6 +275,115 @@ impl<'p> DeltaEvaluator<'p> {
         self.total
     }
 
+    /// Append a new offer to the live problem with the given placement —
+    /// O(offer duration): only the placement's slots are re-priced,
+    /// nothing is reconstructed. Returns the new offer's index.
+    ///
+    /// This is what lets a node fold an *offer-pool* delta (a new macro
+    /// offer trickling in from a lower hierarchy level) into a live plan
+    /// without rebuilding the scheduling problem. The one-level undo log
+    /// is invalidated. On a borrowed evaluator the first mutation clones
+    /// the problem (`Cow::to_mut`); live evaluators built with
+    /// [`new_owned`](Self::new_owned) mutate in place.
+    ///
+    /// # Panics
+    /// Panics if the offer does not fit the horizon or the placement
+    /// does not satisfy the offer's constraints.
+    pub fn insert_offer(&mut self, offer: FlexOffer, placement: Placement) -> usize {
+        self.undo.active = false;
+        let problem = self.problem.to_mut();
+        assert!(
+            offer.earliest_start() >= problem.start
+                && problem.start + problem.baseline_imbalance.len() as u32
+                    >= offer.latest_start() + offer.duration(),
+            "inserted offer does not fit the horizon"
+        );
+        assert!(
+            placement.start >= offer.earliest_start() && placement.start <= offer.latest_start(),
+            "placement start outside the offer's window"
+        );
+        assert_eq!(
+            placement.fractions.len(),
+            offer.duration() as usize,
+            "placement/profile arity mismatch"
+        );
+        let sign = offer.demand_sign();
+        let base = (placement.start - problem.start) as usize;
+        for (k, (range, &frac)) in offer
+            .profile()
+            .slot_ranges()
+            .zip(&placement.fractions)
+            .enumerate()
+        {
+            let t = base + k;
+            self.residual[t] += sign * range.lerp(frac).kwh();
+            let sc = slot_cost(
+                self.residual[t],
+                problem.imbalance_penalty[t],
+                problem.prices.buy[t],
+                problem.prices.sell[t],
+                problem.prices.max_trade_per_slot,
+            );
+            self.total += sc - self.slot_costs[t];
+            self.slot_costs[t] = sc;
+        }
+        let oc = activation_cost(&placement, &offer);
+        self.total += oc;
+        self.offer_costs.push(oc);
+        let j = problem.offers.len();
+        problem.offers.push(offer);
+        self.solution.placements.push(placement);
+
+        #[cfg(debug_assertions)]
+        self.assert_in_sync();
+        j
+    }
+
+    /// Remove offer `j` from the live problem — O(offer duration): its
+    /// placement's energy is withdrawn, only the touched slots are
+    /// re-priced. The **last** offer is swapped into index `j`
+    /// (`swap_remove`), so any external index map must re-home that one
+    /// entry. Returns the removed offer. The undo log is invalidated.
+    pub fn remove_offer(&mut self, j: usize) -> FlexOffer {
+        self.undo.active = false;
+        let problem = self.problem.to_mut();
+        let placement = self.solution.placements.swap_remove(j);
+        let offer = problem.offers.swap_remove(j);
+        let sign = offer.demand_sign();
+        let base = (placement.start - problem.start) as usize;
+        for (k, (range, &frac)) in offer
+            .profile()
+            .slot_ranges()
+            .zip(&placement.fractions)
+            .enumerate()
+        {
+            let t = base + k;
+            self.residual[t] -= sign * range.lerp(frac).kwh();
+            let sc = slot_cost(
+                self.residual[t],
+                problem.imbalance_penalty[t],
+                problem.prices.buy[t],
+                problem.prices.sell[t],
+                problem.prices.max_trade_per_slot,
+            );
+            self.total += sc - self.slot_costs[t];
+            self.slot_costs[t] = sc;
+        }
+        self.total -= self.offer_costs[j];
+        self.offer_costs.swap_remove(j);
+
+        #[cfg(debug_assertions)]
+        self.assert_in_sync();
+        offer
+    }
+
+    /// Consume the evaluator, yielding the problem and the solution. A
+    /// borrowed problem is cloned; an owned one (the live-plan shape)
+    /// moves out for free.
+    pub fn into_problem_and_solution(self) -> (SchedulingProblem, Solution) {
+        (self.problem.into_owned(), self.solution)
+    }
+
     /// Merge a repaired solution back into this evaluator: for every
     /// offer index in `scope`, adopt `winner`'s placement if it differs
     /// from the current one. Each adoption is a regular debug-checked
@@ -545,6 +654,70 @@ mod tests {
             let reference = evaluate(&p, &sol).total();
             let eval = DeltaEvaluator::new(&p, sol);
             assert!((eval.total() - reference).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn insert_offer_matches_rebuilt_evaluator() {
+        let p = problem(15, 21);
+        let mut eval = DeltaEvaluator::new_owned(p.clone(), Solution::baseline(&p));
+        // Steal an offer shape from another scenario but give it a fresh id.
+        let donor = problem(1, 22).offers[0].clone();
+        let placement = Placement::baseline(&donor);
+        let j = eval.insert_offer(donor.clone(), placement);
+        assert_eq!(j, 15);
+        assert_eq!(eval.problem().offers.len(), 16);
+        let reference = evaluate(eval.problem(), eval.solution()).total();
+        assert!((eval.total() - reference).abs() < 1e-9);
+        // Moves on the inserted offer work like on any other.
+        let after = eval.propose(j, |g, _| g.fractions.iter_mut().for_each(|f| *f = 1.0));
+        assert!((after - evaluate(eval.problem(), eval.solution()).total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_offer_matches_rebuilt_evaluator() {
+        let p = problem(12, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let sol = Solution::random(&p, &mut rng);
+        let mut eval = DeltaEvaluator::new_owned(p.clone(), sol);
+        let removed = eval.remove_offer(3);
+        assert_eq!(removed.id(), p.offers[3].id());
+        // swap_remove: the former last offer now sits at index 3.
+        assert_eq!(eval.problem().offers[3].id(), p.offers[11].id());
+        assert_eq!(eval.problem().offers.len(), 11);
+        let reference = evaluate(eval.problem(), eval.solution()).total();
+        assert!((eval.total() - reference).abs() < 1e-9);
+        // Removing everything leaves the baseline-only cost.
+        while !eval.problem().offers.is_empty() {
+            eval.remove_offer(0);
+        }
+        let empty_ref = evaluate(eval.problem(), eval.solution()).total();
+        assert!((eval.total() - empty_ref).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_then_remove_restores_cost() {
+        let p = problem(10, 25);
+        let mut eval = DeltaEvaluator::new_owned(p.clone(), Solution::baseline(&p));
+        let before = eval.total();
+        let donor = problem(1, 26).offers[0].clone();
+        let j = eval.insert_offer(donor.clone(), Placement::baseline(&donor));
+        assert!(eval.total() != before || donor.profile().min_total_energy().kwh() == 0.0);
+        eval.remove_offer(j);
+        assert!((eval.total() - before).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offer_reach_bounds_the_scope() {
+        let p = problem(30, 27);
+        for (j, o) in p.offers.iter().enumerate() {
+            let reach = crate::incremental::offer_reach(&p, o);
+            // An offer is always in the scope of its own reach…
+            let scope =
+                crate::incremental::repair_scope(&p, &reach.clone().collect::<Vec<usize>>());
+            assert!(scope.contains(&j));
+            // …and never in the scope of slots outside every reach.
+            assert!(reach.end <= p.horizon());
         }
     }
 

@@ -95,12 +95,22 @@ pub fn reschedule(
     recorder.finish(current, cost)
 }
 
+/// The horizon-index range an offer's placement can reach:
+/// `[earliest_start, latest_start + duration)` as indices into the
+/// problem's horizon. Slots outside this range can never be touched by
+/// any move of the offer — the unit both [`repair_scope`] and the node
+/// runtimes' offer-delta folding reason in.
+pub fn offer_reach(problem: &SchedulingProblem, offer: &FlexOffer) -> std::ops::Range<usize> {
+    let lo = problem.slot_index(offer.earliest_start());
+    lo..lo + (offer.time_flexibility() + offer.duration()) as usize
+}
+
 /// The offers a forecast delta can involve: indices of offers whose
-/// *reachable* window — `[earliest_start, latest_start + duration)` —
-/// overlaps at least one changed slot. Moving any other offer cannot
-/// touch a changed slot, so a repair after a small forecast update
-/// restricts its moves to this scope. `changed_slots` are horizon
-/// indices; order and duplicates are irrelevant.
+/// *reachable* window ([`offer_reach`]) overlaps at least one changed
+/// slot. Moving any other offer cannot touch a changed slot, so a
+/// repair after a small forecast update restricts its moves to this
+/// scope. `changed_slots` are horizon indices; order and duplicates are
+/// irrelevant.
 pub fn repair_scope(problem: &SchedulingProblem, changed_slots: &[usize]) -> Vec<usize> {
     let mut changed: Vec<usize> = changed_slots.to_vec();
     changed.sort_unstable();
@@ -110,10 +120,9 @@ pub fn repair_scope(problem: &SchedulingProblem, changed_slots: &[usize]) -> Vec
         .iter()
         .enumerate()
         .filter(|(_, o)| {
-            let lo = problem.slot_index(o.earliest_start());
-            let hi = lo + (o.time_flexibility() + o.duration()) as usize;
-            let k = changed.partition_point(|&t| t < lo);
-            changed.get(k).is_some_and(|&t| t < hi)
+            let reach = offer_reach(problem, o);
+            let k = changed.partition_point(|&t| t < reach.start);
+            changed.get(k).is_some_and(|&t| t < reach.end)
         })
         .map(|(j, _)| j)
         .collect()

@@ -93,7 +93,9 @@ pub use delta::DeltaEvaluator;
 pub use evolutionary::{EaConfig, EvolutionaryScheduler};
 pub use exhaustive::{search_space_size, ExhaustiveScheduler};
 pub use greedy::GreedyScheduler;
-pub use incremental::{multi_start, repair_parallel, repair_scope, reschedule, RepairConfig};
+pub use incremental::{
+    multi_start, offer_reach, repair_parallel, repair_scope, reschedule, RepairConfig,
+};
 pub use problem::{MarketPrices, SchedulingProblem};
 pub use scenario::{scenario, ScenarioConfig};
 pub use solution::{Budget, Placement, ScheduleResult, Solution, TrajectoryPoint};

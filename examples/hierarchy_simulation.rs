@@ -5,6 +5,13 @@
 //! reduction scheduling achieves over the open-contract world — plus the
 //! graceful degradation when the network misbehaves.
 //!
+//! Every planning level runs the unified node runtime: BRPs forward
+//! macro-offer *deltas* to the TSO, and intra-day forecast refinements
+//! reach each level through the pub/sub hub as typed change events —
+//! the `replans` column counts the resulting incremental replans
+//! (rebase + scoped repair on a live evaluator; in 3-level mode they
+//! happen at the TSO, which subscribes to the hub like any BRP).
+//!
 //! ```sh
 //! cargo run --release --example hierarchy_simulation
 //! ```
@@ -14,11 +21,12 @@ use mirabel::edms::{simulate, FailureModel, SchedulerKind, SimulationConfig};
 fn run(label: &str, cfg: SimulationConfig) {
     let r = simulate(cfg);
     println!(
-        "{label:<28} offers {:>4}  assigned {:>4}  fallbacks {:>4}  \
+        "{label:<28} offers {:>4}  assigned {:>4}  fallbacks {:>4}  replans {:>3}  \
          imbalance {:>8.1} → {:>8.1}  (−{:.0}%)",
         r.offers_submitted,
         r.assigned,
         r.fallbacks,
+        r.replans,
         r.imbalance_before,
         r.imbalance_after,
         100.0 * r.imbalance_reduction(),
@@ -53,11 +61,27 @@ fn main() {
         },
     );
 
-    println!("\n--- three-level hierarchy (macro offers routed via TSO) ---");
+    println!("\n--- three-level hierarchy (macro-offer deltas routed via TSO) ---");
     run(
         "greedy via TSO",
         SimulationConfig {
             use_tso: true,
+            ..base
+        },
+    );
+    run(
+        "TSO, heavier refinements",
+        SimulationConfig {
+            use_tso: true,
+            refine_fraction: 0.3,
+            ..base
+        },
+    );
+    run(
+        "TSO, no refinements",
+        SimulationConfig {
+            use_tso: true,
+            refine_fraction: 0.0,
             ..base
         },
     );
