@@ -39,10 +39,13 @@
 //!   debug builds cross-check every emitted aggregate against
 //!   [`AggregatedFlexOffer::build`] — the same pattern as the
 //!   scheduler's `DeltaEvaluator` vs `cost::evaluate`.
-//!   Flushes shard the fold by group hash across scoped worker threads
-//!   ([`AggregationPipeline::set_flush_threads`]) and merge in sorted
-//!   sub-group order, so the emitted stream — fresh aggregate ids
-//!   included — is identical for any thread count.
+//!   Flushes shard the fold by group hash across the lanes of a shared
+//!   persistent worker pool ([`mirabel_core::exec::Pool`], wired via
+//!   [`AggregationPipeline::set_flush_pool`]; the process-wide global
+//!   pool by default, so a trickle flush wakes parked workers instead
+//!   of spawning threads) and merge in sorted sub-group order, so the
+//!   emitted stream — fresh aggregate ids included — is identical for
+//!   any pool width.
 //!
 //! The `aggregation_scale` bench tracks the resulting throughput:
 //! 100 k/1 M-offer from-scratch builds, trickle updates whose cost is

@@ -20,23 +20,27 @@
 //! ## Shard-parallel flush
 //!
 //! Sub-group deltas of one flush are independent across groups, so
-//! [`NToOneAggregator::apply`] partitions them by group-id hash across
-//! scoped worker threads (the `std::thread::scope` pattern shared with
-//! `incremental::repair_parallel` and `forecast::parallel`) and merges
-//! the folded results in sorted sub-group order. Fresh aggregate ids are
-//! assigned during the sorted merge, so the emitted update stream — ids
-//! included — is identical for any thread count.
+//! [`NToOneAggregator::apply`] partitions them by group-id hash into
+//! one shard per lane of the shared worker pool
+//! ([`mirabel_core::exec::Pool`] — the same persistent executor behind
+//! `incremental::repair_parallel` and `forecast::parallel`, so a
+//! trickle flush wakes parked workers instead of spawning threads) and
+//! merges the folded results in sorted sub-group order. Fresh aggregate
+//! ids are assigned during the sorted merge, so the emitted update
+//! stream — ids included — is identical for any pool width.
 
 use crate::aggregate::AggregatedFlexOffer;
 use crate::members::MemberIds;
 use crate::metrics::DeltaStats;
 use crate::slab::OfferSlab;
 use crate::update::{AggregateUpdate, SubgroupId, SubgroupUpdate};
+use mirabel_core::exec::Pool;
 use mirabel_core::{
     AggregateId, DomainError, EnergyRange, FlexOffer, FlexOfferId, OfferKind, Price, Profile,
     ScheduledFlexOffer, TimeSlot,
 };
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Member operations (adds + removes) an entry absorbs before the next
 /// exact re-fold squashes accumulated float drift.
@@ -322,7 +326,7 @@ pub struct NToOneAggregator {
     by_subgroup: BTreeMap<SubgroupId, AggregateId>,
     store: BTreeMap<AggregateId, AggregateEntry>,
     next_id: u64,
-    threads: usize,
+    pool: Pool,
     stats: DeltaStats,
 }
 
@@ -333,21 +337,22 @@ impl Default for NToOneAggregator {
 }
 
 impl NToOneAggregator {
-    /// Empty aggregator (single-threaded flush).
+    /// Empty aggregator, flushing on the shared global worker pool.
     pub fn new() -> NToOneAggregator {
         NToOneAggregator {
             by_subgroup: BTreeMap::new(),
             store: BTreeMap::new(),
             next_id: 0,
-            threads: 1,
+            pool: Pool::global().clone(),
             stats: DeltaStats::default(),
         }
     }
 
-    /// Worker threads used per flush (ignored below 2 touched groups).
-    /// The emitted update stream is identical for any value.
-    pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+    /// Worker pool the flush fold is dispatched onto (one shard per
+    /// lane; ignored below 2 touched groups). The emitted update stream
+    /// is identical for any pool width.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// Cumulative delta-fold statistics.
@@ -391,10 +396,10 @@ impl NToOneAggregator {
     }
 
     /// Consume sub-group deltas; maintain aggregates; emit aggregate
-    /// updates. Folding is partitioned by group-id hash across
-    /// [`set_threads`](Self::set_threads) scoped worker threads; results
-    /// are merged (and fresh aggregate ids assigned) in sorted sub-group
-    /// order, so the output is deterministic for any thread count.
+    /// updates. Folding is partitioned by group-id hash across the
+    /// lanes of [`set_pool`](Self::set_pool)'s worker pool; results are
+    /// merged (and fresh aggregate ids assigned) in sorted sub-group
+    /// order, so the output is deterministic for any pool width.
     pub fn apply(
         &mut self,
         updates: Vec<SubgroupUpdate>,
@@ -438,8 +443,8 @@ impl NToOneAggregator {
             }
         }
 
-        let threads = self.threads.min(work.len()).max(1);
-        if threads <= 1 {
+        let lanes = self.pool.width().min(work.len()).max(1);
+        if lanes <= 1 {
             for w in work {
                 let mut entry = w.entry;
                 let stats = Self::fold(
@@ -452,39 +457,32 @@ impl NToOneAggregator {
                 outcomes.push((w.subgroup, w.id, Outcome::Upsert { entry, stats }));
             }
         } else {
-            // Shard by group-id hash; all sub-groups of one group land on
-            // one worker, preserving their relative order.
-            let mut shards: Vec<Vec<Work>> = (0..threads).map(|_| Vec::new()).collect();
+            // Shard by group-id hash; all sub-groups of one group land
+            // on one lane, preserving their relative order. Each shard
+            // sits behind a mutex only so the lane that claims task `i`
+            // can take ownership of shard `i`; there is no contention.
+            let mut shards: Vec<Vec<Work>> = (0..lanes).map(|_| Vec::new()).collect();
             for w in work {
                 let h = w.subgroup.group.value().wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                shards[(h >> 32) as usize % threads].push(w);
+                shards[(h >> 32) as usize % lanes].push(w);
             }
+            let shards: Vec<Mutex<Vec<Work>>> = shards.into_iter().map(Mutex::new).collect();
             let folded: Vec<Vec<(SubgroupId, Option<AggregateId>, Outcome)>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = shards
+                self.pool.run(lanes, |i| {
+                    let shard = std::mem::take(&mut *shards[i].lock().expect("unpoisoned"));
+                    shard
                         .into_iter()
-                        .map(|shard| {
-                            s.spawn(move || {
-                                shard
-                                    .into_iter()
-                                    .map(|w| {
-                                        let mut entry = w.entry;
-                                        let stats = Self::fold(
-                                            &mut entry,
-                                            w.id.unwrap_or(AggregateId(0)),
-                                            w.added,
-                                            w.removed,
-                                            slab,
-                                        );
-                                        (w.subgroup, w.id, Outcome::Upsert { entry, stats })
-                                    })
-                                    .collect()
-                            })
+                        .map(|w| {
+                            let mut entry = w.entry;
+                            let stats = Self::fold(
+                                &mut entry,
+                                w.id.unwrap_or(AggregateId(0)),
+                                w.added,
+                                w.removed,
+                                slab,
+                            );
+                            (w.subgroup, w.id, Outcome::Upsert { entry, stats })
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("fold worker panicked"))
                         .collect()
                 });
             outcomes.extend(folded.into_iter().flatten());
@@ -742,11 +740,11 @@ mod tests {
     }
 
     #[test]
-    fn threads_do_not_change_the_stream() {
-        let mk = |threads: usize| {
+    fn pool_width_does_not_change_the_stream() {
+        let mk = |width: usize| {
             let mut slab = OfferSlab::new();
             let mut agg = NToOneAggregator::new();
-            agg.set_threads(threads);
+            agg.set_pool(Pool::new(width));
             let mut streams = Vec::new();
             // Ten groups, three rounds of updates.
             for round in 0..3u64 {
@@ -770,7 +768,11 @@ mod tests {
             }
             streams
         };
-        assert_eq!(mk(1), mk(4));
+        // Serial (width 1) is the reference; 2 and 8 lanes must emit a
+        // bit-identical stream, fresh aggregate ids included.
+        let reference = mk(1);
+        assert_eq!(reference, mk(2));
+        assert_eq!(reference, mk(8));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::metrics::{AggregationReport, DeltaStats};
 use crate::nto1::{DisaggregationError, NToOneAggregator};
 use crate::slab::OfferSlab;
 use crate::update::{AggregateUpdate, FlexOfferUpdate};
+use mirabel_core::exec::Pool;
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, ScheduledFlexOffer};
 
 /// The full aggregation component.
@@ -34,11 +35,19 @@ impl AggregationPipeline {
         }
     }
 
-    /// Worker threads used by the shard-parallel flush (the n-to-1 fold
-    /// is partitioned by group hash). The emitted update stream is
-    /// identical for any value; the default is 1.
+    /// Worker pool used by the shard-parallel flush (the n-to-1 fold is
+    /// partitioned by group hash, one shard per pool lane). The emitted
+    /// update stream is identical for any pool; the default is the
+    /// shared [`Pool::global`] executor.
+    pub fn set_flush_pool(&mut self, pool: Pool) {
+        self.aggregator.set_pool(pool);
+    }
+
+    /// Convenience over [`set_flush_pool`](Self::set_flush_pool): flush
+    /// on a *dedicated* pool of `threads` lanes. Prefer sharing an
+    /// existing pool; this exists for width-pinned benchmarks and tests.
     pub fn set_flush_threads(&mut self, threads: usize) {
-        self.aggregator.set_threads(threads);
+        self.aggregator.set_pool(Pool::new(threads));
     }
 
     /// Run a batch of offer updates through the whole chain; returns the

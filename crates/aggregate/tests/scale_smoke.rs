@@ -8,6 +8,7 @@
 use mirabel_aggregate::{
     AggregatedFlexOffer, AggregationParams, AggregationPipeline, FlexOfferUpdate,
 };
+use mirabel_core::exec::Pool;
 use mirabel_core::{AggregateId, EnergyRange, FlexOffer, FlexOfferGenerator, Profile, TimeSlot};
 use std::time::{Duration, Instant};
 
@@ -93,5 +94,82 @@ fn trickle_update_beats_full_refold_tenfold_on_1k_group() {
     assert!(
         refold >= trickle * 10,
         "delta-fold must beat the full re-fold ≥10×: trickle {trickle:?}, refold {refold:?}"
+    );
+}
+
+#[test]
+#[ignore = "throughput smoke; run with cargo test --release -- --ignored"]
+fn shared_pool_trickle_flush_no_worse_than_spawned_workers_on_1k_groups() {
+    // The chatty-caller case the shared executor exists for: a trickle
+    // batch touching 8 live 1 000-member groups per flush. The baseline
+    // re-creates the flush pool every apply — the spawn/join cost
+    // profile of the old per-flush `std::thread::scope` workers. The
+    // persistent pool must be no worse (in practice it wins by the
+    // whole spawn/join cost; the 1.5× margin only absorbs CI jitter).
+    //
+    // The `simulation_throughput` bench (crates/bench) times this same
+    // churn scenario; if the workload shape changes here, change it
+    // there too so the CI assertion and the bench numbers agree.
+    const GROUPS: u64 = 8;
+    const MEMBERS: u64 = 1_000;
+    const WIDTH: usize = 4;
+    let member = |id: u64, g: u64| {
+        FlexOffer::builder(id, 1)
+            .earliest_start(TimeSlot(10 + (g * 100) as i64))
+            .time_flexibility(8)
+            .profile(Profile::uniform(4, EnergyRange::new(0.5, 2.0).unwrap()))
+            .build()
+            .unwrap()
+    };
+    let seeded = || {
+        let mut p = AggregationPipeline::new(AggregationParams::p0(), None);
+        p.apply(
+            (0..GROUPS)
+                .flat_map(|g| {
+                    (0..MEMBERS).map(move |k| FlexOfferUpdate::Insert(member(g * 1_000_000 + k, g)))
+                })
+                .collect(),
+        );
+        assert_eq!(p.aggregate_count(), GROUPS as usize);
+        p
+    };
+    // One churn round: a fresh member into every group, last round's
+    // extra back out — each flush fans out across all 8 groups.
+    let churn = |p: &mut AggregationPipeline, i: u64| {
+        let mut batch = Vec::with_capacity(2 * GROUPS as usize);
+        for g in 0..GROUPS {
+            let base = g * 1_000_000 + 500_000;
+            if i > 0 {
+                batch.push(FlexOfferUpdate::Delete(mirabel_core::FlexOfferId(
+                    base + i - 1,
+                )));
+            }
+            batch.push(FlexOfferUpdate::Insert(member(base + i, g)));
+        }
+        std::hint::black_box(p.apply(batch).len());
+    };
+
+    let mut shared = seeded();
+    shared.set_flush_pool(Pool::new(WIDTH));
+    let mut i = 0u64;
+    let pooled = median_time(64, || {
+        churn(&mut shared, i);
+        i += 1;
+    });
+
+    let mut respawned = seeded();
+    let mut j = 0u64;
+    let spawned = median_time(64, || {
+        respawned.set_flush_pool(Pool::new(WIDTH));
+        churn(&mut respawned, j);
+        j += 1;
+    });
+
+    println!("trickle flush: shared pool {pooled:?} vs per-flush spawn {spawned:?}");
+    #[cfg(not(debug_assertions))]
+    assert!(
+        pooled <= spawned + spawned / 2,
+        "persistent pool must not lose to per-flush worker spawning: \
+         pooled {pooled:?}, spawned {spawned:?}"
     );
 }

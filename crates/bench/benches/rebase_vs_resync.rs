@@ -19,6 +19,7 @@
 //! construction and is asserted, not just reported.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mirabel_core::exec::Pool;
 use mirabel_schedule::{
     repair_parallel, repair_scope, scenario, Budget, DeltaEvaluator, GreedyScheduler, RepairConfig,
     ScenarioConfig,
@@ -69,7 +70,7 @@ fn rebase_vs_resync(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 eval.rebase(&updated_baseline, &changed);
-                let total = repair_parallel(&mut eval, &scope, cfg(seed));
+                let total = repair_parallel(&mut eval, &scope, cfg(seed), Pool::global());
                 eval.rebase(&original, &changed);
                 black_box(total)
             })
@@ -89,7 +90,12 @@ fn rebase_vs_resync(c: &mut Criterion) {
                     let mut updated = p.clone();
                     updated.baseline_imbalance = updated_baseline.clone();
                     let mut eval = DeltaEvaluator::new(&updated, initial.solution.clone());
-                    black_box(repair_parallel(&mut eval, &full_scope, cfg(seed)))
+                    black_box(repair_parallel(
+                        &mut eval,
+                        &full_scope,
+                        cfg(seed),
+                        Pool::global(),
+                    ))
                 })
             },
         );
@@ -121,6 +127,7 @@ fn multi_start_quality(c: &mut Criterion) {
                 moves_per_chain: MOVES_PER_CHAIN,
                 seed: 9,
             },
+            Pool::global(),
         )
     };
     let single = repaired_cost(1);
@@ -152,6 +159,7 @@ fn multi_start_quality(c: &mut Criterion) {
                         moves_per_chain: MOVES_PER_CHAIN,
                         seed,
                     },
+                    Pool::global(),
                 );
                 eval.rebase(&original, &changed);
                 black_box(total)

@@ -1,0 +1,161 @@
+//! End-to-end simulation throughput on the shared worker pool.
+//!
+//! MIRABEL's node runs forecasting, aggregation and scheduling
+//! *continuously*, so the number that matters is sustained planning
+//! rounds per second for a whole hierarchy — not any single kernel.
+//! Three groups anchor the perf trajectory:
+//!
+//! 1. `rounds` — full 3-level simulations (prosumers → BRPs → TSO) at
+//!    1 k and 10 k prosumers, reported as cycles/sec. Every parallel
+//!    path inside (flush shards, best-of-K starts, repair chains) now
+//!    dispatches onto one process-wide [`Pool`] instead of spawning
+//!    scoped threads per call.
+//! 2. `trickle_flush` — the chatty-caller case the pool exists for: a
+//!    small membership churn touching 8 live 1 k-member groups per
+//!    flush, folded on (a) one persistent shared pool vs (b) a pool
+//!    created and dropped per flush — the spawn/join cost profile of
+//!    the old `std::thread::scope` code.
+//! 3. `dispatch` — the bare executor micro-benchmark: `Pool::run` over
+//!    N small tasks vs `std::thread::scope` spawning N threads for the
+//!    same tasks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel_core::exec::Pool;
+use mirabel_core::{EnergyRange, FlexOffer, FlexOfferId, Profile, TimeSlot};
+use mirabel_edms::{simulate, SimulationConfig};
+
+const CYCLES: usize = 2;
+
+fn hierarchy_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_throughput_rounds");
+    group.sample_size(3);
+    for &prosumers in &[1_000usize, 10_000] {
+        let brps = 4;
+        let cfg = SimulationConfig {
+            brps,
+            prosumers_per_brp: prosumers / brps,
+            cycles: CYCLES,
+            offers_per_prosumer: 1,
+            use_tso: true,
+            budget_evaluations: 2_000,
+            seed: 42,
+            ..SimulationConfig::default()
+        };
+        // cycles/sec: each element is one full plan→refine→commit round.
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(BenchmarkId::new("prosumers", prosumers), &cfg, |b, cfg| {
+            b.iter(|| simulate(*cfg).assigned)
+        });
+    }
+    group.finish();
+}
+
+/// One member of churn group `g` (distinct start per group keeps the
+/// groups apart under exact-match thresholds). The release-only smoke
+/// test in `crates/aggregate/tests/scale_smoke.rs` asserts a latency
+/// bound on this same churn scenario; keep the workload shapes in sync.
+fn churn_member(id: u64, g: u64) -> FlexOffer {
+    FlexOffer::builder(id, 1)
+        .earliest_start(TimeSlot(10 + (g * 100) as i64))
+        .time_flexibility(8)
+        .profile(Profile::uniform(4, EnergyRange::new(0.5, 2.0).unwrap()))
+        .build()
+        .unwrap()
+}
+
+fn trickle_flush(c: &mut Criterion) {
+    const GROUPS: u64 = 8;
+    const MEMBERS: u64 = 1_000;
+    const WIDTH: usize = 4;
+
+    let seeded_pipeline = || {
+        let mut p = AggregationPipeline::new(AggregationParams::p0(), None);
+        p.apply(
+            (0..GROUPS)
+                .flat_map(|g| {
+                    (0..MEMBERS)
+                        .map(move |k| FlexOfferUpdate::Insert(churn_member(g * 1_000_000 + k, g)))
+                })
+                .collect(),
+        );
+        assert_eq!(p.aggregate_count(), GROUPS as usize);
+        p
+    };
+    // One trickle batch: a fresh member into each group, the previous
+    // round's extra member out — every flush touches all 8 groups.
+    let churn = |p: &mut AggregationPipeline, i: u64| {
+        let mut batch = Vec::with_capacity(2 * GROUPS as usize);
+        for g in 0..GROUPS {
+            let base = g * 1_000_000 + 500_000;
+            if i > 0 {
+                batch.push(FlexOfferUpdate::Delete(FlexOfferId(base + i - 1)));
+            }
+            batch.push(FlexOfferUpdate::Insert(churn_member(base + i, g)));
+        }
+        p.apply(batch).len()
+    };
+
+    let mut group = c.benchmark_group("simulation_throughput_trickle_flush");
+    group.sample_size(10);
+
+    // (a) the rewired steady state: one persistent pool, woken per flush.
+    group.bench_function("shared_pool", |b| {
+        let mut p = seeded_pipeline();
+        p.set_flush_pool(Pool::new(WIDTH));
+        let mut i = 0u64;
+        b.iter(|| {
+            let out = churn(&mut p, i);
+            i += 1;
+            black_box(out)
+        })
+    });
+
+    // (b) the old cost profile: workers spawned and joined per flush
+    // (a fresh pool per apply == the scoped-spawn pattern's overhead).
+    group.bench_function("spawn_per_flush", |b| {
+        let mut p = seeded_pipeline();
+        let mut i = 0u64;
+        b.iter(|| {
+            p.set_flush_pool(Pool::new(WIDTH));
+            let out = churn(&mut p, i);
+            i += 1;
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn executor_dispatch(c: &mut Criterion) {
+    const TASKS: usize = 4;
+    // Roughly one small sub-group fold's worth of arithmetic per task.
+    let work = |i: usize| -> f64 {
+        let mut acc = i as f64;
+        for k in 0..2_000u32 {
+            acc += f64::from(k).sqrt();
+        }
+        acc
+    };
+
+    let mut group = c.benchmark_group("simulation_throughput_dispatch");
+    group.sample_size(20);
+    let pool = Pool::new(TASKS);
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| pool.run(TASKS, work).iter().sum::<f64>())
+    });
+    group.bench_function("scoped_spawn", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..TASKS).map(|i| s.spawn(move || work(i))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .sum::<f64>()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hierarchy_rounds, trickle_flush, executor_dispatch);
+criterion_main!(benches);

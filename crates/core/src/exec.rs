@@ -1,0 +1,439 @@
+//! The shared deterministic worker pool every parallel path in the
+//! workspace runs on (paper §5 calls for partition-parallel model
+//! estimation; the same executor also drives shard-parallel aggregate
+//! flushes and multi-start scheduling chains).
+//!
+//! ## Why a persistent pool
+//!
+//! MIRABEL's node runs forecasting, aggregation and scheduling
+//! *continuously*: every trickle flush and every incremental replan used
+//! to spawn (and join) a fresh set of `std::thread::scope` workers,
+//! paying thread creation latency on the steady-state hot path — often
+//! more than the work itself for a few-microsecond trickle fold. A
+//! [`Pool`] keeps its workers parked on a condvar between calls, so
+//! dispatching a batch of tasks costs a wake-up, not a spawn.
+//!
+//! ## Why deterministic join order
+//!
+//! [`Pool::run`] executes `n_tasks` closures `f(0) .. f(n_tasks - 1)`
+//! and returns their results **in task-index order**, whatever the
+//! worker count or OS scheduling. Callers therefore keep the invariant
+//! the whole workspace is built on: *parallelism never changes output*.
+//! The aggregate flush merges shard results in sorted sub-group order,
+//! best-of-K scheduling chains tie-break on chain index, and EGRV
+//! fitting installs coefficients by period index — all of which reduce
+//! to "results arrive indexed by task, not by completion time". Work
+//! distribution is a single shared claim counter (no work stealing, no
+//! per-worker queues): which lane runs a task is scheduling-dependent,
+//! but since each task is a pure function of its index, the *result
+//! vector* is bit-identical for any width.
+//!
+//! ## Sizing and sharing
+//!
+//! [`Pool::global`] is the lazily-created process-wide default, sized to
+//! [`std::thread::available_parallelism`]. Components default to it, so
+//! an entire `edms` hierarchy — every BRP, the TSO, their pipelines and
+//! repair chains — shares one set of worker threads instead of spawning
+//! per node per round. Pass an explicit [`Pool::new`] handle (they are
+//! cheap `Arc` clones) to isolate a component or to pin a width in
+//! benchmarks; `Pool::new(1)` executes inline on the caller and spawns
+//! nothing.
+//!
+//! A `run` that nests inside another `run` on the same pool (or races
+//! with one from another thread) falls back to inline serial execution
+//! of its own tasks — same results, no deadlock.
+//!
+//! Panics propagate: if a task panics, the pool finishes the batch,
+//! then re-raises the payload of the lowest-indexed panicking task on
+//! the caller (again deterministic), leaving the pool reusable.
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to a `run` call's shared task closure.
+///
+/// Only ever dereferenced by a lane that claimed a task index `<
+/// n_tasks`; `Pool::run` does not retire the job (and so does not
+/// return, keeping the closure alive) until every claimed index has
+/// finished.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and
+// `Pool::run` guarantees it outlives every dereference (see `TaskRef`).
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+impl TaskRef {
+    /// Erase the closure's lifetime so parked workers can hold it.
+    ///
+    /// # Safety
+    /// The caller must keep the closure alive (and unmoved) until the
+    /// job it is published under has been retired.
+    unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> TaskRef {
+        // SAFETY: only the lifetime is transmuted; the vtable and data
+        // pointer are unchanged.
+        let widened = unsafe {
+            std::mem::transmute::<&'a (dyn Fn(usize) + Sync + 'a), &'static (dyn Fn(usize) + Sync)>(
+                task,
+            )
+        };
+        TaskRef(widened)
+    }
+}
+
+/// One published batch of tasks. Lanes (workers and the calling thread)
+/// claim indices from `next`; `pending` counts unfinished tasks.
+struct Job {
+    task: TaskRef,
+    n_tasks: usize,
+    next: AtomicUsize,
+    pending: AtomicUsize,
+}
+
+/// State guarded by the pool mutex.
+struct State {
+    /// The current job, if one is in flight.
+    job: Option<Arc<Job>>,
+    /// Job generation counter — workers process each generation once.
+    seq: u64,
+    /// Set on drop; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The caller parks here until `pending` reaches zero.
+    done: Condvar,
+}
+
+struct Inner {
+    width: usize,
+    /// Serializes `run` calls; a busy lock means a nested or concurrent
+    /// `run`, which executes inline instead (no deadlock, same output).
+    run_lock: Mutex<()>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A persistent, deterministic worker pool (see the [module docs](self)).
+///
+/// Cloning a `Pool` clones a cheap handle to the same workers; the
+/// threads are joined when the last handle drops.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("width", &self.inner.width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Pool with `width` execution lanes: the calling thread plus
+    /// `width - 1` parked worker threads. `Pool::new(1)` spawns nothing
+    /// and runs every task inline. `width == 0` is clamped to 1.
+    pub fn new(width: usize) -> Pool {
+        let width = width.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                seq: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(width.saturating_sub(1));
+        for k in 1..width {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("mirabel-exec-{k}"))
+                .spawn(move || worker_loop(&shared));
+            match spawned {
+                Ok(h) => handles.push(h),
+                // Degrade gracefully: fewer lanes, identical results —
+                // the caller participates, so the pool still makes
+                // progress even with zero workers.
+                Err(_) => break,
+            }
+        }
+        Pool {
+            inner: Arc::new(Inner {
+                width,
+                run_lock: Mutex::new(()),
+                shared,
+                handles,
+            }),
+        }
+    }
+
+    /// The process-wide default pool, created on first use and sized to
+    /// [`std::thread::available_parallelism`]. Every component defaults
+    /// to this handle, so one set of worker threads serves the whole
+    /// hierarchy.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            Pool::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Total execution lanes (the calling thread counts as one). Callers
+    /// use this to size work partitions; output must never depend on it.
+    pub fn width(&self) -> usize {
+        self.inner.width
+    }
+
+    /// Execute `f(0) .. f(n_tasks - 1)` across the pool's lanes and
+    /// return the results **in task-index order** — bit-identical to
+    /// `(0..n_tasks).map(f).collect()` for any pool width, provided each
+    /// task is a pure function of its index.
+    ///
+    /// The calling thread claims tasks alongside the workers, so a
+    /// width-1 pool (or a single task, or a nested `run`) degenerates to
+    /// an inline serial loop with no synchronization at all.
+    ///
+    /// If one or more tasks panic, the batch still runs to completion
+    /// and the payload of the lowest-indexed panicking task is re-raised
+    /// here; the pool remains usable afterwards.
+    pub fn run<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        // Inline serial fast path: nothing to parallelize, or the pool
+        // is already mid-`run` (nested or concurrent call) — executing
+        // on the caller keeps results identical and cannot deadlock.
+        let guard = if self.inner.width > 1 && n_tasks > 1 {
+            self.inner.run_lock.try_lock().ok()
+        } else {
+            None
+        };
+        let Some(_guard) = guard else {
+            return (0..n_tasks).map(f).collect();
+        };
+
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_tasks));
+        let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+        let runner = |i: usize| match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(r) => results.lock().unwrap().push((i, r)),
+            Err(payload) => {
+                let mut slot = first_panic.lock().unwrap();
+                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                    *slot = Some((i, payload));
+                }
+            }
+        };
+
+        // SAFETY: `runner` (and everything it borrows) outlives the job:
+        // `run` only returns after observing `pending == 0`, i.e. after
+        // every claimed task index has finished, and lanes never
+        // dereference the task pointer for indices >= n_tasks.
+        let task = unsafe { TaskRef::erase(&runner) };
+        let job = Arc::new(Job {
+            task,
+            n_tasks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_tasks),
+        });
+        let shared = &self.inner.shared;
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.job = Some(Arc::clone(&job));
+            st.seq = st.seq.wrapping_add(1);
+            shared.work.notify_all();
+        }
+
+        // The caller is a lane too.
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            runner(i);
+            job.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+
+        // Wait for the workers' share, then retire the job. After this
+        // point no lane can dereference `task` again: `next` only grows,
+        // so every further claim sees an index >= n_tasks.
+        let mut st = shared.state.lock().unwrap();
+        while job.pending.load(Ordering::Acquire) != 0 {
+            st = shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        drop(st);
+
+        if let Some((_, payload)) = first_panic.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        let mut out = results.into_inner().unwrap();
+        debug_assert_eq!(out.len(), n_tasks);
+        out.sort_unstable_by_key(|&(i, _)| i);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Body of a parked worker thread: wait for an unseen job generation,
+/// claim and run tasks until the batch is exhausted, park again.
+fn worker_loop(shared: &Shared) {
+    let mut last_seq = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != last_seq {
+                    if let Some(job) = &st.job {
+                        last_seq = st.seq;
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n_tasks {
+                break;
+            }
+            // SAFETY: i < n_tasks, so the job is not yet retired and the
+            // caller is keeping the closure alive (see `Pool::run`).
+            unsafe { (*job.task.0)(i) };
+            if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task of the batch: wake the caller. Taking the
+                // lock orders the notify after the caller's wait.
+                let _st = shared.state.lock().unwrap();
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_arrive_in_task_index_order() {
+        let pool = Pool::new(4);
+        let out = pool.run(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_to_serial_for_any_width() {
+        let reference: Vec<u64> = (0..33).map(|i| i as u64 * 7 + 1).collect();
+        for width in [1, 2, 3, 8] {
+            let pool = Pool::new(width);
+            assert_eq!(pool.run(33, |i| i as u64 * 7 + 1), reference);
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        // Many batches on one pool: every batch completes and no state
+        // leaks between them (a stale claim counter or job would hang or
+        // misindex immediately).
+        let pool = Pool::new(3);
+        let hits = AtomicU64::new(0);
+        for round in 0..100u64 {
+            let out = pool.run(5, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                round * 10 + i as u64
+            });
+            assert_eq!(out, (0..5).map(|i| round * 10 + i).collect::<Vec<_>>());
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn propagates_the_lowest_indexed_panic() {
+        let pool = Pool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i % 2 == 1 {
+                    panic!("task {i} failed");
+                }
+                i
+            })
+        }))
+        .expect_err("the batch must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic! with format produces a String");
+        assert_eq!(msg, "task 1 failed");
+        // The pool survives a panicking batch.
+        assert_eq!(pool.run(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_run_falls_back_to_inline_serial() {
+        let pool = Pool::new(4);
+        let out = pool.run(4, |i| pool.run(3, |j| i * 10 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..3).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_tasks_and_width_clamp() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.width(), 1);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = Pool::global();
+        let b = Pool::global();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        assert!(a.width() >= 1);
+        assert_eq!(a.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tasks_borrow_caller_state() {
+        // The whole point of the scope-style API: tasks read borrowed
+        // slices without copying them into the closure.
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let pool = Pool::new(4);
+        let sums = pool.run(4, |w| data[w * 250..(w + 1) * 250].iter().sum::<f64>());
+        let total: f64 = sums.iter().sum();
+        assert_eq!(total, data.iter().sum::<f64>());
+    }
+}

@@ -11,7 +11,11 @@
 //! * [`ScheduledFlexOffer`] — a flex-offer with start time and energies fixed,
 //! * flexibility metrics (paper §4/§7) and a reproducible synthetic
 //!   [`generator`] used by the experiments in place of the paper's
-//!   800 000-offer artificial data set.
+//!   800 000-offer artificial data set,
+//! * [`exec`] — the shared deterministic worker [`Pool`] every parallel
+//!   path in the workspace (aggregate flushes, scheduling chains, EGRV
+//!   fitting) dispatches onto instead of spawning scoped threads per
+//!   call.
 //!
 //! The types are deliberately free of any aggregation / forecasting /
 //! scheduling logic — those live in the dedicated crates layered on top.
@@ -34,11 +38,14 @@
 //! assert_eq!(offer.time_flexibility(), 28);
 //! assert!(offer.profile().min_total_energy().kwh() >= 40.0);
 //! ```
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the lifetime-erased task hand-off inside
+// `exec` is the one permitted (module-scoped, documented) exception.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;
 pub mod error;
+pub mod exec;
 pub mod flexoffer;
 pub mod generator;
 pub mod id;
@@ -50,6 +57,7 @@ pub mod time;
 
 pub use energy::{Energy, EnergyRange};
 pub use error::DomainError;
+pub use exec::Pool;
 pub use flexoffer::{FlexOffer, FlexOfferBuilder, OfferKind};
 pub use generator::{FlexOfferGenerator, GeneratorConfig};
 pub use id::{ActorId, AggregateId, FlexOfferId, GroupId, NodeId};

@@ -78,9 +78,12 @@ pub struct BrpConfig {
     /// Parallel best-of-K restarts of the *initial* scheduler run (1 =
     /// single start; chain 0 always reproduces the single-start result).
     pub initial_starts: usize,
-    /// Worker threads for the aggregation pipeline's shard-parallel
-    /// flush (results are identical for any value).
-    pub flush_threads: usize,
+    /// Worker pool shared by every parallel path of this node —
+    /// aggregate flush shards, initial-start chains and repair chains.
+    /// Defaults to the process-wide [`mirabel_core::exec::Pool::global`]
+    /// executor, so all BRPs and the TSO of a hierarchy wake the same
+    /// parked workers; results are identical for any pool.
+    pub pool: mirabel_core::exec::Pool,
 }
 
 impl Default for BrpConfig {
@@ -97,7 +100,7 @@ impl Default for BrpConfig {
             repair_chains: runtime.repair_chains,
             repair_moves: runtime.repair_moves,
             initial_starts: runtime.initial_starts,
-            flush_threads: 1,
+            pool: runtime.pool,
         }
     }
 }
@@ -111,6 +114,7 @@ impl BrpConfig {
             initial_starts: self.initial_starts,
             repair_chains: self.repair_chains,
             repair_moves: self.repair_moves,
+            pool: self.pool.clone(),
         }
     }
 }
@@ -142,10 +146,10 @@ pub struct BrpNode {
 }
 
 impl BrpNode {
-    /// Create a BRP node.
+    /// Create a BRP node. All parallel paths — pipeline flush included —
+    /// run on the config's shared worker pool (wired by [`PlanEngine`]).
     pub fn new(id: NodeId, parent: Option<NodeId>, config: BrpConfig) -> BrpNode {
-        let mut pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
-        pipeline.set_flush_threads(config.flush_threads);
+        let pipeline = AggregationPipeline::new(config.aggregation, config.binpacker);
         let engine = PlanEngine::new(
             pipeline,
             config.runtime(),
@@ -743,6 +747,68 @@ mod tests {
         // Chain 0 of the multi-start shares the single-start seed, so
         // best-of-3 can never be worse.
         assert!(multi <= single + 1e-9, "multi {multi} vs single {single}");
+    }
+
+    #[test]
+    fn shared_pool_width_does_not_change_the_plan() {
+        // End-to-end determinism through the node: flush shards,
+        // best-of-K initial starts and repair chains all dispatch onto
+        // the config's pool, and the committed plan is identical whether
+        // that pool is serial or 8 lanes wide.
+        let plan_with = |width: usize| {
+            let mut brp = BrpNode::new(
+                NodeId(1),
+                None,
+                BrpConfig {
+                    pool: mirabel_core::exec::Pool::new(width),
+                    initial_starts: 3,
+                    budget_evaluations: 4_000,
+                    ..BrpConfig::default()
+                },
+            );
+            for i in 0..20 {
+                submit(
+                    &mut brp,
+                    offer(i, i, 110 + (i as i64 % 5), 90, 8),
+                    100 + i,
+                    0,
+                );
+            }
+            let baseline: Vec<f64> = (0..96).map(|k| if k < 48 { -2.0 } else { 1.0 }).collect();
+            brp.prepare_plan(
+                TimeSlot(80),
+                TimeSlot(96),
+                baseline.clone(),
+                MarketPrices::flat(96, 0.08, 0.03, 100.0),
+                vec![0.2; 96],
+            );
+            // Refinement event → repair chains on the pool.
+            let mut refined = baseline;
+            for v in refined.iter_mut().skip(10).take(8) {
+                *v += 1.0;
+            }
+            let event = ForecastEvent {
+                subscription: 0,
+                forecast: refined,
+                changed: vec![mirabel_forecast::SlotRange { start: 10, end: 18 }],
+                max_relative_change: f64::INFINITY,
+            };
+            brp.on_forecast_event(&event);
+            let (envelopes, cost) = brp.commit_plan(TimeSlot(80)).expect("live plan");
+            let schedule_signature: Vec<_> = envelopes
+                .iter()
+                .map(|e| match &e.message {
+                    Message::Assignment { schedule, .. } => {
+                        (e.to, schedule.offer_id, schedule.start)
+                    }
+                    other => panic!("expected assignment, got {other:?}"),
+                })
+                .collect();
+            (cost, schedule_signature)
+        };
+        let reference = plan_with(1);
+        assert_eq!(reference, plan_with(2));
+        assert_eq!(reference, plan_with(8));
     }
 
     #[test]

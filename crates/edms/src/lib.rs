@@ -25,8 +25,16 @@
 //! * [`runtime`] — the unified node runtime: the [`Node`] /
 //!   [`NodeRuntime`] traits the simulation's generic event pump drives,
 //!   and the [`PlanEngine`] each planning node embeds (aggregation
-//!   pipeline + live [`DeltaEvaluator`](mirabel_schedule::DeltaEvaluator)
-//!   + pub/sub-driven incremental replanning);
+//!   pipeline plus a live
+//!   [`DeltaEvaluator`](mirabel_schedule::DeltaEvaluator) plus
+//!   pub/sub-driven incremental replanning). Every parallel path of an
+//!   engine — flush shards, best-of-K initial starts, repair chains —
+//!   dispatches onto the worker pool in its [`RuntimeConfig`]; by
+//!   default that is the process-wide
+//!   [`mirabel_core::exec::Pool::global`] executor, so an entire
+//!   hierarchy wakes one set of persistent parked workers instead of
+//!   spawning threads per node per round (and the pool width never
+//!   changes any plan);
 //! * [`comm`] — the Communication component: an in-process message
 //!   network with failure/delay injection and explicitly deterministic
 //!   delayed-delivery ordering;

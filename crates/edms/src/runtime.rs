@@ -35,6 +35,7 @@
 
 use crate::message::Envelope;
 use mirabel_aggregate::{AggregateUpdate, AggregationPipeline, FlexOfferUpdate};
+use mirabel_core::exec::Pool;
 use mirabel_core::{FlexOffer, FlexOfferId, NodeId, TimeSlot};
 use mirabel_forecast::ForecastEvent;
 use mirabel_schedule::{
@@ -57,7 +58,7 @@ pub enum SchedulerKind {
 }
 
 /// Scheduling/replanning knobs shared by every [`PlanEngine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Scheduling algorithm for the initial plan.
     pub scheduler: SchedulerKind,
@@ -70,6 +71,14 @@ pub struct RuntimeConfig {
     pub repair_chains: usize,
     /// Proposed moves per repair chain.
     pub repair_moves: usize,
+    /// Worker pool every parallel path of this engine dispatches onto —
+    /// initial-start chains, repair chains, and the aggregation
+    /// pipeline's shard-parallel flush. Handles are cheap `Arc` clones;
+    /// the default is the process-wide [`Pool::global`], so a whole
+    /// hierarchy of nodes shares one set of parked workers instead of
+    /// re-spawning threads per node per round. Output never depends on
+    /// the pool width.
+    pub pool: Pool,
 }
 
 impl Default for RuntimeConfig {
@@ -81,6 +90,7 @@ impl Default for RuntimeConfig {
             initial_starts: 1,
             repair_chains: repair.chains,
             repair_moves: repair.moves_per_chain,
+            pool: Pool::global().clone(),
         }
     }
 }
@@ -162,8 +172,11 @@ pub struct PlanEngine {
 }
 
 impl PlanEngine {
-    /// Engine around an aggregation pipeline.
-    pub fn new(pipeline: AggregationPipeline, cfg: RuntimeConfig, seed: u64) -> PlanEngine {
+    /// Engine around an aggregation pipeline. The pipeline's flush is
+    /// rewired onto the config's shared worker pool, so aggregation and
+    /// scheduling run on the same executor.
+    pub fn new(mut pipeline: AggregationPipeline, cfg: RuntimeConfig, seed: u64) -> PlanEngine {
+        pipeline.set_flush_pool(cfg.pool.clone());
         PlanEngine {
             pipeline,
             cfg,
@@ -179,9 +192,9 @@ impl PlanEngine {
         &self.pipeline
     }
 
-    /// Worker threads for the pipeline's shard-parallel flush.
-    pub fn set_flush_threads(&mut self, threads: usize) {
-        self.pipeline.set_flush_threads(threads);
+    /// The shared worker pool this engine dispatches onto.
+    pub fn pool(&self) -> &Pool {
+        &self.cfg.pool
     }
 
     /// Window start of the live plan, if one is pending commitment.
@@ -255,14 +268,15 @@ impl PlanEngine {
         self.seed = self.seed.wrapping_add(1);
         let seed = self.seed;
         let starts = self.cfg.initial_starts.max(1);
+        let pool = &self.cfg.pool;
         let result = match self.cfg.scheduler {
-            SchedulerKind::Greedy => {
-                multi_start(starts, seed, |s| GreedyScheduler.run(&problem, budget, s))
-            }
-            SchedulerKind::Evolutionary => multi_start(starts, seed, |s| {
+            SchedulerKind::Greedy => multi_start(starts, seed, pool, |s| {
+                GreedyScheduler.run(&problem, budget, s)
+            }),
+            SchedulerKind::Evolutionary => multi_start(starts, seed, pool, |s| {
                 EvolutionaryScheduler::default().run(&problem, budget, s)
             }),
-            SchedulerKind::Hybrid => multi_start(starts, seed, |s| {
+            SchedulerKind::Hybrid => multi_start(starts, seed, pool, |s| {
                 HybridScheduler::default().run(&problem, budget, s)
             }),
         };
@@ -331,6 +345,7 @@ impl PlanEngine {
                 moves_per_chain: self.cfg.repair_moves,
                 seed: self.seed,
             },
+            &self.cfg.pool,
         );
         Some(ReplanReport {
             changed_slots: changed.len(),
@@ -428,6 +443,7 @@ impl PlanEngine {
                 moves_per_chain: self.cfg.repair_moves,
                 seed: self.seed,
             },
+            &self.cfg.pool,
         );
         Some(report)
     }

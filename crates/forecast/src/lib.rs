@@ -29,7 +29,12 @@
 //!   incremental rescheduling downstream,
 //! * [`flexoffer_forecast`] — flex-offer (multivariate) forecasting by
 //!   decomposition into univariate series,
-//! * [`parallel`] — parallelized multi-equation model estimation.
+//! * [`parallel`] — parallelized multi-equation model estimation on
+//!   the shared deterministic worker pool
+//!   ([`mirabel_core::exec::Pool`]): partition-parallel EGRV fitting
+//!   and intra-model parallel parameter estimation, both borrowing the
+//!   history into the workers (no per-fit copies) and bit-identical to
+//!   the serial path for any pool width.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,49 +8,50 @@
 //! independent data partitions."
 //!
 //! [`fit_egrv_parallel`] fits one EGRV equation per intra-day period
-//! across a thread pool; the result is identical to the serial
-//! [`crate::model::ForecastModel::fit`] (verified by test).
+//! across the shared deterministic worker pool
+//! ([`mirabel_core::exec::Pool`] — parked persistent workers, so the
+//! periodic re-fit pays a wake-up instead of a thread spawn); the
+//! result is identical to the serial
+//! [`crate::model::ForecastModel::fit`] (verified by test, for any pool
+//! width).
 
 use crate::egrv::EgrvModel;
 use crate::estimator::{
     Budget, EstimationResult, Estimator, Objective, RandomRestartNelderMead, TrajectoryPoint,
 };
+use mirabel_core::exec::Pool;
 use mirabel_timeseries::TimeSeries;
 
-/// Fit `model` on `history` using up to `threads` worker threads, one
-/// partition of intra-day periods per worker. Equivalent to the serial
-/// fit; faster when the per-equation row extraction dominates.
-pub fn fit_egrv_parallel(model: &mut EgrvModel, history: &TimeSeries, threads: usize) {
+/// Fit `model` on `history` across `pool`'s lanes, one partition of
+/// intra-day periods per lane. Equivalent to the serial fit for any
+/// pool width (coefficients are installed by period index); faster when
+/// the per-equation row extraction dominates. The history slice is
+/// borrowed straight into the tasks — the periodic re-fit path no
+/// longer pays an O(history) copy per call.
+pub fn fit_egrv_parallel(model: &mut EgrvModel, history: &TimeSeries, pool: &Pool) {
     let periods = model.config().periods_per_day;
-    let threads = threads.clamp(1, periods);
-    let values: Vec<f64> = history.values().to_vec();
+    let lanes = pool.width().clamp(1, periods);
+    let values = history.values();
     let start = history.start();
 
-    let coeffs: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let model_ref = &*model;
-        let values_ref = &values;
-        let mut handles = Vec::with_capacity(threads);
-        for w in 0..threads {
-            handles.push(scope.spawn(move || {
-                // Periods are strided across workers so each worker's load
-                // is balanced even if row counts differ per period.
-                let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
-                let mut p = w;
-                while p < periods {
-                    out.push((p, model_ref.fit_period(p, values_ref, start)));
-                    p += threads;
-                }
-                out
-            }));
+    let model_ref = &*model;
+    // Periods are strided across lanes so each lane's load is balanced
+    // even if row counts differ per period.
+    let parts: Vec<Vec<(usize, Vec<f64>)>> = pool.run(lanes, |w| {
+        let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut p = w;
+        while p < periods {
+            out.push((p, model_ref.fit_period(p, values, start)));
+            p += lanes;
         }
-        let mut coeffs = vec![Vec::new(); periods];
-        for h in handles {
-            for (p, c) in h.join().expect("EGRV worker panicked") {
-                coeffs[p] = c;
-            }
-        }
-        coeffs
+        out
     });
+    let mut coeffs = vec![Vec::new(); periods];
+    for part in parts {
+        for (p, c) in part {
+            coeffs[p] = c;
+        }
+    }
 
     model.install(coeffs, history);
 }
@@ -60,38 +61,27 @@ pub fn fit_egrv_parallel(model: &mut EgrvModel, history: &TimeSeries, threads: u
 /// inter-model parallelizing, but also by intra-model parallelizing, i.e.,
 /// parallel parameter estimation of one model").
 ///
-/// Runs `threads` independent random-restart Nelder-Mead searches, each on
-/// its own objective instance built by `make_objective`, and merges the
-/// results: the best parameters win and the trajectories are combined into
-/// a single best-so-far envelope.
+/// Runs `restarts` independent random-restart Nelder-Mead searches on
+/// the shared worker pool, each on its own objective instance built by
+/// `make_objective` (the inputs are borrowed into the tasks, never
+/// copied per search), and merges the results: the best parameters win
+/// and the trajectories are combined into a single best-so-far
+/// envelope. `restarts` determines the search (and therefore the
+/// result); the pool width only determines how many run concurrently.
 pub fn parallel_random_restart<'a, F>(
     make_objective: F,
     budget: Budget,
-    threads: usize,
+    restarts: usize,
     seed: u64,
+    pool: &Pool,
 ) -> EstimationResult
 where
     F: Fn() -> Objective<'a> + Sync,
 {
-    assert!(threads >= 1);
-    let make_ref = &make_objective;
-    let results: Vec<EstimationResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|k| {
-                scope.spawn(move || {
-                    let objective = make_ref();
-                    RandomRestartNelderMead::default().estimate(
-                        &objective,
-                        budget,
-                        seed.wrapping_add(k as u64),
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("estimation worker panicked"))
-            .collect()
+    assert!(restarts >= 1);
+    let results: Vec<EstimationResult> = pool.run(restarts, |k| {
+        let objective = make_objective();
+        RandomRestartNelderMead::default().estimate(&objective, budget, seed.wrapping_add(k as u64))
     });
 
     // Merge: best overall result; envelope trajectory across workers.
@@ -139,7 +129,7 @@ mod tests {
         let mut serial = EgrvModel::with_calendar(Calendar::new());
         serial.fit(&s);
         let mut parallel = EgrvModel::with_calendar(Calendar::new());
-        fit_egrv_parallel(&mut parallel, &s, 4);
+        fit_egrv_parallel(&mut parallel, &s, &Pool::new(4));
         let horizon = SLOTS_PER_DAY as usize;
         let fs = serial.forecast(horizon);
         let fp = parallel.forecast(horizon);
@@ -149,10 +139,25 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_degenerate_case() {
+    fn pool_width_does_not_change_coefficients() {
+        // Serial (width 1) is the reference; wider pools must install
+        // bit-identical EGRV coefficients and forecasts.
+        let s = demand(21);
+        let fit_with = |width: usize| {
+            let mut m = EgrvModel::with_calendar(Calendar::new());
+            fit_egrv_parallel(&mut m, &s, &Pool::new(width));
+            m.forecast(SLOTS_PER_DAY as usize)
+        };
+        let reference = fit_with(1);
+        assert_eq!(reference, fit_with(2));
+        assert_eq!(reference, fit_with(8));
+    }
+
+    #[test]
+    fn single_lane_degenerate_case() {
         let s = demand(15);
         let mut m = EgrvModel::with_calendar(Calendar::new());
-        fit_egrv_parallel(&mut m, &s, 1);
+        fit_egrv_parallel(&mut m, &s, &Pool::new(1));
         assert!(m.is_fitted());
     }
 
@@ -163,7 +168,7 @@ mod tests {
                 x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>()
             })
         };
-        let r = parallel_random_restart(make, Budget::evaluations(600), 4, 3);
+        let r = parallel_random_restart(make, Budget::evaluations(600), 4, 3, Pool::global());
         assert!(r.best_error < 1e-4, "best {}", r.best_error);
         // evaluations accumulate across workers
         assert!(r.evaluations > 600 && r.evaluations <= 4 * 660);
@@ -181,14 +186,14 @@ mod tests {
                 (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
             })
         };
-        let par = parallel_random_restart(make, Budget::evaluations(3_000), 1, 7);
+        let par = parallel_random_restart(make, Budget::evaluations(3_000), 1, 7, Pool::global());
         let serial =
             RandomRestartNelderMead::default().estimate(&make(), Budget::evaluations(3_000), 7);
         assert_eq!(par.best_params, serial.best_params);
     }
 
     #[test]
-    fn more_threads_than_periods_is_clamped() {
+    fn wider_pool_than_periods_is_clamped() {
         let s = demand(15);
         let mut m = EgrvModel::new(
             EgrvConfig {
@@ -197,7 +202,7 @@ mod tests {
             },
             Exogenous::default(),
         );
-        fit_egrv_parallel(&mut m, &s, 64);
+        fit_egrv_parallel(&mut m, &s, &Pool::new(64));
         assert!(m.is_fitted());
     }
 }

@@ -16,14 +16,24 @@
 //!    caller holds a *live* [`DeltaEvaluator`], calls
 //!    [`DeltaEvaluator::rebase`] with the slots a typed forecast event
 //!    reported changed, restricts moves to the offers that can reach
-//!    those slots, and runs K independent hill-climb chains on worker
-//!    threads (per-move state is already thread-local), keeping the best
-//!    chain. Work is proportional to the *change*, not the problem.
+//!    those slots, and runs K independent hill-climb chains on the
+//!    shared worker pool (per-move state is already thread-local),
+//!    keeping the best chain. Work is proportional to the *change*, not
+//!    the problem.
+//!
+//! Both parallel entry points ([`repair_parallel`], [`multi_start`])
+//! dispatch their chains onto a persistent
+//! [`mirabel_core::exec::Pool`] instead of spawning scoped threads per
+//! call: replanning is the steady-state hot path, and `Pool::run`
+//! returns chain results in chain-index order, so the best-of-K
+//! tie-break — and therefore the chosen schedule — is identical for any
+//! pool width.
 
 use crate::cost::evaluate;
 use crate::delta::{hill_climb, DeltaEvaluator};
 use crate::problem::SchedulingProblem;
 use crate::solution::{Budget, Placement, Recorder, ScheduleResult, Solution};
+use mirabel_core::exec::Pool;
 use mirabel_core::FlexOffer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -161,26 +171,24 @@ impl Default for RepairConfig {
 /// [`repair_scope`] of the changed slots); an empty scope is a no-op.
 /// Each chain owns a [`DeltaEvaluator::fork`] — per-move state is
 /// thread-local, so the chains are embarrassingly parallel and the whole
-/// repair costs one chain of wall-clock time on idle cores.
-pub fn repair_parallel(eval: &mut DeltaEvaluator<'_>, scope: &[usize], cfg: RepairConfig) -> f64 {
+/// repair costs one chain of wall-clock time on idle cores. Chains run
+/// on `pool`; chain `i` is a pure function of its index, so the result
+/// is identical for any pool width.
+pub fn repair_parallel(
+    eval: &mut DeltaEvaluator<'_>,
+    scope: &[usize],
+    cfg: RepairConfig,
+    pool: &Pool,
+) -> f64 {
     if scope.is_empty() || cfg.chains == 0 || cfg.moves_per_chain == 0 {
         return eval.total();
     }
-    let chains: Vec<(f64, Solution)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..cfg.chains)
-            .map(|i| {
-                let mut chain = eval.fork();
-                let seed = cfg.seed.wrapping_add(i as u64);
-                s.spawn(move || {
-                    let total = run_chain(&mut chain, scope, cfg.moves_per_chain, seed);
-                    (total, chain.into_solution())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("repair chain panicked"))
-            .collect()
+    let shared = &*eval;
+    let chains: Vec<(f64, Solution)> = pool.run(cfg.chains, |i| {
+        let mut chain = shared.fork();
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let total = run_chain(&mut chain, scope, cfg.moves_per_chain, seed);
+        (total, chain.into_solution())
     });
     let (best_total, best) = chains
         .into_iter()
@@ -193,7 +201,7 @@ pub fn repair_parallel(eval: &mut DeltaEvaluator<'_>, scope: &[usize], cfg: Repa
 }
 
 /// Parallel multi-start for the *initial* schedulers: run `chains`
-/// independent scheduler invocations on scoped worker threads — chain
+/// independent scheduler invocations on the shared worker pool — chain
 /// `i` seeded with `base_seed + i` — and keep the lowest-cost result.
 /// Chain 0 uses `base_seed` itself, so the best-of-K result is never
 /// worse than the corresponding single-start run; with `chains == 1`
@@ -206,7 +214,7 @@ pub fn repair_parallel(eval: &mut DeltaEvaluator<'_>, scope: &[usize], cfg: Repa
 /// `AnnealingScheduler`, …) with its own seed. `evaluations` in the
 /// returned result sums all chains (the cost actually paid);
 /// wall-clock is one chain's worth on idle cores.
-pub fn multi_start<F>(chains: usize, base_seed: u64, run: F) -> ScheduleResult
+pub fn multi_start<F>(chains: usize, base_seed: u64, pool: &Pool, run: F) -> ScheduleResult
 where
     F: Fn(u64) -> ScheduleResult + Sync,
 {
@@ -214,18 +222,8 @@ where
     if chains == 1 {
         return run(base_seed);
     }
-    let mut results: Vec<ScheduleResult> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..chains)
-            .map(|i| {
-                let run = &run;
-                s.spawn(move || run(base_seed.wrapping_add(i as u64)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("start chain panicked"))
-            .collect()
-    });
+    let mut results: Vec<ScheduleResult> =
+        pool.run(chains, |i| run(base_seed.wrapping_add(i as u64)));
     let total_evaluations: usize = results.iter().map(|r| r.evaluations).sum();
     let mut best = 0;
     for i in 1..results.len() {
@@ -366,14 +364,15 @@ mod tests {
             ..single_cfg
         };
 
+        let pool = Pool::new(4);
         let mut single = DeltaEvaluator::new_owned(p.clone(), initial.solution.clone());
         single.rebase(&new_baseline, &changed);
-        let single_total = repair_parallel(&mut single, &scope, single_cfg);
+        let single_total = repair_parallel(&mut single, &scope, single_cfg, &pool);
 
         let mut multi = DeltaEvaluator::new_owned(p.clone(), initial.solution.clone());
         multi.rebase(&new_baseline, &changed);
         let rebased_total = multi.total();
-        let multi_total = repair_parallel(&mut multi, &scope, multi_cfg);
+        let multi_total = repair_parallel(&mut multi, &scope, multi_cfg, &pool);
 
         // Chain 0 of the multi-start shares the single chain's seed, so
         // best-of-4 can never lose to the single chain.
@@ -398,7 +397,9 @@ mod tests {
         });
         let budget = Budget::evaluations(5_000);
         let direct = GreedyScheduler.run(&p, budget, 42);
-        let multi = multi_start(1, 42, |s| GreedyScheduler.run(&p, budget, s));
+        let multi = multi_start(1, 42, Pool::global(), |s| {
+            GreedyScheduler.run(&p, budget, s)
+        });
         assert_eq!(direct.solution, multi.solution);
         assert_eq!(direct.evaluations, multi.evaluations);
     }
@@ -411,8 +412,9 @@ mod tests {
             ..ScenarioConfig::default()
         });
         let budget = Budget::evaluations(4_000);
+        let pool = Pool::new(4);
         let single = GreedyScheduler.run(&p, budget, 7);
-        let multi = multi_start(4, 7, |s| GreedyScheduler.run(&p, budget, s));
+        let multi = multi_start(4, 7, &pool, |s| GreedyScheduler.run(&p, budget, s));
         // Chain 0 shares the single run's seed, so best-of-4 can never
         // be worse than it.
         assert!(
@@ -425,8 +427,58 @@ mod tests {
         // Evaluations account for every chain.
         assert!(multi.evaluations >= single.evaluations);
         // Determinism: independent of thread scheduling.
-        let again = multi_start(4, 7, |s| GreedyScheduler.run(&p, budget, s));
+        let again = multi_start(4, 7, &pool, |s| GreedyScheduler.run(&p, budget, s));
         assert_eq!(multi.solution, again.solution);
+    }
+
+    #[test]
+    fn pool_width_does_not_change_results() {
+        // The determinism contract of the shared pool: repair chains and
+        // multi-start restarts produce bit-identical schedules whether
+        // they run serially (width 1) or across 2/8 lanes.
+        let p = scenario(ScenarioConfig {
+            offer_count: 60,
+            seed: 23,
+            ..ScenarioConfig::default()
+        });
+        let initial = GreedyScheduler.run(&p, Budget::evaluations(6_000), 3);
+        let changed: Vec<usize> = (30..40).collect();
+        let mut new_baseline = p.baseline_imbalance.clone();
+        for &t in &changed {
+            new_baseline[t] -= 1.0;
+        }
+        let scope = repair_scope(&p, &changed);
+        assert!(!scope.is_empty());
+        let cfg = RepairConfig {
+            chains: 3,
+            moves_per_chain: 500,
+            seed: 11,
+        };
+
+        let repair_with = |width: usize| {
+            let pool = Pool::new(width);
+            let mut eval = DeltaEvaluator::new_owned(p.clone(), initial.solution.clone());
+            eval.rebase(&new_baseline, &changed);
+            let total = repair_parallel(&mut eval, &scope, cfg, &pool);
+            (total, eval.solution().clone())
+        };
+        let start_with = |width: usize| {
+            let pool = Pool::new(width);
+            multi_start(5, 17, &pool, |s| {
+                GreedyScheduler.run(&p, Budget::evaluations(2_000), s)
+            })
+        };
+
+        let (ref_total, ref_solution) = repair_with(1);
+        let ref_start = start_with(1);
+        for width in [2, 8] {
+            let (total, solution) = repair_with(width);
+            assert_eq!(total, ref_total, "repair total at width {width}");
+            assert_eq!(solution, ref_solution, "repair solution at width {width}");
+            let start = start_with(width);
+            assert_eq!(start.solution, ref_start.solution, "start at width {width}");
+            assert_eq!(start.evaluations, ref_start.evaluations);
+        }
     }
 
     #[test]
@@ -438,7 +490,7 @@ mod tests {
         });
         let mut eval = DeltaEvaluator::new(&p, Solution::baseline(&p));
         let before = eval.total();
-        let after = repair_parallel(&mut eval, &[], RepairConfig::default());
+        let after = repair_parallel(&mut eval, &[], RepairConfig::default(), Pool::global());
         assert_eq!(before, after);
     }
 }

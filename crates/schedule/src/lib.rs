@@ -29,7 +29,11 @@
 //! * [`incremental`] — rescheduling after forecast changes, including
 //!   the scoped parallel multi-start repair behind event-driven
 //!   replanning and [`incremental::multi_start`], the best-of-K
-//!   parallel restart harness for the initial schedulers;
+//!   parallel restart harness for the initial schedulers — both
+//!   dispatch their chains onto the shared deterministic worker pool
+//!   ([`mirabel_core::exec::Pool`]), so steady-state replanning wakes
+//!   parked workers instead of spawning threads and the chosen schedule
+//!   is identical for any pool width;
 //! * [`mod@scenario`] — intra-day scenario generator for the Figure 6
 //!   experiments.
 //!

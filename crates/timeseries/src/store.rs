@@ -10,10 +10,10 @@ use crate::series::TimeSeries;
 use mirabel_core::{ActorId, TimeSlot};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What a stored series measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Metric {
     /// Metered consumption (kWh per slot).
     Consumption,
@@ -65,9 +65,13 @@ impl std::fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 /// Thread-safe in-memory measurement store.
+///
+/// Series are keyed in an ordered map so every whole-store walk (e.g.
+/// [`aggregate_window`](Self::aggregate_window)) visits keys in the
+/// same order on every run — the workspace-wide determinism convention.
 #[derive(Debug, Default)]
 pub struct MeasurementStore {
-    inner: RwLock<HashMap<(ActorId, Metric), TimeSeries>>,
+    inner: RwLock<BTreeMap<(ActorId, Metric), TimeSeries>>,
 }
 
 impl MeasurementStore {
