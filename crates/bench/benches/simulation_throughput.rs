@@ -10,12 +10,16 @@
 //!    path inside (flush shards, best-of-K starts, repair chains) now
 //!    dispatches onto one process-wide [`Pool`] instead of spawning
 //!    scoped threads per call.
-//! 2. `trickle_flush` — the chatty-caller case the pool exists for: a
+//! 2. `chaos_overhead` — the sequenced self-healing wire's price: the
+//!    same 1 k-prosumer workload on a reliable network (tracks the
+//!    `rounds` trajectory — the wire must stay within 5% of the
+//!    pre-sequencing numbers) and under a 30% loss storm with churn.
+//! 3. `trickle_flush` — the chatty-caller case the pool exists for: a
 //!    small membership churn touching 8 live 1 k-member groups per
 //!    flush, folded on (a) one persistent shared pool vs (b) a pool
 //!    created and dropped per flush — the spawn/join cost profile of
 //!    the old `std::thread::scope` code.
-//! 3. `dispatch` — the bare executor micro-benchmark: `Pool::run` over
+//! 4. `dispatch` — the bare executor micro-benchmark: `Pool::run` over
 //!    N small tasks vs `std::thread::scope` spawning N threads for the
 //!    same tasks.
 
@@ -45,9 +49,50 @@ fn hierarchy_rounds(c: &mut Criterion) {
         // cycles/sec: each element is one full plan→refine→commit round.
         group.throughput(Throughput::Elements(CYCLES as u64));
         group.bench_with_input(BenchmarkId::new("prosumers", prosumers), &cfg, |b, cfg| {
-            b.iter(|| simulate(*cfg).assigned)
+            b.iter(|| simulate(cfg.clone()).assigned)
         });
     }
+    group.finish();
+}
+
+/// The sequenced wire's price on the reliable path, and under fire.
+///
+/// `reliable` is the same workload as the `rounds` group at 1 k
+/// prosumers: every envelope now carries a per-link stream sequence
+/// number and passes through the receivers' dedup/ordering guards, so
+/// this row tracking the `rounds/prosumers/1000` trajectory (within 5%)
+/// *is* the claim that the self-healing wire is free when nothing
+/// fails. `loss_storm` runs the identical hierarchy through a one-cycle
+/// 30% drop storm with churn — the cost of detection, resync
+/// round-trips and dead-letter replay, for comparison.
+fn chaos_overhead(c: &mut Criterion) {
+    use mirabel_edms::chaos::loss_storm;
+    use mirabel_edms::ChaosPlan;
+
+    let brps = 4;
+    let cfg = SimulationConfig {
+        brps,
+        prosumers_per_brp: 1_000 / brps,
+        cycles: CYCLES,
+        offers_per_prosumer: 1,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        ..SimulationConfig::default()
+    };
+
+    let mut group = c.benchmark_group("simulation_throughput_chaos_overhead");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(CYCLES as u64));
+    group.bench_function("reliable", |b| b.iter(|| simulate(cfg.clone()).assigned));
+    group.bench_function("loss_storm", |b| {
+        let stormy = SimulationConfig {
+            chaos: ChaosPlan::reliable().phase(loss_storm(1, 2, 0.3)),
+            churn_fraction: 0.05,
+            ..cfg.clone()
+        };
+        b.iter(|| simulate(stormy.clone()).assigned)
+    });
     group.finish();
 }
 
@@ -157,5 +202,11 @@ fn executor_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, hierarchy_rounds, trickle_flush, executor_dispatch);
+criterion_group!(
+    benches,
+    hierarchy_rounds,
+    chaos_overhead,
+    trickle_flush,
+    executor_dispatch
+);
 criterion_main!(benches);

@@ -39,6 +39,7 @@ use crate::datastore::{
 };
 use crate::message::{Envelope, Message};
 use crate::runtime::{Node, NodeRuntime, PlanEngine, RuntimeConfig};
+use crate::wire::DedupRx;
 use mirabel_aggregate::{
     AggregateUpdate, AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate,
 };
@@ -49,7 +50,8 @@ use mirabel_forecast::{ForecastEvent, ForecastModel, HwtConfig, HwtModel, Season
 use mirabel_negotiate::{AcceptanceDecision, AcceptancePolicy, PreExecutionPricing};
 use mirabel_schedule::{evaluate, MarketPrices, SchedulingProblem, Solution};
 use mirabel_timeseries::TimeSeries;
-use std::collections::BTreeMap;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 
 pub use crate::runtime::{PlanReport, ReplanReport, SchedulerKind};
 
@@ -143,6 +145,12 @@ pub struct BrpNode {
     /// ones, so both the staging cost and the wire are proportional to
     /// the number of aggregates that changed, not to churn.
     outbox: BTreeMap<u64, Option<AggregateId>>,
+    /// One at-most-once filter per sender: network-duplicated inbound
+    /// envelopes (submissions, assignments, resync requests) are dropped
+    /// before they reach a handler. A `HashMap` is safe: probed by
+    /// sender only, never iterated, so its order cannot leak into
+    /// results.
+    rx: HashMap<u64, DedupRx, crate::comm::IdHashBuilder>,
 }
 
 impl BrpNode {
@@ -164,6 +172,7 @@ impl BrpNode {
             store: DataStore::new(),
             exports: BTreeMap::new(),
             outbox: BTreeMap::new(),
+            rx: HashMap::default(),
         }
     }
 
@@ -216,8 +225,18 @@ impl BrpNode {
         }
     }
 
-    /// Handle one message; returns reply envelopes.
+    /// Handle one message; returns reply envelopes. Network-duplicated
+    /// envelopes (same per-link stream sequence number) are dropped by
+    /// the sender's [`DedupRx`] before reaching any handler.
     pub fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        if !self
+            .rx
+            .entry(envelope.from.value())
+            .or_default()
+            .accept(envelope.seq)
+        {
+            return Vec::new();
+        }
         match envelope.message {
             Message::SubmitOffer(offer) => self.on_submit(offer, envelope.from, now),
             Message::Measurement {
@@ -244,34 +263,91 @@ impl BrpNode {
                 schedule,
                 discount_per_kwh,
             } => self.on_tso_assignment(schedule, discount_per_kwh, now),
+            Message::ResyncRequest => self.on_resync_request(envelope.from, now),
             _ => Vec::new(),
         }
     }
 
+    /// Answer a parent's resync request with a bounded snapshot of the
+    /// complete current export set. The snapshot supersedes every delta
+    /// staged so far (the receiver re-anchors its stream on it), so the
+    /// outbox is cleared — re-sending those deltas after the snapshot
+    /// would only replay state the snapshot already carries.
+    fn on_resync_request(&mut self, from: NodeId, now: TimeSlot) -> Vec<Envelope> {
+        self.outbox.clear();
+        let offers: Vec<FlexOffer> = self
+            .exports
+            .iter()
+            .map(|(export_id, agg_id)| {
+                self.engine
+                    .pipeline()
+                    .aggregate(*agg_id)
+                    .expect("exported aggregates are live")
+                    .to_flex_offer_as(*export_id, self.id.value())
+                    .expect("aggregates are valid flex-offers")
+            })
+            .collect();
+        vec![Envelope::new(
+            self.id,
+            from,
+            now,
+            Message::ResyncSnapshot { offers },
+        )]
+    }
+
+    /// Exported macro-offer ids currently live (the parent's pool should
+    /// contain exactly these — the chaos invariant checker's
+    /// "no phantom offers" probe).
+    pub fn exported_offer_ids(&self) -> Vec<FlexOfferId> {
+        self.exports.keys().map(|id| FlexOfferId(*id)).collect()
+    }
+
     fn on_submit(&mut self, offer: FlexOffer, from: NodeId, now: TimeSlot) -> Vec<Envelope> {
+        // One pool descent per submission: the entry doubles as the
+        // duplicate probe and the accept path's insertion slot.
+        let id = offer.id();
         let decision = self.config.acceptance.decide(&offer, now);
-        let reply = match decision {
-            AcceptanceDecision::Accept { value } => {
-                self.store.record_offer(OfferFact {
-                    offer: offer.id(),
-                    actor: offer.owner(),
-                    slot: now,
-                    state: OfferState::Accepted,
-                });
-                self.pool.insert(offer.id(), (offer.clone(), from));
-                let id = offer.id();
-                self.apply_updates(vec![FlexOfferUpdate::Insert(offer)]);
+        let reply = match self.pool.entry(id) {
+            // Replayed submission of an offer already pooled (an
+            // unsequenced duplicate the network dedup cannot catch):
+            // re-acknowledge without touching the pipeline — the pool
+            // state must not churn.
+            Entry::Occupied(e) if e.get().0 == offer => {
+                let value = match decision {
+                    AcceptanceDecision::Accept { value } => value,
+                    AcceptanceDecision::Reject(_) => 0.0,
+                };
                 Message::OfferAccepted { offer: id, value }
             }
-            AcceptanceDecision::Reject(_) => {
-                self.store.record_offer(OfferFact {
-                    offer: offer.id(),
-                    actor: offer.owner(),
-                    slot: now,
-                    state: OfferState::Rejected,
-                });
-                Message::OfferRejected { offer: offer.id() }
-            }
+            entry => match decision {
+                AcceptanceDecision::Accept { value } => {
+                    match entry {
+                        Entry::Occupied(mut e) => {
+                            e.insert((offer.clone(), from));
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert((offer.clone(), from));
+                        }
+                    }
+                    self.store.record_offer(OfferFact {
+                        offer: id,
+                        actor: offer.owner(),
+                        slot: now,
+                        state: OfferState::Accepted,
+                    });
+                    self.apply_updates(vec![FlexOfferUpdate::Insert(offer)]);
+                    Message::OfferAccepted { offer: id, value }
+                }
+                AcceptanceDecision::Reject(_) => {
+                    self.store.record_offer(OfferFact {
+                        offer: id,
+                        actor: offer.owner(),
+                        slot: now,
+                        state: OfferState::Rejected,
+                    });
+                    Message::OfferRejected { offer: id }
+                }
+            },
         };
         vec![Envelope::new(self.id, from, now, reply)]
     }

@@ -1,0 +1,290 @@
+//! Chaos campaigns: scripted failure storms with an invariant checker.
+//!
+//! The paper claims the EDMS must keep operating over unreliable
+//! wide-area links; this module *attacks* that claim instead of assuming
+//! it. A campaign drives [`simulate`] twice from the same seed — once
+//! through a scripted [`ChaosPlan`] (loss storms, delay/reorder bursts,
+//! partition-then-heal, prosumer churn) and once over a reliable
+//! network — and then checks:
+//!
+//! * **offer conservation** — every submitted offer terminates exactly
+//!   once (assignment or open-contract fallback), chaos or not;
+//! * **no phantom offers** — nothing stays pooled at the TSO without a
+//!   backing BRP export once the dust settles;
+//! * **energy conservation** — no committed schedule violates its
+//!   offer's energy bounds;
+//! * **convergence** — after the last chaos phase plus a quiet period,
+//!   the per-cycle plan signatures are **bit-identical** to the no-chaos
+//!   run's: the sequenced wire, resync snapshots, dead-letter replay and
+//!   deadline expiry must jointly erase every trace of the storm, not
+//!   merely survive it.
+//!
+//! The comparison is meaningful because everything stochastic outside
+//! the network — offer generation, forecasts, churn — draws from RNG
+//! streams independent of delivery outcomes, and every planner derives
+//! its scheduling seeds from the window being planned rather than from
+//! its history (see [`crate::runtime::PlanEngine`]).
+
+use crate::comm::{ChaosPhase, ChaosPlan, FailureModel};
+use crate::simulation::{simulate, SimulationConfig, SimulationReport};
+use mirabel_core::{NodeId, TimeSlot, SLOTS_PER_DAY};
+
+/// The slot range covered by simulation cycles `[start_cycle, end_cycle)`.
+pub fn cycle_span(start_cycle: usize, end_cycle: usize) -> (TimeSlot, TimeSlot) {
+    let s = SLOTS_PER_DAY as i64;
+    (
+        TimeSlot(start_cycle as i64 * s),
+        TimeSlot(end_cycle as i64 * s),
+    )
+}
+
+/// A loss storm: drop each message with probability `p` during cycles
+/// `[start_cycle, end_cycle)`.
+pub fn loss_storm(start_cycle: usize, end_cycle: usize, p: f64) -> ChaosPhase {
+    let (start, end) = cycle_span(start_cycle, end_cycle);
+    ChaosPhase::new(start, end, FailureModel::drop(p))
+}
+
+/// A delay burst: fixed `delay` plus up to `jitter` extra slots of random
+/// delay (which reorders) during cycles `[start_cycle, end_cycle)`.
+pub fn delay_burst(start_cycle: usize, end_cycle: usize, delay: u32, jitter: u32) -> ChaosPhase {
+    let (start, end) = cycle_span(start_cycle, end_cycle);
+    ChaosPhase::new(start, end, FailureModel::delay(delay).jittered_by(jitter))
+}
+
+/// A partition: the `a ↔ b` link is cut (both directions) during cycles
+/// `[start_cycle, end_cycle)` and heals afterwards, replaying the
+/// retained envelopes in their original stream order.
+pub fn partition_between(start_cycle: usize, end_cycle: usize, a: NodeId, b: NodeId) -> ChaosPhase {
+    let (start, end) = cycle_span(start_cycle, end_cycle);
+    ChaosPhase::new(start, end, FailureModel::reliable()).with_partitions(vec![(a, b)])
+}
+
+/// A chaos campaign: a simulation whose [`ChaosPlan`] ends at least
+/// `quiet_cycles` before the run does.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The simulation to drive — including its chaos plan and churn.
+    pub sim: SimulationConfig,
+    /// Trailing cycles guaranteed chaos-free. The campaign compares the
+    /// last `quiet_cycles - 1` cycles' plan signatures against the
+    /// baseline run; the first quiet cycle is the settle cycle, where
+    /// resync round-trips and deadline expiry finish erasing the storm.
+    /// Values below 2 are treated as 2.
+    pub quiet_cycles: usize,
+}
+
+/// One checked invariant that did not hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvariantViolation {
+    /// The chaos plan extends into the configured quiet tail — the
+    /// campaign cannot judge convergence.
+    ChaosOverlapsQuietTail,
+    /// Submitted ≠ assigned + fallbacks: an offer vanished or terminated
+    /// twice.
+    OfferNotConserved {
+        /// Offers submitted over the run.
+        submitted: usize,
+        /// Offers that reached a terminal state.
+        terminal: usize,
+    },
+    /// Unexpired TSO pool entries with no backing BRP export.
+    PhantomOffers(usize),
+    /// Committed schedules violating their offer's energy bounds.
+    EnergyViolations(usize),
+    /// A quiet-tail cycle's plan signature differs from the baseline
+    /// run's.
+    Diverged {
+        /// The differing cycle (0-based).
+        cycle: usize,
+        /// The chaos run's signature for that cycle.
+        chaos: u64,
+        /// The baseline run's signature for that cycle.
+        baseline: u64,
+    },
+}
+
+/// Outcome of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The run through the chaos plan.
+    pub chaos: SimulationReport,
+    /// The same seed over a reliable network (chaos plan and baseline
+    /// failure model stripped; churn kept — it is workload, not
+    /// network).
+    pub baseline: SimulationReport,
+    /// Number of trailing cycles whose signatures were compared.
+    pub compared_cycles: usize,
+    /// Every invariant that did not hold (empty = the system self-healed
+    /// completely).
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl CampaignReport {
+    /// Whether the chaos run self-healed completely.
+    pub fn converged(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A printable multi-line summary (used by the examples).
+    pub fn summary(&self) -> String {
+        let c = &self.chaos;
+        let n = c.network;
+        let mut out = format!(
+            "chaos run: {} offers, {} assigned, {} fallbacks, {} replans\n\
+             network:   {} sent, {} enqueued, {} delivered, {} dropped, {} duplicated,\n\
+             \x20          {} dead-lettered, {} replayed\n\
+             invariants: {} phantom offers, {} energy violations\n\
+             convergence: last {} cycle signatures vs no-chaos baseline — ",
+            c.offers_submitted,
+            c.assigned,
+            c.fallbacks,
+            c.replans,
+            n.sent,
+            n.enqueued,
+            n.delivered,
+            n.dropped,
+            n.duplicated,
+            n.dead_lettered,
+            n.replayed,
+            c.phantom_offers,
+            c.energy_violations,
+            self.compared_cycles,
+        );
+        if self.converged() {
+            out.push_str("bit-identical");
+        } else {
+            out.push_str(&format!("{} violation(s):", self.violations.len()));
+            for v in &self.violations {
+                out.push_str(&format!("\n  - {v:?}"));
+            }
+        }
+        out
+    }
+}
+
+/// Run a chaos campaign: the scripted run, its reliable twin, and the
+/// invariant checks.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let quiet = cfg.quiet_cycles.max(2);
+    let mut violations = Vec::new();
+
+    let quiet_start = cycle_span(cfg.sim.cycles.saturating_sub(quiet), cfg.sim.cycles).0;
+    if cfg.sim.chaos.phases.iter().any(|p| p.end > quiet_start) {
+        violations.push(InvariantViolation::ChaosOverlapsQuietTail);
+    }
+
+    let chaos = simulate(cfg.sim.clone());
+    let baseline = simulate(SimulationConfig {
+        chaos: ChaosPlan::reliable(),
+        failure: FailureModel::reliable(),
+        ..cfg.sim.clone()
+    });
+
+    let terminal = chaos.assigned + chaos.fallbacks;
+    if terminal != chaos.offers_submitted {
+        violations.push(InvariantViolation::OfferNotConserved {
+            submitted: chaos.offers_submitted,
+            terminal,
+        });
+    }
+    if chaos.phantom_offers > 0 {
+        violations.push(InvariantViolation::PhantomOffers(chaos.phantom_offers));
+    }
+    if chaos.energy_violations > 0 {
+        violations.push(InvariantViolation::EnergyViolations(
+            chaos.energy_violations,
+        ));
+    }
+
+    // Convergence: the quiet tail minus the settle cycle must hash
+    // bit-identically to the baseline run.
+    let compared_cycles = (quiet - 1).min(cfg.sim.cycles);
+    for cycle in (cfg.sim.cycles - compared_cycles)..cfg.sim.cycles {
+        let (c, b) = (
+            chaos.plan_signatures[cycle],
+            baseline.plan_signatures[cycle],
+        );
+        if c != b {
+            violations.push(InvariantViolation::Diverged {
+                cycle,
+                chaos: c,
+                baseline: b,
+            });
+        }
+    }
+
+    CampaignReport {
+        chaos,
+        baseline,
+        compared_cycles,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim(cycles: usize) -> SimulationConfig {
+        SimulationConfig {
+            brps: 2,
+            prosumers_per_brp: 4,
+            cycles,
+            offers_per_prosumer: 1,
+            use_tso: true,
+            budget_evaluations: 2_000,
+            seed: 42,
+            ..SimulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn loss_storm_campaign_converges() {
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable().phase(loss_storm(1, 2, 0.5)),
+                ..small_sim(5)
+            },
+            quiet_cycles: 3,
+        });
+        assert!(
+            report.converged(),
+            "loss storm must self-heal:\n{}",
+            report.summary()
+        );
+        assert!(report.chaos.network.dropped > 0, "storm must actually drop");
+    }
+
+    #[test]
+    fn chaos_overlapping_quiet_tail_is_flagged() {
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                // The storm runs into the final cycle: no quiet period.
+                chaos: ChaosPlan::reliable().phase(loss_storm(0, 5, 0.4)),
+                ..small_sim(5)
+            },
+            quiet_cycles: 2,
+        });
+        assert!(report
+            .violations
+            .contains(&InvariantViolation::ChaosOverlapsQuietTail));
+    }
+
+    #[test]
+    fn no_chaos_campaign_is_trivially_identical() {
+        let report = run_campaign(&CampaignConfig {
+            sim: small_sim(3),
+            quiet_cycles: 2,
+        });
+        assert!(report.converged(), "{}", report.summary());
+        assert_eq!(report.chaos, report.baseline);
+    }
+
+    #[test]
+    fn cycle_span_maps_cycles_to_slots() {
+        let (a, b) = cycle_span(1, 3);
+        assert_eq!(a, TimeSlot(SLOTS_PER_DAY as i64));
+        assert_eq!(b, TimeSlot(3 * SLOTS_PER_DAY as i64));
+    }
+}

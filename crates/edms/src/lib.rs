@@ -36,9 +36,23 @@
 //!   spawning threads per node per round (and the pool width never
 //!   changes any plan);
 //! * [`comm`] — the Communication component: an in-process message
-//!   network with failure/delay injection and explicitly deterministic
-//!   delayed-delivery ordering;
-//! * [`message`] — the message vocabulary exchanged between nodes;
+//!   network with deterministic delivery ordering, rich failure
+//!   injection (loss, delay, jitter/reorder, duplication), per-link
+//!   partitions, time-phased [`ChaosPlan`] schedules,
+//!   per-link stream sequencing and a dead-letter queue that replays on
+//!   partition heal or node re-registration;
+//! * [`wire`] — the self-healing receive side of that wire:
+//!   [`SequencedRx`] turns the per-link sequence
+//!   numbers into exactly-once in-order delivery with gap detection,
+//!   out-of-order buffering and resync requests (a lost delta degrades
+//!   to one extra round-trip instead of silent divergence), and
+//!   [`DedupRx`] gives at-most-once semantics where
+//!   ordering doesn't matter;
+//! * [`message`] — the message vocabulary exchanged between nodes,
+//!   including the repair protocol
+//!   ([`ResyncRequest`](message::Message::ResyncRequest) /
+//!   [`ResyncSnapshot`](message::Message::ResyncSnapshot)) that splices
+//!   a bounded state snapshot into the live delta stream;
 //! * [`datastore`] — the Data Management component: a multidimensional
 //!   star-schema store (dimension + fact tables, \[6\]);
 //! * [`prosumer`] / [`brp`] / [`tso`] — the three node roles, wiring the
@@ -47,14 +61,22 @@
 //! * [`simulation`] — an end-to-end balancing simulation of a full
 //!   three-level hierarchy: a generic event pump over the planner list,
 //!   pub/sub-driven intra-day forecast refinements replanned
-//!   incrementally at **every** level, and the open-contract fallback on
-//!   message loss or missed deadlines ("the overall system would
-//!   gracefully behave as in the traditional setting").
+//!   incrementally at **every** level, join/leave prosumer churn, and
+//!   the open-contract fallback on message loss or missed deadlines
+//!   ("the overall system would gracefully behave as in the traditional
+//!   setting");
+//! * [`chaos`] — campaigns that *prove* the robustness story: scripted
+//!   storms (loss, delay bursts, BRP↔TSO partition-then-heal, churn)
+//!   driven through the simulation, with an invariant checker asserting
+//!   offer conservation, zero phantom offers, energy-bound compliance —
+//!   and post-chaos **convergence**: after a quiet period the plan
+//!   signatures must be bit-identical to a never-disturbed twin run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod brp;
+pub mod chaos;
 pub mod comm;
 pub mod datastore;
 pub mod message;
@@ -62,9 +84,13 @@ pub mod prosumer;
 pub mod runtime;
 pub mod simulation;
 pub mod tso;
+pub mod wire;
 
 pub use brp::{BrpConfig, BrpNode};
-pub use comm::{FailureModel, Network, NetworkStats};
+pub use chaos::{run_campaign, CampaignConfig, CampaignReport, InvariantViolation};
+pub use comm::{
+    ChaosPhase, ChaosPlan, DeadLetterQueue, DeadLetterReason, FailureModel, Network, NetworkStats,
+};
 pub use datastore::{DataStore, OfferState};
 pub use message::{Envelope, Message};
 pub use prosumer::ProsumerNode;
@@ -74,3 +100,4 @@ pub use runtime::{
 };
 pub use simulation::{simulate, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;
+pub use wire::{DedupRx, SequencedRx, StreamStats};

@@ -46,6 +46,19 @@ pub enum Message {
     /// full pool snapshots, so a trickle change at level 1 stays a
     /// trickle on the level 2 → level 3 wire.
     MacroOfferDeltas(Vec<FlexOfferUpdate>),
+    /// TSO → BRP: the receiver detected a gap in the sender's sequenced
+    /// delta stream (a `MacroOfferDeltas` envelope was lost or is still
+    /// in flight) and asks for a state snapshot to re-anchor on.
+    ResyncRequest,
+    /// BRP → TSO: the answer to a [`Message::ResyncRequest`] — a bounded
+    /// snapshot of *every* macro offer the sender currently exports. The
+    /// receiver diffs it against its pooled view of that sender and
+    /// splices only the differences into its live plan, so a lost delta
+    /// costs one extra round-trip instead of silent divergence.
+    ResyncSnapshot {
+        /// The sender's complete current export set.
+        offers: Vec<FlexOffer>,
+    },
 }
 
 /// A routed message.
@@ -57,19 +70,34 @@ pub struct Envelope {
     pub to: NodeId,
     /// Slot at which the message was sent.
     pub sent_at: TimeSlot,
+    /// Position in the `(from, to)` stream, stamped by the network at
+    /// send time (before any failure injection, so a dropped envelope
+    /// still consumes its slot and the receiver can detect the gap).
+    /// `None` on envelopes handed to a node directly, bypassing the
+    /// network — those are delivered unchecked.
+    pub seq: Option<u64>,
     /// Payload.
     pub message: Message,
 }
 
 impl Envelope {
-    /// Convenience constructor.
+    /// Convenience constructor (unsequenced; the network stamps `seq`
+    /// when the envelope is routed).
     pub fn new(from: NodeId, to: NodeId, sent_at: TimeSlot, message: Message) -> Envelope {
         Envelope {
             from,
             to,
             sent_at,
+            seq: None,
             message,
         }
+    }
+
+    /// Builder step: pin an explicit stream sequence number (tests and
+    /// direct node-to-node hand-offs that bypass the network).
+    pub fn with_seq(mut self, seq: u64) -> Envelope {
+        self.seq = Some(seq);
+        self
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::message::{Envelope, Message};
 use crate::runtime::Node;
-use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, ScheduledFlexOffer, TimeSlot};
+use mirabel_core::{ActorId, Energy, FlexOffer, FlexOfferId, NodeId, ScheduledFlexOffer, TimeSlot};
 use std::collections::BTreeMap;
 
 /// A prosumer's view of one of its offers.
@@ -122,6 +122,49 @@ impl ProsumerNode {
                 offer.demand_sign() * schedule.energy_at(t).kwh()
             })
             .sum()
+    }
+
+    /// Committed schedules (assigned or fallen back) whose energy
+    /// profile violates the originating offer's bounds by more than
+    /// `tol` — the chaos invariant checker's energy-conservation probe.
+    /// Stays 0 unless a handler ever accepted an invalid schedule.
+    pub fn energy_violations(&self, tol: f64) -> usize {
+        self.offers
+            .values()
+            .filter(|(offer, status)| {
+                let schedule = match status {
+                    OfferStatus::Assigned(s) | OfferStatus::FallenBack(s) => s,
+                    _ => return false,
+                };
+                schedule.validate_against(offer, tol).is_err()
+            })
+            .count()
+    }
+
+    /// Visit the committed execution of every offer whose earliest start
+    /// falls in `[start, end)`: `(offer id, assigned?, schedule start,
+    /// per-slot energies)`, ascending by offer id. Offer ids here are
+    /// the stable sim-assigned micro ids, so two runs that converge to
+    /// the same plans visit bit-identical tuples — the basis of the
+    /// chaos campaign's per-cycle plan signatures. Visitor-style so the
+    /// per-cycle signature hash allocates nothing.
+    pub fn for_each_committed_in_window(
+        &self,
+        start: TimeSlot,
+        end: TimeSlot,
+        mut f: impl FnMut(FlexOfferId, bool, TimeSlot, &[Energy]),
+    ) {
+        for (id, (o, status)) in &self.offers {
+            if o.earliest_start() < start || o.earliest_start() >= end {
+                continue;
+            }
+            let (assigned, s) = match status {
+                OfferStatus::Assigned(s) => (true, s),
+                OfferStatus::FallenBack(s) => (false, s),
+                _ => continue,
+            };
+            f(*id, assigned, s.start, &s.slot_energies);
+        }
     }
 
     /// Offers that ended in the open contract.

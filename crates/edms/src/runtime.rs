@@ -168,7 +168,24 @@ pub struct PlanEngine {
     pipeline: AggregationPipeline,
     cfg: RuntimeConfig,
     live: Option<LivePlan>,
+    /// The engine's identity seed, fixed at construction.
+    base_seed: u64,
+    /// The current window's running seed, re-derived from
+    /// `(base_seed, window_start)` at every [`PlanEngine::prepare`] and
+    /// bumped per stochastic use within the window. Deriving it from the
+    /// window — not from a running history counter — means two runs that
+    /// agree on a window's inputs plan it identically *even if their
+    /// histories differ* (e.g. a chaos run that needed extra resync
+    /// repairs earlier converges back to the no-chaos run's plans).
     seed: u64,
+}
+
+/// Mix a window start into an engine's base seed (splitmix64 finalizer).
+fn window_seed(base: u64, window_start: TimeSlot) -> u64 {
+    let mut z = base ^ (window_start.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl PlanEngine {
@@ -181,6 +198,7 @@ impl PlanEngine {
             pipeline,
             cfg,
             live: None,
+            base_seed: seed,
             seed,
         }
     }
@@ -256,6 +274,10 @@ impl PlanEngine {
         penalties: Vec<f64>,
     ) -> (usize, Option<f64>) {
         self.live = None;
+        // Reset the stochastic stream for this window even if nothing
+        // ends up eligible — later windows must not see a seed offset
+        // that depends on how many empty windows preceded them.
+        self.seed = window_seed(self.base_seed, window_start);
         let horizon = baseline.len();
         let macros = self.eligible_macros(window_start, horizon);
         let eligible = macros.len();
@@ -265,7 +287,6 @@ impl PlanEngine {
         let problem = SchedulingProblem::new(window_start, baseline, macros, prices, penalties)
             .expect("eligible macros fit the window");
         let budget = Budget::evaluations(self.cfg.budget_evaluations);
-        self.seed = self.seed.wrapping_add(1);
         let seed = self.seed;
         let starts = self.cfg.initial_starts.max(1);
         let pool = &self.cfg.pool;

@@ -30,12 +30,13 @@
 //! and the imbalance accounting use the refined baseline as ground truth.
 
 use crate::brp::{BrpConfig, BrpNode, SchedulerKind};
-use crate::comm::{FailureModel, Network, NetworkStats};
+use crate::comm::{ChaosPlan, FailureModel, Network, NetworkStats};
 use crate::datastore::OfferState;
 use crate::prosumer::ProsumerNode;
 use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
 use mirabel_aggregate::AggregationParams;
+use mirabel_core::exec::Pool;
 use mirabel_core::{
     ActorId, EnergyRange, FlexOffer, NodeId, Price, Profile, ScheduledFlexOffer, Slice, TimeSlot,
     SLOTS_PER_DAY,
@@ -44,11 +45,11 @@ use mirabel_forecast::ForecastHub;
 use mirabel_schedule::MarketPrices;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::f64::consts::PI;
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimulationConfig {
     /// Number of BRP nodes.
     pub brps: usize,
@@ -58,8 +59,20 @@ pub struct SimulationConfig {
     pub cycles: usize,
     /// Flex-offers issued per prosumer per cycle.
     pub offers_per_prosumer: usize,
-    /// Network failure injection.
+    /// Baseline network failure injection (active outside chaos phases).
     pub failure: FailureModel,
+    /// Time-phased chaos schedule driven through the network as the
+    /// simulation clock advances — loss storms, delay bursts,
+    /// partition-then-heal. [`ChaosPlan::reliable`] disables it.
+    pub chaos: ChaosPlan,
+    /// Per-cycle probability that each prosumer toggles between online
+    /// and offline right after the submission step (join/leave churn).
+    /// Offline prosumers submit nothing; messages addressed to them
+    /// dead-letter and replay when they re-register. Churn draws from
+    /// its own RNG stream, so the same seed produces the same schedule
+    /// whether or not chaos is injected — the basis of the campaigns'
+    /// chaos-vs-baseline comparison.
+    pub churn_fraction: f64,
     /// RNG seed.
     pub seed: u64,
     /// Route macro offers through a TSO (3-level) instead of scheduling
@@ -74,6 +87,9 @@ pub struct SimulationConfig {
     pub refine_fraction: f64,
     /// Parallel multi-start chains per incremental repair.
     pub repair_chains: usize,
+    /// Worker pool shared by every planning node in the hierarchy. The
+    /// pool width never changes any result.
+    pub pool: Pool,
 }
 
 impl Default for SimulationConfig {
@@ -84,12 +100,15 @@ impl Default for SimulationConfig {
             cycles: 3,
             offers_per_prosumer: 2,
             failure: FailureModel::default(),
+            chaos: ChaosPlan::reliable(),
+            churn_fraction: 0.0,
             seed: 1,
             use_tso: false,
             scheduler: SchedulerKind::Greedy,
             budget_evaluations: 8_000,
             refine_fraction: 0.1,
             repair_chains: 4,
+            pool: Pool::global().clone(),
         }
     }
 }
@@ -116,6 +135,18 @@ pub struct SimulationReport {
     pub imbalance_after: f64,
     /// Network delivery counters.
     pub network: NetworkStats,
+    /// Signature of the committed execution per cycle (stable micro
+    /// offer ids, assignment flags, starts, per-slot energies).
+    /// The chaos campaigns' convergence probe: after a storm plus a
+    /// quiet period, these must return to the no-chaos run's values.
+    pub plan_signatures: Vec<u64>,
+    /// Unexpired offers still pooled at the TSO with no backing BRP
+    /// export at the end of the run — stale ghosts a lost delta left
+    /// behind that neither expiry nor resync cleaned up.
+    pub phantom_offers: usize,
+    /// Committed prosumer schedules that violate their originating
+    /// offer's energy bounds (must be zero under any chaos).
+    pub energy_violations: usize,
 }
 
 impl SimulationReport {
@@ -185,11 +216,46 @@ fn pump<N: Node + ?Sized>(network: &mut Network, node: &mut N, now: TimeSlot) {
     }
 }
 
+/// Signature of the committed execution of one cycle's window, over the
+/// (ordered) prosumer list. Uses the stable sim-assigned micro offer
+/// ids, so two runs that converge to the same plans hash equal.
+///
+/// Mixes whole 64-bit words (multiply-xorshift per word) rather than
+/// FNV-ing individual bytes: the signature is an equality probe between
+/// twin runs, not a digest, and this sweep over every committed offer
+/// runs once per cycle on the simulation's hot path.
+fn plan_signature(prosumers: &[ProsumerNode], window: TimeSlot, horizon: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |w: u64| {
+        h = (h ^ w).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+    };
+    for p in prosumers {
+        p.for_each_committed_in_window(
+            window,
+            window + horizon,
+            |id, assigned, start, energies| {
+                mix(id.value());
+                mix((start.index() as u64) << 1 | assigned as u64);
+                for e in energies {
+                    mix(e.kwh().to_bits());
+                }
+            },
+        );
+    }
+    h
+}
+
 /// Run the simulation.
 pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
     let s = SLOTS_PER_DAY;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Churn draws from its own stream: the join/leave schedule must be a
+    // function of the seed alone, identical whether or not chaos is
+    // injected, and must not perturb offer generation.
+    let mut churn_rng = StdRng::seed_from_u64(cfg.seed ^ 0x00c0_ffee);
     let mut network = Network::new(cfg.failure, cfg.seed ^ 0xabcd);
+    network.set_chaos(cfg.chaos.clone());
 
     // --- Topology -----------------------------------------------------
     let tso_id = NodeId(9_999);
@@ -199,6 +265,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         RuntimeConfig {
             budget_evaluations: cfg.budget_evaluations,
             repair_chains: cfg.repair_chains.max(1),
+            pool: cfg.pool.clone(),
             ..RuntimeConfig::default()
         },
     );
@@ -218,6 +285,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                     budget_evaluations: cfg.budget_evaluations,
                     forward_to_tso: cfg.use_tso,
                     repair_chains: cfg.repair_chains.max(1),
+                    pool: cfg.pool.clone(),
                     ..BrpConfig::default()
                 },
             )
@@ -257,6 +325,9 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
     // accounting walk must be reproducible byte-for-byte across runs.
     let mut shadow_load: BTreeMap<i64, f64> = BTreeMap::new();
     let mut baselines: Vec<(TimeSlot, Vec<f64>)> = Vec::new();
+    let mut plan_signatures: Vec<u64> = Vec::with_capacity(cfg.cycles);
+    // Prosumer indices currently churned out of the network.
+    let mut offline: BTreeSet<usize> = BTreeSet::new();
 
     let total_flex_per_window =
         (cfg.brps * cfg.prosumers_per_brp * cfg.offers_per_prosumer) as f64 * 1.8 * 4.0;
@@ -266,6 +337,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         let t0 = TimeSlot((c as i64) * s as i64);
         let window = t0 + s; // next-day execution window
         let deadline = t0 + s / 2;
+        network.advance(t0);
 
         // The planner hierarchy, bottom-up. Rebuilt per cycle so the
         // borrow is scoped; the *pump* below is the only traversal.
@@ -275,8 +347,12 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             levels.push(vec![&mut tso]);
         }
 
-        // 1. Prosumers issue offers for the next window.
-        for p in prosumers.iter_mut() {
+        // 1. Prosumers issue offers for the next window. Churned-out
+        //    prosumers are gone: they submit nothing.
+        for (i, p) in prosumers.iter_mut().enumerate() {
+            if offline.contains(&i) {
+                continue;
+            }
             for _ in 0..cfg.offers_per_prosumer {
                 let offer = gen_offer(next_offer_id, p.actor, window, s, deadline, &mut rng);
                 next_offer_id += 1;
@@ -293,6 +369,29 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             }
         }
 
+        // 1b. Join/leave churn, rolled for every prosumer every cycle so
+        //     the schedule is a pure function of the seed. A leaver
+        //     departs right after submitting — the interesting case:
+        //     its accept/reject and assignment messages dead-letter and
+        //     replay if it comes back. A joiner re-registers (replaying
+        //     its dead letters) and first expires anything that went
+        //     stale while it was away, so a replayed late assignment is
+        //     ignored identically in chaos and baseline runs.
+        if cfg.churn_fraction > 0.0 {
+            for (i, p) in prosumers.iter_mut().enumerate() {
+                if !churn_rng.gen_bool(cfg.churn_fraction.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                if offline.remove(&i) {
+                    network.register(p.id);
+                    p.on_slot(t0);
+                } else {
+                    offline.insert(i);
+                    network.deregister(p.id);
+                }
+            }
+        }
+
         // 2. Planning wave, bottom-up: the day-ahead baseline forecast is
         //    published once; each level pumps its inbox (submissions at
         //    level 2, macro-offer deltas at level 3) and prepares a live
@@ -304,6 +403,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         hub.publish(&forecast0);
         for (l, level) in levels.iter_mut().enumerate() {
             let now = t0 + 4u32 * (l as u32 + 1);
+            network.advance(now);
             for node in level.iter_mut() {
                 pump(&mut network, &mut **node, now);
                 let sub = subscriptions[&node.node_id()];
@@ -321,8 +421,11 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
 
         // 2b. Prosumers see accept/reject decisions.
         let t2 = t0 + 8u32;
-        for p in prosumers.iter_mut() {
-            pump(&mut network, p, t2);
+        network.advance(t2);
+        for (i, p) in prosumers.iter_mut().enumerate() {
+            if !offline.contains(&i) {
+                pump(&mut network, p, t2);
+            }
         }
 
         // 3. Intra-day forecast refinement: a few slots move (RES ramps,
@@ -363,6 +466,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             // Stagger commit times top-down so a level's assignments are
             // deliverable before the level below pumps.
             let now = t0 + 12u32 + 4u32 * (top - l) as u32;
+            network.advance(now);
             for node in level.iter_mut() {
                 pump(&mut network, &mut **node, now);
                 let envelopes = node.commit_plan(now);
@@ -373,9 +477,30 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         // 5. Prosumers receive assignments; deadline passes at window
         //    start — unassigned offers fall back to the open contract.
         let t5 = t0 + 20u32;
-        for p in prosumers.iter_mut() {
-            pump(&mut network, p, t5);
-            p.on_slot(window);
+        network.advance(t5);
+        for (i, p) in prosumers.iter_mut().enumerate() {
+            if !offline.contains(&i) {
+                pump(&mut network, p, t5);
+                p.on_slot(window);
+            }
+        }
+
+        plan_signatures.push(plan_signature(&prosumers, window, s));
+    }
+
+    // --- Closing sweep (churn only) -------------------------------------
+    // Bring every churned-out prosumer back so the run's accounting is
+    // closed: replayed dead letters drain, and anything still pending
+    // falls back. Without churn this is skipped — nothing is offline.
+    if cfg.churn_fraction > 0.0 {
+        let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
+        network.advance(end);
+        for (i, p) in prosumers.iter_mut().enumerate() {
+            if offline.remove(&i) {
+                network.register(p.id);
+            }
+            p.on_slot(end);
+            pump(&mut network, p, end);
         }
     }
 
@@ -405,6 +530,26 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         .map(|b| b.store.count_in_state(OfferState::Rejected))
         .sum();
 
+    // Invariant probes. Phantom offers: anything still pooled at the TSO
+    // that no BRP exports and whose deadline has not already passed (the
+    // latter are cleaned by the next expiry sweep by construction).
+    let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
+    let phantom_offers = if cfg.use_tso {
+        let exported: BTreeSet<u64> = brps
+            .iter()
+            .flat_map(|b| b.exported_offer_ids())
+            .map(|id| id.value())
+            .collect();
+        tso.pooled_ids()
+            .iter()
+            .filter(|id| !exported.contains(&id.value()))
+            .filter(|id| tso.pooled_offer(**id).is_some_and(|o| !o.is_expired(end)))
+            .count()
+    } else {
+        0
+    };
+    let energy_violations = prosumers.iter().map(|p| p.energy_violations(1e-6)).sum();
+
     SimulationReport {
         offers_submitted,
         accepted,
@@ -415,6 +560,9 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         imbalance_before,
         imbalance_after,
         network: network.stats(),
+        plan_signatures,
+        phantom_offers,
+        energy_violations,
     }
 }
 

@@ -26,11 +26,12 @@ use crate::message::{Envelope, Message};
 use crate::runtime::{
     Node, NodeRuntime, OfferDeltaReport, PlanEngine, PlanReport, ReplanReport, RuntimeConfig,
 };
+use crate::wire::{SequencedRx, StreamStats};
 use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
 use mirabel_forecast::ForecastEvent;
 use mirabel_schedule::{MarketPrices, SchedulingProblem, Solution};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The level-3 node.
 #[derive(Debug)]
@@ -45,6 +46,10 @@ pub struct TsoNode {
     engine: PlanEngine,
     /// Fold report of the last delta batch applied to a live plan.
     last_fold: Option<OfferDeltaReport>,
+    /// One sequenced-stream guard per sending BRP: the delta wire is
+    /// stateful, so inbound `MacroOfferDeltas` must apply exactly once
+    /// and in order — gaps trigger a [`Message::ResyncRequest`].
+    rx: BTreeMap<NodeId, SequencedRx>,
 }
 
 impl TsoNode {
@@ -72,6 +77,7 @@ impl TsoNode {
                 id.value().wrapping_mul(0x51ed_270b),
             ),
             last_fold: None,
+            rx: BTreeMap::new(),
         }
     }
 
@@ -130,36 +136,110 @@ impl TsoNode {
         self.engine.live_cost()
     }
 
-    /// Handle a message (only `MacroOfferDeltas` is meaningful to a
-    /// TSO). Deltas update the pool *and* any live plan in O(changed).
-    pub fn handle(&mut self, envelope: Envelope, _now: TimeSlot) -> Vec<Envelope> {
-        if let Message::MacroOfferDeltas(updates) = envelope.message {
-            let mut accepted = Vec::with_capacity(updates.len());
-            for u in updates {
-                match u {
-                    FlexOfferUpdate::Insert(offer) => {
-                        self.sources.insert(offer.id(), envelope.from);
-                        accepted.push(FlexOfferUpdate::Insert(offer));
+    /// Handle a message. `MacroOfferDeltas` run through the sender's
+    /// sequenced-stream guard — duplicates drop, out-of-order batches
+    /// buffer, a gap answers with a [`Message::ResyncRequest`] — and the
+    /// deliverable batches update the pool *and* any live plan in
+    /// O(changed). A [`Message::ResyncSnapshot`] is diffed against the
+    /// pooled view of its sender and only the differences are spliced.
+    pub fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        match &envelope.message {
+            Message::MacroOfferDeltas(_) => {
+                let from = envelope.from;
+                let (deliverable, request_resync) =
+                    self.rx.entry(from).or_default().receive(envelope);
+                for env in deliverable {
+                    if let Message::MacroOfferDeltas(updates) = env.message {
+                        self.apply_deltas(env.from, updates);
                     }
-                    FlexOfferUpdate::Delete(id) => {
-                        // Deletes for offers this TSO already assigned
-                        // (and dropped at commit) are expected no-ops.
-                        if self.sources.remove(&id).is_some() {
-                            accepted.push(FlexOfferUpdate::Delete(id));
-                        }
+                }
+                if request_resync {
+                    return vec![Envelope::new(self.id, from, now, Message::ResyncRequest)];
+                }
+                Vec::new()
+            }
+            Message::ResyncSnapshot { .. } => {
+                let from = envelope.from;
+                let seq = envelope.seq;
+                let Message::ResyncSnapshot { offers } = envelope.message else {
+                    unreachable!("matched above");
+                };
+                // Splice only the differences: a snapshot that confirms
+                // the pooled view must not disturb the live plan (or its
+                // repair seed stream).
+                let diff = self.snapshot_diff(from, &offers);
+                if !diff.is_empty() {
+                    self.apply_deltas(from, diff);
+                }
+                // Buffered deltas beyond the snapshot apply on top.
+                let released = self.rx.entry(from).or_default().resynced(seq);
+                for env in released {
+                    if let Message::MacroOfferDeltas(updates) = env.message {
+                        self.apply_deltas(env.from, updates);
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Apply one in-order batch of BRP deltas to the pool and any live
+    /// plan.
+    fn apply_deltas(&mut self, from: NodeId, updates: Vec<FlexOfferUpdate>) {
+        let mut accepted = Vec::with_capacity(updates.len());
+        for u in updates {
+            match u {
+                FlexOfferUpdate::Insert(offer) => {
+                    self.sources.insert(offer.id(), from);
+                    accepted.push(FlexOfferUpdate::Insert(offer));
+                }
+                FlexOfferUpdate::Delete(id) => {
+                    // Deletes for offers this TSO already assigned
+                    // (and dropped at commit) are expected no-ops.
+                    if self.sources.remove(&id).is_some() {
+                        accepted.push(FlexOfferUpdate::Delete(id));
                     }
                 }
             }
-            // The report always describes the LAST batch: None when the
-            // batch had no effect (all-unknown deletes) or no plan was
-            // live to fold into.
-            self.last_fold = if accepted.is_empty() {
-                None
-            } else {
-                self.engine.apply_offer_updates(accepted).1
-            };
         }
-        Vec::new()
+        // The report always describes the LAST batch: None when the
+        // batch had no effect (all-unknown deletes) or no plan was
+        // live to fold into.
+        self.last_fold = if accepted.is_empty() {
+            None
+        } else {
+            self.engine.apply_offer_updates(accepted).1
+        };
+    }
+
+    /// The delta updates that would reconcile the pooled view of `from`
+    /// with its snapshot: deletes for pooled offers the snapshot no
+    /// longer carries, inserts for new or value-changed offers.
+    fn snapshot_diff(&self, from: NodeId, offers: &[FlexOffer]) -> Vec<FlexOfferUpdate> {
+        let snapshot_ids: BTreeSet<FlexOfferId> = offers.iter().map(|o| o.id()).collect();
+        let mut diff: Vec<FlexOfferUpdate> = self
+            .sources
+            .iter()
+            .filter(|(id, src)| **src == from && !snapshot_ids.contains(id))
+            .map(|(id, _)| FlexOfferUpdate::Delete(*id))
+            .collect();
+        for o in offers {
+            let unchanged = self.sources.get(&o.id()) == Some(&from)
+                && self.engine.pipeline().offer(o.id()) == Some(o);
+            if !unchanged {
+                diff.push(FlexOfferUpdate::Insert(o.clone()));
+            }
+        }
+        diff
+    }
+
+    /// Delivery counters of the sequenced delta stream from `brp`
+    /// (zeros if it never sent).
+    pub fn stream_stats(&self, brp: NodeId) -> StreamStats {
+        self.rx
+            .get(&brp)
+            .map_or_else(StreamStats::default, |rx| rx.stats())
     }
 
     /// Drop pooled macro offers whose assignment deadline has passed —

@@ -1,0 +1,332 @@
+//! Receiver-side guards for the sequenced delta wire.
+//!
+//! Since PR 4 the BRP → TSO wire carries *stateful* delta streams: a
+//! single lost `MacroOfferDeltas` envelope silently diverges the
+//! receiver's pool until deadline expiry papers over it. The network
+//! stamps every routed envelope with a per-`(from, to)` sequence number
+//! ([`crate::Envelope::seq`]); this module holds the two receiver-side
+//! disciplines built on it:
+//!
+//! * [`SequencedRx`] — exactly-once, **in-order** delivery for stateful
+//!   streams. Duplicates are dropped, out-of-order envelopes are
+//!   buffered until the gap closes, and a detected gap asks the caller
+//!   to request a resync from the sender (the sender answers with a
+//!   bounded state snapshot, turning a lost delta into one extra
+//!   round-trip instead of silent divergence).
+//! * [`DedupRx`] — an at-most-once filter for streams whose messages are
+//!   self-contained (submissions, assignments): duplicates injected by
+//!   the network are dropped, gaps are let through — a lost submission
+//!   is a negotiation-level loss the deadline fallback already covers.
+//!
+//! Both guards treat unsequenced envelopes (`seq == None`, i.e. handed
+//! to the node directly without a network) as deliverable, so direct
+//! unit-test hand-offs keep working unchecked.
+
+use crate::message::Envelope;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters kept by a [`SequencedRx`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Envelopes delivered in order (including buffered ones released
+    /// when their gap closed).
+    pub delivered: u64,
+    /// Duplicate envelopes dropped.
+    pub duplicates: u64,
+    /// Envelopes that arrived ahead of a gap and were buffered.
+    pub buffered: u64,
+    /// Resync requests the guard asked the caller to send.
+    pub resyncs_requested: u64,
+    /// Snapshots accepted (stream re-anchored).
+    pub resyncs_applied: u64,
+}
+
+/// In-order, exactly-once delivery guard for one inbound stateful
+/// stream (one sender).
+#[derive(Debug, Default)]
+pub struct SequencedRx {
+    /// The next sequence number that can be delivered.
+    next_expected: u64,
+    /// Out-of-order envelopes parked until the gap below them closes or
+    /// a snapshot supersedes them.
+    buffer: BTreeMap<u64, Envelope>,
+    /// Whether a resync request is believed to be in flight. Kept for
+    /// reporting; the guard still re-requests on every gapped arrival,
+    /// because the request itself can be lost on the same bad link.
+    resync_pending: bool,
+    stats: StreamStats,
+}
+
+impl SequencedRx {
+    /// Offer one envelope to the guard. Returns the envelopes now
+    /// deliverable **in stream order** (possibly empty) plus whether the
+    /// caller should send a resync request to the stream's sender.
+    ///
+    /// A gapped arrival always asks for a resync — even while one is
+    /// already pending — since requests travel the same lossy link as
+    /// the deltas; the sender's snapshot answer is idempotent.
+    pub fn receive(&mut self, envelope: Envelope) -> (Vec<Envelope>, bool) {
+        let Some(seq) = envelope.seq else {
+            // Unsequenced: direct hand-off, deliver unchecked.
+            self.stats.delivered += 1;
+            return (vec![envelope], false);
+        };
+        if seq < self.next_expected || self.buffer.contains_key(&seq) {
+            self.stats.duplicates += 1;
+            return (Vec::new(), false);
+        }
+        if seq > self.next_expected {
+            self.buffer.insert(seq, envelope);
+            self.stats.buffered += 1;
+            self.stats.resyncs_requested += 1;
+            self.resync_pending = true;
+            return (Vec::new(), true);
+        }
+        // In order: deliver it plus every buffered successor that is now
+        // consecutive.
+        let mut out = vec![envelope];
+        self.next_expected += 1;
+        while let Some(e) = self.buffer.remove(&self.next_expected) {
+            out.push(e);
+            self.next_expected += 1;
+        }
+        if self.buffer.is_empty() {
+            // The gap (if any) closed by late arrival; nothing is parked.
+            self.resync_pending = false;
+        }
+        self.stats.delivered += out.len() as u64;
+        (out, false)
+    }
+
+    /// Re-anchor the stream on a snapshot that carried sequence number
+    /// `seq`: everything at or below it is superseded by the snapshot,
+    /// buffered successors are released in order. Returns the released
+    /// envelopes. Pass `None` for an unsequenced (direct) snapshot; the
+    /// guard then resets to the highest buffered position.
+    pub fn resynced(&mut self, seq: Option<u64>) -> Vec<Envelope> {
+        self.stats.resyncs_applied += 1;
+        self.resync_pending = false;
+        let anchor = match seq {
+            Some(s) => s,
+            // Unsequenced snapshot: it reflects the sender's current
+            // state, so everything buffered so far is superseded.
+            None => match self.buffer.keys().next_back() {
+                Some(&max) => max,
+                None => return Vec::new(),
+            },
+        };
+        self.next_expected = self.next_expected.max(anchor + 1);
+        // Superseded by the snapshot.
+        self.buffer = self.buffer.split_off(&self.next_expected);
+        let mut out = Vec::new();
+        while let Some(e) = self.buffer.remove(&self.next_expected) {
+            out.push(e);
+            self.next_expected += 1;
+        }
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Whether a resync request is currently believed to be in flight.
+    pub fn resync_pending(&self) -> bool {
+        self.resync_pending
+    }
+
+    /// Envelopes parked behind a gap.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+/// Sequence numbers remembered per stream before compaction kicks in.
+/// Old duplicates below the compacted watermark are re-delivered instead
+/// of dropped — harmless, since [`DedupRx`] only guards handlers that
+/// are idempotent anyway.
+const DEDUP_WINDOW: usize = 1024;
+
+/// At-most-once filter for one inbound stream of self-contained
+/// messages: drops network-injected duplicates, lets gaps through.
+#[derive(Debug, Default)]
+pub struct DedupRx {
+    /// Every sequence number below this has been delivered (or
+    /// compacted away).
+    delivered_below: u64,
+    /// Delivered sequence numbers at or above the watermark.
+    seen: BTreeSet<u64>,
+    /// Duplicates dropped.
+    pub duplicates: u64,
+}
+
+impl DedupRx {
+    /// Whether an envelope with this sequence number should be
+    /// delivered. Unsequenced envelopes always deliver.
+    pub fn accept(&mut self, seq: Option<u64>) -> bool {
+        let Some(seq) = seq else {
+            return true;
+        };
+        // In-order fast path (the reliable wire): nothing is parked, so
+        // delivery is a watermark bump — no tree operations at all.
+        if seq == self.delivered_below && self.seen.is_empty() {
+            self.delivered_below += 1;
+            return true;
+        }
+        if seq < self.delivered_below || !self.seen.insert(seq) {
+            self.duplicates += 1;
+            return false;
+        }
+        // Advance the watermark over any now-contiguous prefix.
+        while self.seen.remove(&self.delivered_below) {
+            self.delivered_below += 1;
+        }
+        // Bound memory under permanent gaps (a lost envelope's slot
+        // never fills): compact the oldest remembered numbers away.
+        while self.seen.len() > DEDUP_WINDOW {
+            if let Some(&min) = self.seen.iter().next() {
+                self.seen.remove(&min);
+                self.delivered_below = self.delivered_below.max(min + 1);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use mirabel_core::{FlexOfferId, NodeId, TimeSlot};
+
+    fn env(seq: u64) -> Envelope {
+        Envelope::new(
+            NodeId(1),
+            NodeId(2),
+            TimeSlot(0),
+            Message::OfferRejected {
+                offer: FlexOfferId(seq),
+            },
+        )
+        .with_seq(seq)
+    }
+
+    fn seqs(envelopes: &[Envelope]) -> Vec<u64> {
+        envelopes.iter().map(|e| e.seq.unwrap()).collect()
+    }
+
+    #[test]
+    fn in_order_stream_delivers_immediately() {
+        let mut rx = SequencedRx::default();
+        for s in 0..5 {
+            let (out, resync) = rx.receive(env(s));
+            assert_eq!(seqs(&out), vec![s]);
+            assert!(!resync);
+        }
+        assert_eq!(rx.stats().delivered, 5);
+        assert_eq!(rx.stats().resyncs_requested, 0);
+    }
+
+    #[test]
+    fn duplicate_is_dropped() {
+        let mut rx = SequencedRx::default();
+        rx.receive(env(0));
+        let (out, resync) = rx.receive(env(0));
+        assert!(out.is_empty());
+        assert!(!resync);
+        assert_eq!(rx.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn gap_buffers_and_requests_resync_until_closed() {
+        let mut rx = SequencedRx::default();
+        rx.receive(env(0));
+        // 1 is lost; 2 and 3 arrive.
+        let (out, resync) = rx.receive(env(2));
+        assert!(out.is_empty());
+        assert!(resync, "gap must request a resync");
+        // Still gapped: re-request (the first request may be lost too).
+        let (out, resync) = rx.receive(env(3));
+        assert!(out.is_empty());
+        assert!(resync);
+        assert!(rx.resync_pending());
+        assert_eq!(rx.buffered(), 2);
+        // The lost envelope finally arrives late: the whole run drains
+        // in order.
+        let (out, resync) = rx.receive(env(1));
+        assert_eq!(seqs(&out), vec![1, 2, 3]);
+        assert!(!resync);
+        assert!(!rx.resync_pending());
+    }
+
+    #[test]
+    fn snapshot_supersedes_gap_and_releases_successors() {
+        let mut rx = SequencedRx::default();
+        rx.receive(env(0));
+        rx.receive(env(2)); // gap at 1
+        rx.receive(env(4)); // gap at 3
+                            // Snapshot stamped seq 5: 1–4 are superseded (their effect is in
+                            // the snapshot), nothing is buffered beyond it.
+        let released = rx.resynced(Some(5));
+        assert!(released.is_empty());
+        assert!(!rx.resync_pending());
+        assert_eq!(rx.buffered(), 0);
+        // The stream continues cleanly at 6.
+        let (out, resync) = rx.receive(env(6));
+        assert_eq!(seqs(&out), vec![6]);
+        assert!(!resync);
+        // Late duplicates of superseded envelopes are dropped.
+        let (out, _) = rx.receive(env(2));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn snapshot_releases_buffered_beyond_it() {
+        let mut rx = SequencedRx::default();
+        rx.receive(env(0));
+        rx.receive(env(3)); // gaps at 1, 2
+        rx.receive(env(4));
+        // Snapshot stamped 2 (sent after deltas 1 and 2, before 3): the
+        // buffered 3 and 4 apply on top, in order.
+        let released = rx.resynced(Some(2));
+        assert_eq!(seqs(&released), vec![3, 4]);
+        assert_eq!(rx.buffered(), 0);
+    }
+
+    #[test]
+    fn unsequenced_envelopes_bypass_the_guard() {
+        let mut rx = SequencedRx::default();
+        let direct = Envelope::new(NodeId(1), NodeId(2), TimeSlot(0), Message::ResyncRequest);
+        let (out, resync) = rx.receive(direct);
+        assert_eq!(out.len(), 1);
+        assert!(!resync);
+    }
+
+    #[test]
+    fn dedup_drops_duplicates_lets_gaps_through() {
+        let mut rx = DedupRx::default();
+        assert!(rx.accept(Some(0)));
+        assert!(!rx.accept(Some(0)));
+        // Gap: 1 is lost, 2 delivers anyway.
+        assert!(rx.accept(Some(2)));
+        assert!(!rx.accept(Some(2)));
+        // The late 1 is not a duplicate.
+        assert!(rx.accept(Some(1)));
+        assert!(!rx.accept(Some(1)));
+        assert_eq!(rx.duplicates, 3);
+        assert!(rx.accept(None), "unsequenced always delivers");
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_under_permanent_gaps() {
+        let mut rx = DedupRx::default();
+        // Seq 0 never arrives: every later number stays in `seen` until
+        // compaction bounds it.
+        for s in 1..(DEDUP_WINDOW as u64 + 100) {
+            assert!(rx.accept(Some(s)));
+        }
+        assert!(rx.seen.len() <= DEDUP_WINDOW);
+    }
+}

@@ -1,0 +1,205 @@
+//! Chaos campaigns through the full three-level hierarchy.
+//!
+//! The flagship robustness test: scripted storms (≥30% loss, delay
+//! bursts, BRP↔TSO partition-then-heal, 10% prosumer churn) driven
+//! through [`simulate`] must leave **no trace** — zero invariant
+//! violations and, after a quiet period, plan signatures bit-identical
+//! to a twin run that never saw the storm. Plus property tests over
+//! random chaos plans and a pool-width determinism check.
+
+use mirabel_core::exec::Pool;
+use mirabel_core::NodeId;
+use mirabel_edms::chaos::{
+    delay_burst, loss_storm, partition_between, run_campaign, CampaignConfig,
+};
+use mirabel_edms::{simulate, ChaosPlan, FailureModel, SimulationConfig};
+use proptest::prelude::*;
+
+/// The simulation's fixed node ids: BRP `b` is `NodeId(1 + b)`, the TSO
+/// is `NodeId(9_999)`.
+const TSO: NodeId = NodeId(9_999);
+const BRP0: NodeId = NodeId(1);
+
+fn three_level(cycles: usize, seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        brps: 3,
+        prosumers_per_brp: 4,
+        cycles,
+        offers_per_prosumer: 2,
+        use_tso: true,
+        budget_evaluations: 3_000,
+        seed,
+        ..SimulationConfig::default()
+    }
+}
+
+/// The acceptance scenario: a 35% loss storm, a delay/reorder burst, a
+/// BRP↔TSO partition that heals, and 10% join/leave churn throughout —
+/// followed by a quiet tail that must be bit-identical to the no-chaos
+/// twin.
+#[test]
+fn scripted_campaign_self_heals_bit_identically() {
+    let plan = ChaosPlan::reliable()
+        .phase(loss_storm(1, 2, 0.35))
+        .phase(delay_burst(2, 3, 2, 3))
+        .phase(partition_between(3, 4, BRP0, TSO));
+    let report = run_campaign(&CampaignConfig {
+        sim: SimulationConfig {
+            chaos: plan,
+            churn_fraction: 0.10,
+            ..three_level(8, 2024)
+        },
+        quiet_cycles: 4,
+    });
+
+    // The storm must actually have raged…
+    let n = report.chaos.network;
+    assert!(
+        n.dropped > 0,
+        "loss storm dropped nothing:\n{}",
+        report.summary()
+    );
+    assert!(n.dead_lettered > 0, "partition/churn dead-lettered nothing");
+    assert!(n.replayed > 0, "healing replayed nothing");
+
+    // …and still be erased completely.
+    assert!(
+        report.converged(),
+        "campaign did not self-heal:\n{}",
+        report.summary()
+    );
+}
+
+/// Duplicate delivery is filtered at every level (sequenced wire at the
+/// TSO, dedup guard at the BRPs, idempotent prosumer transitions): a
+/// heavily-duplicating network produces the exact plans of a reliable
+/// one.
+#[test]
+fn duplication_is_invisible_to_outcomes() {
+    let seed = 77;
+    let noisy = simulate(SimulationConfig {
+        failure: FailureModel::reliable().duplicated(0.5),
+        ..three_level(4, seed)
+    });
+    let clean = simulate(three_level(4, seed));
+
+    assert!(
+        noisy.network.duplicated > 0,
+        "nothing duplicated: {noisy:?}"
+    );
+    assert_eq!(noisy.plan_signatures, clean.plan_signatures);
+    assert_eq!(noisy.assigned, clean.assigned);
+    assert_eq!(noisy.fallbacks, clean.fallbacks);
+    assert_eq!(noisy.assigned + noisy.fallbacks, noisy.offers_submitted);
+    assert_eq!(noisy.phantom_offers, 0);
+    assert_eq!(noisy.energy_violations, 0);
+}
+
+/// The same chaos seed must produce bit-identical campaign reports at
+/// any worker-pool width — chaos recovery is deterministic, not merely
+/// eventually consistent.
+#[test]
+fn chaos_campaign_deterministic_across_pool_widths() {
+    let campaign = |pool: Pool| {
+        run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable()
+                    .phase(loss_storm(1, 2, 0.4))
+                    .phase(partition_between(2, 3, BRP0, TSO)),
+                churn_fraction: 0.10,
+                pool,
+                ..three_level(6, 1312)
+            },
+            quiet_cycles: 3,
+        })
+    };
+    let narrow = campaign(Pool::new(1));
+    let wide = campaign(Pool::new(8));
+    assert_eq!(narrow, wide);
+    assert!(narrow.converged(), "{}", narrow.summary());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random chaos plan confined to the first half of the run —
+    /// loss up to 50%, delays, jitter, duplication, an optional BRP↔TSO
+    /// partition, up to 15% churn — self-heals: conservation holds,
+    /// no phantom offers, no energy violations, and the quiet tail is
+    /// bit-identical to the no-chaos twin.
+    #[test]
+    fn random_chaos_plans_self_heal(
+        seed in 0u64..1_000,
+        drop_p in 0.0f64..0.5,
+        delay in 0u32..3,
+        jitter in 0u32..4,
+        dup_p in 0.0f64..0.3,
+        churn in 0.0f64..0.15,
+        partition in any::<bool>(),
+    ) {
+        let failure = FailureModel::drop(drop_p)
+            .delayed_by(delay)
+            .jittered_by(jitter)
+            .duplicated(dup_p);
+        let mut plan = ChaosPlan::reliable()
+            .phase(loss_storm(0, 1, drop_p))
+            .phase(mirabel_edms::ChaosPhase::new(
+                mirabel_edms::chaos::cycle_span(1, 2).0,
+                mirabel_edms::chaos::cycle_span(1, 2).1,
+                failure,
+            ));
+        if partition {
+            plan = plan.phase(partition_between(2, 3, BRP0, TSO));
+        }
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: plan,
+                churn_fraction: churn,
+                brps: 2,
+                prosumers_per_brp: 3,
+                offers_per_prosumer: 1,
+                budget_evaluations: 1_500,
+                ..three_level(6, seed)
+            },
+            quiet_cycles: 3,
+        });
+        prop_assert!(
+            report.converged(),
+            "random chaos did not self-heal (seed {}):\n{}",
+            seed,
+            report.summary()
+        );
+    }
+}
+
+/// Release-scale campaign smoke for CI's `--ignored` step: a bigger
+/// hierarchy, a longer storm, full churn — still bit-identical after
+/// the quiet tail.
+#[test]
+#[ignore = "release-scale chaos smoke; run with --ignored"]
+fn release_scale_campaign_smoke() {
+    let plan = ChaosPlan::reliable()
+        .phase(loss_storm(1, 3, 0.4))
+        .phase(delay_burst(3, 4, 2, 4))
+        .phase(partition_between(4, 6, BRP0, TSO))
+        .phase(partition_between(4, 6, NodeId(2), TSO));
+    let report = run_campaign(&CampaignConfig {
+        sim: SimulationConfig {
+            brps: 4,
+            prosumers_per_brp: 10,
+            offers_per_prosumer: 2,
+            budget_evaluations: 8_000,
+            chaos: plan,
+            churn_fraction: 0.10,
+            ..three_level(10, 424242)
+        },
+        quiet_cycles: 4,
+    });
+    assert!(
+        report.converged(),
+        "release-scale campaign did not self-heal:\n{}",
+        report.summary()
+    );
+    assert!(report.chaos.network.dropped > 0);
+    assert!(report.chaos.network.replayed > 0);
+}

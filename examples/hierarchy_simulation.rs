@@ -45,19 +45,19 @@ fn main() {
     };
 
     println!("--- two-level hierarchy (BRPs schedule locally) ---");
-    run("greedy scheduler", base);
+    run("greedy scheduler", base.clone());
     run(
         "evolutionary scheduler",
         SimulationConfig {
             scheduler: SchedulerKind::Evolutionary,
-            ..base
+            ..base.clone()
         },
     );
     run(
         "hybrid scheduler",
         SimulationConfig {
             scheduler: SchedulerKind::Hybrid,
-            ..base
+            ..base.clone()
         },
     );
 
@@ -66,7 +66,7 @@ fn main() {
         "greedy via TSO",
         SimulationConfig {
             use_tso: true,
-            ..base
+            ..base.clone()
         },
     );
     run(
@@ -74,7 +74,7 @@ fn main() {
         SimulationConfig {
             use_tso: true,
             refine_fraction: 0.3,
-            ..base
+            ..base.clone()
         },
     );
     run(
@@ -82,7 +82,7 @@ fn main() {
         SimulationConfig {
             use_tso: true,
             refine_fraction: 0.0,
-            ..base
+            ..base.clone()
         },
     );
 
@@ -92,7 +92,7 @@ fn main() {
             &format!("{:.0}% message loss", drop * 100.0),
             SimulationConfig {
                 failure: FailureModel::drop(drop),
-                ..base
+                ..base.clone()
             },
         );
     }
