@@ -6,10 +6,15 @@
 //! Three groups anchor the perf trajectory:
 //!
 //! 1. `rounds` — full 3-level simulations (prosumers → BRPs → TSO) at
-//!    1 k and 10 k prosumers, reported as cycles/sec. Every parallel
-//!    path inside (flush shards, best-of-K starts, repair chains) now
-//!    dispatches onto one process-wide [`Pool`] instead of spawning
-//!    scoped threads per call.
+//!    1 k and 10 k prosumers **per pool width 1/2/4/8**, reported as
+//!    cycles/sec. Since the concurrent node drivers landed, width is
+//!    the scaling axis: every level's nodes plan in parallel (and every
+//!    inner path — flush shards, best-of-K starts, repair chains —
+//!    shares the same lanes through the submission queue), so on an
+//!    N-core box the width-N row should approach N× the width-1 row
+//!    while producing bit-identical plans. The standalone
+//!    `throughput_json` bin emits the same grid as `BENCH_throughput.json`
+//!    for CI's perf-trajectory artifact.
 //! 2. `chaos_overhead` — the sequenced self-healing wire's price: the
 //!    same 1 k-prosumer workload on a reliable network (tracks the
 //!    `rounds` trajectory — the wire must stay within 5% of the
@@ -35,22 +40,29 @@ fn hierarchy_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_throughput_rounds");
     group.sample_size(3);
     for &prosumers in &[1_000usize, 10_000] {
-        let brps = 4;
-        let cfg = SimulationConfig {
-            brps,
-            prosumers_per_brp: prosumers / brps,
-            cycles: CYCLES,
-            offers_per_prosumer: 1,
-            use_tso: true,
-            budget_evaluations: 2_000,
-            seed: 42,
-            ..SimulationConfig::default()
-        };
-        // cycles/sec: each element is one full plan→refine→commit round.
-        group.throughput(Throughput::Elements(CYCLES as u64));
-        group.bench_with_input(BenchmarkId::new("prosumers", prosumers), &cfg, |b, cfg| {
-            b.iter(|| simulate(cfg.clone()).assigned)
-        });
+        for &width in &[1usize, 2, 4, 8] {
+            let brps = 4;
+            let cfg = SimulationConfig {
+                brps,
+                prosumers_per_brp: prosumers / brps,
+                cycles: CYCLES,
+                offers_per_prosumer: 1,
+                use_tso: true,
+                budget_evaluations: 2_000,
+                seed: 42,
+                pool: Pool::new(width),
+                ..SimulationConfig::default()
+            };
+            // cycles/sec: each element is one full plan→refine→commit
+            // round. Output is identical across the width rows (the
+            // determinism suite pins that); only the rate may move.
+            group.throughput(Throughput::Elements(CYCLES as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("prosumers/{prosumers}/width"), width),
+                &cfg,
+                |b, cfg| b.iter(|| simulate(cfg.clone()).assigned),
+            );
+        }
     }
     group.finish();
 }
@@ -187,6 +199,14 @@ fn executor_dispatch(c: &mut Criterion) {
     let pool = Pool::new(TASKS);
     group.bench_function("persistent_pool", |b| {
         b.iter(|| pool.run(TASKS, work).iter().sum::<f64>())
+    });
+    // The submission API: independent handles joined in caller order —
+    // the per-task cost of queue + handle vs a claimed batch.
+    group.bench_function("submit_join", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..TASKS).map(|i| pool.submit(move || work(i))).collect();
+            handles.into_iter().map(|h| h.join()).sum::<f64>()
+        })
     });
     group.bench_function("scoped_spawn", |b| {
         b.iter(|| {

@@ -1,0 +1,89 @@
+//! `BENCH_throughput.json` emitter: the perf-trajectory artifact.
+//!
+//! Measures sustained planning rounds/sec of the full 3-level hierarchy
+//! (the same workload as the `simulation_throughput` criterion group's
+//! `rounds` rows) at 1 k and 10 k prosumers across pool widths 1/2/4/8,
+//! and writes the grid as JSON — CI uploads it per commit so the
+//! width-scaling curve of the concurrent node drivers is tracked over
+//! time, not eyeballed. Plans are bit-identical across the width rows
+//! (the `concurrent_drivers` suite pins that); the run asserts it here
+//! too by comparing each row's assignment count against width 1.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin throughput_json [out.json]
+//! ```
+
+use mirabel_core::exec::Pool;
+use mirabel_edms::{simulate, SimulationConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const CYCLES: usize = 2;
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const PROSUMER_GRID: [usize; 2] = [1_000, 10_000];
+
+fn workload(prosumers: usize, width: usize) -> SimulationConfig {
+    let brps = 4;
+    SimulationConfig {
+        brps,
+        prosumers_per_brp: prosumers / brps,
+        cycles: CYCLES,
+        offers_per_prosumer: 1,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        pool: Pool::new(width),
+        ..SimulationConfig::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows = String::new();
+    for prosumers in PROSUMER_GRID {
+        let mut assigned_at_width_1 = None;
+        for width in WIDTHS {
+            let cfg = workload(prosumers, width);
+            // One warm-up round (pool spawn, allocator warm-up), then
+            // the timed run.
+            let warm = simulate(cfg.clone());
+            let start = Instant::now();
+            let report = simulate(cfg);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(warm, report, "same config, different report");
+            match assigned_at_width_1 {
+                None => assigned_at_width_1 = Some(report.assigned),
+                Some(expect) => assert_eq!(
+                    report.assigned, expect,
+                    "width {width} changed the outcome at {prosumers} prosumers"
+                ),
+            }
+            let rounds_per_sec = CYCLES as f64 / secs;
+            println!(
+                "{prosumers:>6} prosumers  width {width}: {rounds_per_sec:.3} rounds/sec \
+                 ({secs:.2}s for {CYCLES} rounds, {} assigned)",
+                report.assigned
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            write!(
+                rows,
+                "    {{\"prosumers\": {prosumers}, \"width\": {width}, \
+                 \"seconds\": {secs:.6}, \"rounds_per_sec\": {rounds_per_sec:.6}}}"
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"simulation_throughput\",\n  \"cycles_per_run\": {CYCLES},\n  \
+         \"host_cores\": {cores},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    println!("wrote {out_path}");
+}

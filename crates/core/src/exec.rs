@@ -1,7 +1,8 @@
 //! The shared deterministic worker pool every parallel path in the
 //! workspace runs on (paper §5 calls for partition-parallel model
 //! estimation; the same executor also drives shard-parallel aggregate
-//! flushes and multi-start scheduling chains).
+//! flushes, multi-start scheduling chains, and — since the concurrent
+//! node drivers landed — whole hierarchy nodes planning side by side).
 //!
 //! ## Why a persistent pool
 //!
@@ -13,20 +14,47 @@
 //! [`Pool`] keeps its workers parked on a condvar between calls, so
 //! dispatching a batch of tasks costs a wake-up, not a spawn.
 //!
-//! ## Why deterministic join order
+//! ## One queue, many callers
 //!
-//! [`Pool::run`] executes `n_tasks` closures `f(0) .. f(n_tasks - 1)`
-//! and returns their results **in task-index order**, whatever the
-//! worker count or OS scheduling. Callers therefore keep the invariant
-//! the whole workspace is built on: *parallelism never changes output*.
-//! The aggregate flush merges shard results in sorted sub-group order,
-//! best-of-K scheduling chains tie-break on chain index, and EGRV
-//! fitting installs coefficients by period index — all of which reduce
-//! to "results arrive indexed by task, not by completion time". Work
-//! distribution is a single shared claim counter (no work stealing, no
-//! per-worker queues): which lane runs a task is scheduling-dependent,
-//! but since each task is a pure function of its index, the *result
-//! vector* is bit-identical for any width.
+//! The pool's heart is a single FIFO **work queue** shared by every
+//! lane. Two kinds of work flow through it:
+//!
+//! * **Batches** ([`Pool::run`]): `n_tasks` closures `f(0) .. f(n-1)`
+//!   whose results come back **in task-index order**. Lanes claim
+//!   indices from a shared counter, so any number of lanes can chew on
+//!   the same batch.
+//! * **Submissions** ([`Pool::submit`]): independent one-shot tasks,
+//!   each returning a [`Handle`] the caller joins whenever (and in
+//!   whatever order) it likes.
+//!
+//! Because the queue is shared, **concurrent top-level callers share
+//! workers**. An earlier revision serialized here: a busy `run` meant
+//! any nested or racing `run` silently fell back to inline-serial
+//! execution on its caller — correct, but a 32-core box simulating 10k
+//! prosumers planned its nodes one at a time. Now a `run` that arrives
+//! while another is in flight enqueues its batch behind it and all
+//! lanes — workers, the first caller, the second caller — drain the
+//! queue together. Callers waiting for their own batch (or joining a
+//! [`Handle`]) *help*: they execute other queued work instead of
+//! blocking, which both keeps cores busy and makes joining from inside
+//! a pool task deadlock-free at any width. [`Pool::stats`] exposes the
+//! dispatch counters; `inline_serial_fallbacks` staying at zero **is**
+//! the claim that the old pathological path is gone.
+//!
+//! ## Why determinism survives
+//!
+//! [`Pool::run`] returns results **in task-index order**, whatever the
+//! worker count or OS scheduling; [`Handle`]s are joined in an order
+//! the caller controls. Callers therefore keep the invariant the whole
+//! workspace is built on: *parallelism never changes output*. The
+//! aggregate flush merges shard results in sorted sub-group order,
+//! best-of-K scheduling chains tie-break on chain index, EGRV fitting
+//! installs coefficients by period index, and the simulation's level
+//! pump sends each node's envelopes in node-list order — all of which
+//! reduce to "results arrive indexed by task, not by completion time".
+//! Which lane runs a task is scheduling-dependent, but since each task
+//! is a pure function of its index, the *result vector* is
+//! bit-identical for any width.
 //!
 //! ## Sizing and sharing
 //!
@@ -36,20 +64,18 @@
 //! repair chains — shares one set of worker threads instead of spawning
 //! per node per round. Pass an explicit [`Pool::new`] handle (they are
 //! cheap `Arc` clones) to isolate a component or to pin a width in
-//! benchmarks; `Pool::new(1)` executes inline on the caller and spawns
-//! nothing.
+//! benchmarks; `Pool::new(1)` spawns nothing and executes `run` calls
+//! inline on the caller and `submit` tasks at join time.
 //!
-//! A `run` that nests inside another `run` on the same pool (or races
-//! with one from another thread) falls back to inline serial execution
-//! of its own tasks — same results, no deadlock.
-//!
-//! Panics propagate: if a task panics, the pool finishes the batch,
-//! then re-raises the payload of the lowest-indexed panicking task on
-//! the caller (again deterministic), leaving the pool reusable.
+//! Panics propagate: if a batch task panics, the pool finishes the
+//! batch, then re-raises the payload of the lowest-indexed panicking
+//! task on the caller (deterministic); a panicking submission re-raises
+//! at [`Handle::join`]. The pool stays usable after either.
 #![allow(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -85,7 +111,7 @@ impl TaskRef {
     }
 }
 
-/// One published batch of tasks. Lanes (workers and the calling thread)
+/// One published batch of tasks. Lanes (workers and any helping caller)
 /// claim indices from `next`; `pending` counts unfinished tasks.
 struct Job {
     task: TaskRef,
@@ -94,30 +120,132 @@ struct Job {
     pending: AtomicUsize,
 }
 
-/// State guarded by the pool mutex.
-struct State {
-    /// The current job, if one is in flight.
-    job: Option<Arc<Job>>,
-    /// Job generation counter — workers process each generation once.
-    seq: u64,
+/// One unit of queued work.
+enum WorkItem {
+    /// A submitted one-shot task (already wrapped: it stores its own
+    /// result and signals its handle's joiner).
+    Once(Box<dyn FnOnce() + Send>),
+    /// A claimable indexed batch from [`Pool::run`]. Stays at the queue
+    /// front until every index has been claimed, so any number of lanes
+    /// work it concurrently.
+    Batch(Arc<Job>),
+}
+
+/// State guarded by the pool mutex: the shared FIFO work queue.
+struct QueueState {
+    queue: VecDeque<WorkItem>,
     /// Set on drop; workers exit.
     shutdown: bool,
 }
 
+/// Pop the next executable unit of work, discarding exhausted batches.
+/// A non-exhausted batch is *cloned out* but left at the front so other
+/// lanes keep claiming from it.
+fn next_item(st: &mut QueueState) -> Option<WorkItem> {
+    loop {
+        match st.queue.front() {
+            None => return None,
+            Some(WorkItem::Once(_)) => return st.queue.pop_front(),
+            Some(WorkItem::Batch(job)) => {
+                if job.next.load(Ordering::Relaxed) >= job.n_tasks {
+                    // Fully claimed: stragglers are someone else's
+                    // `pending` wait, not claimable work.
+                    st.queue.pop_front();
+                    continue;
+                }
+                return Some(WorkItem::Batch(Arc::clone(job)));
+            }
+        }
+    }
+}
+
 struct Shared {
-    state: Mutex<State>,
-    /// Workers park here between jobs.
+    state: Mutex<QueueState>,
+    /// Workers park here between work items.
     work: Condvar,
-    /// The caller parks here until `pending` reaches zero.
+    /// Batch callers and handle joiners park here; notified on every
+    /// batch retirement, submission completion, and new enqueue (so a
+    /// parked helper can pick the new work up).
     done: Condvar,
+}
+
+impl Shared {
+    /// Execute one unit of work (outside the lock). Never unwinds: both
+    /// batch runners and submission wrappers catch their own panics.
+    fn execute(&self, item: WorkItem) {
+        match item {
+            WorkItem::Once(f) => f(),
+            WorkItem::Batch(job) => self.run_batch_tasks(&job),
+        }
+    }
+
+    /// Claim and run `job` indices until the batch is exhausted; the
+    /// lane that finishes the last task wakes the batch's caller.
+    fn run_batch_tasks(&self, job: &Job) {
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n_tasks {
+                break;
+            }
+            // SAFETY: i < n_tasks, so the job is not yet retired and the
+            // caller is keeping the closure alive (see `Pool::run`).
+            unsafe { (*job.task.0)(i) };
+            if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task of the batch: wake the caller. Taking the
+                // lock orders the notify after the caller's wait.
+                let _st = self.state.lock().unwrap();
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Push a work item and wake everyone who could run it.
+    fn enqueue(&self, item: WorkItem) {
+        let mut st = self.state.lock().unwrap();
+        st.queue.push_back(item);
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+}
+
+/// A boxed one-shot task for [`Pool::run_each`]: may borrow from the
+/// caller's stack (`'a`), runs exactly once on some pool lane.
+pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Dispatch counters (monotonic since pool creation), via [`Pool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One-shot tasks handed to the queue by [`Pool::submit`].
+    pub tasks_submitted: u64,
+    /// Indexed batches dispatched to the queue by [`Pool::run`].
+    pub batches_run: u64,
+    /// Total task indices across those batches.
+    pub batch_tasks: u64,
+    /// `run` calls served inline **by design**: width-1 pools and
+    /// single-task batches, where queue dispatch could only add cost.
+    pub inline_runs: u64,
+    /// `run` calls (more than one task, width above one) that executed
+    /// inline-serial because the pool could not be shared. The queue
+    /// architecture has no such path — this counter exists so the
+    /// concurrent-driver tests can pin it at zero, and so any future
+    /// reintroduction of a serializing fast path has to show up here.
+    pub inline_serial_fallbacks: u64,
+}
+
+/// Monotonic dispatch counters (see [`PoolStats`]).
+#[derive(Default)]
+struct StatCounters {
+    submitted: AtomicU64,
+    batches: AtomicU64,
+    batch_tasks: AtomicU64,
+    inline_runs: AtomicU64,
+    inline_fallbacks: AtomicU64,
 }
 
 struct Inner {
     width: usize,
-    /// Serializes `run` calls; a busy lock means a nested or concurrent
-    /// `run`, which executes inline instead (no deadlock, same output).
-    run_lock: Mutex<()>,
     shared: Arc<Shared>,
+    stats: StatCounters,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -151,6 +279,63 @@ impl std::fmt::Debug for Pool {
     }
 }
 
+/// A submitted task's result slot, shared between the queue's wrapper
+/// closure and the [`Handle`].
+struct OnceState<R> {
+    result: Mutex<Option<std::thread::Result<R>>>,
+}
+
+/// The join handle of one [`Pool::submit`] task.
+///
+/// Joining **helps**: while its task is queued or running elsewhere,
+/// the joiner executes other queued pool work instead of blocking, so
+/// joining from inside another pool task cannot deadlock and a width-1
+/// pool simply runs the task at join time. Joining handles in a fixed
+/// caller-chosen order is the pool's deterministic fan-out/fan-in
+/// primitive for heterogeneous top-level tasks.
+///
+/// Dropping a handle without joining detaches the task: it still runs,
+/// its result (or panic payload) is discarded.
+#[must_use = "a submitted task's result (and any panic) surfaces at join()"]
+pub struct Handle<R> {
+    state: Arc<OnceState<R>>,
+    shared: Arc<Shared>,
+}
+
+impl<R> Handle<R> {
+    /// Whether the task has finished (its `join` would not block).
+    pub fn is_finished(&self) -> bool {
+        self.state.result.lock().unwrap().is_some()
+    }
+
+    /// Wait for the task, executing other queued pool work while it is
+    /// not done, and return its result. If the task panicked, the
+    /// payload is re-raised here.
+    pub fn join(self) -> R {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            // Check under the queue lock: completions notify `done`
+            // while holding it, so a result set between this check and
+            // a wait cannot be missed.
+            if let Some(res) = self.state.result.lock().unwrap().take() {
+                drop(st);
+                return match res {
+                    Ok(r) => r,
+                    Err(payload) => resume_unwind(payload),
+                };
+            }
+            match next_item(&mut st) {
+                Some(item) => {
+                    drop(st);
+                    self.shared.execute(item);
+                    st = self.shared.state.lock().unwrap();
+                }
+                None => st = self.shared.done.wait(st).unwrap(),
+            }
+        }
+    }
+}
+
 impl Pool {
     /// Pool with `width` execution lanes: the calling thread plus
     /// `width - 1` parked worker threads. `Pool::new(1)` spawns nothing
@@ -158,9 +343,8 @@ impl Pool {
     pub fn new(width: usize) -> Pool {
         let width = width.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                job: None,
-                seq: 0,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -183,8 +367,8 @@ impl Pool {
         Pool {
             inner: Arc::new(Inner {
                 width,
-                run_lock: Mutex::new(()),
                 shared,
+                stats: StatCounters::default(),
                 handles,
             }),
         }
@@ -211,14 +395,63 @@ impl Pool {
         self.inner.width
     }
 
+    /// Snapshot of the dispatch counters. The interesting invariant:
+    /// [`PoolStats::inline_serial_fallbacks`] stays zero — concurrent
+    /// and nested `run`s share the queue instead of degrading.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.stats;
+        PoolStats {
+            tasks_submitted: s.submitted.load(Ordering::Relaxed),
+            batches_run: s.batches.load(Ordering::Relaxed),
+            batch_tasks: s.batch_tasks.load(Ordering::Relaxed),
+            inline_runs: s.inline_runs.load(Ordering::Relaxed),
+            inline_serial_fallbacks: s.inline_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit one independent task; every pool lane is a candidate to
+    /// run it. Returns a [`Handle`] whose `join` yields the result.
+    ///
+    /// Submissions queue FIFO behind earlier work, and joiners help
+    /// drain the queue, so any interleaving of `submit`/`run`/`join`
+    /// across threads makes progress. `'static` bounds because the task
+    /// may outlive the submitting stack frame until joined; for borrowed
+    /// fan-out use [`Pool::run`] or [`Pool::run_each`].
+    pub fn submit<R, F>(&self, f: F) -> Handle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(OnceState {
+            result: Mutex::new(None),
+        });
+        let slot = Arc::clone(&state);
+        let shared = Arc::clone(&self.inner.shared);
+        let signal = Arc::clone(&shared);
+        let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let res = catch_unwind(AssertUnwindSafe(f));
+            *slot.result.lock().unwrap() = Some(res);
+            // Wake the joiner; taking the queue lock orders the notify
+            // after its result check.
+            let _st = signal.state.lock().unwrap();
+            signal.done.notify_all();
+        });
+        self.inner.shared.enqueue(WorkItem::Once(task));
+        Handle { state, shared }
+    }
+
     /// Execute `f(0) .. f(n_tasks - 1)` across the pool's lanes and
     /// return the results **in task-index order** — bit-identical to
     /// `(0..n_tasks).map(f).collect()` for any pool width, provided each
     /// task is a pure function of its index.
     ///
-    /// The calling thread claims tasks alongside the workers, so a
-    /// width-1 pool (or a single task, or a nested `run`) degenerates to
-    /// an inline serial loop with no synchronization at all.
+    /// The calling thread claims tasks alongside the workers, and while
+    /// waiting for its own stragglers it helps execute *other* queued
+    /// work — so concurrent `run`s from different threads and `run`s
+    /// nested inside pool tasks all share the same lanes, with no
+    /// serialization and no deadlock. A width-1 pool (or a single task)
+    /// degenerates to an inline serial loop with no synchronization.
     ///
     /// If one or more tasks panic, the batch still runs to completion
     /// and the payload of the lowest-indexed panicking task is re-raised
@@ -231,17 +464,16 @@ impl Pool {
         if n_tasks == 0 {
             return Vec::new();
         }
-        // Inline serial fast path: nothing to parallelize, or the pool
-        // is already mid-`run` (nested or concurrent call) — executing
-        // on the caller keeps results identical and cannot deadlock.
-        let guard = if self.inner.width > 1 && n_tasks > 1 {
-            self.inner.run_lock.try_lock().ok()
-        } else {
-            None
-        };
-        let Some(_guard) = guard else {
+        // Inline by design (not a fallback): nothing to parallelize.
+        if self.inner.width == 1 || n_tasks == 1 {
+            self.inner.stats.inline_runs.fetch_add(1, Ordering::Relaxed);
             return (0..n_tasks).map(f).collect();
-        };
+        }
+        self.inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .batch_tasks
+            .fetch_add(n_tasks as u64, Ordering::Relaxed);
 
         let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_tasks));
         let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
@@ -258,7 +490,8 @@ impl Pool {
         // SAFETY: `runner` (and everything it borrows) outlives the job:
         // `run` only returns after observing `pending == 0`, i.e. after
         // every claimed task index has finished, and lanes never
-        // dereference the task pointer for indices >= n_tasks.
+        // dereference the task pointer for indices >= n_tasks (`next`
+        // only grows, so every claim after exhaustion is out of range).
         let task = unsafe { TaskRef::erase(&runner) };
         let job = Arc::new(Job {
             task,
@@ -267,31 +500,29 @@ impl Pool {
             pending: AtomicUsize::new(n_tasks),
         });
         let shared = &self.inner.shared;
-        {
-            let mut st = shared.state.lock().unwrap();
-            st.job = Some(Arc::clone(&job));
-            st.seq = st.seq.wrapping_add(1);
-            shared.work.notify_all();
-        }
+        shared.enqueue(WorkItem::Batch(Arc::clone(&job)));
 
-        // The caller is a lane too.
-        loop {
-            let i = job.next.fetch_add(1, Ordering::Relaxed);
-            if i >= n_tasks {
-                break;
-            }
-            runner(i);
-            job.pending.fetch_sub(1, Ordering::AcqRel);
-        }
+        // The caller is a lane too: claim from its own batch first.
+        shared.run_batch_tasks(&job);
 
-        // Wait for the workers' share, then retire the job. After this
-        // point no lane can dereference `task` again: `next` only grows,
-        // so every further claim sees an index >= n_tasks.
+        // Wait for the workers' stragglers — helping with any *other*
+        // queued work meanwhile, so a concurrent caller's batch is not
+        // starved by this one parking.
         let mut st = shared.state.lock().unwrap();
         while job.pending.load(Ordering::Acquire) != 0 {
-            st = shared.done.wait(st).unwrap();
+            match next_item(&mut st) {
+                Some(item) => {
+                    drop(st);
+                    shared.execute(item);
+                    st = shared.state.lock().unwrap();
+                }
+                None => st = shared.done.wait(st).unwrap(),
+            }
         }
-        st.job = None;
+        // Retire the job: drop any queue entry still holding it so the
+        // erased task pointer cannot outlive this frame via the queue.
+        st.queue
+            .retain(|w| !matches!(w, WorkItem::Batch(j) if Arc::ptr_eq(j, &job)));
         drop(st);
 
         if let Some((_, payload)) = first_panic.into_inner().unwrap() {
@@ -302,43 +533,50 @@ impl Pool {
         out.sort_unstable_by_key(|&(i, _)| i);
         out.into_iter().map(|(_, r)| r).collect()
     }
+
+    /// Run a vector of **distinct** one-shot tasks and return their
+    /// results in input order — the borrowed (scoped) sibling of
+    /// [`Pool::submit`] for heterogeneous fan-out like "drive every
+    /// node of this hierarchy level once".
+    ///
+    /// Each task runs exactly once on some lane; results are joined in
+    /// task order, so output is bit-identical for any pool width. Unlike
+    /// `submit`, tasks may borrow from the caller's stack (they are
+    /// kept alive until every task has finished, via [`Pool::run`]).
+    pub fn run_each<'a, R>(&self, tasks: Vec<Task<'a, R>>) -> Vec<R>
+    where
+        R: Send,
+    {
+        let slots: Vec<Mutex<Option<Task<'a, R>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.run(slots.len(), |i| {
+            let task = slots[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("each task index is claimed exactly once");
+            task()
+        })
+    }
 }
 
-/// Body of a parked worker thread: wait for an unseen job generation,
-/// claim and run tasks until the batch is exhausted, park again.
+/// Body of a parked worker thread: wait for queued work, execute one
+/// item (for batches: claim indices until exhausted), park again.
 fn worker_loop(shared: &Shared) {
-    let mut last_seq = 0u64;
     loop {
-        let job = {
+        let item = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
                     return;
                 }
-                if st.seq != last_seq {
-                    if let Some(job) = &st.job {
-                        last_seq = st.seq;
-                        break Arc::clone(job);
-                    }
+                if let Some(item) = next_item(&mut st) {
+                    break item;
                 }
                 st = shared.work.wait(st).unwrap();
             }
         };
-        loop {
-            let i = job.next.fetch_add(1, Ordering::Relaxed);
-            if i >= job.n_tasks {
-                break;
-            }
-            // SAFETY: i < n_tasks, so the job is not yet retired and the
-            // caller is keeping the closure alive (see `Pool::run`).
-            unsafe { (*job.task.0)(i) };
-            if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last task of the batch: wake the caller. Taking the
-                // lock orders the notify after the caller's wait.
-                let _st = shared.state.lock().unwrap();
-                shared.done.notify_all();
-            }
-        }
+        shared.execute(item);
     }
 }
 
@@ -366,8 +604,8 @@ mod tests {
     #[test]
     fn pool_is_reused_across_calls() {
         // Many batches on one pool: every batch completes and no state
-        // leaks between them (a stale claim counter or job would hang or
-        // misindex immediately).
+        // leaks between them (a stale claim counter or queue entry would
+        // hang or misindex immediately).
         let pool = Pool::new(3);
         let hits = AtomicU64::new(0);
         for round in 0..100u64 {
@@ -401,12 +639,125 @@ mod tests {
     }
 
     #[test]
-    fn nested_run_falls_back_to_inline_serial() {
+    fn nested_run_shares_the_queue() {
+        // A run inside a run used to fall back to inline-serial; now the
+        // inner batch is queued and claimable by every lane. Results are
+        // identical either way — and no fallback is recorded.
         let pool = Pool::new(4);
         let out = pool.run(4, |i| pool.run(3, |j| i * 10 + j));
         for (i, inner) in out.iter().enumerate() {
             assert_eq!(*inner, (0..3).map(|j| i * 10 + j).collect::<Vec<_>>());
         }
+        assert_eq!(pool.stats().inline_serial_fallbacks, 0);
+    }
+
+    #[test]
+    fn concurrent_runs_share_workers_without_fallback() {
+        // Two threads race top-level `run`s on one pool. Before the
+        // shared queue, the loser of the run-lock executed inline-serial;
+        // now both batches dispatch and both come back index-ordered.
+        let pool = Pool::new(4);
+        let a = {
+            let pool = pool.clone();
+            std::thread::spawn(move || pool.run(40, |i| i as u64 * 3))
+        };
+        let b = pool.run(40, |i| i as u64 * 5);
+        let a = a.join().expect("no panic");
+        assert_eq!(a, (0..40).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(b, (0..40).map(|i| i * 5).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.inline_serial_fallbacks, 0);
+        assert_eq!(stats.batches_run, 2);
+        assert_eq!(stats.batch_tasks, 80);
+    }
+
+    #[test]
+    fn submit_returns_joinable_handles_in_caller_order() {
+        let pool = Pool::new(3);
+        let handles: Vec<Handle<u64>> = (0..16u64).map(|i| pool.submit(move || i * i)).collect();
+        let out: Vec<u64> = handles.into_iter().map(Handle::join).collect();
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.stats().tasks_submitted, 16);
+    }
+
+    #[test]
+    fn submit_on_width_one_pool_runs_at_join() {
+        // No workers exist; the joiner executes the queued task itself.
+        let pool = Pool::new(1);
+        let h = pool.submit(|| 41 + 1);
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn submitted_panic_propagates_at_join() {
+        let pool = Pool::new(2);
+        let h = pool.submit(|| -> usize { panic!("submitted task failed") });
+        let caught = catch_unwind(AssertUnwindSafe(move || h.join())).expect_err("join must panic");
+        let msg = caught.downcast_ref::<&str>().expect("static panic message");
+        assert_eq!(*msg, "submitted task failed");
+        // The pool survives.
+        assert_eq!(pool.run(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn join_inside_a_pool_task_does_not_deadlock() {
+        // A submitted task joins another handle: the joiner helps drain
+        // the queue, so this completes at any width — including when all
+        // worker lanes are busy with the outer tasks.
+        let pool = Pool::new(2);
+        let outer: Vec<Handle<u64>> = (0..4u64)
+            .map(|i| {
+                let pool = pool.clone();
+                pool.clone().submit(move || {
+                    let inner = pool.submit(move || i + 100);
+                    inner.join()
+                })
+            })
+            .collect();
+        let out: Vec<u64> = outer.into_iter().map(Handle::join).collect();
+        assert_eq!(out, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn run_each_runs_fnonce_tasks_in_order() {
+        // Heterogeneous borrowed tasks: each runs exactly once, results
+        // come back in input order for any width.
+        let data: Vec<u64> = (0..8).map(|i| i * 11).collect();
+        for width in [1, 2, 4] {
+            let pool = Pool::new(width);
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = data
+                .iter()
+                .map(|v| {
+                    let v = *v;
+                    Box::new(move || v + 1) as Box<dyn FnOnce() -> u64 + Send + '_>
+                })
+                .collect();
+            assert_eq!(
+                pool.run_each(tasks),
+                data.iter().map(|v| v + 1).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_dispatch_modes() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.run(8, |i| i); // queued batch
+        pool.run(1, |i| i); // inline by design (single task)
+        let h = pool.submit(|| 7); // one-shot
+        h.join();
+        let s = pool.stats();
+        assert_eq!(s.batches_run, 1);
+        assert_eq!(s.batch_tasks, 8);
+        assert_eq!(s.inline_runs, 1);
+        assert_eq!(s.tasks_submitted, 1);
+        assert_eq!(s.inline_serial_fallbacks, 0);
+
+        let narrow = Pool::new(1);
+        narrow.run(8, |i| i); // width-1: inline by design
+        assert_eq!(narrow.stats().inline_runs, 1);
+        assert_eq!(narrow.stats().batches_run, 0);
     }
 
     #[test]

@@ -7,15 +7,39 @@
 //! loss and missed deadlines, which only convert offers back into open
 //! contracts.
 //!
-//! ## The generic event pump
+//! ## The parallel level pump
 //!
 //! The cycle loop no longer hand-orders per-level calls: every planning
 //! node (level-2 BRPs, the level-3 TSO) is a
-//! [`NodeRuntime`], and each phase is a *wave* over the planner list —
-//! drain the inbox through the [`Node`] trait, then invoke the life-cycle
-//! phase. Planning waves run bottom-up (a BRP's macro-offer deltas must
-//! reach the TSO before it prepares); commit waves run top-down (the
-//! TSO's assignments must reach the BRPs before they disaggregate).
+//! [`NodeRuntime`], and each phase is a *wave* over the planner list.
+//! Planning waves run bottom-up (a BRP's macro-offer deltas must reach
+//! the TSO before it prepares); commit waves run top-down (the TSO's
+//! assignments must reach the BRPs before they disaggregate).
+//!
+//! Within one wave the nodes of a level are **independent** — they
+//! never message each other, only levels above/below and the prosumers
+//! — so each wave splits into three phases:
+//!
+//! 1. **Serial pre-phase**: drain every node's inbox and poll its
+//!    forecast subscription, in node-list order. These are the only
+//!    steps that need `&mut Network` (or the hub), and they consume no
+//!    randomness, so hoisting them out of the node loop is invisible.
+//! 2. **Parallel drive**: hand each node one task — handle its drained
+//!    envelopes, then run the wave's life-cycle call (`prepare_plan`,
+//!    `on_forecast_event`, or `commit_plan`) — to the shared
+//!    [`Pool`] via `run_each`. Every BRP plans concurrently; nested
+//!    pool use inside a node (repair chains, flush shards) queues
+//!    behind the level batch on the same lanes.
+//! 3. **Serial post-phase**: join in node-list order and route each
+//!    node's out-envelopes (replies first, then the life-cycle
+//!    envelopes) through `&mut Network`.
+//!
+//! Because joins are node-ordered and routing stays serial, the
+//! network's per-link sequence numbers, failure rolls, and delivery
+//! tie-breaks see **exactly the order the old serial pump produced**:
+//! pool width changes wall-clock time, never a message, a plan, or a
+//! signature. Prosumer waves parallelize the same way, in fixed-size
+//! chunks so the task partition is width-independent too.
 //!
 //! ## Forecasts are pub/sub all the way up
 //!
@@ -32,11 +56,12 @@
 use crate::brp::{BrpConfig, BrpNode, SchedulerKind};
 use crate::comm::{ChaosPlan, FailureModel, Network, NetworkStats};
 use crate::datastore::OfferState;
+use crate::message::Envelope;
 use crate::prosumer::ProsumerNode;
 use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
 use mirabel_aggregate::AggregationParams;
-use mirabel_core::exec::Pool;
+use mirabel_core::exec::{Pool, Task};
 use mirabel_core::{
     ActorId, EnergyRange, FlexOffer, NodeId, Price, Profile, ScheduledFlexOffer, Slice, TimeSlot,
     SLOTS_PER_DAY,
@@ -207,11 +232,69 @@ fn gen_offer(
         .expect("generated offers are valid")
 }
 
-/// Drain `node`'s inbox at `now`, handle every message, route replies.
-/// This is the whole event pump — identical for every hierarchy level.
+/// Drain `node`'s inbox at `now`, handle every message, route replies —
+/// the serial single-node pump. The cycle waves use the split
+/// drain / parallel-drive / route phases instead (see the module docs);
+/// this remains for the closing churn sweep, where re-registration
+/// interleaves with pumping per prosumer.
 fn pump<N: Node + ?Sized>(network: &mut Network, node: &mut N, now: TimeSlot) {
     for envelope in network.drain(node.node_id(), now) {
         let replies = node.handle(envelope, now);
+        network.send_all(replies);
+    }
+}
+
+/// Prosumers handled per parallel task in the prosumer waves. Fixed (not
+/// derived from pool width) so the task partition — and therefore every
+/// result — is identical at any width; 64 keeps per-task dispatch cost
+/// negligible against hundreds of handled envelopes.
+const PROSUMER_CHUNK: usize = 64;
+
+/// One prosumer wave: drain every online prosumer's inbox (serial, in
+/// prosumer order), drive the chunks concurrently — handle the drained
+/// envelopes, then `on_slot(slot)` if given — and route any replies in
+/// prosumer order.
+fn pump_prosumers(
+    pool: &Pool,
+    network: &mut Network,
+    prosumers: &mut [ProsumerNode],
+    offline: &BTreeSet<usize>,
+    now: TimeSlot,
+    on_slot_at: Option<TimeSlot>,
+) {
+    let inboxes: Vec<Vec<Envelope>> = prosumers
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if offline.contains(&i) {
+                Vec::new()
+            } else {
+                network.drain(p.node_id(), now)
+            }
+        })
+        .collect();
+    let mut inboxes = inboxes.into_iter();
+    let mut tasks: Vec<Task<Vec<Envelope>>> = Vec::new();
+    for (ci, chunk) in prosumers.chunks_mut(PROSUMER_CHUNK).enumerate() {
+        let chunk_inboxes: Vec<Vec<Envelope>> = inboxes.by_ref().take(chunk.len()).collect();
+        let base = ci * PROSUMER_CHUNK;
+        tasks.push(Box::new(move || {
+            let mut out = Vec::new();
+            for (k, (p, inbox)) in chunk.iter_mut().zip(chunk_inboxes).enumerate() {
+                if offline.contains(&(base + k)) {
+                    continue;
+                }
+                for envelope in inbox {
+                    out.extend(Node::handle(p, envelope, now));
+                }
+                if let Some(slot) = on_slot_at {
+                    p.on_slot(slot);
+                }
+            }
+            out
+        }));
+    }
+    for replies in pool.run_each(tasks) {
         network.send_all(replies);
     }
 }
@@ -304,10 +387,15 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         subscriptions.insert(tso_id, hub.subscribe(s as usize, 0.0));
     }
 
+    // Prosumer ids live above 10_000, indexed globally — disjoint from
+    // the BRPs (1..=brps) and the TSO (9_999) at ANY scale. The old
+    // `1_000 * (1 + b) + k` scheme collided across BRPs beyond 1k
+    // prosumers each, and at 125k per BRP a prosumer landed on the
+    // TSO's id and silently drained its macro-offer deltas.
     let mut prosumers: Vec<ProsumerNode> = Vec::new();
     for b in 0..cfg.brps {
         for k in 0..cfg.prosumers_per_brp {
-            let id = NodeId(1_000 * (1 + b as u64) + k as u64);
+            let id = NodeId(10_000 + (b * cfg.prosumers_per_brp + k) as u64);
             network.register(id);
             prosumers.push(ProsumerNode::new(
                 id,
@@ -340,9 +428,13 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         network.advance(t0);
 
         // The planner hierarchy, bottom-up. Rebuilt per cycle so the
-        // borrow is scoped; the *pump* below is the only traversal.
-        let mut levels: Vec<Vec<&mut dyn NodeRuntime>> =
-            vec![brps.iter_mut().map(|b| b as &mut dyn NodeRuntime).collect()];
+        // borrow is scoped; the *waves* below are the only traversal.
+        // `+ Send` because each level's nodes are driven concurrently on
+        // the shared pool.
+        let mut levels: Vec<Vec<&mut (dyn NodeRuntime + Send)>> = vec![brps
+            .iter_mut()
+            .map(|b| b as &mut (dyn NodeRuntime + Send))
+            .collect()];
         if cfg.use_tso {
             levels.push(vec![&mut tso]);
         }
@@ -404,17 +496,41 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         for (l, level) in levels.iter_mut().enumerate() {
             let now = t0 + 4u32 * (l as u32 + 1);
             network.advance(now);
-            for node in level.iter_mut() {
-                pump(&mut network, &mut **node, now);
-                let sub = subscriptions[&node.node_id()];
-                let event = hub.poll(sub).expect("initial publish always notifies");
-                let (envelopes, _report) = node.prepare_plan(
-                    now,
-                    window,
-                    event.forecast,
-                    prices.clone(),
-                    penalties.clone(),
-                );
+            // Serial pre-phase: drain inboxes and poll subscriptions in
+            // node order (the only `&mut network` / hub steps).
+            let inboxes: Vec<Vec<Envelope>> = level
+                .iter()
+                .map(|node| network.drain(node.node_id(), now))
+                .collect();
+            let events: Vec<_> = level
+                .iter()
+                .map(|node| {
+                    let sub = subscriptions[&node.node_id()];
+                    hub.poll(sub).expect("initial publish always notifies")
+                })
+                .collect();
+            // Parallel drive: every node of the level handles its inbox
+            // and prepares its plan concurrently on the shared pool.
+            let mut tasks: Vec<Task<Vec<Envelope>>> = Vec::new();
+            for ((node, inbox), event) in level.iter_mut().zip(inboxes).zip(events) {
+                let node: &mut (dyn NodeRuntime + Send) = &mut **node;
+                let prices = prices.clone();
+                let penalties = penalties.clone();
+                tasks.push(Box::new(move || {
+                    let mut out = Vec::new();
+                    for envelope in inbox {
+                        out.extend(node.handle(envelope, now));
+                    }
+                    let (envelopes, _report) =
+                        node.prepare_plan(now, window, event.forecast, prices, penalties);
+                    out.extend(envelopes);
+                    out
+                }));
+            }
+            // Serial post-phase: join in node order, route each node's
+            // replies-then-deltas — the exact serial-pump send order, so
+            // link sequences and failure rolls are width-independent.
+            for envelopes in cfg.pool.run_each(tasks) {
                 network.send_all(envelopes);
             }
         }
@@ -422,11 +538,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         // 2b. Prosumers see accept/reject decisions.
         let t2 = t0 + 8u32;
         network.advance(t2);
-        for (i, p) in prosumers.iter_mut().enumerate() {
-            if !offline.contains(&i) {
-                pump(&mut network, p, t2);
-            }
-        }
+        pump_prosumers(&cfg.pool, &mut network, &mut prosumers, &offline, t2, None);
 
         // 3. Intra-day forecast refinement: a few slots move (RES ramps,
         //    weather fronts), the rest stay put. The refined forecast is
@@ -441,16 +553,32 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                 }
             }
             hub.publish(&refined);
-            for level in levels.iter_mut() {
-                for node in level.iter_mut() {
-                    let sub = subscriptions[&node.node_id()];
-                    if let Some(event) = hub.poll(sub) {
-                        if node.on_forecast_event(&event).is_some() {
-                            replans += 1;
-                        }
-                    }
-                }
+            // Replans are node-local (no envelopes, no network), so the
+            // whole hierarchy repairs concurrently in one batch: poll
+            // every subscription serially, then drive every node.
+            let events: Vec<_> = levels
+                .iter()
+                .flat_map(|level| level.iter())
+                .map(|node| hub.poll(subscriptions[&node.node_id()]))
+                .collect();
+            let mut tasks: Vec<Task<bool>> = Vec::new();
+            for (node, event) in levels
+                .iter_mut()
+                .flat_map(|level| level.iter_mut())
+                .zip(events)
+            {
+                let node: &mut (dyn NodeRuntime + Send) = &mut **node;
+                tasks.push(Box::new(move || match event {
+                    Some(event) => node.on_forecast_event(&event).is_some(),
+                    None => false,
+                }));
             }
+            replans += cfg
+                .pool
+                .run_each(tasks)
+                .into_iter()
+                .filter(|&replanned| replanned)
+                .count();
             refined
         } else {
             forecast0
@@ -467,9 +595,23 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             // deliverable before the level below pumps.
             let now = t0 + 12u32 + 4u32 * (top - l) as u32;
             network.advance(now);
-            for node in level.iter_mut() {
-                pump(&mut network, &mut **node, now);
-                let envelopes = node.commit_plan(now);
+            let inboxes: Vec<Vec<Envelope>> = level
+                .iter()
+                .map(|node| network.drain(node.node_id(), now))
+                .collect();
+            let mut tasks: Vec<Task<Vec<Envelope>>> = Vec::new();
+            for (node, inbox) in level.iter_mut().zip(inboxes) {
+                let node: &mut (dyn NodeRuntime + Send) = &mut **node;
+                tasks.push(Box::new(move || {
+                    let mut out = Vec::new();
+                    for envelope in inbox {
+                        out.extend(node.handle(envelope, now));
+                    }
+                    out.extend(node.commit_plan(now));
+                    out
+                }));
+            }
+            for envelopes in cfg.pool.run_each(tasks) {
                 network.send_all(envelopes);
             }
         }
@@ -478,12 +620,14 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         //    start — unassigned offers fall back to the open contract.
         let t5 = t0 + 20u32;
         network.advance(t5);
-        for (i, p) in prosumers.iter_mut().enumerate() {
-            if !offline.contains(&i) {
-                pump(&mut network, p, t5);
-                p.on_slot(window);
-            }
-        }
+        pump_prosumers(
+            &cfg.pool,
+            &mut network,
+            &mut prosumers,
+            &offline,
+            t5,
+            Some(window),
+        );
 
         plan_signatures.push(plan_signature(&prosumers, window, s));
     }
