@@ -18,6 +18,7 @@
 //! appears in both lists (old value out, new id in).
 
 use crate::aggregate::AggregatedFlexOffer;
+use mirabel_core::codec::{CodecError, Wire};
 use mirabel_core::{FlexOffer, FlexOfferId, GroupId};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,34 @@ pub enum FlexOfferUpdate {
     Insert(FlexOffer),
     /// An offer left the pool (expired, withdrawn, or executed).
     Delete(FlexOfferId),
+}
+
+impl Wire for FlexOfferUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FlexOfferUpdate::Insert(offer) => {
+                out.push(0);
+                offer.encode(out);
+            }
+            FlexOfferUpdate::Delete(id) => {
+                out.push(1);
+                id.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = buf.split_first().ok_or(CodecError::UnexpectedEof)?;
+        *buf = rest;
+        match tag {
+            0 => Ok(FlexOfferUpdate::Insert(FlexOffer::decode(buf)?)),
+            1 => Ok(FlexOfferUpdate::Delete(FlexOfferId::decode(buf)?)),
+            other => Err(CodecError::InvalidTag {
+                what: "FlexOfferUpdate",
+                tag: u64::from(other),
+            }),
+        }
+    }
 }
 
 /// Output of the group-builder: which similarity groups changed, as
@@ -100,6 +129,26 @@ pub enum AggregateUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flex_offer_update_wire_roundtrip() {
+        use mirabel_core::{EnergyRange, Profile, TimeSlot};
+        let offer = FlexOffer::builder(5, 2)
+            .earliest_start(TimeSlot(100))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(90))
+            .profile(Profile::uniform(4, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        for u in [
+            FlexOfferUpdate::Insert(offer),
+            FlexOfferUpdate::Delete(FlexOfferId(77)),
+        ] {
+            let back = FlexOfferUpdate::from_bytes(&u.to_bytes()).unwrap();
+            assert_eq!(back, u);
+        }
+        assert!(FlexOfferUpdate::from_bytes(&[9]).is_err());
+    }
 
     #[test]
     fn subgroup_id_display() {

@@ -1,0 +1,127 @@
+//! The durable wire's price: WAL append overhead and recovery latency.
+//!
+//! Two groups anchor the event-sourcing cost model:
+//!
+//! 1. `rounds` — the 1 k-prosumer hierarchy from `simulation_throughput`
+//!    with per-BRP write-ahead logs off vs on. The `wal_on` row is the
+//!    append-before-apply tax on the hot path — one codec encode plus an
+//!    in-memory frame push per accepted envelope, plus periodic
+//!    snapshot-then-truncate compaction. The acceptance bar is the
+//!    `wal_on` row staying within 10% of `wal_off` (the standalone
+//!    `wal_json` bin measures and records the same ratio per commit).
+//! 2. `recovery` — crash-restart latency: rebuild a BRP from a log
+//!    holding 1 k / 10 k submitted offers (snapshot + replay tail at the
+//!    default compaction cadence). Each iteration clones the "disk"
+//!    through the public [`WalStore`] API before recovering, so the
+//!    timed number is clone + decode + handler replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mirabel_core::{EnergyRange, NodeId, Profile, TimeSlot};
+use mirabel_edms::{
+    simulate, BrpConfig, BrpNode, Envelope, MemWalStore, Message, NodeWal, SimulationConfig,
+    WalConfig, WalStore,
+};
+
+const CYCLES: usize = 2;
+const BRP_ID: NodeId = NodeId(1);
+
+fn hierarchy(wal: Option<WalConfig>) -> SimulationConfig {
+    let brps = 4;
+    SimulationConfig {
+        brps,
+        prosumers_per_brp: 1_000 / brps,
+        cycles: CYCLES,
+        offers_per_prosumer: 1,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        wal,
+        ..SimulationConfig::default()
+    }
+}
+
+/// A BRP's "disk" after ingesting `offers` submissions at the default
+/// snapshot cadence: a snapshot plus a replay tail.
+fn populated_store(offers: usize) -> (Box<dyn WalStore>, usize, u64) {
+    let mut brp = BrpNode::new(BRP_ID, None, BrpConfig::default());
+    brp.attach_wal(NodeWal::in_memory(WalConfig::default()));
+    let now = TimeSlot(0);
+    for i in 0..offers as u64 {
+        let offer = mirabel_core::FlexOffer::builder(i, 500 + i)
+            .earliest_start(TimeSlot(10 + (i % 50) as i64))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(5))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        brp.handle(
+            Envelope::new(NodeId(500 + i), BRP_ID, now, Message::SubmitOffer(offer)),
+            now,
+        );
+    }
+    let (pool_size, digest) = (brp.pool_size(), brp.pool_digest());
+    (
+        brp.take_wal().expect("WAL attached").into_store(),
+        pool_size,
+        digest,
+    )
+}
+
+/// Duplicate a store through the public trait (load → re-install /
+/// re-append): recovery consumes its store, so each timed iteration
+/// gets a fresh copy of the same bytes.
+fn clone_store(master: &mut Box<dyn WalStore>) -> Box<dyn WalStore> {
+    let (snapshot, frames) = master.load().expect("in-memory load cannot fail");
+    let mut copy = MemWalStore::new();
+    if let Some(snap) = snapshot {
+        copy.install_snapshot(&snap).expect("in-memory install");
+    }
+    for frame in frames {
+        copy.append(&frame).expect("in-memory append");
+    }
+    Box::new(copy)
+}
+
+fn wal_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_overhead_rounds");
+    group.sample_size(3);
+    for (label, wal) in [("wal_off", None), ("wal_on", Some(WalConfig::default()))] {
+        let cfg = hierarchy(wal);
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(BenchmarkId::new("1k_prosumers", label), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg.clone()).assigned)
+        });
+    }
+    group.finish();
+}
+
+fn wal_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    for &offers in &[1_000usize, 10_000] {
+        let (mut master, pool_size, digest) = populated_store(offers);
+        group.throughput(Throughput::Elements(offers as u64));
+        group.bench_with_input(BenchmarkId::new("offers", offers), &offers, |b, _| {
+            b.iter(|| {
+                let store = clone_store(&mut master);
+                let (node, out) = BrpNode::recover(
+                    BRP_ID,
+                    None,
+                    BrpConfig::default(),
+                    store,
+                    WalConfig::default(),
+                    TimeSlot(0),
+                )
+                .expect("in-memory recovery cannot fail");
+                assert!(out.is_empty(), "local-mode recovery emits nothing");
+                assert_eq!(node.pool_size(), pool_size);
+                assert_eq!(node.pool_digest(), digest);
+                node.pool_digest()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wal_rounds, wal_recovery);
+criterion_main!(benches);

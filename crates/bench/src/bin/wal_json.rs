@@ -1,0 +1,160 @@
+//! `BENCH_wal.json` emitter: the durability-cost artifact.
+//!
+//! Measures the event-sourced wire's two costs and writes them as JSON
+//! for CI to upload per commit:
+//!
+//! * **append overhead** — the 1 k-prosumer hierarchy with per-BRP
+//!   write-ahead logs off vs on, reported as rounds/sec plus the
+//!   percentage overhead. The acceptance bar is ≤10%; the run also
+//!   asserts the WAL changes *nothing observable* — plan signatures
+//!   with logging on are bit-identical to logging off.
+//! * **recovery latency** — crash-restart of a BRP from a log holding
+//!   1 k / 10 k offers (snapshot + replay tail at the default
+//!   compaction cadence), reported as milliseconds per recovery.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin wal_json [out.json]
+//! ```
+
+use mirabel_core::{EnergyRange, FlexOffer, NodeId, Profile, TimeSlot};
+use mirabel_edms::{
+    simulate, BrpConfig, BrpNode, Envelope, MemWalStore, Message, NodeWal, SimulationConfig,
+    WalConfig, WalStore,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const CYCLES: usize = 6;
+const BRP_ID: NodeId = NodeId(1);
+
+fn hierarchy(wal: Option<WalConfig>) -> SimulationConfig {
+    let brps = 4;
+    SimulationConfig {
+        brps,
+        prosumers_per_brp: 1_000 / brps,
+        cycles: CYCLES,
+        offers_per_prosumer: 1,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        wal,
+        ..SimulationConfig::default()
+    }
+}
+
+/// Median-of-five timed runs (after one warm-up) of the workload.
+fn time_simulation(cfg: &SimulationConfig) -> (f64, mirabel_edms::SimulationReport) {
+    let report = simulate(cfg.clone());
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let rerun = simulate(cfg.clone());
+            let s = start.elapsed().as_secs_f64();
+            assert_eq!(rerun, report, "same config, different report");
+            s
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    (secs[2], report)
+}
+
+fn populated_store(offers: usize) -> (Box<dyn WalStore>, usize, u64) {
+    let mut brp = BrpNode::new(BRP_ID, None, BrpConfig::default());
+    brp.attach_wal(NodeWal::in_memory(WalConfig::default()));
+    let now = TimeSlot(0);
+    for i in 0..offers as u64 {
+        let offer = FlexOffer::builder(i, 500 + i)
+            .earliest_start(TimeSlot(10 + (i % 50) as i64))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(5))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        brp.handle(
+            Envelope::new(NodeId(500 + i), BRP_ID, now, Message::SubmitOffer(offer)),
+            now,
+        );
+    }
+    let (pool_size, digest) = (brp.pool_size(), brp.pool_digest());
+    (
+        brp.take_wal().expect("WAL attached").into_store(),
+        pool_size,
+        digest,
+    )
+}
+
+fn clone_store(master: &mut Box<dyn WalStore>) -> Box<dyn WalStore> {
+    let (snapshot, frames) = master.load().expect("in-memory load cannot fail");
+    let mut copy = MemWalStore::new();
+    if let Some(snap) = snapshot {
+        copy.install_snapshot(&snap).expect("in-memory install");
+    }
+    for frame in frames {
+        copy.append(&frame).expect("in-memory append");
+    }
+    Box::new(copy)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_wal.json".to_string());
+
+    // Append overhead: logging must be cheap and observably inert.
+    let (off_secs, off_report) = time_simulation(&hierarchy(None));
+    let (on_secs, on_report) = time_simulation(&hierarchy(Some(WalConfig::default())));
+    assert_eq!(
+        on_report.plan_signatures, off_report.plan_signatures,
+        "attaching WALs changed the plans"
+    );
+    let overhead_pct = (on_secs / off_secs - 1.0) * 100.0;
+    println!(
+        "append overhead: wal_off {off_secs:.3}s, wal_on {on_secs:.3}s \
+         ({overhead_pct:+.1}% for {CYCLES} rounds at 1k prosumers)"
+    );
+
+    // Recovery latency: median-of-five crash-restarts per log size.
+    let mut recovery_rows = String::new();
+    for offers in [1_000usize, 10_000] {
+        let (mut master, pool_size, digest) = populated_store(offers);
+        let mut ms: Vec<f64> = (0..5)
+            .map(|_| {
+                let store = clone_store(&mut master);
+                let start = Instant::now();
+                let (node, out) = BrpNode::recover(
+                    BRP_ID,
+                    None,
+                    BrpConfig::default(),
+                    store,
+                    WalConfig::default(),
+                    TimeSlot(0),
+                )
+                .expect("in-memory recovery cannot fail");
+                let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+                assert!(out.is_empty(), "local-mode recovery emits nothing");
+                assert_eq!(node.pool_size(), pool_size);
+                assert_eq!(node.pool_digest(), digest);
+                elapsed
+            })
+            .collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = ms[2];
+        println!("recovery: {offers} offers in {median:.2} ms (pool {pool_size})");
+        if !recovery_rows.is_empty() {
+            recovery_rows.push_str(",\n");
+        }
+        write!(
+            recovery_rows,
+            "    {{\"offers\": {offers}, \"recover_ms\": {median:.4}}}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"wal_overhead\",\n  \"cycles_per_run\": {CYCLES},\n  \
+         \"wal_off_seconds\": {off_secs:.6},\n  \"wal_on_seconds\": {on_secs:.6},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"recovery\": [\n{recovery_rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_wal.json");
+    println!("wrote {out_path}");
+}

@@ -15,7 +15,11 @@
 //! * [`exec`] — the shared deterministic worker [`Pool`] every parallel
 //!   path in the workspace (aggregate flushes, scheduling chains, EGRV
 //!   fitting) dispatches onto instead of spawning scoped threads per
-//!   call.
+//!   call,
+//! * [`codec`] — the compact binary [`Wire`] format (varint/zigzag
+//!   integers, bit-exact floats) that the message layer and the
+//!   per-node write-ahead logs serialize through; it replaces the
+//!   vendored no-op serde stub as the workspace's real wire encoding.
 //!
 //! The types are deliberately free of any aggregation / forecasting /
 //! scheduling logic — those live in the dedicated crates layered on top.
@@ -43,6 +47,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod energy;
 pub mod error;
 pub mod exec;
@@ -55,6 +60,7 @@ pub mod profile;
 pub mod schedule;
 pub mod time;
 
+pub use codec::{CodecError, Wire};
 pub use energy::{Energy, EnergyRange};
 pub use error::DomainError;
 pub use exec::Pool;

@@ -60,6 +60,21 @@ pub fn partition_between(start_cycle: usize, end_cycle: usize, a: NodeId, b: Nod
     ChaosPhase::new(start, end, FailureModel::reliable()).with_partitions(vec![(a, b)])
 }
 
+/// A crash-restart: `node` loses its entire in-memory state at the start
+/// of `cycle` and is rebuilt from its write-ahead log (snapshot + tail
+/// replay, then a resync snapshot to its parent) before the round is
+/// pumped. Requires the simulation to run with WALs attached
+/// ([`crate::simulation::SimulationConfig::wal`]).
+///
+/// The phase is **zero-length** (`start == end`): a crash is an instant,
+/// not a windowed disturbance, so it never overrides the baseline
+/// failure model and the quiet-tail overlap check treats it as ending
+/// the moment it fires.
+pub fn crash_of(cycle: usize, node: NodeId) -> ChaosPhase {
+    let (start, _) = cycle_span(cycle, cycle + 1);
+    ChaosPhase::new(start, start, FailureModel::reliable()).with_crashes(vec![node])
+}
+
 /// A chaos campaign: a simulation whose [`ChaosPlan`] ends at least
 /// `quiet_cycles` before the run does.
 #[derive(Debug, Clone)]
@@ -131,15 +146,16 @@ impl CampaignReport {
         let c = &self.chaos;
         let n = c.network;
         let mut out = format!(
-            "chaos run: {} offers, {} assigned, {} fallbacks, {} replans\n\
+            "chaos run: {} offers, {} assigned, {} fallbacks, {} replans, {} crash-restarts\n\
              network:   {} sent, {} enqueued, {} delivered, {} dropped, {} duplicated,\n\
-             \x20          {} dead-lettered, {} replayed\n\
+             \x20          {} dead-lettered, {} replayed, {} evicted\n\
              invariants: {} phantom offers, {} energy violations\n\
              convergence: last {} cycle signatures vs no-chaos baseline — ",
             c.offers_submitted,
             c.assigned,
             c.fallbacks,
             c.replans,
+            c.crashes,
             n.sent,
             n.enqueued,
             n.delivered,
@@ -147,6 +163,7 @@ impl CampaignReport {
             n.duplicated,
             n.dead_lettered,
             n.replayed,
+            n.dropped_dead_letters,
             c.phantom_offers,
             c.energy_violations,
             self.compared_cycles,
@@ -254,6 +271,25 @@ mod tests {
             report.summary()
         );
         assert!(report.chaos.network.dropped > 0, "storm must actually drop");
+    }
+
+    #[test]
+    fn crash_restart_campaign_converges() {
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable().phase(crash_of(2, NodeId(1))),
+                wal: Some(crate::wal::WalConfig::default()),
+                ..small_sim(5)
+            },
+            quiet_cycles: 3,
+        });
+        assert_eq!(report.chaos.crashes, 1, "the crash must actually fire");
+        assert_eq!(report.baseline.crashes, 0, "the twin never crashes");
+        assert!(
+            report.converged(),
+            "crash-restart must self-heal via WAL recovery:\n{}",
+            report.summary()
+        );
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl FailureModel {
 
 /// One timed phase of a [`ChaosPlan`]: while `start <= now < end`, the
 /// network injects `failure` and severs every link in `partitions`
-/// (bidirectionally).
+/// (bidirectionally); at `start` the harness crash-restarts every node
+/// in `crashes`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosPhase {
     /// First slot (inclusive) at which the phase is active.
@@ -178,6 +179,12 @@ pub struct ChaosPhase {
     /// is active. Envelopes routed across a cut link are dead-lettered
     /// and replayed when the partition heals.
     pub partitions: Vec<(NodeId, NodeId)>,
+    /// Nodes whose in-memory state is destroyed when the phase begins.
+    /// The network itself ignores this field — it is a schedule for the
+    /// simulation harness, which deregisters the node, rebuilds it from
+    /// its WAL (snapshot + tail replay) and re-registers it (replaying
+    /// dead letters accumulated while it was down).
+    pub crashes: Vec<NodeId>,
 }
 
 impl ChaosPhase {
@@ -188,12 +195,20 @@ impl ChaosPhase {
             end,
             failure,
             partitions: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
     /// Builder step: also cut these links while the phase is active.
     pub fn with_partitions(mut self, partitions: Vec<(NodeId, NodeId)>) -> ChaosPhase {
         self.partitions = partitions;
+        self
+    }
+
+    /// Builder step: also crash-restart these nodes when the phase
+    /// begins.
+    pub fn with_crashes(mut self, crashes: Vec<NodeId>) -> ChaosPhase {
+        self.crashes = crashes;
         self
     }
 }
@@ -229,6 +244,24 @@ impl ChaosPlan {
     pub fn is_reliable(&self) -> bool {
         self.phases.is_empty()
     }
+
+    /// Nodes scheduled to crash in `[from, to)`: every node listed by a
+    /// phase whose window *starts* in that range, phase order preserved,
+    /// duplicates removed. The simulation queries this once per cycle
+    /// and executes the crash-restarts before pumping the round.
+    pub fn crashes_between(&self, from: TimeSlot, to: TimeSlot) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for phase in &self.phases {
+            if from <= phase.start && phase.start < to {
+                for &node in &phase.crashes {
+                    if !out.contains(&node) {
+                        out.push(node);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Per-link delivery counters (also the shape of the global roll-up).
@@ -250,6 +283,10 @@ pub struct NetworkStats {
     /// Dead letters re-enqueued after a partition healed or the node
     /// (re-)registered.
     pub replayed: u64,
+    /// Dead letters evicted (oldest first) because their link exceeded
+    /// the queue's per-link retention cap — bounded memory under a
+    /// never-healing partition costs the oldest retained envelopes.
+    pub dropped_dead_letters: u64,
 }
 
 /// Why an envelope landed in the [`DeadLetterQueue`].
@@ -277,12 +314,33 @@ pub struct DeadLetter {
 /// Retention queue for undeliverable envelopes, replayed on recovery
 /// ([`Network::advance`] after a partition heals, [`Network::register`]
 /// when a node comes back).
-#[derive(Debug, Default)]
+///
+/// Retention is **bounded per link**: once a `(from, to)` link holds
+/// [`DeadLetterQueue::per_link_cap`] letters, pushing another evicts
+/// that link's oldest (counted in
+/// [`NetworkStats::dropped_dead_letters`]). A partition that never
+/// heals therefore costs bounded memory, and the freshest traffic —
+/// the part a resync snapshot cannot reconstruct from — is what
+/// survives to replay.
+#[derive(Debug)]
 pub struct DeadLetterQueue {
     letters: Vec<DeadLetter>,
+    per_link_cap: usize,
+}
+
+impl Default for DeadLetterQueue {
+    fn default() -> DeadLetterQueue {
+        DeadLetterQueue {
+            letters: Vec::new(),
+            per_link_cap: DeadLetterQueue::DEFAULT_PER_LINK_CAP,
+        }
+    }
 }
 
 impl DeadLetterQueue {
+    /// Default per-link retention bound.
+    pub const DEFAULT_PER_LINK_CAP: usize = 1024;
+
     /// Retained envelopes, oldest first.
     pub fn letters(&self) -> &[DeadLetter] {
         &self.letters
@@ -296,6 +354,30 @@ impl DeadLetterQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.letters.is_empty()
+    }
+
+    /// The per-link retention bound.
+    pub fn per_link_cap(&self) -> usize {
+        self.per_link_cap
+    }
+
+    /// Retain a letter; if its link is at the cap, evict and return that
+    /// link's oldest letter (the caller accounts the drop).
+    fn push(&mut self, letter: DeadLetter) -> Option<DeadLetter> {
+        let link = letter.link;
+        let evicted = if self.letters.iter().filter(|l| l.link == link).count() >= self.per_link_cap
+        {
+            let oldest = self
+                .letters
+                .iter()
+                .position(|l| l.link == link)
+                .expect("cap >= 1, so at least one letter on the link");
+            Some(self.letters.remove(oldest))
+        } else {
+            None
+        };
+        self.letters.push(letter);
+        evicted
     }
 
     /// Remove and return every letter `pred` selects, preserving order.
@@ -450,12 +532,29 @@ impl Network {
         for m in q {
             self.stats.dead_lettered += 1;
             self.link_states[m.link as usize].stats.dead_lettered += 1;
-            self.dead_letters.letters.push(DeadLetter {
+            self.dead_letter(DeadLetter {
                 envelope: m.envelope,
                 reason: DeadLetterReason::Unregistered,
                 link: m.link,
             });
         }
+    }
+
+    /// Retain a dead letter, accounting the eviction if its link was at
+    /// the retention cap.
+    fn dead_letter(&mut self, letter: DeadLetter) {
+        if let Some(evicted) = self.dead_letters.push(letter) {
+            self.stats.dropped_dead_letters += 1;
+            self.link_states[evicted.link as usize]
+                .stats
+                .dropped_dead_letters += 1;
+        }
+    }
+
+    /// Override the dead-letter queue's per-link retention bound (0 is
+    /// clamped to 1 — the queue always keeps a link's freshest letter).
+    pub fn set_dead_letter_cap(&mut self, cap: usize) {
+        self.dead_letters.per_link_cap = cap.max(1);
     }
 
     /// Whether `node` currently has an inbox.
@@ -514,7 +613,7 @@ impl Network {
         if self.is_cut(envelope.from, envelope.to) {
             self.stats.dead_lettered += 1;
             self.link_states[link as usize].stats.dead_lettered += 1;
-            self.dead_letters.letters.push(DeadLetter {
+            self.dead_letter(DeadLetter {
                 envelope,
                 reason: DeadLetterReason::Partitioned,
                 link,
@@ -567,7 +666,7 @@ impl Network {
             None => {
                 self.stats.dead_lettered += 1;
                 self.link_states[link as usize].stats.dead_lettered += 1;
-                self.dead_letters.letters.push(DeadLetter {
+                self.dead_letter(DeadLetter {
                     envelope,
                     reason: DeadLetterReason::Unregistered,
                     link,
@@ -582,7 +681,7 @@ impl Network {
     fn replay(&mut self, envelope: Envelope, available: TimeSlot, link: u32) {
         let Some(q) = self.inboxes.get_mut(&envelope.to) else {
             // Recipient still gone: keep waiting.
-            self.dead_letters.letters.push(DeadLetter {
+            self.dead_letter(DeadLetter {
                 envelope,
                 reason: DeadLetterReason::Unregistered,
                 link,
@@ -965,6 +1064,65 @@ mod tests {
         assert_eq!(n.stats().replayed, 1);
         assert_eq!(n.drain(NodeId(1), TimeSlot(30)).len(), 1);
         assert!(n.is_reliable_now());
+    }
+
+    #[test]
+    fn dead_letter_cap_evicts_oldest_per_link() {
+        let mut n = Network::reliable();
+        n.set_dead_letter_cap(3);
+        n.register(NodeId(1));
+        n.cut(NodeId(0), NodeId(1));
+        for at in 0..5 {
+            n.route(env(1, at));
+        }
+        // Cap 3: the two oldest letters on the 0→1 link were evicted.
+        assert_eq!(n.dead_letters().len(), 3);
+        assert_eq!(n.stats().dropped_dead_letters, 2);
+        assert_eq!(
+            n.link_stats(NodeId(0), NodeId(1)).dropped_dead_letters,
+            2,
+            "evictions are accounted on the evicted letter's link"
+        );
+        // Another link is unaffected by the first link's pressure.
+        n.register(NodeId(2));
+        n.cut(NodeId(0), NodeId(2));
+        n.route(env(2, 0));
+        assert_eq!(n.dead_letters().len(), 4);
+        assert_eq!(n.stats().dropped_dead_letters, 2);
+        // Heal: only the freshest three replay — their stream sequence
+        // numbers show the oldest two are gone for good (the receiver's
+        // resync protocol reconstructs what they carried).
+        n.heal(NodeId(0), NodeId(1));
+        n.advance(TimeSlot(10));
+        let got = n.drain(NodeId(1), TimeSlot(10));
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![Some(2), Some(3), Some(4)]
+        );
+    }
+
+    #[test]
+    fn chaos_plan_schedules_crashes() {
+        let plan = ChaosPlan::reliable()
+            .phase(
+                ChaosPhase::new(TimeSlot(10), TimeSlot(12), FailureModel::reliable())
+                    .with_crashes(vec![NodeId(5), NodeId(7)]),
+            )
+            .phase(
+                ChaosPhase::new(TimeSlot(11), TimeSlot(13), FailureModel::reliable())
+                    .with_crashes(vec![NodeId(7), NodeId(9)]),
+            );
+        assert!(!plan.is_reliable());
+        assert!(plan.crashes_between(TimeSlot(0), TimeSlot(10)).is_empty());
+        assert_eq!(
+            plan.crashes_between(TimeSlot(10), TimeSlot(11)),
+            vec![NodeId(5), NodeId(7)]
+        );
+        assert_eq!(
+            plan.crashes_between(TimeSlot(10), TimeSlot(20)),
+            vec![NodeId(5), NodeId(7), NodeId(9)],
+            "duplicates collapse, phase order preserved"
+        );
     }
 
     #[test]

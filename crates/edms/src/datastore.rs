@@ -4,6 +4,16 @@
 //! is flexible enough to support actors at all levels, some of which only
 //! use subparts of the schema."
 //!
+//! In the reproduction's event-sourced split, this store is the **read
+//! side**: the durable record of a node is the event log in
+//! [`crate::wal`] (every ingested envelope, appended before it is
+//! applied), and the facts here are *materializations* of that event
+//! stream into the queryable shape the control loop needs — each
+//! [`crate::brp::BrpNode`] handler that appends a wire event also
+//! upserts the corresponding fact rows. Replaying the log through the
+//! handlers (crash recovery) rebuilds the same rows, so the store needs
+//! no persistence story of its own.
+//!
 //! Dimensions: time (derived from the slot index), actor, energy type and
 //! market area (snowflaked off the actor dimension). Fact tables:
 //! measurements, flex-offer lifecycle events, schedules and prices.

@@ -54,7 +54,19 @@
 //!   [`ResyncSnapshot`](message::Message::ResyncSnapshot)) that splices
 //!   a bounded state snapshot into the live delta stream;
 //! * [`datastore`] — the Data Management component: a multidimensional
-//!   star-schema store (dimension + fact tables, \[6\]);
+//!   star-schema store (dimension + fact tables, \[6\]) materializing
+//!   the node's event history into queryable facts;
+//! * [`wal`] — the **event-sourced persistence layer**: every envelope
+//!   a node ingests (and every outbox flush it emits) is encoded with
+//!   the [`mirabel_core::codec::Wire`] binary codec, wrapped in an
+//!   [`EventRecord`] (`event_id` / `causation_id` /
+//!   `replay_safe`) and appended to a pluggable
+//!   [`WalStore`] *before* the node's state mutates.
+//!   Snapshot-then-truncate compaction bounds replay length; a crashed
+//!   BRP rebuilds from snapshot + tail replay
+//!   ([`BrpNode::recover`](brp::BrpNode::recover)), re-registers (the
+//!   dead-letter queue replays what it missed), and re-anchors its
+//!   sequenced streams through the resync-snapshot path;
 //! * [`prosumer`] / [`brp`] / [`tso`] — the three node roles, wiring the
 //!   aggregation, forecasting, scheduling and negotiation crates
 //!   together on top of the shared runtime;
@@ -66,10 +78,11 @@
 //!   ("the overall system would gracefully behave as in the traditional
 //!   setting");
 //! * [`chaos`] — campaigns that *prove* the robustness story: scripted
-//!   storms (loss, delay bursts, BRP↔TSO partition-then-heal, churn)
-//!   driven through the simulation, with an invariant checker asserting
-//!   offer conservation, zero phantom offers, energy-bound compliance —
-//!   and post-chaos **convergence**: after a quiet period the plan
+//!   storms (loss, delay bursts, BRP↔TSO partition-then-heal, churn,
+//!   mid-round BRP **crash-restarts** recovering from the WAL) driven
+//!   through the simulation, with an invariant checker asserting offer
+//!   conservation, zero phantom offers, energy-bound compliance — and
+//!   post-chaos **convergence**: after a quiet period the plan
 //!   signatures must be bit-identical to a never-disturbed twin run.
 
 #![forbid(unsafe_code)]
@@ -84,6 +97,7 @@ pub mod prosumer;
 pub mod runtime;
 pub mod simulation;
 pub mod tso;
+pub mod wal;
 pub mod wire;
 
 pub use brp::{BrpConfig, BrpNode};
@@ -100,4 +114,5 @@ pub use runtime::{
 };
 pub use simulation::{simulate, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;
+pub use wal::{EventRecord, FileWalStore, LoadedLog, MemWalStore, NodeWal, WalConfig, WalStore};
 pub use wire::{DedupRx, SequencedRx, StreamStats};

@@ -2,6 +2,7 @@
 //! and demand measurements, forecasts, etc.").
 
 use mirabel_aggregate::FlexOfferUpdate;
+use mirabel_core::codec::{CodecError, Wire};
 use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot};
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,108 @@ pub struct Envelope {
     pub seq: Option<u64>,
     /// Payload.
     pub message: Message,
+}
+
+impl Wire for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::SubmitOffer(offer) => {
+                out.push(0);
+                offer.encode(out);
+            }
+            Message::OfferAccepted { offer, value } => {
+                out.push(1);
+                offer.encode(out);
+                value.encode(out);
+            }
+            Message::OfferRejected { offer } => {
+                out.push(2);
+                offer.encode(out);
+            }
+            Message::Assignment {
+                schedule,
+                discount_per_kwh,
+            } => {
+                out.push(3);
+                schedule.encode(out);
+                discount_per_kwh.encode(out);
+            }
+            Message::Measurement {
+                actor,
+                start,
+                values,
+            } => {
+                out.push(4);
+                actor.encode(out);
+                start.encode(out);
+                values.encode(out);
+            }
+            Message::MacroOfferDeltas(updates) => {
+                out.push(5);
+                updates.encode(out);
+            }
+            Message::ResyncRequest => out.push(6),
+            Message::ResyncSnapshot { offers } => {
+                out.push(7);
+                offers.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let (&tag, rest) = buf.split_first().ok_or(CodecError::UnexpectedEof)?;
+        *buf = rest;
+        match tag {
+            0 => Ok(Message::SubmitOffer(FlexOffer::decode(buf)?)),
+            1 => Ok(Message::OfferAccepted {
+                offer: FlexOfferId::decode(buf)?,
+                value: f64::decode(buf)?,
+            }),
+            2 => Ok(Message::OfferRejected {
+                offer: FlexOfferId::decode(buf)?,
+            }),
+            3 => Ok(Message::Assignment {
+                schedule: ScheduledFlexOffer::decode(buf)?,
+                discount_per_kwh: Price::decode(buf)?,
+            }),
+            4 => Ok(Message::Measurement {
+                actor: ActorId::decode(buf)?,
+                start: TimeSlot::decode(buf)?,
+                values: Vec::<f64>::decode(buf)?,
+            }),
+            5 => Ok(Message::MacroOfferDeltas(Vec::<FlexOfferUpdate>::decode(
+                buf,
+            )?)),
+            6 => Ok(Message::ResyncRequest),
+            7 => Ok(Message::ResyncSnapshot {
+                offers: Vec::<FlexOffer>::decode(buf)?,
+            }),
+            other => Err(CodecError::InvalidTag {
+                what: "Message",
+                tag: u64::from(other),
+            }),
+        }
+    }
+}
+
+impl Wire for Envelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.to.encode(out);
+        self.sent_at.encode(out);
+        self.seq.encode(out);
+        self.message.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(Envelope {
+            from: NodeId::decode(buf)?,
+            to: NodeId::decode(buf)?,
+            sent_at: TimeSlot::decode(buf)?,
+            seq: Option::<u64>::decode(buf)?,
+            message: Message::decode(buf)?,
+        })
+    }
 }
 
 impl Envelope {

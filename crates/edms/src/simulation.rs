@@ -60,6 +60,7 @@ use crate::message::Envelope;
 use crate::prosumer::ProsumerNode;
 use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
+use crate::wal::{NodeWal, WalConfig};
 use mirabel_aggregate::AggregationParams;
 use mirabel_core::exec::{Pool, Task};
 use mirabel_core::{
@@ -115,6 +116,15 @@ pub struct SimulationConfig {
     /// Worker pool shared by every planning node in the hierarchy. The
     /// pool width never changes any result.
     pub pool: Pool,
+    /// Attach an in-memory write-ahead log with this configuration to
+    /// every BRP. Required for [`ChaosPhase::crashes`] phases to recover
+    /// state: a crashed BRP rebuilds from snapshot + tail replay and
+    /// resyncs its parent. With `None`, a scheduled crash is total
+    /// amnesia — the node restarts cold and only deadline expiry plus
+    /// the resync protocol limit the damage.
+    ///
+    /// [`ChaosPhase::crashes`]: crate::comm::ChaosPhase::crashes
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for SimulationConfig {
@@ -134,6 +144,7 @@ impl Default for SimulationConfig {
             refine_fraction: 0.1,
             repair_chains: 4,
             pool: Pool::global().clone(),
+            wal: None,
         }
     }
 }
@@ -172,6 +183,8 @@ pub struct SimulationReport {
     /// Committed prosumer schedules that violate their originating
     /// offer's energy bounds (must be zero under any chaos).
     pub energy_violations: usize,
+    /// Crash-restarts executed by the chaos schedule.
+    pub crashes: usize,
 }
 
 impl SimulationReport {
@@ -356,22 +369,25 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         network.register(tso_id);
     }
 
+    // One config builder for initial construction AND crash-restarts: a
+    // recovered BRP must be configured exactly like the node it replaces.
+    let make_brp_config = || BrpConfig {
+        scheduler: cfg.scheduler,
+        budget_evaluations: cfg.budget_evaluations,
+        forward_to_tso: cfg.use_tso,
+        repair_chains: cfg.repair_chains.max(1),
+        pool: cfg.pool.clone(),
+        ..BrpConfig::default()
+    };
     let mut brps: Vec<BrpNode> = (0..cfg.brps)
         .map(|b| {
             let id = NodeId(1 + b as u64);
             network.register(id);
-            BrpNode::new(
-                id,
-                cfg.use_tso.then_some(tso_id),
-                BrpConfig {
-                    scheduler: cfg.scheduler,
-                    budget_evaluations: cfg.budget_evaluations,
-                    forward_to_tso: cfg.use_tso,
-                    repair_chains: cfg.repair_chains.max(1),
-                    pool: cfg.pool.clone(),
-                    ..BrpConfig::default()
-                },
-            )
+            let mut brp = BrpNode::new(id, cfg.use_tso.then_some(tso_id), make_brp_config());
+            if let Some(wal_config) = cfg.wal {
+                brp.attach_wal(NodeWal::in_memory(wal_config));
+            }
+            brp
         })
         .collect();
 
@@ -408,6 +424,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
     let mut next_offer_id: u64 = 1;
     let mut offers_submitted = 0usize;
     let mut replans = 0usize;
+    let mut crashes = 0usize;
     // Shadow open-contract execution of every submitted offer, plus the
     // ground-truth baseline, per executed window. Ordered map: the
     // accounting walk must be reproducible byte-for-byte across runs.
@@ -426,18 +443,6 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         let window = t0 + s; // next-day execution window
         let deadline = t0 + s / 2;
         network.advance(t0);
-
-        // The planner hierarchy, bottom-up. Rebuilt per cycle so the
-        // borrow is scoped; the *waves* below are the only traversal.
-        // `+ Send` because each level's nodes are driven concurrently on
-        // the shared pool.
-        let mut levels: Vec<Vec<&mut (dyn NodeRuntime + Send)>> = vec![brps
-            .iter_mut()
-            .map(|b| b as &mut (dyn NodeRuntime + Send))
-            .collect()];
-        if cfg.use_tso {
-            levels.push(vec![&mut tso]);
-        }
 
         // 1. Prosumers issue offers for the next window. Churned-out
         //    prosumers are gone: they submit nothing.
@@ -482,6 +487,56 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                     network.deregister(p.id);
                 }
             }
+        }
+
+        // 1c. Crash-restarts scheduled for this cycle: the BRP's entire
+        //     in-memory state is destroyed; only its WAL store (the
+        //     "disk") survives. Recovery mirrors real node churn:
+        //     deregister (queued messages — including this round's
+        //     still-undrained submissions — dead-letter), rebuild from
+        //     snapshot + tail replay, re-register (the dead letters
+        //     replay into the fresh inbox), and route the recovery
+        //     resync snapshot that re-anchors the parent's pooled view.
+        for node in cfg.chaos.crashes_between(t0, t0 + s) {
+            let Some(idx) = brps.iter().position(|b| b.id == node) else {
+                continue;
+            };
+            crashes += 1;
+            network.deregister(node);
+            let survived_store = brps[idx].take_wal().map(NodeWal::into_store);
+            let (rebuilt, recovery_out) = match (survived_store, cfg.wal) {
+                (Some(store), Some(wal_config)) => BrpNode::recover(
+                    node,
+                    cfg.use_tso.then_some(tso_id),
+                    make_brp_config(),
+                    store,
+                    wal_config,
+                    t0,
+                )
+                .expect("in-memory WAL stores cannot fail"),
+                // No WAL attached: the crash is total amnesia and the
+                // node restarts cold.
+                _ => (
+                    BrpNode::new(node, cfg.use_tso.then_some(tso_id), make_brp_config()),
+                    Vec::new(),
+                ),
+            };
+            brps[idx] = rebuilt;
+            network.register(node);
+            network.send_all(recovery_out);
+        }
+
+        // The planner hierarchy, bottom-up. Rebuilt per cycle so the
+        // borrow is scoped (and so crash-restarts can replace a BRP
+        // wholesale above); the *waves* below are the only traversal.
+        // `+ Send` because each level's nodes are driven concurrently on
+        // the shared pool.
+        let mut levels: Vec<Vec<&mut (dyn NodeRuntime + Send)>> = vec![brps
+            .iter_mut()
+            .map(|b| b as &mut (dyn NodeRuntime + Send))
+            .collect()];
+        if cfg.use_tso {
+            levels.push(vec![&mut tso]);
         }
 
         // 2. Planning wave, bottom-up: the day-ahead baseline forecast is
@@ -707,6 +762,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         plan_signatures,
         phantom_offers,
         energy_violations,
+        crashes,
     }
 }
 

@@ -21,6 +21,14 @@
 //! Pooled offers are stored **once**, in the pipeline's `OfferSlab`; the
 //! TSO keeps only an id → source-BRP map ([`TsoNode::source_of`]) beside
 //! it — no cloned `FlexOffer` pool.
+//!
+//! The resync path is also the **crash-recovery** path: a BRP rebuilt
+//! from its write-ahead log (see [`crate::wal`]) announces itself with
+//! an *unsolicited* [`Message::ResyncSnapshot`], and the TSO's
+//! [`snapshot diff`](TsoNode::handle) plus per-stream
+//! [`SequencedRx::resynced`] re-anchor its pooled view and the sequence
+//! numbers in one round-trip — the TSO cannot tell a recovery from an
+//! ordinary lost-delta resync.
 
 use crate::message::{Envelope, Message};
 use crate::runtime::{

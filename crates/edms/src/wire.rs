@@ -39,17 +39,29 @@ pub struct StreamStats {
     pub resyncs_requested: u64,
     /// Snapshots accepted (stream re-anchored).
     pub resyncs_applied: u64,
+    /// Buffered out-of-order envelopes discarded because the buffer hit
+    /// its cap (the stream then re-anchors on a resync snapshot).
+    pub overflow_dropped: u64,
 }
+
+/// Default cap on a [`SequencedRx`]'s out-of-order buffer. Beyond this
+/// many parked envelopes the guard stops buffering, drops what it
+/// parked, and relies on the (already requested) resync snapshot to
+/// re-anchor — bounding memory during long partitions.
+pub const DEFAULT_BUFFER_CAP: usize = 1024;
 
 /// In-order, exactly-once delivery guard for one inbound stateful
 /// stream (one sender).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SequencedRx {
     /// The next sequence number that can be delivered.
     next_expected: u64,
     /// Out-of-order envelopes parked until the gap below them closes or
     /// a snapshot supersedes them.
     buffer: BTreeMap<u64, Envelope>,
+    /// Most envelopes the buffer may park before overflow discards them
+    /// in favour of a resync snapshot.
+    buffer_cap: usize,
     /// Whether a resync request is believed to be in flight. Kept for
     /// reporting; the guard still re-requests on every gapped arrival,
     /// because the request itself can be lost on the same bad link.
@@ -57,7 +69,26 @@ pub struct SequencedRx {
     stats: StreamStats,
 }
 
+impl Default for SequencedRx {
+    fn default() -> SequencedRx {
+        SequencedRx {
+            next_expected: 0,
+            buffer: BTreeMap::new(),
+            buffer_cap: DEFAULT_BUFFER_CAP,
+            resync_pending: false,
+            stats: StreamStats::default(),
+        }
+    }
+}
+
 impl SequencedRx {
+    /// A guard with a custom out-of-order buffer cap (≥ 1).
+    pub fn with_buffer_cap(cap: usize) -> SequencedRx {
+        SequencedRx {
+            buffer_cap: cap.max(1),
+            ..SequencedRx::default()
+        }
+    }
     /// Offer one envelope to the guard. Returns the envelopes now
     /// deliverable **in stream order** (possibly empty) plus whether the
     /// caller should send a resync request to the stream's sender.
@@ -76,6 +107,18 @@ impl SequencedRx {
             return (Vec::new(), false);
         }
         if seq > self.next_expected {
+            if self.buffer.len() >= self.buffer_cap {
+                // Overflow: a long gap has parked more than the cap.
+                // Everything buffered (and this arrival) is discarded —
+                // the resync snapshot the caller sends for supersedes
+                // all of it — so memory stays bounded during long
+                // partitions instead of growing with the backlog.
+                self.stats.overflow_dropped += self.buffer.len() as u64 + 1;
+                self.buffer.clear();
+                self.stats.resyncs_requested += 1;
+                self.resync_pending = true;
+                return (Vec::new(), true);
+            }
             self.buffer.insert(seq, envelope);
             self.stats.buffered += 1;
             self.stats.resyncs_requested += 1;
@@ -192,6 +235,27 @@ impl DedupRx {
             }
         }
         true
+    }
+
+    /// Export the filter state for a WAL snapshot:
+    /// `(delivered_below, seen, duplicates)`.
+    pub fn export_state(&self) -> (u64, Vec<u64>, u64) {
+        (
+            self.delivered_below,
+            self.seen.iter().copied().collect(),
+            self.duplicates,
+        )
+    }
+
+    /// Rebuild a filter from snapshot state produced by
+    /// [`export_state`](Self::export_state) — recovery resumes exactly
+    /// where the crashed node's duplicate window stood.
+    pub fn from_state(delivered_below: u64, seen: Vec<u64>, duplicates: u64) -> DedupRx {
+        DedupRx {
+            delivered_below,
+            seen: seen.into_iter().collect(),
+            duplicates,
+        }
     }
 }
 
@@ -317,6 +381,45 @@ mod tests {
         assert!(!rx.accept(Some(1)));
         assert_eq!(rx.duplicates, 3);
         assert!(rx.accept(None), "unsequenced always delivers");
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_forces_resync() {
+        let mut rx = SequencedRx::with_buffer_cap(3);
+        rx.receive(env(0));
+        // Seq 1 lost; 2, 3, 4 park (cap reached), 5 overflows.
+        for s in 2..=4 {
+            let (out, resync) = rx.receive(env(s));
+            assert!(out.is_empty());
+            assert!(resync);
+        }
+        assert_eq!(rx.buffered(), 3);
+        let (out, resync) = rx.receive(env(5));
+        assert!(out.is_empty());
+        assert!(resync, "overflow still asks for a resync");
+        assert_eq!(rx.buffered(), 0, "parked envelopes were discarded");
+        assert_eq!(rx.stats().overflow_dropped, 4);
+        // The snapshot (stamped 5) re-anchors the stream; 6 flows.
+        let released = rx.resynced(Some(5));
+        assert!(released.is_empty());
+        let (out, resync) = rx.receive(env(6));
+        assert_eq!(seqs(&out), vec![6]);
+        assert!(!resync);
+    }
+
+    #[test]
+    fn dedup_state_export_restore_roundtrip() {
+        let mut rx = DedupRx::default();
+        for s in [0u64, 1, 3, 7] {
+            rx.accept(Some(s));
+        }
+        rx.accept(Some(3)); // one duplicate
+        let (below, seen, dups) = rx.export_state();
+        let mut restored = DedupRx::from_state(below, seen, dups);
+        // Same acceptance behaviour as the original going forward.
+        assert!(!restored.accept(Some(7)), "remembered as delivered");
+        assert!(restored.accept(Some(2)), "gap slot still deliverable");
+        assert_eq!(restored.duplicates, dups + 1);
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! random chaos plans and a pool-width determinism check.
 
 use mirabel_core::exec::Pool;
-use mirabel_core::NodeId;
+use mirabel_core::{EnergyRange, FlexOffer, NodeId, Profile, TimeSlot};
 use mirabel_edms::chaos::{
-    delay_burst, loss_storm, partition_between, run_campaign, CampaignConfig,
+    crash_of, delay_burst, loss_storm, partition_between, run_campaign, CampaignConfig,
 };
-use mirabel_edms::{simulate, ChaosPlan, FailureModel, SimulationConfig};
+use mirabel_edms::{
+    simulate, BrpConfig, BrpNode, ChaosPlan, Envelope, FailureModel, Message, NodeWal,
+    SimulationConfig, WalConfig,
+};
 use proptest::prelude::*;
 
 /// The simulation's fixed node ids: BRP `b` is `NodeId(1 + b)`, the TSO
@@ -66,6 +69,42 @@ fn scripted_campaign_self_heals_bit_identically() {
     assert!(
         report.converged(),
         "campaign did not self-heal:\n{}",
+        report.summary()
+    );
+}
+
+/// The durability acceptance scenario: two different BRPs crash-restart
+/// mid-campaign (one of them during a loss storm), losing every byte of
+/// in-memory state. Each rebuilds from its write-ahead log — snapshot +
+/// tail replay, with `snapshot_every: 8` forcing real compaction mid-run
+/// — re-registers (dead letters replay), and re-anchors the TSO through
+/// an unsolicited resync snapshot. The quiet tail must be bit-identical
+/// to the twin that never crashed.
+#[test]
+fn crash_campaign_recovers_bit_identically() {
+    let plan = ChaosPlan::reliable()
+        .phase(loss_storm(1, 2, 0.3))
+        .phase(crash_of(2, BRP0))
+        .phase(crash_of(3, NodeId(2)));
+    let report = run_campaign(&CampaignConfig {
+        sim: SimulationConfig {
+            chaos: plan,
+            churn_fraction: 0.10,
+            wal: Some(WalConfig { snapshot_every: 8 }),
+            ..three_level(7, 99)
+        },
+        quiet_cycles: 3,
+    });
+    assert_eq!(report.chaos.crashes, 2, "both crashes must fire");
+    assert_eq!(report.baseline.crashes, 0, "the twin never crashes");
+    assert!(
+        report.chaos.network.replayed > 0,
+        "re-registration replayed nothing:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.converged(),
+        "crash recovery left a trace:\n{}",
         report.summary()
     );
 }
@@ -170,6 +209,100 @@ proptest! {
             report.summary()
         );
     }
+
+    /// Crashing a random BRP at a random cycle of a random campaign —
+    /// under a random loss storm, churn, and snapshot cadence — replays
+    /// to the exact state of the never-crashed twin: the quiet-tail plan
+    /// signatures are bit-identical.
+    #[test]
+    fn random_crashes_replay_to_identical_plans(
+        seed in 0u64..1_000,
+        crash_cycle in 1usize..3,
+        crashed_brp in 0u64..2,
+        drop_p in 0.0f64..0.4,
+        churn in 0.0f64..0.10,
+        snapshot_every in 4usize..64,
+    ) {
+        let plan = ChaosPlan::reliable()
+            .phase(loss_storm(0, 1, drop_p))
+            .phase(crash_of(crash_cycle, NodeId(1 + crashed_brp)));
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: plan,
+                churn_fraction: churn,
+                wal: Some(WalConfig { snapshot_every }),
+                brps: 2,
+                prosumers_per_brp: 3,
+                offers_per_prosumer: 1,
+                budget_evaluations: 1_500,
+                ..three_level(6, seed)
+            },
+            quiet_cycles: 3,
+        });
+        prop_assert_eq!(report.chaos.crashes, 1);
+        prop_assert!(
+            report.converged(),
+            "random crash did not replay cleanly (seed {}):\n{}",
+            seed,
+            report.summary()
+        );
+    }
+
+    /// The node-level twin check behind the campaign assertion: feed a
+    /// random offer stream into a WAL-backed BRP and its WAL-less twin,
+    /// crash the former at a random point mid-stream, and the recovered
+    /// pool must match the twin's entry for entry (`pool_digest` hashes
+    /// the canonical encoding of every pooled offer).
+    #[test]
+    fn random_crash_point_replays_to_identical_pool(
+        offers in proptest::collection::vec((1i64..80, 0u32..8), 1..24),
+        crash_at in 0usize..24,
+        snapshot_every in 1usize..16,
+    ) {
+        let wal_config = WalConfig { snapshot_every };
+        let brp_id = NodeId(1);
+        let config = BrpConfig::default();
+        let mut brp = BrpNode::new(brp_id, None, config.clone());
+        brp.attach_wal(NodeWal::in_memory(wal_config));
+        let mut twin = BrpNode::new(brp_id, None, config.clone());
+        let now = TimeSlot(0);
+
+        let crash_at = crash_at.min(offers.len());
+        for (i, &(es, tf)) in offers.iter().enumerate() {
+            if i == crash_at {
+                let store = brp.take_wal().expect("WAL attached").into_store();
+                let (rebuilt, out) =
+                    BrpNode::recover(brp_id, None, config.clone(), store, wal_config, now)
+                        .expect("in-memory stores cannot fail");
+                prop_assert!(out.is_empty(), "local-mode recovery emits nothing");
+                brp = rebuilt;
+            }
+            let offer = FlexOffer::builder(i as u64, 500 + i as u64)
+                .earliest_start(TimeSlot(es))
+                .latest_start(TimeSlot(es + tf as i64))
+                .assignment_before(TimeSlot(es))
+                .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+                .build()
+                .unwrap();
+            let from = NodeId(500 + i as u64);
+            for node in [&mut brp, &mut twin] {
+                node.handle(
+                    Envelope::new(from, brp_id, now, Message::SubmitOffer(offer.clone())),
+                    now,
+                );
+            }
+        }
+        if crash_at >= offers.len() {
+            let store = brp.take_wal().expect("WAL attached").into_store();
+            let (rebuilt, _) =
+                BrpNode::recover(brp_id, None, config, store, wal_config, now)
+                    .expect("in-memory stores cannot fail");
+            brp = rebuilt;
+        }
+
+        prop_assert_eq!(brp.pool_size(), twin.pool_size());
+        prop_assert_eq!(brp.pool_digest(), twin.pool_digest());
+    }
 }
 
 /// Release-scale campaign smoke for CI's `--ignored` step: a bigger
@@ -201,5 +334,40 @@ fn release_scale_campaign_smoke() {
         report.summary()
     );
     assert!(report.chaos.network.dropped > 0);
+    assert!(report.chaos.network.replayed > 0);
+}
+
+/// Release-scale crash-recovery smoke for CI's `--ignored` step: three
+/// crash-restarts across a bigger hierarchy — one during a loss storm,
+/// one during a partition, one repeat crash of the same BRP — with an
+/// aggressive snapshot cadence so compaction churns throughout.
+#[test]
+#[ignore = "release-scale crash-recovery smoke; run with --ignored"]
+fn release_scale_crash_recovery_smoke() {
+    let plan = ChaosPlan::reliable()
+        .phase(loss_storm(1, 3, 0.4))
+        .phase(crash_of(2, BRP0))
+        .phase(partition_between(3, 5, NodeId(2), TSO))
+        .phase(crash_of(4, NodeId(3)))
+        .phase(crash_of(5, BRP0));
+    let report = run_campaign(&CampaignConfig {
+        sim: SimulationConfig {
+            brps: 4,
+            prosumers_per_brp: 10,
+            offers_per_prosumer: 2,
+            budget_evaluations: 8_000,
+            chaos: plan,
+            churn_fraction: 0.10,
+            wal: Some(WalConfig { snapshot_every: 16 }),
+            ..three_level(10, 777_777)
+        },
+        quiet_cycles: 4,
+    });
+    assert_eq!(report.chaos.crashes, 3);
+    assert!(
+        report.converged(),
+        "release-scale crash recovery left a trace:\n{}",
+        report.summary()
+    );
     assert!(report.chaos.network.replayed > 0);
 }
