@@ -1,0 +1,83 @@
+//! Federated vs monolithic hierarchy throughput.
+//!
+//! The headline question of the multi-region layer: does sharding one
+//! population into `N` regions — each a full hierarchy driven as one
+//! `run_each` task, glued by the serial exchange splice — keep pace
+//! with (or beat) the monolithic single-hierarchy run of the same
+//! population? Regions share no mutable state, so past one core the
+//! federated rows should close the gap; on a single-core box the splice
+//! overhead is the entire difference, which is why the
+//! `federation_json` emitter reports the exchange-traffic *ratio* as
+//! the tracked bound rather than a speedup.
+//!
+//! Groups:
+//!
+//! 1. `split` — a fixed 1 k-prosumer population as 1, 2 and 4 regions
+//!    on a width-4 pool, cycles/sec per split. The determinism suite
+//!    pins that each region equals its solo twin; only the rate moves.
+//! 2. `exchange_splice` — the serial splice in isolation: a federation
+//!    cycle vs the sum of its regions' solo cycles would require
+//!    cross-run timing, so instead the 4-region row at width 1 bounds
+//!    splice + scheduling overhead against the 1-region row.
+//!
+//! The release-scale grid (4 × 250k vs 1 × 1M) lives in the
+//! `federation_json` bin — criterion's smoke mode (`cargo bench --
+//! --test`) must stay fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mirabel_core::exec::Pool;
+use mirabel_edms::federation::{Federation, FederationConfig};
+use mirabel_edms::SimulationConfig;
+
+const CYCLES: usize = 2;
+
+fn split_cfg(total_brps: usize, regions: usize, per_brp: usize, width: usize) -> FederationConfig {
+    FederationConfig {
+        regions,
+        sim: SimulationConfig {
+            brps: total_brps / regions,
+            prosumers_per_brp: per_brp,
+            cycles: CYCLES,
+            offers_per_prosumer: 1,
+            use_tso: true,
+            budget_evaluations: 2_000,
+            seed: 42,
+            pool: Pool::new(width),
+            ..SimulationConfig::default()
+        },
+        ..FederationConfig::default()
+    }
+}
+
+fn federation_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federation_throughput_split");
+    group.sample_size(3);
+    for &regions in &[1usize, 2, 4] {
+        let cfg = split_cfg(4, regions, 250, 4);
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(BenchmarkId::new("regions", regions), &cfg, |b, cfg| {
+            b.iter(|| Federation::run(cfg.clone()).regions.len())
+        });
+    }
+    group.finish();
+}
+
+fn exchange_splice_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federation_exchange_splice");
+    group.sample_size(3);
+    // Width 1 serializes the region drives, so the only difference
+    // between the rows is hierarchy size per region plus the splice.
+    for &regions in &[1usize, 4] {
+        let cfg = split_cfg(4, regions, 250, 1);
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(
+            BenchmarkId::new("serial_regions", regions),
+            &cfg,
+            |b, cfg| b.iter(|| Federation::run(cfg.clone()).exchange.deltas_published),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, federation_split, exchange_splice_overhead);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! `BENCH_federation.json` emitter: the multi-region perf artifact.
+//!
+//! Drives the same seeded prosumer population twice — once as a
+//! monolithic single hierarchy, once sharded into 4 regions under the
+//! federation's exchange layer — with byte metering on, and writes
+//! wall-clock plus the **exchange-traffic ratio** (cross-border bus
+//! bytes / intra-region wire bytes) as JSON for CI's per-commit
+//! artifact. On the single-core CI container a wall-clock speedup from
+//! sharding is not observable, so the *tracked assertions* are the
+//! structural ones instead:
+//!
+//! * width determinism — a small federated configuration produces a
+//!   bit-identical `FederationReport` at pool widths 1, 2 and 4;
+//! * the exchange stays a vanishing fraction of the wire: ratio < 1%
+//!   at the headline configuration.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin federation_json \
+//!     [out.json] [total_prosumers]
+//! ```
+//!
+//! `total_prosumers` defaults to 1 000 000 (the paper-scale 4 × 250k
+//! round, what CI runs). Exchange traffic is population-independent
+//! (the export cap bounds it), so the < 1% ratio assertion needs a
+//! population of a few hundred thousand or more — pass a smaller one
+//! only for local smoke where the panic is acceptable feedback.
+
+use mirabel_core::exec::Pool;
+use mirabel_edms::federation::{Federation, FederationConfig};
+use mirabel_edms::{simulate, SimulationConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REGIONS: usize = 4;
+const TOTAL_BRPS: usize = 8;
+
+fn base_sim(brps: usize, per_brp: usize, seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        brps,
+        prosumers_per_brp: per_brp,
+        cycles: 1,
+        offers_per_prosumer: 1,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        refine_fraction: 0.05,
+        seed,
+        pool: Pool::global().clone(),
+        ..SimulationConfig::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_federation.json".to_string());
+    let total: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("total_prosumers must be a number"))
+        .unwrap_or(1_000_000);
+    let per_brp = total / TOTAL_BRPS;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- Width determinism at small scale ---------------------------
+    // Cheap enough to run every time, and it is the guarantee the
+    // headline numbers lean on: pool width moves wall-clock only.
+    let small = |width: usize| FederationConfig {
+        regions: REGIONS,
+        sim: SimulationConfig {
+            pool: Pool::new(width),
+            ..base_sim(TOTAL_BRPS / REGIONS, 50, 42)
+        },
+        meter_bytes: true,
+        ..FederationConfig::default()
+    };
+    let w1 = Federation::run(small(1));
+    let w2 = Federation::run(small(2));
+    let w4 = Federation::run(small(4));
+    assert_eq!(w1, w2, "federation report diverged between widths 1 and 2");
+    assert_eq!(w2, w4, "federation report diverged between widths 2 and 4");
+    println!("width determinism: widths 1/2/4 bit-identical");
+
+    // --- Monolith: 1 hierarchy over the full population -------------
+    let mut mono_cfg = base_sim(TOTAL_BRPS, per_brp, 1_000_000);
+    mono_cfg.pool = Pool::global().clone();
+    let start = Instant::now();
+    let mono = simulate(mono_cfg);
+    let mono_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        mono.assigned + mono.fallbacks,
+        mono.offers_submitted,
+        "monolith broke offer conservation"
+    );
+    println!(
+        "monolith 1 x {total}: {mono_secs:.2}s, {} offers",
+        mono.offers_submitted
+    );
+
+    // --- Federation: 4 regions over the same population --------------
+    let fed_cfg = FederationConfig {
+        regions: REGIONS,
+        sim: base_sim(TOTAL_BRPS / REGIONS, per_brp, 1_000_000),
+        meter_bytes: true,
+        ..FederationConfig::default()
+    };
+    let start = Instant::now();
+    let fed = Federation::run(fed_cfg);
+    let fed_secs = start.elapsed().as_secs_f64();
+    let fed_offers: usize = fed.regions.iter().map(|r| r.offers_submitted).sum();
+    for (i, region) in fed.regions.iter().enumerate() {
+        assert_eq!(
+            region.assigned + region.fallbacks,
+            region.offers_submitted,
+            "region {i} broke offer conservation"
+        );
+        assert_eq!(region.phantom_offers, 0, "region {i} left phantom offers");
+        assert_eq!(region.energy_violations, 0, "region {i} violated energy");
+    }
+    assert!(fed.exchange.converged, "exchange failed to converge");
+    let ratio = fed.exchange_byte_ratio();
+    assert!(
+        ratio < 0.01,
+        "exchange traffic must stay under 1% of intra-region bytes, got {ratio}"
+    );
+    println!(
+        "federation {REGIONS} x {}: {fed_secs:.2}s, {fed_offers} offers, \
+         exchange ratio {ratio:.6} ({} bus bytes / {} intra bytes)",
+        total / REGIONS,
+        fed.exchange.bus.bytes_sent,
+        fed.intra_region_bytes()
+    );
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"federation_throughput\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"total_prosumers\": {total},\n  \
+         \"regions\": {REGIONS},\n  \
+         \"monolith_seconds\": {mono_secs:.6},\n  \
+         \"federation_seconds\": {fed_secs:.6},\n  \
+         \"exchange_bus_bytes\": {},\n  \
+         \"intra_region_bytes\": {},\n  \
+         \"exchange_byte_ratio\": {ratio:.8},\n  \
+         \"exchange_deltas_published\": {},\n  \
+         \"exchange_matched_kwh\": {:.3},\n  \
+         \"exchange_converged\": {},\n  \
+         \"width_determinism\": true\n}}\n",
+        fed.exchange.bus.bytes_sent,
+        fed.intra_region_bytes(),
+        fed.exchange.deltas_published,
+        fed.exchange.matched_kwh,
+        fed.exchange.converged,
+    )
+    .expect("writing to a String cannot fail");
+    std::fs::write(&out_path, &json).expect("write BENCH_federation.json");
+    println!("wrote {out_path}");
+}

@@ -25,7 +25,7 @@
 use crate::energy::{Energy, EnergyRange};
 use crate::error::DomainError;
 use crate::flexoffer::{FlexOffer, OfferKind};
-use crate::id::{ActorId, AggregateId, FlexOfferId, GroupId, NodeId};
+use crate::id::{ActorId, AggregateId, FlexOfferId, GroupId, NodeId, RegionId};
 use crate::price::Price;
 use crate::profile::{Profile, Slice};
 use crate::schedule::ScheduledFlexOffer;
@@ -292,7 +292,7 @@ macro_rules! wire_id {
     )+};
 }
 
-wire_id!(ActorId, AggregateId, FlexOfferId, GroupId, NodeId);
+wire_id!(ActorId, AggregateId, FlexOfferId, GroupId, NodeId, RegionId);
 
 impl Wire for TimeSlot {
     fn encode(&self, out: &mut Vec<u8>) {

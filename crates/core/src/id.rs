@@ -62,6 +62,29 @@ define_id!(
     AggregateId,
     "agg"
 );
+define_id!(
+    /// Identifier of a federation region (one national TSO hierarchy).
+    ///
+    /// Region ids are pure metadata: they ride envelopes and WAL event
+    /// records (tenant-registry style) for isolation, recovery and chaos
+    /// targeting, but never influence planning or RNG behaviour inside a
+    /// region — a region run solo is bit-identical to the same region run
+    /// inside a federation.
+    RegionId,
+    "region"
+);
+
+impl RegionId {
+    /// The implicit region of every pre-federation deployment; legacy
+    /// wire frames and WAL records decode into this region.
+    pub const DEFAULT: RegionId = RegionId(0);
+}
+
+impl Default for RegionId {
+    fn default() -> Self {
+        RegionId::DEFAULT
+    }
+}
 
 /// Monotonically increasing id source, safe to share across threads.
 #[derive(Debug, Default)]
@@ -109,6 +132,13 @@ mod tests {
         assert_eq!(NodeId(2).to_string(), "node2");
         assert_eq!(GroupId(3).to_string(), "grp3");
         assert_eq!(AggregateId(4).to_string(), "agg4");
+        assert_eq!(RegionId(5).to_string(), "region5");
+    }
+
+    #[test]
+    fn region_default_is_zero() {
+        assert_eq!(RegionId::default(), RegionId::DEFAULT);
+        assert_eq!(RegionId::DEFAULT.value(), 0);
     }
 
     #[test]

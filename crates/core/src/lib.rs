@@ -66,7 +66,7 @@ pub use error::DomainError;
 pub use exec::Pool;
 pub use flexoffer::{FlexOffer, FlexOfferBuilder, OfferKind};
 pub use generator::{FlexOfferGenerator, GeneratorConfig};
-pub use id::{ActorId, AggregateId, FlexOfferId, GroupId, NodeId};
+pub use id::{ActorId, AggregateId, FlexOfferId, GroupId, NodeId, RegionId};
 pub use metrics::{energy_flexibility, time_flexibility, total_flexibility};
 pub use price::Price;
 pub use profile::{Profile, Slice};

@@ -263,6 +263,13 @@ impl BrpNode {
         self.wal.take()
     }
 
+    /// Network-injected duplicates this node's at-most-once filters
+    /// dropped, summed across its inbound sender streams — the dedup
+    /// column of the federation's per-region stats rollup.
+    pub fn dedup_duplicates(&self) -> u64 {
+        self.rx.values().map(|rx| rx.duplicates).sum()
+    }
+
     /// Order-independent digest of the pooled offers — recovery tests
     /// compare a replayed node's pool against its never-crashed twin.
     pub fn pool_digest(&self) -> u64 {

@@ -26,8 +26,9 @@
 //! its history (see [`crate::runtime::PlanEngine`]).
 
 use crate::comm::{ChaosPhase, ChaosPlan, FailureModel};
+use crate::federation::{Federation, FederationConfig, FederationReport};
 use crate::simulation::{simulate, SimulationConfig, SimulationReport};
-use mirabel_core::{NodeId, TimeSlot, SLOTS_PER_DAY};
+use mirabel_core::{NodeId, RegionId, TimeSlot, SLOTS_PER_DAY};
 
 /// The slot range covered by simulation cycles `[start_cycle, end_cycle)`.
 pub fn cycle_span(start_cycle: usize, end_cycle: usize) -> (TimeSlot, TimeSlot) {
@@ -239,6 +240,196 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     }
 }
 
+/// A federation campaign: storm exactly one region of a federation and
+/// prove **fault isolation** on top of the usual invariants.
+#[derive(Debug, Clone)]
+pub struct FederationCampaignConfig {
+    /// The federation to drive. Its `sim.chaos` plan is re-scoped to
+    /// [`FederationCampaignConfig::storm_region`] by the campaign.
+    pub federation: FederationConfig,
+    /// The single region the chaos plan targets.
+    pub storm_region: RegionId,
+    /// Trailing chaos-free cycles (semantics as
+    /// [`CampaignConfig::quiet_cycles`]).
+    pub quiet_cycles: usize,
+}
+
+/// Outcome of one federation campaign.
+#[derive(Debug, Clone)]
+pub struct FederationCampaignReport {
+    /// The federated run with the storm scoped to one region.
+    pub federation: FederationReport,
+    /// Per-region violations. Untouched regions are held to the
+    /// strictest standard — their **entire report** must equal the solo
+    /// twin's, surfaced as [`InvariantViolation::Diverged`] per
+    /// differing cycle (or cycle 0 for any non-signature field) — while
+    /// the stormed region is judged like a normal campaign: invariants
+    /// plus quiet-tail convergence against its reliable twin.
+    pub violations: Vec<(RegionId, InvariantViolation)>,
+    /// Number of trailing cycles compared for the stormed region.
+    pub compared_cycles: usize,
+}
+
+impl FederationCampaignReport {
+    /// Whether every region self-healed and isolation held.
+    pub fn converged(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A printable multi-line summary (used by the federation example).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, region) in self.federation.regions.iter().enumerate() {
+            out.push_str(&format!(
+                "region {i}: {} offers, {} assigned, {} fallbacks, {} dropped, {} replayed\n",
+                region.offers_submitted,
+                region.assigned,
+                region.fallbacks,
+                region.network.dropped,
+                region.network.replayed,
+            ));
+        }
+        let x = &self.federation.exchange;
+        out.push_str(&format!(
+            "exchange: {} delta envelopes, {} snapshots, {:.1} kWh matched, converged: {}\n",
+            x.deltas_published, x.snapshots_served, x.matched_kwh, x.converged,
+        ));
+        if self.converged() {
+            out.push_str("isolation + convergence: clean");
+        } else {
+            out.push_str(&format!("{} violation(s):", self.violations.len()));
+            for (r, v) in &self.violations {
+                out.push_str(&format!("\n  - {r}: {v:?}"));
+            }
+        }
+        out
+    }
+}
+
+/// Run a federation campaign: scope the chaos plan to one region, run
+/// the federation, and check each region against its solo twin.
+///
+/// The twin of region `r` is `simulate(Federation::region_config(cfg,
+/// r))` — the *exact* configuration the federation hands that region,
+/// including the region-scoped chaos. For untouched regions the scoped
+/// plan resolves to [`ChaosPlan::reliable`], so twin equality is the
+/// fault-isolation proof: a storm inside region `k` must not move one
+/// byte of any other region's report. The stormed region's twin keeps
+/// the storm, so it is additionally compared against a *reliable* twin
+/// on the quiet tail, exactly like [`run_campaign`].
+pub fn run_federation_campaign(cfg: &FederationCampaignConfig) -> FederationCampaignReport {
+    let quiet = cfg.quiet_cycles.max(2);
+    let mut violations: Vec<(RegionId, InvariantViolation)> = Vec::new();
+
+    let mut fed_cfg = cfg.federation.clone();
+    fed_cfg.sim.chaos = fed_cfg.sim.chaos.clone().in_region(cfg.storm_region);
+
+    let cycles = fed_cfg.sim.cycles;
+    let quiet_start = cycle_span(cycles.saturating_sub(quiet), cycles).0;
+    if fed_cfg.sim.chaos.phases.iter().any(|p| p.end > quiet_start) {
+        violations.push((cfg.storm_region, InvariantViolation::ChaosOverlapsQuietTail));
+    }
+
+    let federation = Federation::run(fed_cfg.clone());
+
+    let compared_cycles = (quiet - 1).min(cycles);
+    for (i, report) in federation.regions.iter().enumerate() {
+        let region = RegionId(i as u64);
+        let twin = simulate(Federation::region_config(&fed_cfg, region));
+
+        // Invariants hold everywhere, stormed or not.
+        let terminal = report.assigned + report.fallbacks;
+        if terminal != report.offers_submitted {
+            violations.push((
+                region,
+                InvariantViolation::OfferNotConserved {
+                    submitted: report.offers_submitted,
+                    terminal,
+                },
+            ));
+        }
+        if report.phantom_offers > 0 {
+            violations.push((
+                region,
+                InvariantViolation::PhantomOffers(report.phantom_offers),
+            ));
+        }
+        if report.energy_violations > 0 {
+            violations.push((
+                region,
+                InvariantViolation::EnergyViolations(report.energy_violations),
+            ));
+        }
+
+        if region == cfg.storm_region {
+            // The stormed region converges like a normal campaign: its
+            // quiet tail must match a reliable twin bit-for-bit.
+            let reliable = simulate(SimulationConfig {
+                chaos: ChaosPlan::reliable(),
+                failure: FailureModel::reliable(),
+                ..Federation::region_config(&fed_cfg, region)
+            });
+            for cycle in (cycles - compared_cycles)..cycles {
+                let (c, b) = (
+                    report.plan_signatures[cycle],
+                    reliable.plan_signatures[cycle],
+                );
+                if c != b {
+                    violations.push((
+                        region,
+                        InvariantViolation::Diverged {
+                            cycle,
+                            chaos: c,
+                            baseline: b,
+                        },
+                    ));
+                }
+            }
+        } else {
+            // Fault isolation: the untouched region's FULL report —
+            // every counter, every cycle's signature — must equal the
+            // solo twin's.
+            for (cycle, (&c, &b)) in report
+                .plan_signatures
+                .iter()
+                .zip(&twin.plan_signatures)
+                .enumerate()
+            {
+                if c != b {
+                    violations.push((
+                        region,
+                        InvariantViolation::Diverged {
+                            cycle,
+                            chaos: c,
+                            baseline: b,
+                        },
+                    ));
+                }
+            }
+            if *report != twin {
+                // Signatures matched but some other field differs —
+                // still an isolation breach; flag it on cycle 0.
+                if report.plan_signatures == twin.plan_signatures {
+                    violations.push((
+                        region,
+                        InvariantViolation::Diverged {
+                            cycle: 0,
+                            chaos: 0,
+                            baseline: 0,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    FederationCampaignReport {
+        federation,
+        violations,
+        compared_cycles,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,5 +513,50 @@ mod tests {
         let (a, b) = cycle_span(1, 3);
         assert_eq!(a, TimeSlot(SLOTS_PER_DAY as i64));
         assert_eq!(b, TimeSlot(3 * SLOTS_PER_DAY as i64));
+    }
+
+    #[test]
+    fn federation_campaign_isolates_a_regional_storm() {
+        let report = run_federation_campaign(&FederationCampaignConfig {
+            federation: FederationConfig {
+                regions: 3,
+                sim: SimulationConfig {
+                    chaos: ChaosPlan::reliable().phase(loss_storm(1, 2, 0.5)),
+                    ..small_sim(5)
+                },
+                ..FederationConfig::default()
+            },
+            storm_region: RegionId(1),
+            quiet_cycles: 3,
+        });
+        assert!(
+            report.converged(),
+            "storm in region 1 must stay in region 1 and self-heal:\n{}",
+            report.summary()
+        );
+        // The storm must actually have dropped traffic in region 1 and
+        // nowhere else.
+        assert!(report.federation.regions[1].network.dropped > 0);
+        assert_eq!(report.federation.regions[0].network.dropped, 0);
+        assert_eq!(report.federation.regions[2].network.dropped, 0);
+    }
+
+    #[test]
+    fn federation_campaign_flags_storm_overlapping_quiet_tail() {
+        let report = run_federation_campaign(&FederationCampaignConfig {
+            federation: FederationConfig {
+                regions: 2,
+                sim: SimulationConfig {
+                    chaos: ChaosPlan::reliable().phase(loss_storm(0, 5, 0.4)),
+                    ..small_sim(5)
+                },
+                ..FederationConfig::default()
+            },
+            storm_region: RegionId(0),
+            quiet_cycles: 2,
+        });
+        assert!(report
+            .violations
+            .contains(&(RegionId(0), InvariantViolation::ChaosOverlapsQuietTail)));
     }
 }

@@ -31,7 +31,8 @@
 //! or a delay at the end of a run.
 
 use crate::message::Envelope;
-use mirabel_core::{NodeId, TimeSlot};
+use mirabel_core::codec::Wire;
+use mirabel_core::{NodeId, RegionId, TimeSlot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -66,8 +67,10 @@ impl std::hash::Hasher for IdHasher {
 }
 
 /// The splitmix64 finalizer — full-avalanche, so `HashMap`'s low-bit
-/// bucket masking sees well-mixed values.
-fn splitmix(mut x: u64) -> u64 {
+/// bucket masking sees well-mixed values. Also the federation's region
+/// seed derivation primitive (each region's RNG stream is a splitmix of
+/// the base seed and the region id).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
@@ -221,6 +224,12 @@ impl ChaosPhase {
 pub struct ChaosPlan {
     /// The scheduled phases.
     pub phases: Vec<ChaosPhase>,
+    /// Federation scoping: `None` storms every region the plan is handed
+    /// to (and the whole network in a single-hierarchy run); `Some(r)`
+    /// restricts the storm to region `r` — the federation gives every
+    /// other region a [`ChaosPlan::reliable`] plan instead, which is how
+    /// fault isolation between regions is proven.
+    pub region: Option<RegionId>,
 }
 
 impl ChaosPlan {
@@ -233,6 +242,18 @@ impl ChaosPlan {
     pub fn phase(mut self, phase: ChaosPhase) -> ChaosPlan {
         self.phases.push(phase);
         self
+    }
+
+    /// Builder step: scope the whole plan to one federation region.
+    pub fn in_region(mut self, region: RegionId) -> ChaosPlan {
+        self.region = Some(region);
+        self
+    }
+
+    /// Whether this plan storms the given region (unscoped plans storm
+    /// every region).
+    pub fn applies_to(&self, region: RegionId) -> bool {
+        self.region.is_none_or(|r| r == region)
     }
 
     /// The phase active at `now`, if any.
@@ -287,6 +308,13 @@ pub struct NetworkStats {
     /// the queue's per-link retention cap — bounded memory under a
     /// never-healing partition costs the oldest retained envelopes.
     pub dropped_dead_letters: u64,
+    /// Encoded wire bytes offered to the network (counted at route time,
+    /// before failure injection). Zero unless byte metering is enabled
+    /// ([`Network::set_metering`]) — metering encodes every envelope and
+    /// is off by default to keep the reliable hot path allocation-lean.
+    /// The federation uses it to prove cross-border exchange traffic is
+    /// a vanishing fraction of intra-region traffic.
+    pub bytes_sent: u64,
 }
 
 /// Why an envelope landed in the [`DeadLetterQueue`].
@@ -453,6 +481,15 @@ pub struct Network {
     /// partition-and-sort is allocation-free.
     drain_due: Vec<InFlight>,
     drain_keep: Vec<InFlight>,
+    /// The federation region this network belongs to; stamped onto every
+    /// routed envelope. [`RegionId::DEFAULT`] for single-hierarchy runs.
+    region: RegionId,
+    /// Whether [`Network::route`] encodes each envelope to count its
+    /// wire bytes ([`NetworkStats::bytes_sent`]). Off by default.
+    metering: bool,
+    /// Reusable encode scratch for metering, so a metered network costs
+    /// one encode per envelope but no per-envelope allocation.
+    meter_buf: Vec<u8>,
 }
 
 impl Network {
@@ -478,7 +515,28 @@ impl Network {
             next_arrival: 0,
             drain_due: Vec::new(),
             drain_keep: Vec::new(),
+            region: RegionId::DEFAULT,
+            metering: false,
+            meter_buf: Vec::new(),
         }
+    }
+
+    /// Assign the network to a federation region: every envelope routed
+    /// from here on is stamped with `region` (tenant-registry pattern),
+    /// so it carries its tenant through the wire, the WAL and recovery.
+    pub fn set_region(&mut self, region: RegionId) {
+        self.region = region;
+    }
+
+    /// The federation region this network routes for.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Toggle wire-byte metering ([`NetworkStats::bytes_sent`]). Costs
+    /// one codec encode per routed envelope while enabled.
+    pub fn set_metering(&mut self, on: bool) {
+        self.metering = on;
     }
 
     /// Install a time-phased chaos schedule; call [`Network::advance`]
@@ -604,11 +662,19 @@ impl Network {
     /// can detect the gap.
     pub fn route(&mut self, mut envelope: Envelope) {
         self.stats.sent += 1;
+        envelope.region = self.region;
         let link = self.link_idx(envelope.from, envelope.to);
         let ls = &mut self.link_states[link as usize];
         ls.stats.sent += 1;
         envelope.seq = Some(ls.next_seq);
         ls.next_seq += 1;
+        if self.metering {
+            self.meter_buf.clear();
+            envelope.encode(&mut self.meter_buf);
+            let bytes = self.meter_buf.len() as u64;
+            self.stats.bytes_sent += bytes;
+            self.link_states[link as usize].stats.bytes_sent += bytes;
+        }
 
         if self.is_cut(envelope.from, envelope.to) {
             self.stats.dead_lettered += 1;
@@ -832,6 +898,48 @@ mod tests {
         assert_eq!(n.stats().enqueued, 1);
         assert_eq!(n.stats().delivered, 1);
         assert!(n.drain(NodeId(1), TimeSlot(0)).is_empty());
+    }
+
+    #[test]
+    fn route_stamps_region() {
+        let mut n = Network::reliable();
+        n.set_region(RegionId(7));
+        n.register(NodeId(1));
+        // Sender claims a bogus region; the network overrides with its
+        // own — the stamp is routing metadata, not sender-controlled.
+        n.route(env(1, 0).in_region(RegionId(99)));
+        let got = n.drain(NodeId(1), TimeSlot(0));
+        assert_eq!(got[0].region, RegionId(7));
+        assert_eq!(n.region(), RegionId(7));
+    }
+
+    #[test]
+    fn metering_counts_wire_bytes() {
+        let mut n = Network::reliable();
+        n.register(NodeId(1));
+        n.route(env(1, 0));
+        assert_eq!(n.stats().bytes_sent, 0, "metering is off by default");
+        n.set_metering(true);
+        n.route(env(1, 0));
+        // Same envelope the network routed: seq 1 on the 0→1 link,
+        // default region.
+        let expected = env(1, 0).with_seq(1).to_bytes().len() as u64;
+        assert_eq!(n.stats().bytes_sent, expected);
+        assert_eq!(n.link_stats(NodeId(0), NodeId(1)).bytes_sent, expected);
+    }
+
+    #[test]
+    fn chaos_plan_region_scoping() {
+        let plan = ChaosPlan::reliable().phase(ChaosPhase::new(
+            TimeSlot(0),
+            TimeSlot(4),
+            FailureModel::drop(1.0),
+        ));
+        assert!(plan.applies_to(RegionId(0)), "unscoped plans storm all");
+        assert!(plan.applies_to(RegionId(3)));
+        let scoped = plan.in_region(RegionId(3));
+        assert!(!scoped.applies_to(RegionId(0)));
+        assert!(scoped.applies_to(RegionId(3)));
     }
 
     #[test]

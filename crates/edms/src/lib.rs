@@ -18,7 +18,26 @@
 //!   arrives at level 3 as a trickle
 //!   ([`Message::MacroOfferDeltas`](message::Message)),
 //!   is spliced into the live level-3 plan in O(changed), and never
-//!   forces a problem reconstruction.
+//!   forces a problem reconstruction;
+//! * **federation** — the same repetition, once more, *above* the
+//!   national hierarchies: a [`federation::Federation`] shards the
+//!   population into `N` regions — each a complete hierarchy with its
+//!   own [`Network`], node-id space, WAL namespace
+//!   ([`FileWalStore::open_namespaced`](wal::FileWalStore::open_namespaced))
+//!   and splitmix-derived RNG streams — and glues the regional TSOs
+//!   with a bounded cross-border *macro-offer exchange* over an
+//!   inter-regional bus that reuses the intra-region delta-wire
+//!   contract ([`Message::ExchangeOfferDeltas`](message::Message),
+//!   [`SequencedRx`] guards, resync snapshots). Regions share no
+//!   mutable state, so whole regions run concurrently on the worker
+//!   pool; only the region-ordered exchange splice is serial, keeping
+//!   every report bit-identical at any pool width and any region
+//!   count. Every [`Envelope`] and
+//!   [`EventRecord`] carries the [`mirabel_core::RegionId`] it was
+//!   routed in (tenant-registry pattern) — pure metadata for
+//!   isolation book-keeping, WAL namespacing and region-scoped chaos
+//!   ([`ChaosPlan::in_region`](comm::ChaosPlan::in_region)), never an
+//!   input to planning.
 //!
 //! Components per the paper's LEDMS description:
 //!
@@ -84,6 +103,17 @@
 //!   conservation, zero phantom offers, energy-bound compliance — and
 //!   post-chaos **convergence**: after a quiet period the plan
 //!   signatures must be bit-identical to a never-disturbed twin run.
+//!   Federation campaigns
+//!   ([`run_federation_campaign`]) add
+//!   the **fault-isolation** proof: storm one region
+//!   ([`ChaosPlan::in_region`](comm::ChaosPlan::in_region)) and every
+//!   untouched region's full report stays bit-identical to its solo
+//!   twin;
+//! * [`federation`] — the multi-region layer itself: [`RegionSim`]
+//!   shards driven concurrently, [`ExchangeGateway`]s diffing each
+//!   TSO's exportable surplus onto the bus, advisory federation-level
+//!   settlement, and per-region + exchange health rollups
+//!   ([`Federation::stats`](federation::Federation::stats)).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,6 +122,7 @@ pub mod brp;
 pub mod chaos;
 pub mod comm;
 pub mod datastore;
+pub mod federation;
 pub mod message;
 pub mod prosumer;
 pub mod runtime;
@@ -101,18 +132,25 @@ pub mod wal;
 pub mod wire;
 
 pub use brp::{BrpConfig, BrpNode};
-pub use chaos::{run_campaign, CampaignConfig, CampaignReport, InvariantViolation};
+pub use chaos::{
+    run_campaign, run_federation_campaign, CampaignConfig, CampaignReport,
+    FederationCampaignConfig, FederationCampaignReport, InvariantViolation,
+};
 pub use comm::{
     ChaosPhase, ChaosPlan, DeadLetterQueue, DeadLetterReason, FailureModel, Network, NetworkStats,
 };
 pub use datastore::{DataStore, OfferState};
+pub use federation::{
+    ExchangeGateway, ExchangeReport, Federation, FederationConfig, FederationReport,
+    FederationStats, RegionStats,
+};
 pub use message::{Envelope, Message};
 pub use prosumer::ProsumerNode;
 pub use runtime::{
     Node, NodeRuntime, OfferDeltaReport, PlanEngine, PlanReport, ReplanReport, RuntimeConfig,
     SchedulerKind,
 };
-pub use simulation::{simulate, SimulationConfig, SimulationReport};
+pub use simulation::{simulate, RegionSim, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;
 pub use wal::{EventRecord, FileWalStore, LoadedLog, MemWalStore, NodeWal, WalConfig, WalStore};
 pub use wire::{DedupRx, SequencedRx, StreamStats};

@@ -3,7 +3,9 @@
 
 use mirabel_aggregate::FlexOfferUpdate;
 use mirabel_core::codec::{CodecError, Wire};
-use mirabel_core::{ActorId, FlexOffer, FlexOfferId, NodeId, Price, ScheduledFlexOffer, TimeSlot};
+use mirabel_core::{
+    ActorId, FlexOffer, FlexOfferId, NodeId, Price, RegionId, ScheduledFlexOffer, TimeSlot,
+};
 use serde::{Deserialize, Serialize};
 
 /// The message vocabulary of the EDMS.
@@ -60,6 +62,15 @@ pub enum Message {
         /// The sender's complete current export set.
         offers: Vec<FlexOffer>,
     },
+    /// Regional TSO → peer regions (federation exchange bus): net
+    /// surplus/deficit **macro-offer deltas** in export-id space — the
+    /// same delta-wire contract as [`Message::MacroOfferDeltas`], lifted
+    /// one level: instead of BRPs trickling macro offers to their TSO,
+    /// regional TSOs trickle their exportable surplus to every peer
+    /// region. Bounded by construction (only offers that changed since
+    /// the last publication are carried), so cross-border traffic stays
+    /// a tiny fraction of intra-region wire bytes.
+    ExchangeOfferDeltas(Vec<FlexOfferUpdate>),
 }
 
 /// A routed message.
@@ -79,6 +90,14 @@ pub struct Envelope {
     pub seq: Option<u64>,
     /// Payload.
     pub message: Message,
+    /// Federation region the envelope was routed in (tenant-registry
+    /// pattern: the tenant id rides the event envelope). Stamped by the
+    /// region's [`Network`](crate::comm::Network) at route time;
+    /// [`RegionId::DEFAULT`] on direct hand-offs and on every envelope
+    /// of a pre-federation (single-hierarchy) deployment. Pure metadata:
+    /// it never influences routing or planning, only isolation
+    /// book-keeping, WAL namespacing and chaos targeting.
+    pub region: RegionId,
 }
 
 impl Wire for Message {
@@ -124,6 +143,10 @@ impl Wire for Message {
                 out.push(7);
                 offers.encode(out);
             }
+            Message::ExchangeOfferDeltas(updates) => {
+                out.push(8);
+                updates.encode(out);
+            }
         }
     }
 
@@ -155,6 +178,9 @@ impl Wire for Message {
             7 => Ok(Message::ResyncSnapshot {
                 offers: Vec::<FlexOffer>::decode(buf)?,
             }),
+            8 => Ok(Message::ExchangeOfferDeltas(
+                Vec::<FlexOfferUpdate>::decode(buf)?,
+            )),
             other => Err(CodecError::InvalidTag {
                 what: "Message",
                 tag: u64::from(other),
@@ -170,6 +196,11 @@ impl Wire for Envelope {
         self.sent_at.encode(out);
         self.seq.encode(out);
         self.message.encode(out);
+        // The region rides LAST so pre-federation frames (which end
+        // exactly after `message`) stay decodable: a legacy frame hits
+        // EOF where the region varint would start, and the compat path
+        // falls back to `RegionId::DEFAULT`.
+        self.region.encode(out);
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
@@ -179,13 +210,14 @@ impl Wire for Envelope {
             sent_at: TimeSlot::decode(buf)?,
             seq: Option::<u64>::decode(buf)?,
             message: Message::decode(buf)?,
+            region: RegionId::decode(buf)?,
         })
     }
 }
 
 impl Envelope {
-    /// Convenience constructor (unsequenced; the network stamps `seq`
-    /// when the envelope is routed).
+    /// Convenience constructor (unsequenced, default region; the network
+    /// stamps `seq` and `region` when the envelope is routed).
     pub fn new(from: NodeId, to: NodeId, sent_at: TimeSlot, message: Message) -> Envelope {
         Envelope {
             from,
@@ -193,6 +225,7 @@ impl Envelope {
             sent_at,
             seq: None,
             message,
+            region: RegionId::DEFAULT,
         }
     }
 
@@ -201,6 +234,27 @@ impl Envelope {
     pub fn with_seq(mut self, seq: u64) -> Envelope {
         self.seq = Some(seq);
         self
+    }
+
+    /// Builder step: pin an explicit region id (tests and direct
+    /// hand-offs; routed envelopes get theirs stamped by the network).
+    pub fn in_region(mut self, region: RegionId) -> Envelope {
+        self.region = region;
+        self
+    }
+
+    /// Decode the pre-federation envelope layout (no trailing region
+    /// field); the envelope lands in [`RegionId::DEFAULT`]. Used by the
+    /// WAL's backward-compatible frame decoder.
+    pub(crate) fn decode_legacy(buf: &mut &[u8]) -> Result<Envelope, CodecError> {
+        Ok(Envelope {
+            from: NodeId::decode(buf)?,
+            to: NodeId::decode(buf)?,
+            sent_at: TimeSlot::decode(buf)?,
+            seq: Option::<u64>::decode(buf)?,
+            message: Message::decode(buf)?,
+            region: RegionId::DEFAULT,
+        })
     }
 }
 
@@ -220,6 +274,27 @@ mod tests {
         );
         assert_eq!(e.from, NodeId(1));
         assert_eq!(e.to, NodeId(2));
+        assert_eq!(e.region, RegionId::DEFAULT);
         assert!(matches!(e.message, Message::OfferRejected { .. }));
+        let stamped = e.in_region(RegionId(3));
+        assert_eq!(stamped.region, RegionId(3));
+    }
+
+    #[test]
+    fn legacy_envelope_frames_decode_into_default_region() {
+        // A pre-federation frame is the current encoding minus the
+        // trailing region varint.
+        let env = Envelope::new(NodeId(4), NodeId(5), TimeSlot(9), Message::ResyncRequest)
+            .with_seq(11)
+            .in_region(RegionId(2));
+        let bytes = env.to_bytes();
+        let legacy = &bytes[..bytes.len() - 1]; // region 2 encodes as one varint byte
+        let mut cursor = legacy;
+        let back = Envelope::decode_legacy(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(back.region, RegionId::DEFAULT);
+        assert_eq!(back.seq, Some(11));
+        // And the modern decoder refuses the truncated frame outright.
+        assert!(Envelope::from_bytes(legacy).is_err());
     }
 }

@@ -32,6 +32,14 @@
 //!   levels 2 (BRP) and 3 (TSO) implement it, so the simulation drives
 //!   the whole hierarchy as one list of planners instead of hand-ordered
 //!   per-level calls.
+//!
+//! One `NodeRuntime` level list is one **region**. The multi-region
+//! [`Federation`](crate::federation::Federation) instantiates N of
+//! these hierarchies — each with its own network, WAL namespace and
+//! derived RNG stream — drives them in parallel (`Pool::run_each`; the
+//! trees share no mutable state), and splices only their TSOs' macro
+//! exports together at the top, so everything in this module stays
+//! region-oblivious.
 
 use crate::message::Envelope;
 use mirabel_aggregate::{AggregateUpdate, AggregationPipeline, FlexOfferUpdate};

@@ -61,11 +61,12 @@ use crate::prosumer::ProsumerNode;
 use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
 use crate::wal::{NodeWal, WalConfig};
+use crate::wire::StreamStats;
 use mirabel_aggregate::AggregationParams;
 use mirabel_core::exec::{Pool, Task};
 use mirabel_core::{
-    ActorId, EnergyRange, FlexOffer, NodeId, Price, Profile, ScheduledFlexOffer, Slice, TimeSlot,
-    SLOTS_PER_DAY,
+    ActorId, EnergyRange, FlexOffer, NodeId, Price, Profile, RegionId, ScheduledFlexOffer, Slice,
+    TimeSlot, SLOTS_PER_DAY,
 };
 use mirabel_forecast::ForecastHub;
 use mirabel_schedule::MarketPrices;
@@ -342,103 +343,260 @@ fn plan_signature(prosumers: &[ProsumerNode], window: TimeSlot, horizon: u32) ->
     h
 }
 
-/// Run the simulation.
-pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
-    let s = SLOTS_PER_DAY;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    // Churn draws from its own stream: the join/leave schedule must be a
-    // function of the seed alone, identical whether or not chaos is
-    // injected, and must not perturb offer generation.
-    let mut churn_rng = StdRng::seed_from_u64(cfg.seed ^ 0x00c0_ffee);
-    let mut network = Network::new(cfg.failure, cfg.seed ^ 0xabcd);
-    network.set_chaos(cfg.chaos.clone());
+/// One region's entire hierarchy plus the state its cycle loop carries:
+/// the unit a [`Federation`](crate::federation::Federation) drives on
+/// its own [`Pool`] lane, and what [`simulate`] runs exactly one of.
+///
+/// A region owns its own [`Network`], node set, RNG streams and
+/// accounting — regions share **no** mutable state, which is why entire
+/// intra-region waves can run concurrently across regions and why a
+/// region inside a federation is bit-identical to the same region run
+/// solo through [`simulate`]. The region id is stamped onto every
+/// routed envelope (and thus every WAL record) but never consulted by
+/// any planning or randomness decision.
+#[derive(Debug)]
+pub struct RegionSim {
+    cfg: SimulationConfig,
+    region: RegionId,
+    rng: StdRng,
+    churn_rng: StdRng,
+    network: Network,
+    tso_id: NodeId,
+    tso: TsoNode,
+    brps: Vec<BrpNode>,
+    prosumers: Vec<ProsumerNode>,
+    hub: ForecastHub,
+    subscriptions: BTreeMap<NodeId, u64>,
+    next_offer_id: u64,
+    offers_submitted: usize,
+    replans: usize,
+    crashes: usize,
+    /// Shadow open-contract execution of every submitted offer, plus the
+    /// ground-truth baseline, per executed window. Ordered map: the
+    /// accounting walk must be reproducible byte-for-byte across runs.
+    shadow_load: BTreeMap<i64, f64>,
+    baselines: Vec<(TimeSlot, Vec<f64>)>,
+    plan_signatures: Vec<u64>,
+    /// Prosumer indices currently churned out of the network.
+    offline: BTreeSet<usize>,
+    scale: f64,
+    /// The TSO's pooled macro offers, snapshotted between the planning
+    /// and commit waves of the last cycle — the only point in a cycle
+    /// where the region's exportable surplus exists (commit consumes
+    /// assigned offers, the deadline expires the rest). Read-only
+    /// capture: it never feeds back into planning, so a federated
+    /// region stays bit-identical to its solo twin.
+    export_pool: Vec<FlexOffer>,
+}
 
-    // --- Topology -----------------------------------------------------
-    let tso_id = NodeId(9_999);
-    let mut tso = TsoNode::with_config(
-        tso_id,
-        AggregationParams::p0(),
-        RuntimeConfig {
-            budget_evaluations: cfg.budget_evaluations,
-            repair_chains: cfg.repair_chains.max(1),
-            pool: cfg.pool.clone(),
-            ..RuntimeConfig::default()
-        },
-    );
-    if cfg.use_tso {
-        network.register(tso_id);
-    }
+impl RegionSim {
+    /// Build one region's hierarchy. `region` is stamped onto routed
+    /// envelopes but has no behavioural effect; `cfg.seed` alone
+    /// determines every result (the federation derives a distinct seed
+    /// per region before calling this).
+    pub fn new(cfg: SimulationConfig, region: RegionId) -> RegionSim {
+        let s = SLOTS_PER_DAY;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        // Churn draws from its own stream: the join/leave schedule must
+        // be a function of the seed alone, identical whether or not
+        // chaos is injected, and must not perturb offer generation.
+        let churn_rng = StdRng::seed_from_u64(cfg.seed ^ 0x00c0_ffee);
+        let mut network = Network::new(cfg.failure, cfg.seed ^ 0xabcd);
+        network.set_region(region);
+        network.set_chaos(cfg.chaos.clone());
 
-    // One config builder for initial construction AND crash-restarts: a
-    // recovered BRP must be configured exactly like the node it replaces.
-    let make_brp_config = || BrpConfig {
-        scheduler: cfg.scheduler,
-        budget_evaluations: cfg.budget_evaluations,
-        forward_to_tso: cfg.use_tso,
-        repair_chains: cfg.repair_chains.max(1),
-        pool: cfg.pool.clone(),
-        ..BrpConfig::default()
-    };
-    let mut brps: Vec<BrpNode> = (0..cfg.brps)
-        .map(|b| {
-            let id = NodeId(1 + b as u64);
-            network.register(id);
-            let mut brp = BrpNode::new(id, cfg.use_tso.then_some(tso_id), make_brp_config());
-            if let Some(wal_config) = cfg.wal {
-                brp.attach_wal(NodeWal::in_memory(wal_config));
+        // --- Topology -------------------------------------------------
+        let tso_id = NodeId(9_999);
+        let tso = TsoNode::with_config(
+            tso_id,
+            AggregationParams::p0(),
+            RuntimeConfig {
+                budget_evaluations: cfg.budget_evaluations,
+                repair_chains: cfg.repair_chains.max(1),
+                pool: cfg.pool.clone(),
+                ..RuntimeConfig::default()
+            },
+        );
+        if cfg.use_tso {
+            network.register(tso_id);
+        }
+
+        let brps: Vec<BrpNode> = (0..cfg.brps)
+            .map(|b| {
+                let id = NodeId(1 + b as u64);
+                network.register(id);
+                let mut brp =
+                    BrpNode::new(id, cfg.use_tso.then_some(tso_id), make_brp_config(&cfg));
+                if let Some(wal_config) = cfg.wal {
+                    brp.attach_wal(NodeWal::in_memory(wal_config));
+                }
+                brp
+            })
+            .collect();
+
+        // Forecast pub/sub: EVERY planner — the BRPs and, in 3-level
+        // mode, the TSO — subscribes to baseline updates for the
+        // planning horizon; refinements arrive as typed slot-range
+        // events.
+        let hub = ForecastHub::new();
+        let mut subscriptions: BTreeMap<NodeId, u64> = brps
+            .iter()
+            .map(|b| (b.id, hub.subscribe(s as usize, 0.0)))
+            .collect();
+        if cfg.use_tso {
+            subscriptions.insert(tso_id, hub.subscribe(s as usize, 0.0));
+        }
+
+        // Prosumer ids live above 10_000, indexed globally — disjoint
+        // from the BRPs (1..=brps) and the TSO (9_999) at ANY scale. The
+        // old `1_000 * (1 + b) + k` scheme collided across BRPs beyond
+        // 1k prosumers each, and at 125k per BRP a prosumer landed on
+        // the TSO's id and silently drained its macro-offer deltas.
+        let mut prosumers: Vec<ProsumerNode> = Vec::new();
+        for b in 0..cfg.brps {
+            for k in 0..cfg.prosumers_per_brp {
+                let id = NodeId(10_000 + (b * cfg.prosumers_per_brp + k) as u64);
+                network.register(id);
+                prosumers.push(ProsumerNode::new(
+                    id,
+                    ActorId(id.value()),
+                    NodeId(1 + b as u64),
+                ));
             }
-            brp
-        })
-        .collect();
+        }
 
-    // Forecast pub/sub: EVERY planner — the BRPs and, in 3-level mode,
-    // the TSO — subscribes to baseline updates for the planning horizon;
-    // refinements reach each as typed slot-range events.
-    let hub = ForecastHub::new();
-    let mut subscriptions: BTreeMap<NodeId, u64> = brps
-        .iter()
-        .map(|b| (b.id, hub.subscribe(s as usize, 0.0)))
-        .collect();
-    if cfg.use_tso {
-        subscriptions.insert(tso_id, hub.subscribe(s as usize, 0.0));
-    }
+        let total_flex_per_window =
+            (cfg.brps * cfg.prosumers_per_brp * cfg.offers_per_prosumer) as f64 * 1.8 * 4.0;
+        let scale = (total_flex_per_window / s as f64).max(0.5);
+        let cycles = cfg.cycles;
 
-    // Prosumer ids live above 10_000, indexed globally — disjoint from
-    // the BRPs (1..=brps) and the TSO (9_999) at ANY scale. The old
-    // `1_000 * (1 + b) + k` scheme collided across BRPs beyond 1k
-    // prosumers each, and at 125k per BRP a prosumer landed on the
-    // TSO's id and silently drained its macro-offer deltas.
-    let mut prosumers: Vec<ProsumerNode> = Vec::new();
-    for b in 0..cfg.brps {
-        for k in 0..cfg.prosumers_per_brp {
-            let id = NodeId(10_000 + (b * cfg.prosumers_per_brp + k) as u64);
-            network.register(id);
-            prosumers.push(ProsumerNode::new(
-                id,
-                ActorId(id.value()),
-                NodeId(1 + b as u64),
-            ));
+        RegionSim {
+            cfg,
+            region,
+            rng,
+            churn_rng,
+            network,
+            tso_id,
+            tso,
+            brps,
+            prosumers,
+            hub,
+            subscriptions,
+            next_offer_id: 1,
+            offers_submitted: 0,
+            replans: 0,
+            crashes: 0,
+            shadow_load: BTreeMap::new(),
+            baselines: Vec::new(),
+            plan_signatures: Vec::with_capacity(cycles),
+            offline: BTreeSet::new(),
+            scale,
+            export_pool: Vec::new(),
         }
     }
-    // --- Cycle loop ----------------------------------------------------
-    let mut next_offer_id: u64 = 1;
-    let mut offers_submitted = 0usize;
-    let mut replans = 0usize;
-    let mut crashes = 0usize;
-    // Shadow open-contract execution of every submitted offer, plus the
-    // ground-truth baseline, per executed window. Ordered map: the
-    // accounting walk must be reproducible byte-for-byte across runs.
-    let mut shadow_load: BTreeMap<i64, f64> = BTreeMap::new();
-    let mut baselines: Vec<(TimeSlot, Vec<f64>)> = Vec::new();
-    let mut plan_signatures: Vec<u64> = Vec::with_capacity(cfg.cycles);
-    // Prosumer indices currently churned out of the network.
-    let mut offline: BTreeSet<usize> = BTreeSet::new();
 
-    let total_flex_per_window =
-        (cfg.brps * cfg.prosumers_per_brp * cfg.offers_per_prosumer) as f64 * 1.8 * 4.0;
-    let scale = (total_flex_per_window / s as f64).max(0.5);
+    /// The region this hierarchy belongs to.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
 
-    for c in 0..cfg.cycles {
+    /// The region's network (stats rollups, metering toggles).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable access to the region's network (the federation enables
+    /// byte metering through this before the first cycle).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Per-cycle committed-execution signatures so far.
+    pub fn plan_signatures(&self) -> &[u64] {
+        &self.plan_signatures
+    }
+
+    /// Sum of the TSO's per-BRP sequenced-stream counters — the
+    /// intra-region delta-wire health row of the federation rollup.
+    pub fn stream_rollup(&self) -> StreamStats {
+        let mut total = StreamStats::default();
+        for b in &self.brps {
+            total.absorb(&self.tso.stream_stats(b.id));
+        }
+        total
+    }
+
+    /// Network-injected duplicates dropped by the region's BRP dedup
+    /// filters.
+    pub fn dedup_duplicates(&self) -> u64 {
+        self.brps.iter().map(BrpNode::dedup_duplicates).sum()
+    }
+
+    /// The macro offers this region's TSO can export across the
+    /// federation: the pool snapshot taken between the last cycle's
+    /// planning and commit waves, minus anything expired by `now`, in
+    /// export-id space, ascending id, capped at `cap`. Empty in 2-level
+    /// mode (no TSO, nothing pooled to export).
+    pub fn exportable_surplus(&self, now: TimeSlot, cap: usize) -> Vec<FlexOffer> {
+        if !self.cfg.use_tso {
+            return Vec::new();
+        }
+        self.export_pool
+            .iter()
+            .filter(|o| !o.is_expired(now))
+            .take(cap)
+            .cloned()
+            .collect()
+    }
+
+    /// `(deficit, surplus)` kWh of cycle `c`'s ground-truth baseline:
+    /// the pre-flexibility residual the exchange's advisory netting
+    /// matches imported macro offers against. Baseline-only by design —
+    /// O(slots), no prosumer walk on the serial exchange splice.
+    pub fn cycle_residual(&self, c: usize) -> (f64, f64) {
+        let Some((_, baseline)) = self.baselines.get(c) else {
+            return (0.0, 0.0);
+        };
+        let mut deficit = 0.0;
+        let mut surplus = 0.0;
+        for &b in baseline {
+            if b > 0.0 {
+                deficit += b;
+            } else {
+                surplus -= b;
+            }
+        }
+        (deficit, surplus)
+    }
+
+    /// Run one planning cycle (one simulated day).
+    pub fn run_cycle(&mut self, c: usize) {
+        let s = SLOTS_PER_DAY;
+        let RegionSim {
+            cfg,
+            rng,
+            churn_rng,
+            network,
+            tso_id,
+            tso,
+            brps,
+            prosumers,
+            hub,
+            subscriptions,
+            next_offer_id,
+            offers_submitted,
+            replans,
+            crashes,
+            shadow_load,
+            baselines,
+            plan_signatures,
+            offline,
+            scale,
+            export_pool,
+            ..
+        } = self;
+        let tso_id = *tso_id;
+        let scale = *scale;
         let t0 = TimeSlot((c as i64) * s as i64);
         let window = t0 + s; // next-day execution window
         let deadline = t0 + s / 2;
@@ -451,9 +609,9 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                 continue;
             }
             for _ in 0..cfg.offers_per_prosumer {
-                let offer = gen_offer(next_offer_id, p.actor, window, s, deadline, &mut rng);
-                next_offer_id += 1;
-                offers_submitted += 1;
+                let offer = gen_offer(*next_offer_id, p.actor, window, s, deadline, rng);
+                *next_offer_id += 1;
+                *offers_submitted += 1;
                 // Shadow world: open contract (earliest start, max energy).
                 let open = ScheduledFlexOffer::open_contract(&offer);
                 for (i, e) in open.slot_energies.iter().enumerate() {
@@ -501,14 +659,14 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             let Some(idx) = brps.iter().position(|b| b.id == node) else {
                 continue;
             };
-            crashes += 1;
+            *crashes += 1;
             network.deregister(node);
             let survived_store = brps[idx].take_wal().map(NodeWal::into_store);
             let (rebuilt, recovery_out) = match (survived_store, cfg.wal) {
                 (Some(store), Some(wal_config)) => BrpNode::recover(
                     node,
                     cfg.use_tso.then_some(tso_id),
-                    make_brp_config(),
+                    make_brp_config(cfg),
                     store,
                     wal_config,
                     t0,
@@ -517,7 +675,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                 // No WAL attached: the crash is total amnesia and the
                 // node restarts cold.
                 _ => (
-                    BrpNode::new(node, cfg.use_tso.then_some(tso_id), make_brp_config()),
+                    BrpNode::new(node, cfg.use_tso.then_some(tso_id), make_brp_config(cfg)),
                     Vec::new(),
                 ),
             };
@@ -536,7 +694,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             .map(|b| b as &mut (dyn NodeRuntime + Send))
             .collect()];
         if cfg.use_tso {
-            levels.push(vec![&mut tso]);
+            levels.push(vec![&mut *tso as &mut (dyn NodeRuntime + Send)]);
         }
 
         // 2. Planning wave, bottom-up: the day-ahead baseline forecast is
@@ -544,7 +702,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         //    level 2, macro-offer deltas at level 3) and prepares a live
         //    plan from its own pub/sub event. A level's upward envelopes
         //    are in flight before the next level pumps.
-        let forecast0 = window_baseline(scale, s as usize, &mut rng);
+        let forecast0 = window_baseline(scale, s as usize, rng);
         let prices = MarketPrices::flat(s as usize, 0.09, 0.02, scale * 0.4);
         let penalties = vec![0.2; s as usize];
         hub.publish(&forecast0);
@@ -593,7 +751,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         // 2b. Prosumers see accept/reject decisions.
         let t2 = t0 + 8u32;
         network.advance(t2);
-        pump_prosumers(&cfg.pool, &mut network, &mut prosumers, &offline, t2, None);
+        pump_prosumers(&cfg.pool, network, prosumers, offline, t2, None);
 
         // 3. Intra-day forecast refinement: a few slots move (RES ramps,
         //    weather fronts), the rest stay put. The refined forecast is
@@ -628,7 +786,7 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
                     None => false,
                 }));
             }
-            replans += cfg
+            *replans += cfg
                 .pool
                 .run_each(tasks)
                 .into_iter()
@@ -639,6 +797,31 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
             forecast0
         };
         baselines.push((window, baseline.clone()));
+
+        // 3b. Snapshot the TSO's pooled macro offers for the federation
+        //     exchange: this — after planning and refinement, before
+        //     commit — is the only point in a cycle where the region's
+        //     exportable surplus exists (commit consumes assigned
+        //     offers; the deadline expires the rest by cycle end). The
+        //     snapshot is read-only and RNG-free: planning never sees
+        //     it. Rebuilding `levels` afterwards re-scopes the node
+        //     borrows; the wave traversals are unchanged.
+        drop(levels);
+        export_pool.clear();
+        if cfg.use_tso {
+            for id in tso.pooled_ids() {
+                if let Some(offer) = tso.pooled_offer(id) {
+                    export_pool.push(offer.clone());
+                }
+            }
+        }
+        let mut levels: Vec<Vec<&mut (dyn NodeRuntime + Send)>> = vec![brps
+            .iter_mut()
+            .map(|b| b as &mut (dyn NodeRuntime + Send))
+            .collect()];
+        if cfg.use_tso {
+            levels.push(vec![&mut *tso as &mut (dyn NodeRuntime + Send)]);
+        }
 
         // 4. Commit wave, top-down: the TSO disaggregates its (possibly
         //    repaired) plan into per-BRP assignments; each BRP pumps
@@ -675,95 +858,126 @@ pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
         //    start — unassigned offers fall back to the open contract.
         let t5 = t0 + 20u32;
         network.advance(t5);
-        pump_prosumers(
-            &cfg.pool,
-            &mut network,
-            &mut prosumers,
-            &offline,
-            t5,
-            Some(window),
-        );
+        pump_prosumers(&cfg.pool, network, prosumers, offline, t5, Some(window));
 
-        plan_signatures.push(plan_signature(&prosumers, window, s));
+        plan_signatures.push(plan_signature(prosumers, window, s));
     }
 
-    // --- Closing sweep (churn only) -------------------------------------
-    // Bring every churned-out prosumer back so the run's accounting is
-    // closed: replayed dead letters drain, and anything still pending
-    // falls back. Without churn this is skipped — nothing is offline.
-    if cfg.churn_fraction > 0.0 {
-        let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
-        network.advance(end);
-        for (i, p) in prosumers.iter_mut().enumerate() {
-            if offline.remove(&i) {
-                network.register(p.id);
+    /// Close the run and produce its report: bring churned-out
+    /// prosumers back for the closing sweep, account imbalances against
+    /// the shadow open-contract world, and run the invariant probes.
+    pub fn finish(mut self) -> SimulationReport {
+        let s = SLOTS_PER_DAY;
+        let cfg = &self.cfg;
+        let network = &mut self.network;
+        let prosumers = &mut self.prosumers;
+        let brps = &self.brps;
+        let tso = &self.tso;
+
+        // --- Closing sweep (churn only) ---------------------------------
+        // Bring every churned-out prosumer back so the run's accounting
+        // is closed: replayed dead letters drain, and anything still
+        // pending falls back. Without churn this is skipped — nothing is
+        // offline.
+        if cfg.churn_fraction > 0.0 {
+            let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
+            network.advance(end);
+            for (i, p) in prosumers.iter_mut().enumerate() {
+                if self.offline.remove(&i) {
+                    network.register(p.id);
+                }
+                p.on_slot(end);
+                pump(network, p, end);
             }
-            p.on_slot(end);
-            pump(&mut network, p, end);
+        }
+
+        // --- Accounting -------------------------------------------------
+        let mut imbalance_before = 0.0;
+        let mut imbalance_after = 0.0;
+        for (window, baseline) in &self.baselines {
+            for (i, &b) in baseline.iter().enumerate() {
+                let t = *window + i as u32;
+                let open = self.shadow_load.get(&t.index()).copied().unwrap_or(0.0);
+                let realized: f64 = prosumers.iter().map(|p| p.flexible_load_at(t)).sum();
+                imbalance_before += (b + open).abs();
+                imbalance_after += (b + realized).abs();
+            }
+        }
+
+        let accepted: usize = brps
+            .iter()
+            .map(|b| {
+                b.store.count_in_state(OfferState::Accepted)
+                    + b.store.count_in_state(OfferState::Assigned)
+                    + b.store.count_in_state(OfferState::Expired)
+            })
+            .sum();
+        let rejected: usize = brps
+            .iter()
+            .map(|b| b.store.count_in_state(OfferState::Rejected))
+            .sum();
+
+        // Invariant probes. Phantom offers: anything still pooled at the
+        // TSO that no BRP exports and whose deadline has not already
+        // passed (the latter are cleaned by the next expiry sweep by
+        // construction).
+        let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
+        let phantom_offers = if cfg.use_tso {
+            let exported: BTreeSet<u64> = brps
+                .iter()
+                .flat_map(|b| b.exported_offer_ids())
+                .map(|id| id.value())
+                .collect();
+            tso.pooled_ids()
+                .iter()
+                .filter(|id| !exported.contains(&id.value()))
+                .filter(|id| tso.pooled_offer(**id).is_some_and(|o| !o.is_expired(end)))
+                .count()
+        } else {
+            0
+        };
+        let energy_violations = prosumers.iter().map(|p| p.energy_violations(1e-6)).sum();
+
+        SimulationReport {
+            offers_submitted: self.offers_submitted,
+            accepted,
+            rejected,
+            assigned: prosumers.iter().map(|p| p.assigned_count()).sum(),
+            fallbacks: prosumers.iter().map(|p| p.fallback_count()).sum(),
+            replans: self.replans,
+            imbalance_before,
+            imbalance_after,
+            network: self.network.stats(),
+            plan_signatures: self.plan_signatures,
+            phantom_offers,
+            energy_violations,
+            crashes: self.crashes,
         }
     }
+}
 
-    // --- Accounting ----------------------------------------------------
-    let mut imbalance_before = 0.0;
-    let mut imbalance_after = 0.0;
-    for (window, baseline) in &baselines {
-        for (i, &b) in baseline.iter().enumerate() {
-            let t = *window + i as u32;
-            let open = shadow_load.get(&t.index()).copied().unwrap_or(0.0);
-            let realized: f64 = prosumers.iter().map(|p| p.flexible_load_at(t)).sum();
-            imbalance_before += (b + open).abs();
-            imbalance_after += (b + realized).abs();
-        }
+/// One config builder for initial construction AND crash-restarts: a
+/// recovered BRP must be configured exactly like the node it replaces.
+fn make_brp_config(cfg: &SimulationConfig) -> BrpConfig {
+    BrpConfig {
+        scheduler: cfg.scheduler,
+        budget_evaluations: cfg.budget_evaluations,
+        forward_to_tso: cfg.use_tso,
+        repair_chains: cfg.repair_chains.max(1),
+        pool: cfg.pool.clone(),
+        ..BrpConfig::default()
     }
+}
 
-    let accepted: usize = brps
-        .iter()
-        .map(|b| {
-            b.store.count_in_state(OfferState::Accepted)
-                + b.store.count_in_state(OfferState::Assigned)
-                + b.store.count_in_state(OfferState::Expired)
-        })
-        .sum();
-    let rejected: usize = brps
-        .iter()
-        .map(|b| b.store.count_in_state(OfferState::Rejected))
-        .sum();
-
-    // Invariant probes. Phantom offers: anything still pooled at the TSO
-    // that no BRP exports and whose deadline has not already passed (the
-    // latter are cleaned by the next expiry sweep by construction).
-    let end = TimeSlot((cfg.cycles as i64 + 1) * s as i64);
-    let phantom_offers = if cfg.use_tso {
-        let exported: BTreeSet<u64> = brps
-            .iter()
-            .flat_map(|b| b.exported_offer_ids())
-            .map(|id| id.value())
-            .collect();
-        tso.pooled_ids()
-            .iter()
-            .filter(|id| !exported.contains(&id.value()))
-            .filter(|id| tso.pooled_offer(**id).is_some_and(|o| !o.is_expired(end)))
-            .count()
-    } else {
-        0
-    };
-    let energy_violations = prosumers.iter().map(|p| p.energy_violations(1e-6)).sum();
-
-    SimulationReport {
-        offers_submitted,
-        accepted,
-        rejected,
-        assigned: prosumers.iter().map(|p| p.assigned_count()).sum(),
-        fallbacks: prosumers.iter().map(|p| p.fallback_count()).sum(),
-        replans,
-        imbalance_before,
-        imbalance_after,
-        network: network.stats(),
-        plan_signatures,
-        phantom_offers,
-        energy_violations,
-        crashes,
+/// Run the simulation: one [`RegionSim`] (the implicit
+/// [`RegionId::DEFAULT`] region), every cycle, then the closing report.
+pub fn simulate(cfg: SimulationConfig) -> SimulationReport {
+    let cycles = cfg.cycles;
+    let mut sim = RegionSim::new(cfg, RegionId::DEFAULT);
+    for c in 0..cycles {
+        sim.run_cycle(c);
     }
+    sim.finish()
 }
 
 #[cfg(test)]

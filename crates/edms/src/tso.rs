@@ -29,6 +29,15 @@
 //! [`SequencedRx::resynced`] re-anchor its pooled view and the sequence
 //! numbers in one round-trip — the TSO cannot tell a recovery from an
 //! ordinary lost-delta resync.
+//!
+//! In a multi-region [`Federation`](crate::federation::Federation) the
+//! TSO is also the **export boundary**: mid-cycle — after planning and
+//! refinement, before the commit wave consumes the pool — the region
+//! snapshots [`TsoNode::pooled_ids`] / [`TsoNode::pooled_offer`] as its
+//! exportable surplus, and the federation's
+//! [`ExchangeGateway`](crate::federation::ExchangeGateway) publishes
+//! that snapshot to peer regions over the same delta + resync wire
+//! contract the BRP → TSO link uses.
 
 use crate::message::{Envelope, Message};
 use crate::runtime::{

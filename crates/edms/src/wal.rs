@@ -24,7 +24,7 @@
 
 use crate::message::Envelope;
 use mirabel_core::codec::{put_u64, take_u64, CodecError, Wire};
-use mirabel_core::TimeSlot;
+use mirabel_core::{NodeId, RegionId, TimeSlot};
 use std::fs;
 use std::io::{Read, Write as IoWrite};
 use std::path::{Path, PathBuf};
@@ -64,6 +64,12 @@ pub struct EventRecord {
     pub recorded_at: TimeSlot,
     /// The wire envelope.
     pub envelope: Envelope,
+    /// Federation region the event belongs to (tenant-registry pattern:
+    /// the tenant id rides the durable record, denormalized from
+    /// [`Envelope::region`] so region-scoped audits and per-region WAL
+    /// namespaces don't have to peel the envelope). Legacy
+    /// (pre-federation) frames decode into [`RegionId::DEFAULT`].
+    pub region: RegionId,
 }
 
 impl Wire for EventRecord {
@@ -73,6 +79,9 @@ impl Wire for EventRecord {
         self.replay_safe.encode(out);
         self.recorded_at.encode(out);
         self.envelope.encode(out);
+        // LAST, like `Envelope::region`: legacy frames end exactly after
+        // the envelope, so the compat decoder can detect them by EOF.
+        self.region.encode(out);
     }
 
     fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
@@ -82,7 +91,42 @@ impl Wire for EventRecord {
             replay_safe: bool::decode(buf)?,
             recorded_at: TimeSlot::decode(buf)?,
             envelope: Envelope::decode(buf)?,
+            region: RegionId::decode(buf)?,
         })
+    }
+}
+
+impl EventRecord {
+    /// Decode one WAL frame, accepting both the current layout and the
+    /// pre-federation layout (no region fields anywhere).
+    ///
+    /// The compat logic leans on two codec guarantees: `from_bytes`
+    /// demands *full* buffer consumption, and both region fields ride at
+    /// the very end of their structs. A legacy frame therefore fails the
+    /// modern decode deterministically (EOF exactly where the envelope's
+    /// region varint would start) and is retried with the legacy layout,
+    /// landing in [`RegionId::DEFAULT`]. A modern frame can never be
+    /// misread as legacy because the modern decode is tried first.
+    pub fn from_frame(frame: &[u8]) -> Result<EventRecord, CodecError> {
+        match EventRecord::from_bytes(frame) {
+            Ok(rec) => Ok(rec),
+            Err(_) => {
+                let mut buf = frame;
+                let rec = EventRecord {
+                    event_id: u64::decode(&mut buf)?,
+                    causation_id: Option::<u64>::decode(&mut buf)?,
+                    replay_safe: bool::decode(&mut buf)?,
+                    recorded_at: TimeSlot::decode(&mut buf)?,
+                    envelope: Envelope::decode_legacy(&mut buf)?,
+                    region: RegionId::DEFAULT,
+                };
+                if buf.is_empty() {
+                    Ok(rec)
+                } else {
+                    Err(CodecError::TrailingBytes(buf.len()))
+                }
+            }
+        }
     }
 }
 
@@ -178,6 +222,23 @@ impl FileWalStore {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         Ok(FileWalStore { dir, log: None })
+    }
+
+    /// Open a store in the federation's per-region WAL namespace:
+    /// `root/region-<r>/node-<n>`. Every region owns a disjoint
+    /// directory subtree, so region-scoped recovery, archival and
+    /// deletion are directory operations that cannot touch a peer
+    /// region's logs.
+    pub fn open_namespaced(
+        root: impl AsRef<Path>,
+        region: RegionId,
+        node: NodeId,
+    ) -> std::io::Result<FileWalStore> {
+        FileWalStore::open(
+            root.as_ref()
+                .join(format!("region-{}", region.value()))
+                .join(format!("node-{}", node.value())),
+        )
     }
 
     fn snapshot_path(&self) -> PathBuf {
@@ -322,7 +383,7 @@ impl NodeWal {
         };
         let mut records = Vec::with_capacity(frames.len());
         for frame in &frames {
-            match EventRecord::from_bytes(frame) {
+            match EventRecord::from_frame(frame) {
                 Ok(rec) => {
                     next_event_id = next_event_id.max(rec.event_id + 1);
                     records.push(rec);
@@ -356,6 +417,7 @@ impl NodeWal {
             causation_id,
             replay_safe,
             recorded_at,
+            region: envelope.region,
             envelope: envelope.clone(),
         };
         if self.store.append(&record.to_bytes()).is_err() {
@@ -431,10 +493,93 @@ mod tests {
             causation_id: Some(7),
             replay_safe: true,
             recorded_at: TimeSlot(-3),
-            envelope: env(9),
+            envelope: env(9).in_region(RegionId(3)),
+            region: RegionId(3),
         };
         let back = EventRecord::from_bytes(&rec.to_bytes()).unwrap();
         assert_eq!(back, rec);
+        assert_eq!(EventRecord::from_frame(&rec.to_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn legacy_frames_decode_into_default_region() {
+        // Hand-build a pre-federation frame: every field of the modern
+        // layout except the two trailing region varints.
+        let modern = EventRecord {
+            event_id: 5,
+            causation_id: None,
+            replay_safe: true,
+            recorded_at: TimeSlot(2),
+            envelope: env(5),
+            region: RegionId::DEFAULT,
+        };
+        let bytes = modern.to_bytes();
+        // Region 0 encodes as a single zero byte in each position;
+        // stripping the record's and the envelope's gives the old frame.
+        let legacy = &bytes[..bytes.len() - 2];
+        assert!(
+            EventRecord::from_bytes(legacy).is_err(),
+            "modern decoder must reject the old layout"
+        );
+        let rec = EventRecord::from_frame(legacy).unwrap();
+        assert_eq!(rec.region, RegionId::DEFAULT);
+        assert_eq!(rec.envelope.region, RegionId::DEFAULT);
+        assert_eq!(rec.event_id, 5);
+        assert_eq!(rec.envelope, env(5));
+    }
+
+    #[test]
+    fn recovery_replays_legacy_frames() {
+        // A store written before the region field existed: frames are
+        // modern encodings minus the two trailing region bytes.
+        let mut store = MemWalStore::new();
+        for n in 0..3u64 {
+            let rec = EventRecord {
+                event_id: n,
+                causation_id: None,
+                replay_safe: true,
+                recorded_at: TimeSlot(n as i64),
+                envelope: env(n),
+                region: RegionId::DEFAULT,
+            };
+            let bytes = rec.to_bytes();
+            store.append(&bytes[..bytes.len() - 2]).unwrap();
+        }
+        let (wal, snapshot, records) =
+            NodeWal::recover(Box::new(store), WalConfig::default()).unwrap();
+        assert!(snapshot.is_none());
+        assert_eq!(records.len(), 3, "old frames replay under the new codec");
+        assert!(records.iter().all(|r| r.region == RegionId::DEFAULT));
+        assert_eq!(wal.next_event_id(), 3);
+    }
+
+    #[test]
+    fn namespaced_stores_are_disjoint_per_region() {
+        let root = std::env::temp_dir().join(format!(
+            "mirabel-wal-ns-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let mut a = FileWalStore::open_namespaced(&root, RegionId(0), NodeId(1)).unwrap();
+        let mut b = FileWalStore::open_namespaced(&root, RegionId(1), NodeId(1)).unwrap();
+        a.append(b"region-0-frame").unwrap();
+        b.append(b"region-1-frame").unwrap();
+        assert!(root
+            .join("region-0")
+            .join("node-1")
+            .join("wal.log")
+            .exists());
+        assert!(root
+            .join("region-1")
+            .join("node-1")
+            .join("wal.log")
+            .exists());
+        // Dropping one region's namespace leaves the peer untouched.
+        fs::remove_dir_all(root.join("region-0")).unwrap();
+        let (_, frames) = b.load().unwrap();
+        assert_eq!(frames, vec![b"region-1-frame".to_vec()]);
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub struct StreamStats {
     pub overflow_dropped: u64,
 }
 
+impl StreamStats {
+    /// Accumulate another guard's counters. Rollups (a TSO's per-BRP
+    /// streams, a federation gateway's per-peer streams) sum into one
+    /// row with this instead of exposing every link.
+    pub fn absorb(&mut self, other: &StreamStats) {
+        self.delivered += other.delivered;
+        self.duplicates += other.duplicates;
+        self.buffered += other.buffered;
+        self.resyncs_requested += other.resyncs_requested;
+        self.resyncs_applied += other.resyncs_applied;
+        self.overflow_dropped += other.overflow_dropped;
+    }
+}
+
 /// Default cap on a [`SequencedRx`]'s out-of-order buffer. Beyond this
 /// many parked envelopes the guard stops buffering, drops what it
 /// parked, and relies on the (already requested) resync snapshot to

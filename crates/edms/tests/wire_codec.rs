@@ -12,7 +12,7 @@ use mirabel_aggregate::FlexOfferUpdate;
 use mirabel_core::codec::Wire;
 use mirabel_core::{
     ActorId, Energy, EnergyRange, FlexOffer, FlexOfferId, NodeId, OfferKind, Price, Profile,
-    ScheduledFlexOffer, Slice, TimeSlot,
+    RegionId, ScheduledFlexOffer, Slice, TimeSlot,
 };
 use mirabel_edms::{Envelope, EventRecord, Message};
 use proptest::prelude::*;
@@ -156,8 +156,32 @@ proptest! {
         prop_assert_eq!(roundtrip(&msg), msg);
     }
 
-    /// Envelope framing: routing ids, send slot, and the optional stream
-    /// sequence number must all survive, around any payload.
+    /// The federation's cross-border delta batches reuse the intra-region
+    /// update vocabulary; the envelope tag and payload must survive.
+    #[test]
+    fn prop_exchange_offer_deltas_roundtrip(
+        deltas in proptest::collection::vec(
+            (any::<bool>(), any::<u64>(), -500i64..500, 0u32..32),
+            0..8
+        ),
+    ) {
+        let updates = deltas
+            .into_iter()
+            .map(|(insert, id, es, tf)| {
+                if insert {
+                    FlexOfferUpdate::Insert(offer_from(id, true, es, tf, 0.5, 1.0))
+                } else {
+                    FlexOfferUpdate::Delete(FlexOfferId(id))
+                }
+            })
+            .collect();
+        let msg = Message::ExchangeOfferDeltas(updates);
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// Envelope framing: routing ids, send slot, the optional stream
+    /// sequence number and the region tag must all survive, around any
+    /// payload.
     #[test]
     fn prop_envelope_roundtrip(
         from in any::<u64>(),
@@ -165,6 +189,7 @@ proptest! {
         sent_at in -1_000i64..1_000,
         sequenced in any::<bool>(),
         seq in any::<u64>(),
+        region in any::<u64>(),
         value in 0.0f64..1.0,
     ) {
         let mut env = Envelope::new(
@@ -172,7 +197,8 @@ proptest! {
             NodeId(to),
             TimeSlot(sent_at),
             Message::OfferAccepted { offer: FlexOfferId(7), value },
-        );
+        )
+        .in_region(RegionId(region));
         if sequenced {
             env = env.with_seq(seq);
         }
@@ -180,8 +206,54 @@ proptest! {
         prop_assert_eq!(back, env);
     }
 
-    /// The WAL's event wrapper: ids, causation link, replay-safety flag
-    /// and the recorded clock must all survive alongside the envelope.
+    /// Pre-federation envelope frames carry no trailing region field;
+    /// decoding them must land in [`RegionId::DEFAULT`] with every other
+    /// field intact. The legacy frame is constructed by stripping the
+    /// region suffix — exactly the bytes an old build would have written.
+    #[test]
+    fn prop_legacy_envelope_decodes_into_default_region(
+        from in any::<u64>(),
+        to in any::<u64>(),
+        sent_at in -1_000i64..1_000,
+        seq in any::<u64>(),
+        value in 0.0f64..1.0,
+    ) {
+        let env = Envelope::new(
+            NodeId(from),
+            NodeId(to),
+            TimeSlot(sent_at),
+            Message::OfferAccepted { offer: FlexOfferId(7), value },
+        )
+        .with_seq(seq);
+        let mut frame = env.to_bytes();
+        let region_suffix = RegionId::DEFAULT.to_bytes().len();
+        frame.truncate(frame.len() - region_suffix);
+
+        // A legacy frame inside an EventRecord decodes via the record's
+        // compat path; bare modern decode must reject it (truncated).
+        prop_assert!(Envelope::from_bytes(&frame).is_err());
+        let record = EventRecord {
+            event_id: 1,
+            causation_id: None,
+            replay_safe: true,
+            recorded_at: TimeSlot(sent_at),
+            envelope: env.clone(),
+            region: RegionId::DEFAULT,
+        };
+        let mut record_frame = record.to_bytes();
+        // Strip the record's own region suffix AND the envelope's.
+        record_frame.truncate(record_frame.len() - 2 * region_suffix);
+        let back = EventRecord::from_frame(&record_frame).unwrap();
+        prop_assert_eq!(back.region, RegionId::DEFAULT);
+        prop_assert_eq!(back.envelope.region, RegionId::DEFAULT);
+        prop_assert_eq!(back.envelope.seq, Some(seq));
+        prop_assert_eq!(back.envelope.from, NodeId(from));
+        prop_assert_eq!(back.envelope.message, env.message);
+    }
+
+    /// The WAL's event wrapper: ids, causation link, replay-safety flag,
+    /// the recorded clock and the region tag must all survive alongside
+    /// the envelope.
     #[test]
     fn prop_event_record_roundtrip(
         event_id in any::<u64>(),
@@ -190,6 +262,7 @@ proptest! {
         replay_safe in any::<bool>(),
         recorded_at in -1_000i64..1_000,
         id in any::<u64>(),
+        region in any::<u64>(),
     ) {
         let record = EventRecord {
             event_id,
@@ -201,9 +274,14 @@ proptest! {
                 NodeId(2),
                 TimeSlot(recorded_at),
                 Message::OfferRejected { offer: FlexOfferId(id) },
-            ),
+            )
+            .in_region(RegionId(region)),
+            region: RegionId(region),
         };
         let back = EventRecord::from_bytes(&record.to_bytes()).unwrap();
         prop_assert_eq!(back, record);
+        // from_frame accepts modern frames unchanged.
+        let via_compat = EventRecord::from_frame(&record.to_bytes()).unwrap();
+        prop_assert_eq!(via_compat, record);
     }
 }

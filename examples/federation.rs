@@ -1,0 +1,76 @@
+//! Multi-region federation: three national hierarchies, one storm.
+//!
+//! Builds a three-region federation — each region a complete
+//! prosumer → BRP → TSO hierarchy with its own network, id space and
+//! derived RNG streams — glued by the cross-border macro-offer
+//! exchange. A loss storm is scoped to region 1 alone
+//! (`ChaosPlan::in_region`), and the campaign proves **fault
+//! isolation**: regions 0 and 2 end bit-identical to their solo twins,
+//! while region 1 self-heals and converges on its reliable twin after
+//! the storm passes.
+//!
+//! ```sh
+//! cargo run --release --example federation
+//! ```
+
+use mirabel::core::RegionId;
+use mirabel::edms::chaos::{loss_storm, run_federation_campaign, FederationCampaignConfig};
+use mirabel::edms::{ChaosPlan, FederationConfig, SimulationConfig};
+
+fn main() {
+    let campaign = FederationCampaignConfig {
+        federation: FederationConfig {
+            regions: 3,
+            sim: SimulationConfig {
+                brps: 2,
+                prosumers_per_brp: 8,
+                cycles: 5,
+                offers_per_prosumer: 2,
+                use_tso: true,
+                seed: 7,
+                budget_evaluations: 8_000,
+                // Cycles 1–2: 50% loss — but only inside the region the
+                // campaign scopes this plan to.
+                chaos: ChaosPlan::reliable().phase(loss_storm(1, 3, 0.5)),
+                ..SimulationConfig::default()
+            },
+            ..FederationConfig::default()
+        },
+        storm_region: RegionId(1),
+        quiet_cycles: 2,
+    };
+
+    println!("--- federation: 3 regions, loss storm scoped to region 1 ---");
+    let report = run_federation_campaign(&campaign);
+    println!("{}", report.summary());
+
+    println!("\n--- per-region outcome ---");
+    for (i, region) in report.federation.regions.iter().enumerate() {
+        let stormed = if i == 1 { " (stormed)" } else { "" };
+        println!(
+            "region {i}{stormed:<10} offers {:>3}  assigned {:>3}  fallbacks {:>3}  \
+             dropped {:>3}  imbalance {:>7.1} → {:>6.1}  (−{:.0}%)",
+            region.offers_submitted,
+            region.assigned,
+            region.fallbacks,
+            region.network.dropped,
+            region.imbalance_before,
+            region.imbalance_after,
+            100.0 * region.imbalance_reduction(),
+        );
+    }
+
+    let x = &report.federation.exchange;
+    println!(
+        "\nexchange: {} delta envelopes, {} resyncs served, {:.1} kWh matched, \
+         {} bus bytes, converged: {}",
+        x.deltas_published, x.snapshots_served, x.matched_kwh, x.bus.bytes_sent, x.converged,
+    );
+
+    assert!(
+        report.converged(),
+        "isolation or convergence failed:\n{}",
+        report.summary()
+    );
+    println!("\nfault isolation + self-healing: verified");
+}
