@@ -1,0 +1,133 @@
+//! Degraded-mode economics: what islanding costs and what healing costs.
+//!
+//! Two groups anchor the islanded-BRP story:
+//!
+//! 1. `degraded_rounds` — the same small three-level hierarchy run
+//!    `connected` (reliable wire) vs `islanded` (a BRP↔TSO partition
+//!    spanning every cycle plus instant-trip detector horizons, so the
+//!    cut BRP runs its local degraded pass each round). The delta is
+//!    the price of local provisional balancing relative to
+//!    TSO-coordinated planning — wire savings included.
+//! 2. `islanded_planning` — the local pass in isolation: one islanded
+//!    BRP planning its own pool of 100 / 1 000 offers. This is the
+//!    latency a BRP adds to a round the moment its detector trips, and
+//!    the number the `degraded_json` CI artifact tracks per commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mirabel_core::{EnergyRange, NodeId, Profile, TimeSlot};
+use mirabel_edms::chaos::partition_between;
+use mirabel_edms::{
+    simulate, BrpConfig, BrpNode, ChaosPlan, Envelope, LinkHealthConfig, LinkState, Message,
+    SimulationConfig,
+};
+use mirabel_schedule::MarketPrices;
+
+const CYCLES: usize = 4;
+const TSO: NodeId = NodeId(9_999);
+
+/// Detector horizons that trip on the first poll: silence `>= 0` is
+/// already `Down`, so a partitioned BRP islands immediately.
+fn instant_island() -> LinkHealthConfig {
+    LinkHealthConfig {
+        suspect_after: 0,
+        down_after: 0,
+        retransmit_base: 1_000_000,
+        max_retransmits: 0,
+    }
+}
+
+fn hierarchy(chaos: ChaosPlan, link_health: LinkHealthConfig) -> SimulationConfig {
+    SimulationConfig {
+        brps: 4,
+        prosumers_per_brp: 64,
+        cycles: CYCLES,
+        offers_per_prosumer: 2,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        chaos,
+        link_health,
+        ..SimulationConfig::default()
+    }
+}
+
+/// A BRP already in `Down` with `offers` pooled, ready for an islanded
+/// planning pass.
+fn islanded_brp(offers: usize) -> BrpNode {
+    let config = BrpConfig {
+        forward_to_tso: true,
+        link_health: instant_island(),
+        ..BrpConfig::default()
+    };
+    let mut brp = BrpNode::new(NodeId(1), Some(TSO), config);
+    let now = TimeSlot(0);
+    for i in 0..offers as u64 {
+        let offer = mirabel_core::FlexOffer::builder(i, 500 + i)
+            .earliest_start(TimeSlot(100 + (i % 50) as i64))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(90))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        brp.handle(
+            Envelope::new(NodeId(500 + i), NodeId(1), now, Message::SubmitOffer(offer)),
+            now,
+        );
+    }
+    brp
+}
+
+fn degraded_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("degraded_rounds");
+    group.sample_size(3);
+    let cases = [
+        (
+            "connected",
+            hierarchy(ChaosPlan::reliable(), LinkHealthConfig::default()),
+        ),
+        (
+            "islanded",
+            hierarchy(
+                ChaosPlan::reliable().phase(partition_between(0, CYCLES, NodeId(1), TSO)),
+                instant_island(),
+            ),
+        ),
+    ];
+    for (label, cfg) in cases {
+        group.throughput(Throughput::Elements(CYCLES as u64));
+        group.bench_with_input(BenchmarkId::new("256_prosumers", label), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg.clone()).assigned)
+        });
+    }
+    group.finish();
+}
+
+fn islanded_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("islanded_planning");
+    group.sample_size(10);
+    for &offers in &[100usize, 1_000] {
+        let mut brp = islanded_brp(offers);
+        group.throughput(Throughput::Elements(offers as u64));
+        group.bench_with_input(BenchmarkId::new("offers", offers), &offers, |b, _| {
+            b.iter(|| {
+                // The prepare pass alone: commit would hand the offers to
+                // prosumers and drain the pool between iterations.
+                let (out, report) = brp.prepare_plan(
+                    TimeSlot(4),
+                    TimeSlot(96),
+                    vec![-1.0; 96],
+                    MarketPrices::flat(96, 0.08, 0.03, 100.0),
+                    vec![0.2; 96],
+                );
+                assert!(out.is_empty(), "islanded prepares ship nothing upward");
+                assert_eq!(brp.link_state(), LinkState::Down);
+                brp.take_islanded_rounds();
+                report.eligible_macro
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, degraded_rounds, islanded_planning);
+criterion_main!(benches);

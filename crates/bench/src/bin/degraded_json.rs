@@ -1,0 +1,175 @@
+//! `BENCH_degraded.json` emitter: the islanded-mode cost artifact.
+//!
+//! Measures what degraded operation costs and writes it as JSON for CI
+//! to upload per commit:
+//!
+//! * **islanding overhead** — the same 256-prosumer hierarchy run with
+//!   a reliable wire vs with one BRP partitioned from the TSO for every
+//!   cycle (instant-trip detector horizons, so the cut BRP runs its
+//!   local degraded pass each round), reported as seconds per run plus
+//!   the percentage delta. The islanded run must still assign offers —
+//!   provisional flexibility instead of dropped flexibility.
+//! * **islanded planning latency** — the local degraded planning pass
+//!   in isolation: one `Down` BRP preparing a window over its own pool
+//!   of 100 / 1 000 offers, reported as milliseconds per pass.
+//!
+//! ```sh
+//! cargo run --release -p mirabel-bench --bin degraded_json [out.json]
+//! ```
+
+use mirabel_core::{EnergyRange, FlexOffer, NodeId, Profile, TimeSlot};
+use mirabel_edms::chaos::partition_between;
+use mirabel_edms::{
+    simulate, BrpConfig, BrpNode, ChaosPlan, Envelope, LinkHealthConfig, LinkState, Message,
+    SimulationConfig,
+};
+use mirabel_schedule::MarketPrices;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const CYCLES: usize = 4;
+const TSO: NodeId = NodeId(9_999);
+const BRP_ID: NodeId = NodeId(1);
+
+/// Detector horizons that trip on the first poll: silence `>= 0` is
+/// already `Down`, so a partitioned BRP islands immediately.
+fn instant_island() -> LinkHealthConfig {
+    LinkHealthConfig {
+        suspect_after: 0,
+        down_after: 0,
+        retransmit_base: 1_000_000,
+        max_retransmits: 0,
+    }
+}
+
+fn hierarchy(chaos: ChaosPlan, link_health: LinkHealthConfig) -> SimulationConfig {
+    SimulationConfig {
+        brps: 4,
+        prosumers_per_brp: 64,
+        cycles: CYCLES,
+        offers_per_prosumer: 2,
+        use_tso: true,
+        budget_evaluations: 2_000,
+        seed: 42,
+        chaos,
+        link_health,
+        ..SimulationConfig::default()
+    }
+}
+
+/// Median-of-five timed runs (after one warm-up) of the workload.
+fn time_simulation(cfg: &SimulationConfig) -> (f64, mirabel_edms::SimulationReport) {
+    let report = simulate(cfg.clone());
+    let mut secs: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            let rerun = simulate(cfg.clone());
+            let s = start.elapsed().as_secs_f64();
+            assert_eq!(rerun, report, "same config, different report");
+            s
+        })
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    (secs[2], report)
+}
+
+/// A BRP already in `Down` with `offers` pooled, ready for islanded
+/// planning passes.
+fn islanded_brp(offers: usize) -> BrpNode {
+    let config = BrpConfig {
+        forward_to_tso: true,
+        link_health: instant_island(),
+        ..BrpConfig::default()
+    };
+    let mut brp = BrpNode::new(BRP_ID, Some(TSO), config);
+    let now = TimeSlot(0);
+    for i in 0..offers as u64 {
+        let offer = FlexOffer::builder(i, 500 + i)
+            .earliest_start(TimeSlot(100 + (i % 50) as i64))
+            .time_flexibility(8)
+            .assignment_before(TimeSlot(90))
+            .profile(Profile::uniform(2, EnergyRange::new(1.0, 2.0).unwrap()))
+            .build()
+            .unwrap();
+        brp.handle(
+            Envelope::new(NodeId(500 + i), BRP_ID, now, Message::SubmitOffer(offer)),
+            now,
+        );
+    }
+    brp
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_degraded.json".to_string());
+
+    // Islanding overhead: connected vs one BRP cut off every cycle.
+    let (connected_secs, connected) = time_simulation(&hierarchy(
+        ChaosPlan::reliable(),
+        LinkHealthConfig::default(),
+    ));
+    let (islanded_secs, islanded) = time_simulation(&hierarchy(
+        ChaosPlan::reliable().phase(partition_between(0, CYCLES, BRP_ID, TSO)),
+        instant_island(),
+    ));
+    assert!(
+        islanded.assigned > 0,
+        "islanded hierarchy must still assign flexibility"
+    );
+    let delta_pct = (islanded_secs / connected_secs - 1.0) * 100.0;
+    println!(
+        "islanding overhead: connected {connected_secs:.3}s \
+         (assigned {}), islanded {islanded_secs:.3}s (assigned {}) \
+         ({delta_pct:+.1}% for {CYCLES} rounds at 256 prosumers)",
+        connected.assigned, islanded.assigned
+    );
+
+    // Islanded planning latency: median-of-five local passes per pool
+    // size (prepare only — commit would drain the pool between runs).
+    let mut planning_rows = String::new();
+    for offers in [100usize, 1_000] {
+        let mut brp = islanded_brp(offers);
+        let mut ms: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                let (out, report) = brp.prepare_plan(
+                    TimeSlot(4),
+                    TimeSlot(96),
+                    vec![-1.0; 96],
+                    MarketPrices::flat(96, 0.08, 0.03, 100.0),
+                    vec![0.2; 96],
+                );
+                let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+                assert!(out.is_empty(), "islanded prepares ship nothing upward");
+                assert_eq!(brp.link_state(), LinkState::Down);
+                assert!(report.eligible_macro > 0, "the pool must be eligible");
+                brp.take_islanded_rounds();
+                elapsed
+            })
+            .collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = ms[2];
+        println!("islanded planning: {offers} offers in {median:.2} ms");
+        if !planning_rows.is_empty() {
+            planning_rows.push_str(",\n");
+        }
+        write!(
+            planning_rows,
+            "    {{\"offers\": {offers}, \"plan_ms\": {median:.4}}}"
+        )
+        .expect("writing to a String cannot fail");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"degraded_mode\",\n  \"cycles_per_run\": {CYCLES},\n  \
+         \"connected_seconds\": {connected_secs:.6},\n  \
+         \"islanded_seconds\": {islanded_secs:.6},\n  \
+         \"islanding_delta_pct\": {delta_pct:.3},\n  \
+         \"connected_assigned\": {},\n  \"islanded_assigned\": {},\n  \
+         \"islanded_planning\": [\n{planning_rows}\n  ]\n}}\n",
+        connected.assigned, islanded.assigned
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_degraded.json");
+    println!("wrote {out_path}");
+}

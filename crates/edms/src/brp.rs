@@ -40,7 +40,9 @@ use crate::datastore::{
 use crate::message::{Envelope, Message};
 use crate::runtime::{Node, NodeRuntime, PlanEngine, RuntimeConfig};
 use crate::wal::{NodeWal, WalConfig, WalStore};
-use crate::wire::DedupRx;
+use crate::wire::{
+    DedupRx, LinkHealth, LinkHealthConfig, LinkHealthStats, LinkState, RetransmitTracker,
+};
 use mirabel_aggregate::{
     AggregateUpdate, AggregationParams, AggregationPipeline, BinPackerConfig, FlexOfferUpdate,
 };
@@ -88,6 +90,11 @@ pub struct BrpConfig {
     /// executor, so all BRPs and the TSO of a hierarchy wake the same
     /// parked workers; results are identical for any pool.
     pub pool: mirabel_core::exec::Pool,
+    /// Failure-detector horizons for the TSO link (TSO mode only):
+    /// silence thresholds for `Suspect`/`Down`, and the retransmit
+    /// backoff for unacked outbox flushes. Purely slot-clocked, so
+    /// detection is bit-identical at any worker-pool width.
+    pub link_health: LinkHealthConfig,
 }
 
 impl Default for BrpConfig {
@@ -105,6 +112,7 @@ impl Default for BrpConfig {
             repair_moves: runtime.repair_moves,
             initial_starts: runtime.initial_starts,
             pool: runtime.pool,
+            link_health: LinkHealthConfig::default(),
         }
     }
 }
@@ -165,6 +173,45 @@ pub struct BrpNode {
     /// Event id of the most recently ingested envelope — the causation
     /// link stamped onto the outbox-flush records it triggers.
     last_ingest_event: Option<u64>,
+    /// Failure detector for the TSO link (meaningful in TSO mode only).
+    health: LinkHealth,
+    /// Piggybacked-ack bookkeeping for upward outbox flushes.
+    retransmit: RetransmitTracker,
+    /// Envelopes accepted from the parent so far — the cumulative count
+    /// this node's own heartbeats piggyback as an ack.
+    parent_heard: u64,
+    /// Whether the current live plan was prepared islanded (TSO link
+    /// `Down`): its commit stamps assignments provisional.
+    islanded_round: bool,
+    /// First slot of the current island (None while connected).
+    islanded_since: Option<TimeSlot>,
+    /// Macro-level provisional assignments (export-id space) committed
+    /// while islanded, pending the reconciliation handshake on heal.
+    provisional: BTreeMap<FlexOfferId, ScheduledFlexOffer>,
+    /// Per-window log of islanded planning rounds, drained by the
+    /// simulation ([`take_islanded_rounds`](Self::take_islanded_rounds)).
+    islanded_log: Vec<IslandedRound>,
+}
+
+/// One islanded planning round: what the BRP's local engine prepared
+/// and committed for a window while its TSO link was `Down`. The chaos
+/// invariant checker asserts `committed_cost <= prepared_cost` — the
+/// islanded window's imbalance is bounded by the local-only optimum the
+/// engine found at prepare time (refreshed after each mid-window
+/// forecast repair, which legitimately moves the bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandedRound {
+    /// First slot of the islanded planning window.
+    pub window_start: TimeSlot,
+    /// Macro offers eligible for the local pass.
+    pub eligible: usize,
+    /// Cost of the local plan at prepare time (the local-only optimum),
+    /// refreshed after each mid-window forecast repair.
+    pub prepared_cost: Option<f64>,
+    /// Cost at commit time, after incremental refinements.
+    pub committed_cost: Option<f64>,
+    /// Provisional micro assignments the commit produced.
+    pub assignments: usize,
 }
 
 /// Decoded form of the state snapshot a BRP installs at WAL compaction
@@ -228,6 +275,7 @@ impl BrpNode {
             config.runtime(),
             id.value().wrapping_mul(0x9e37_79b9),
         );
+        let health = LinkHealth::new(config.link_health);
         BrpNode {
             id,
             parent,
@@ -241,6 +289,13 @@ impl BrpNode {
             wal: None,
             replaying: false,
             last_ingest_event: None,
+            health,
+            retransmit: RetransmitTracker::default(),
+            parent_heard: 0,
+            islanded_round: false,
+            islanded_since: None,
+            provisional: BTreeMap::new(),
+            islanded_log: Vec::new(),
         }
     }
 
@@ -374,10 +429,32 @@ impl BrpNode {
                 // regenerated replies are dropped.
                 let _ = BrpNode::handle(&mut node, rec.envelope, rec.recorded_at);
             } else if rec.envelope.from == id {
-                // Outbox-flush marker: these staged deltas left the node
-                // before the crash — replay the flush as the state
-                // transition it was.
-                node.outbox.clear();
+                match rec.envelope.message {
+                    // Outbox-flush marker: these staged deltas left the
+                    // node before the crash — replay the flush as the
+                    // state transition it was.
+                    Message::MacroOfferDeltas(_) => node.outbox.clear(),
+                    // Provisional markers: non-empty = an islanded
+                    // commit's macro ledger (re-apply it so the pool
+                    // effect of the crashed commit is reproduced); empty
+                    // = the reconciliation hand-off that cleared it.
+                    Message::ProvisionalReport { assignments, .. } => {
+                        if assignments.is_empty() {
+                            node.provisional.clear();
+                        } else {
+                            for s in assignments {
+                                node.provisional.insert(s.offer_id, s.clone());
+                                let _ = node.apply_macro_assignment(
+                                    s,
+                                    Price(0.0),
+                                    rec.recorded_at,
+                                    OfferState::Provisional,
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
             }
         }
         node.replaying = false;
@@ -385,6 +462,36 @@ impl BrpNode {
         let mut out = Vec::new();
         if node.config.forward_to_tso {
             if let Some(parent) = node.parent {
+                // A restart is a reconciliation point: if the crashed
+                // node died mid-island, its rebuilt provisional ledger
+                // ships ahead of the re-anchoring snapshot, exactly like
+                // a live heal would send it.
+                if !node.provisional.is_empty() {
+                    let assignments: Vec<ScheduledFlexOffer> =
+                        node.provisional.values().cloned().collect();
+                    node.provisional.clear();
+                    if let Some(wal) = node.wal.as_mut() {
+                        let marker = Envelope::new(
+                            node.id,
+                            parent,
+                            now,
+                            Message::ProvisionalReport {
+                                window_start: now,
+                                assignments: Vec::new(),
+                            },
+                        );
+                        wal.append(&marker, None, false, now);
+                    }
+                    out.push(Envelope::new(
+                        node.id,
+                        parent,
+                        now,
+                        Message::ProvisionalReport {
+                            window_start: now,
+                            assignments,
+                        },
+                    ));
+                }
                 out.extend(node.on_resync_request(parent, now));
             }
         }
@@ -394,6 +501,34 @@ impl BrpNode {
     /// Offers currently pooled.
     pub fn pool_size(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Current state of the TSO-link failure detector.
+    pub fn link_state(&self) -> LinkState {
+        self.health.state()
+    }
+
+    /// Counters kept by the TSO-link failure detector (federation
+    /// rollups absorb these per region).
+    pub fn link_health_stats(&self) -> LinkHealthStats {
+        self.health.stats()
+    }
+
+    /// Upward flushes the parent has not acknowledged yet.
+    pub fn unacked_flushes(&self) -> u64 {
+        self.retransmit.unacked()
+    }
+
+    /// Provisional macro assignments awaiting TSO reconciliation.
+    pub fn provisional_count(&self) -> usize {
+        self.provisional.len()
+    }
+
+    /// Drain the log of islanded planning rounds accumulated since the
+    /// last call (the simulation collects these per cycle for the chaos
+    /// invariant checks).
+    pub fn take_islanded_rounds(&mut self) -> Vec<IslandedRound> {
+        std::mem::take(&mut self.islanded_log)
     }
 
     /// Current number of aggregates.
@@ -461,6 +596,13 @@ impl BrpNode {
                 self.last_ingest_event = Some(wal.append(&envelope, None, true, now));
             }
         }
+        // Any accepted envelope from the parent is proof of TSO life —
+        // the failure detector restarts its silence clock on it, and the
+        // count is what this node's own heartbeats piggyback as an ack.
+        if Some(envelope.from) == self.parent {
+            self.health.heard(now);
+            self.parent_heard += 1;
+        }
         let out = match envelope.message {
             Message::SubmitOffer(offer) => self.on_submit(offer, envelope.from, now),
             Message::Measurement {
@@ -488,6 +630,13 @@ impl BrpNode {
                 discount_per_kwh,
             } => self.on_tso_assignment(schedule, discount_per_kwh, now),
             Message::ResyncRequest => self.on_resync_request(envelope.from, now),
+            Message::Heartbeat { seen } => {
+                if Some(envelope.from) == self.parent {
+                    self.health.heard_heartbeat(now);
+                    self.retransmit.on_ack(seen);
+                }
+                Vec::new()
+            }
             _ => Vec::new(),
         };
         self.maybe_compact();
@@ -501,16 +650,19 @@ impl BrpNode {
     /// would only replay state the snapshot already carries.
     fn on_resync_request(&mut self, from: NodeId, now: TimeSlot) -> Vec<Envelope> {
         self.outbox.clear();
+        // Exported aggregates are live by construction, but this path
+        // also runs right after WAL recovery — skip (rather than panic
+        // on) any export whose aggregate a truncated log failed to
+        // rebuild; the snapshot diff then retires it at the parent too.
         let offers: Vec<FlexOffer> = self
             .exports
             .iter()
-            .map(|(export_id, agg_id)| {
+            .filter_map(|(export_id, agg_id)| {
                 self.engine
                     .pipeline()
-                    .aggregate(*agg_id)
-                    .expect("exported aggregates are live")
+                    .aggregate(*agg_id)?
                     .to_flex_offer_as(*export_id, self.id.value())
-                    .expect("aggregates are valid flex-offers")
+                    .ok()
             })
             .collect();
         vec![Envelope::new(
@@ -642,8 +794,10 @@ impl BrpNode {
         penalties: Vec<f64>,
     ) -> (Vec<Envelope>, PlanReport) {
         // A new round starts: expiry deltas must not be folded into the
-        // previous window's (now stale) live plan.
+        // previous window's (now stale) live plan, and whether this
+        // round runs islanded is decided afresh by the detector below.
         self.engine.abandon();
+        self.islanded_round = false;
         let mut report = PlanReport {
             expired: self.expire(now),
             ..PlanReport::default()
@@ -654,6 +808,101 @@ impl BrpNode {
             let Some(parent) = self.parent else {
                 return (Vec::new(), report);
             };
+            // Advance the failure detector — except out of `Recovering`,
+            // which must survive until the reconciliation handshake below
+            // has run; its own tick then confirms the heal.
+            let state = if self.health.state() == LinkState::Recovering {
+                LinkState::Recovering
+            } else {
+                self.health.tick(now)
+            };
+            match state {
+                LinkState::Down => {
+                    // ISLAND: the TSO is presumed unreachable. Keep the
+                    // staged export deltas (the heal-time snapshot
+                    // supersedes them) and run the local engine over this
+                    // node's own pool — which naturally covers every
+                    // offer the TSO has not assigned, including ones it
+                    // previously passed over. The commit stamps the
+                    // resulting assignments provisional.
+                    self.islanded_round = true;
+                    if self.islanded_since.is_none() {
+                        self.islanded_since = Some(window_start);
+                    }
+                    let (eligible, cost) =
+                        self.engine
+                            .prepare(window_start, baseline, prices, penalties);
+                    report.eligible_macro = eligible;
+                    report.cost = cost;
+                    self.islanded_log.push(IslandedRound {
+                        window_start,
+                        eligible,
+                        prepared_cost: cost,
+                        committed_cost: None,
+                        assignments: 0,
+                    });
+                    return (Vec::new(), report);
+                }
+                LinkState::Recovering => {
+                    // RECONCILE: traffic resumed after an island. Ship
+                    // the provisional macro assignments FIRST — the TSO
+                    // audits them against its pre-snapshot pool (still
+                    // pooled here → adopt, already assigned elsewhere →
+                    // supersede) — then a full export snapshot that
+                    // re-anchors its pooled view of this node.
+                    let mut out = Vec::new();
+                    if !self.provisional.is_empty() {
+                        let assignments: Vec<ScheduledFlexOffer> =
+                            self.provisional.values().cloned().collect();
+                        self.provisional.clear();
+                        // Log the hand-off as an *empty* report marker:
+                        // replaying it wipes the provisional ledger the
+                        // earlier commit markers rebuilt.
+                        if !self.replaying {
+                            if let Some(wal) = self.wal.as_mut() {
+                                let marker = Envelope::new(
+                                    self.id,
+                                    parent,
+                                    now,
+                                    Message::ProvisionalReport {
+                                        window_start: now,
+                                        assignments: Vec::new(),
+                                    },
+                                );
+                                wal.append(&marker, self.last_ingest_event, false, now);
+                            }
+                        }
+                        out.push(Envelope::new(
+                            self.id,
+                            parent,
+                            now,
+                            Message::ProvisionalReport {
+                                window_start: self.islanded_since.unwrap_or(now),
+                                assignments,
+                            },
+                        ));
+                    }
+                    self.islanded_since = None;
+                    out.extend(self.on_resync_request(parent, now));
+                    self.health.tick(now);
+                    if !self.replaying {
+                        self.maybe_compact();
+                    }
+                    return (out, report);
+                }
+                LinkState::Up | LinkState::Suspect => {}
+            }
+            // Unacked-frontier retransmit: the payload is the idempotent
+            // export snapshot, never a replayed delta batch — a re-sent
+            // batch would take a fresh stream sequence number and could
+            // regress newer state at the receiver.
+            if self
+                .retransmit
+                .should_retransmit(now, &self.config.link_health)
+            {
+                self.health.note_retransmit();
+                return (self.on_resync_request(parent, now), report);
+            }
             // Materialize the net staged changes: one offer build per
             // aggregate that actually changed this round.
             let deltas: Vec<FlexOfferUpdate> = std::mem::take(&mut self.outbox)
@@ -675,8 +924,21 @@ impl BrpNode {
                 .collect();
             report.forwarded = deltas.len();
             if deltas.is_empty() {
-                return (Vec::new(), report);
+                // Nothing staged: heartbeat instead, so the parent (a)
+                // hears this node is alive even across idle rounds and
+                // (b) registers a stream entry for zero-offer BRPs. The
+                // `seen` count acks the parent's traffic in return.
+                let heartbeat = Envelope::new(
+                    self.id,
+                    parent,
+                    now,
+                    Message::Heartbeat {
+                        seen: self.parent_heard,
+                    },
+                );
+                return (vec![heartbeat], report);
             }
+            self.retransmit.on_flush(now);
             let env = Envelope::new(self.id, parent, now, Message::MacroOfferDeltas(deltas));
             // Log the flush as a (non-replay-safe) outbound marker:
             // replay treats it as "these staged deltas left the node",
@@ -701,7 +963,17 @@ impl BrpNode {
     /// React to a typed forecast change event on the live plan (see
     /// [`PlanEngine::on_forecast_event`]).
     pub fn on_forecast_event(&mut self, event: &ForecastEvent) -> Option<ReplanReport> {
-        self.engine.on_forecast_event(event)
+        let report = self.engine.on_forecast_event(event);
+        if self.islanded_round {
+            // A mid-window forecast repair moves the local-only optimum:
+            // the islanded invariant (`committed_cost <= prepared_cost`)
+            // must be judged against the post-repair bound, not the
+            // pre-event one.
+            if let (Some(rep), Some(round)) = (report.as_ref(), self.islanded_log.last_mut()) {
+                round.prepared_cost = Some(rep.cost_after);
+            }
+        }
+        report
     }
 
     /// Commit the live plan: disaggregate the current (possibly
@@ -710,7 +982,51 @@ impl BrpNode {
     /// cost, or `None` when no plan is live.
     pub fn commit_plan(&mut self, now: TimeSlot) -> Option<(Vec<Envelope>, f64)> {
         let (problem, solution, cost) = self.engine.commit()?;
-        let envelopes = self.disaggregate_and_assign(&problem, &solution, now);
+        if self.islanded_round {
+            self.islanded_round = false;
+            // Capture the macro-level schedules in export-id space
+            // *before* disaggregation collapses the aggregates: this
+            // ledger is what the TSO audits at reconciliation.
+            let macros: Vec<ScheduledFlexOffer> = solution
+                .to_schedules(&problem)
+                .into_iter()
+                .map(|s| ScheduledFlexOffer {
+                    offer_id: FlexOfferId(self.id.value() * 1_000_000_000 + s.offer_id.value()),
+                    start: s.start,
+                    slot_energies: s.slot_energies,
+                })
+                .collect();
+            let envelopes =
+                self.disaggregate_and_assign(&problem, &solution, now, OfferState::Provisional);
+            for m in &macros {
+                self.provisional.insert(m.offer_id, m.clone());
+            }
+            if let Some(round) = self.islanded_log.last_mut() {
+                round.committed_cost = Some(cost);
+                round.assignments = envelopes.len();
+            }
+            // Commit marker: replaying a non-empty self-addressed report
+            // rebuilds the provisional ledger a crashed island had
+            // accumulated.
+            if !self.replaying && !macros.is_empty() {
+                if let Some(wal) = self.wal.as_mut() {
+                    let marker = Envelope::new(
+                        self.id,
+                        self.id,
+                        now,
+                        Message::ProvisionalReport {
+                            window_start: self.islanded_since.unwrap_or(now),
+                            assignments: macros,
+                        },
+                    );
+                    wal.append(&marker, self.last_ingest_event, false, now);
+                }
+                self.maybe_compact();
+            }
+            return Some((envelopes, cost));
+        }
+        let envelopes =
+            self.disaggregate_and_assign(&problem, &solution, now, OfferState::Assigned);
         Some((envelopes, cost))
     }
 
@@ -740,12 +1056,16 @@ impl BrpNode {
         (envelopes, report)
     }
 
-    /// Turn a macro-level solution into micro assignments for prosumers.
+    /// Turn a macro-level solution into micro assignments for prosumers,
+    /// recording each assigned offer in the given lifecycle state
+    /// (`Assigned` for connected rounds, `Provisional` for islanded
+    /// ones).
     fn disaggregate_and_assign(
         &mut self,
         problem: &SchedulingProblem,
         solution: &Solution,
         now: TimeSlot,
+        state: OfferState,
     ) -> Vec<Envelope> {
         let mut out = Vec::new();
         // Collect every assigned offer's delete and run them through the
@@ -769,7 +1089,7 @@ impl BrpNode {
                     offer: offer.id(),
                     actor: offer.owner(),
                     slot: now,
-                    state: OfferState::Assigned,
+                    state,
                 });
                 self.store.record_schedule(ScheduleFact {
                     offer: offer.id(),
@@ -799,8 +1119,23 @@ impl BrpNode {
     fn on_tso_assignment(
         &mut self,
         schedule: ScheduledFlexOffer,
+        discount: Price,
+        now: TimeSlot,
+    ) -> Vec<Envelope> {
+        self.apply_macro_assignment(schedule, discount, now, OfferState::Assigned)
+    }
+
+    /// Disaggregate one export-space macro schedule into micro
+    /// assignments, recording each in the given lifecycle state. Also
+    /// the replay path for islanded commit markers: the deterministic
+    /// pipeline rebuilds the same aggregates, so re-applying the logged
+    /// macro ledger reproduces the crashed island's pool effect exactly.
+    fn apply_macro_assignment(
+        &mut self,
+        schedule: ScheduledFlexOffer,
         _discount: Price,
         now: TimeSlot,
+        state: OfferState,
     ) -> Vec<Envelope> {
         let Some(agg_id) = self.exports.get(&schedule.offer_id.value()).copied() else {
             return Vec::new();
@@ -827,7 +1162,7 @@ impl BrpNode {
                 offer: offer.id(),
                 actor: offer.owner(),
                 slot: now,
-                state: OfferState::Assigned,
+                state,
             });
             self.store.record_schedule(ScheduleFact {
                 offer: offer.id(),
@@ -1152,7 +1487,8 @@ mod tests {
             };
             assert!(o.id().value() >= 3_000_000_000, "export ids are global");
         }
-        // Flushed: a second plan with no new offers forwards nothing.
+        // Flushed: a second plan with no new offers forwards no deltas —
+        // it degrades to a liveness heartbeat instead.
         assert_eq!(brp.staged_deltas(), 0);
         let (envelopes, report) = brp.plan_with_baseline(
             TimeSlot(81),
@@ -1162,7 +1498,9 @@ mod tests {
             vec![0.2; 96],
         );
         assert_eq!(report.forwarded, 0);
-        assert!(envelopes.is_empty());
+        assert_eq!(envelopes.len(), 1);
+        assert!(matches!(envelopes[0].message, Message::Heartbeat { .. }));
+        assert_eq!(envelopes[0].to, NodeId(99));
     }
 
     #[test]
@@ -1539,6 +1877,250 @@ mod tests {
             recovered.staged_deltas(),
             0,
             "resync snapshot supersedes the outbox"
+        );
+    }
+
+    /// Tight failure-detector horizons for the islanding tests: silence
+    /// of 4+ slots is `Down`, retransmits effectively disabled.
+    fn islanding_config() -> BrpConfig {
+        BrpConfig {
+            forward_to_tso: true,
+            link_health: crate::wire::LinkHealthConfig {
+                suspect_after: 2,
+                down_after: 4,
+                retransmit_base: 1_000_000,
+                max_retransmits: 0,
+            },
+            ..BrpConfig::default()
+        }
+    }
+
+    fn plan(brp: &mut BrpNode, now: i64) -> (Vec<Envelope>, PlanReport) {
+        brp.plan_with_baseline(
+            TimeSlot(now),
+            TimeSlot(96),
+            vec![-1.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 100.0),
+            vec![0.2; 96],
+        )
+    }
+
+    #[test]
+    fn silent_tso_islands_brp_and_stamps_provisional() {
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), islanding_config());
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        // Round 1: link presumed Up (silence clock starts here) — the
+        // staged deltas flush upward as usual.
+        let (envelopes, _) = plan(&mut brp, 10);
+        assert_eq!(envelopes.len(), 1);
+        assert!(matches!(envelopes[0].message, Message::MacroOfferDeltas(_)));
+        assert_eq!(brp.link_state(), LinkState::Up);
+
+        // Round 2: 10 silent slots exceed `down_after` — the node
+        // islands and plans locally; every assignment is provisional.
+        let (envelopes, report) = plan(&mut brp, 20);
+        assert_eq!(brp.link_state(), LinkState::Down);
+        assert!(report.cost.is_some(), "local pass scheduled the pool");
+        assert_eq!(report.assignments, 10);
+        assert_eq!(envelopes.len(), 10, "micro assignments to prosumers");
+        assert_eq!(brp.pool_size(), 0);
+        assert_eq!(brp.store.count_in_state(OfferState::Provisional), 10);
+        assert_eq!(brp.store.count_in_state(OfferState::Assigned), 0);
+        assert!(brp.provisional_count() > 0);
+
+        let rounds = brp.take_islanded_rounds();
+        assert_eq!(rounds.len(), 1);
+        let round = &rounds[0];
+        assert_eq!(round.window_start, TimeSlot(96));
+        assert!(round.eligible > 0);
+        assert_eq!(round.assignments, 10);
+        let (prepared, committed) = (
+            round.prepared_cost.expect("prepared"),
+            round.committed_cost.expect("committed"),
+        );
+        assert!(
+            committed <= prepared + 1e-6,
+            "islanded imbalance bounded by the local-only optimum: {committed} vs {prepared}"
+        );
+        assert!(brp.take_islanded_rounds().is_empty(), "drained");
+    }
+
+    #[test]
+    fn heal_reconciles_provisional_report_before_snapshot() {
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), islanding_config());
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        plan(&mut brp, 10);
+        plan(&mut brp, 20); // islands
+        assert_eq!(brp.link_state(), LinkState::Down);
+        assert!(brp.provisional_count() > 0);
+
+        // TSO traffic resumes: a heartbeat flips the detector to
+        // Recovering (never straight to Up — the handshake runs first).
+        brp.handle(
+            Envelope::new(
+                NodeId(99),
+                NodeId(3),
+                TimeSlot(21),
+                Message::Heartbeat { seen: 1 },
+            ),
+            TimeSlot(21),
+        );
+        assert_eq!(brp.link_state(), LinkState::Recovering);
+
+        // The next round reconciles: provisional report FIRST (the TSO
+        // audits it against its pre-snapshot pool), snapshot second.
+        let (out, _) = plan(&mut brp, 22);
+        assert_eq!(out.len(), 2);
+        let Message::ProvisionalReport {
+            window_start,
+            assignments,
+        } = &out[0].message
+        else {
+            panic!("expected ProvisionalReport first, got {:?}", out[0].message);
+        };
+        assert_eq!(*window_start, TimeSlot(96), "stamped with island start");
+        assert!(!assignments.is_empty());
+        assert!(
+            assignments
+                .iter()
+                .all(|s| s.offer_id.value() >= 3_000_000_000),
+            "provisional ledger is in export-id space"
+        );
+        assert!(matches!(out[1].message, Message::ResyncSnapshot { .. }));
+        assert_eq!(brp.provisional_count(), 0, "ledger handed off");
+        assert_eq!(brp.link_state(), LinkState::Up, "heal confirmed");
+        assert_eq!(brp.link_health_stats().recoveries, 1);
+    }
+
+    #[test]
+    fn unacked_flush_retransmits_idempotent_snapshot() {
+        let config = BrpConfig {
+            forward_to_tso: true,
+            link_health: crate::wire::LinkHealthConfig {
+                suspect_after: 1_000_000,
+                down_after: 2_000_000,
+                retransmit_base: 4,
+                max_retransmits: 2,
+            },
+            ..BrpConfig::default()
+        };
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), config);
+        for i in 0..5 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        let (envelopes, _) = plan(&mut brp, 0);
+        assert!(matches!(envelopes[0].message, Message::MacroOfferDeltas(_)));
+        assert_eq!(brp.unacked_flushes(), 1);
+
+        // The flush stays unacked past the backoff deadline: the node
+        // re-anchors the parent with a snapshot, never a replayed batch.
+        let (envelopes, _) = plan(&mut brp, 6);
+        assert_eq!(envelopes.len(), 1);
+        assert!(matches!(
+            envelopes[0].message,
+            Message::ResyncSnapshot { .. }
+        ));
+        assert_eq!(brp.link_health_stats().retransmits, 1);
+
+        // A parent heartbeat acking the frontier silences the tracker:
+        // the next idle round is a plain heartbeat again.
+        brp.handle(
+            Envelope::new(
+                NodeId(99),
+                NodeId(3),
+                TimeSlot(7),
+                Message::Heartbeat { seen: 1 },
+            ),
+            TimeSlot(7),
+        );
+        assert_eq!(brp.unacked_flushes(), 0);
+        let (envelopes, _) = plan(&mut brp, 20);
+        assert!(matches!(envelopes[0].message, Message::Heartbeat { .. }));
+        assert_eq!(brp.link_health_stats().retransmits, 1, "no further fires");
+    }
+
+    #[test]
+    fn islanded_crash_recovery_rebuilds_provisional_ledger() {
+        let wal_config = WalConfig::default();
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), islanding_config());
+        brp.attach_wal(NodeWal::in_memory(wal_config));
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        plan(&mut brp, 10);
+        plan(&mut brp, 20); // islands, commits provisionally
+        let expected = brp.provisional_count();
+        assert!(expected > 0);
+
+        let store = brp.take_wal().unwrap().into_store();
+        drop(brp); // crash mid-island
+        let (recovered, out) = BrpNode::recover(
+            NodeId(3),
+            Some(NodeId(99)),
+            islanding_config(),
+            store,
+            wal_config,
+            TimeSlot(21),
+        )
+        .unwrap();
+        // The rebuilt ledger ships as part of the recovery handshake:
+        // provisional report first, re-anchoring snapshot second.
+        assert_eq!(out.len(), 2);
+        let Message::ProvisionalReport { assignments, .. } = &out[0].message else {
+            panic!("expected ProvisionalReport first, got {:?}", out[0].message);
+        };
+        assert_eq!(assignments.len(), expected);
+        assert!(matches!(out[1].message, Message::ResyncSnapshot { .. }));
+        assert_eq!(recovered.provisional_count(), 0, "ledger handed off");
+        assert_eq!(recovered.pool_size(), 0, "provisional offers left the pool");
+        assert_eq!(
+            recovered.store.count_in_state(OfferState::Provisional),
+            10,
+            "replay restamped the islanded assignments"
+        );
+    }
+
+    #[test]
+    fn post_reconcile_crash_recovery_finds_ledger_cleared() {
+        let wal_config = WalConfig::default();
+        let mut brp = BrpNode::new(NodeId(3), Some(NodeId(99)), islanding_config());
+        brp.attach_wal(NodeWal::in_memory(wal_config));
+        for i in 0..10 {
+            submit(&mut brp, offer(i, i, 110, 90, 8), 100 + i, 0);
+        }
+        plan(&mut brp, 10);
+        plan(&mut brp, 20); // islands
+        brp.handle(
+            Envelope::new(
+                NodeId(99),
+                NodeId(3),
+                TimeSlot(21),
+                Message::Heartbeat { seen: 1 },
+            ),
+            TimeSlot(21),
+        );
+        plan(&mut brp, 22); // reconciles: ledger handed off + marker logged
+        assert_eq!(brp.provisional_count(), 0);
+
+        let store = brp.take_wal().unwrap().into_store();
+        drop(brp);
+        let (recovered, _) = BrpNode::recover(
+            NodeId(3),
+            Some(NodeId(99)),
+            islanding_config(),
+            store,
+            wal_config,
+            TimeSlot(23),
+        )
+        .unwrap();
+        assert_eq!(
+            recovered.provisional_count(),
+            0,
+            "the hand-off marker replayed as a clear"
         );
     }
 }

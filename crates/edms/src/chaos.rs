@@ -17,7 +17,11 @@
 //!   the per-cycle plan signatures are **bit-identical** to the no-chaos
 //!   run's: the sequenced wire, resync snapshots, dead-letter replay and
 //!   deadline expiry must jointly erase every trace of the storm, not
-//!   merely survive it.
+//!   merely survive it;
+//! * **islanded imbalance bound** — every window a BRP balanced locally
+//!   (TSO link `Down`) must commit at a cost no worse than the
+//!   local-only optimum its engine found at prepare time: islanding
+//!   degrades service to the local optimum, never below it.
 //!
 //! The comparison is meaningful because everything stochastic outside
 //! the network — offer generation, forecasts, churn — draws from RNG
@@ -118,6 +122,17 @@ pub enum InvariantViolation {
         /// The baseline run's signature for that cycle.
         baseline: u64,
     },
+    /// An islanded planning window committed at a cost above the
+    /// local-only optimum its BRP prepared — degraded-mode repair made
+    /// the imbalance worse instead of bounding it.
+    IslandedImbalanceExceeded {
+        /// First slot of the offending islanded window.
+        window_start: TimeSlot,
+        /// Cost the islanded commit realized.
+        committed: f64,
+        /// The local-only optimum found at prepare time.
+        prepared: f64,
+    },
 }
 
 /// Outcome of one campaign.
@@ -151,6 +166,7 @@ impl CampaignReport {
              network:   {} sent, {} enqueued, {} delivered, {} dropped, {} duplicated,\n\
              \x20          {} dead-lettered, {} replayed, {} evicted\n\
              invariants: {} phantom offers, {} energy violations\n\
+             islanding:  {} islanded windows, {} provisional adopted, {} superseded\n\
              convergence: last {} cycle signatures vs no-chaos baseline — ",
             c.offers_submitted,
             c.assigned,
@@ -167,6 +183,9 @@ impl CampaignReport {
             n.dropped_dead_letters,
             c.phantom_offers,
             c.energy_violations,
+            c.islanded.len(),
+            c.provisional_adopted,
+            c.provisional_superseded,
             self.compared_cycles,
         );
         if self.converged() {
@@ -213,6 +232,19 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         violations.push(InvariantViolation::EnergyViolations(
             chaos.energy_violations,
         ));
+    }
+    // Islanded windows: the committed cost is bounded by the local-only
+    // optimum found at prepare time (incremental repair only improves).
+    for round in &chaos.islanded {
+        if let (Some(prepared), Some(committed)) = (round.prepared_cost, round.committed_cost) {
+            if committed > prepared + 1e-6 {
+                violations.push(InvariantViolation::IslandedImbalanceExceeded {
+                    window_start: round.window_start,
+                    committed,
+                    prepared,
+                });
+            }
+        }
     }
 
     // Convergence: the quiet tail minus the settle cycle must hash
@@ -479,6 +511,83 @@ mod tests {
         assert!(
             report.converged(),
             "crash-restart must self-heal via WAL recovery:\n{}",
+            report.summary()
+        );
+    }
+
+    /// Detector horizons that trip inside a two-cycle partition:
+    /// ~1.5 cycles of silence is `Down`. Retransmits are pushed out of
+    /// the run so the test isolates the islanding path.
+    fn tight_link_health() -> crate::wire::LinkHealthConfig {
+        crate::wire::LinkHealthConfig {
+            suspect_after: 100,
+            down_after: 150,
+            retransmit_base: 10_000,
+            max_retransmits: 0,
+        }
+    }
+
+    #[test]
+    fn islanding_campaign_with_tso_crash_and_partition_converges() {
+        // The full degraded-mode loop under one campaign: a two-cycle
+        // BRP↔TSO partition islands BRP 1 (local provisional balancing),
+        // the heal reconciles its ledger, and a later TSO crash-restart
+        // recovers from the WAL and re-anchors every BRP — after which
+        // the quiet tail must be bit-identical to the never-faulted twin.
+        let tso = NodeId(9_999);
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable()
+                    .phase(partition_between(1, 3, NodeId(1), tso))
+                    .phase(crash_of(4, tso)),
+                wal: Some(crate::wal::WalConfig::default()),
+                link_health: tight_link_health(),
+                ..small_sim(8)
+            },
+            quiet_cycles: 3,
+        });
+        assert_eq!(report.chaos.crashes, 1, "the TSO crash must fire");
+        assert!(
+            !report.chaos.islanded.is_empty(),
+            "the partition must island BRP 1:\n{}",
+            report.summary()
+        );
+        assert!(
+            report.chaos.islanded.iter().any(|r| r.assignments > 0),
+            "islanded rounds must produce provisional assignments"
+        );
+        assert!(
+            report.chaos.provisional_adopted + report.chaos.provisional_superseded > 0,
+            "the heal must audit the provisional ledger:\n{}",
+            report.summary()
+        );
+        assert!(
+            report.baseline.islanded.is_empty(),
+            "the twin never islands"
+        );
+        assert!(
+            report.converged(),
+            "islanded BRP must reconcile and the TSO re-anchor:\n{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn tso_crash_without_wal_is_amnesia_but_still_converges() {
+        // No WAL: the crashed TSO restarts cold. The BRP resync protocol
+        // plus per-cycle offer expiry must still erase the damage by the
+        // quiet tail.
+        let report = run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable().phase(crash_of(2, NodeId(9_999))),
+                ..small_sim(6)
+            },
+            quiet_cycles: 3,
+        });
+        assert_eq!(report.chaos.crashes, 1);
+        assert!(
+            report.converged(),
+            "cold TSO restart must self-heal:\n{}",
             report.summary()
         );
     }

@@ -42,6 +42,10 @@ pub enum OfferState {
     Rejected,
     /// Scheduled and assigned back to the prosumer.
     Assigned,
+    /// Assigned by a BRP while islanded from its TSO: the assignment is
+    /// binding toward the prosumer but pending TSO-level reconciliation
+    /// (adopt or supersede) once the link heals.
+    Provisional,
     /// Timed out without assignment; open contract applied.
     Expired,
 }

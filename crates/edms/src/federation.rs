@@ -43,7 +43,7 @@
 use crate::comm::{splitmix, ChaosPlan, FailureModel, Network, NetworkStats};
 use crate::message::{Envelope, Message};
 use crate::simulation::{RegionSim, SimulationConfig, SimulationReport};
-use crate::wire::{SequencedRx, StreamStats};
+use crate::wire::{LinkHealthStats, SequencedRx, StreamStats};
 use mirabel_aggregate::FlexOfferUpdate;
 use mirabel_core::exec::Task;
 use mirabel_core::{FlexOffer, FlexOfferId, NodeId, RegionId, TimeSlot, SLOTS_PER_DAY};
@@ -342,6 +342,11 @@ pub struct RegionStats {
     pub streams: StreamStats,
     /// Duplicates dropped by the region's BRP dedup filters.
     pub dedup_duplicates: u64,
+    /// The region BRPs' TSO-link failure-detector counters, summed.
+    pub link_health: LinkHealthStats,
+    /// Outbox flushes the region's BRPs have sent but not yet seen
+    /// acked by a TSO heartbeat.
+    pub unacked_flushes: u64,
 }
 
 /// Point-in-time federation health rollup: one row per region plus the
@@ -563,6 +568,8 @@ impl Federation {
                     dead_letters: sim.network().dead_letters().len(),
                     streams: sim.stream_rollup(),
                     dedup_duplicates: sim.dedup_duplicates(),
+                    link_health: sim.link_health_rollup(),
+                    unacked_flushes: sim.unacked_flushes(),
                 })
                 .collect(),
             exchange_bus: self.bus.stats(),

@@ -39,6 +39,37 @@
 //!   ([`ChaosPlan::in_region`](comm::ChaosPlan::in_region)), never an
 //!   input to planning.
 //!
+//! ## Degraded operation: detect → island → recover → reconcile
+//!
+//! The paper's premise — "the overall system would gracefully behave as
+//! in the traditional setting" when coordination fails — is implemented
+//! as a four-stage loop that every BRP↔TSO link runs continuously:
+//!
+//! 1. **detect** — [`wire::LinkHealth`] turns heartbeats piggybacked on
+//!    the sequenced delta streams ([`Message::Heartbeat`](message::Message))
+//!    plus deterministic ack-timeout tracking into an
+//!    `Up → Suspect → Down → Recovering` link-state machine, while
+//!    [`wire::RetransmitTracker`] drives bounded exponential-backoff
+//!    retransmits of unacked outbox flushes (always as idempotent
+//!    resync snapshots, never replayed deltas);
+//! 2. **island** — a BRP whose TSO link is `Down` keeps balancing: its
+//!    local [`PlanEngine`] runs over the node's own pool and the commit
+//!    stamps every assignment [`OfferState::Provisional`] in the store
+//!    *and* the WAL, so even a degraded window is durable and bounded
+//!    by the local-only optimum ([`IslandedRound`]);
+//! 3. **recover** — a crashed node (BRP *or* TSO,
+//!    [`TsoNode::recover`](tso::TsoNode::recover)) rebuilds from
+//!    snapshot + tail replay, re-registers, and re-anchors every peer
+//!    stream through unsolicited resync snapshots;
+//! 4. **reconcile** — when the link heals (`Recovering`), the rejoining
+//!    BRP ships its provisional ledger
+//!    ([`Message::ProvisionalReport`](message::Message)) *before* the
+//!    re-anchoring snapshot; the TSO audits each provisional macro
+//!    assignment — still pooled from that BRP → **adopt**, already
+//!    planned elsewhere → **supersede** — so the hierarchy converges
+//!    back to the exact plans of a never-islanded twin
+//!    ([`chaos::run_campaign`] proves the quiet tail bit-identical).
+//!
 //! Components per the paper's LEDMS description:
 //!
 //! * [`runtime`] — the unified node runtime: the [`Node`] /
@@ -64,9 +95,11 @@
 //!   [`SequencedRx`] turns the per-link sequence
 //!   numbers into exactly-once in-order delivery with gap detection,
 //!   out-of-order buffering and resync requests (a lost delta degrades
-//!   to one extra round-trip instead of silent divergence), and
+//!   to one extra round-trip instead of silent divergence),
 //!   [`DedupRx`] gives at-most-once semantics where
-//!   ordering doesn't matter;
+//!   ordering doesn't matter, and [`LinkHealth`] /
+//!   [`RetransmitTracker`] supply the failure-detection half of the
+//!   degraded-operation loop above;
 //! * [`message`] — the message vocabulary exchanged between nodes,
 //!   including the repair protocol
 //!   ([`ResyncRequest`](message::Message::ResyncRequest) /
@@ -98,11 +131,13 @@
 //!   setting");
 //! * [`chaos`] — campaigns that *prove* the robustness story: scripted
 //!   storms (loss, delay bursts, BRP↔TSO partition-then-heal, churn,
-//!   mid-round BRP **crash-restarts** recovering from the WAL) driven
-//!   through the simulation, with an invariant checker asserting offer
-//!   conservation, zero phantom offers, energy-bound compliance — and
-//!   post-chaos **convergence**: after a quiet period the plan
-//!   signatures must be bit-identical to a never-disturbed twin run.
+//!   mid-round BRP **and TSO** crash-restarts recovering from the WAL)
+//!   driven through the simulation, with an invariant checker asserting
+//!   offer conservation, zero phantom offers, energy-bound compliance,
+//!   the islanded imbalance bound (`committed <= prepared` per
+//!   [`IslandedRound`]) — and post-chaos **convergence**: after a quiet
+//!   period the plan signatures must be bit-identical to a
+//!   never-disturbed twin run.
 //!   Federation campaigns
 //!   ([`run_federation_campaign`]) add
 //!   the **fault-isolation** proof: storm one region
@@ -131,7 +166,7 @@ pub mod tso;
 pub mod wal;
 pub mod wire;
 
-pub use brp::{BrpConfig, BrpNode};
+pub use brp::{BrpConfig, BrpNode, IslandedRound};
 pub use chaos::{
     run_campaign, run_federation_campaign, CampaignConfig, CampaignReport,
     FederationCampaignConfig, FederationCampaignReport, InvariantViolation,
@@ -153,4 +188,7 @@ pub use runtime::{
 pub use simulation::{simulate, RegionSim, SimulationConfig, SimulationReport};
 pub use tso::TsoNode;
 pub use wal::{EventRecord, FileWalStore, LoadedLog, MemWalStore, NodeWal, WalConfig, WalStore};
-pub use wire::{DedupRx, SequencedRx, StreamStats};
+pub use wire::{
+    DedupRx, LinkHealth, LinkHealthConfig, LinkHealthStats, LinkState, RetransmitTracker,
+    SequencedRx, SequencedRxState, StreamStats,
+};

@@ -71,6 +71,34 @@ pub enum Message {
     /// the last publication are carried), so cross-border traffic stays
     /// a tiny fraction of intra-region wire bytes.
     ExchangeOfferDeltas(Vec<FlexOfferUpdate>),
+    /// Liveness beacon piggybacked on the existing sequenced streams
+    /// (failure detection, PR 10). In the hierarchy it flows TSO → BRP
+    /// (each commit round) and BRP → TSO (rounds with nothing to flush),
+    /// so both ends of a link hear each other at least once per cycle.
+    /// `seen` is the sender's cumulative count of applied
+    /// [`Message::MacroOfferDeltas`] envelopes from the receiver — a
+    /// piggybacked acknowledgement the receiver compares against its own
+    /// flush count to detect unacked flushes and drive bounded
+    /// retransmission (as an idempotent [`Message::ResyncSnapshot`],
+    /// never a replayed delta batch).
+    Heartbeat {
+        /// Cumulative count of the receiver's delta flushes the sender
+        /// has applied.
+        seen: u64,
+    },
+    /// Rejoining BRP → TSO (reconciliation handshake, PR 10): the
+    /// assignments the BRP committed *locally* while its TSO link was
+    /// down (islanded mode), stamped provisional in its datastore and
+    /// WAL. The TSO audits them deterministically: a reported offer it
+    /// no longer pools is **adopted** (the BRP's local decision stands),
+    /// one it still pools is **superseded** (the TSO's next global plan
+    /// re-decides it via the normal delta-splice).
+    ProvisionalReport {
+        /// First slot of the islanded window the report covers.
+        window_start: TimeSlot,
+        /// The provisional local assignments.
+        assignments: Vec<ScheduledFlexOffer>,
+    },
 }
 
 /// A routed message.
@@ -147,6 +175,18 @@ impl Wire for Message {
                 out.push(8);
                 updates.encode(out);
             }
+            Message::Heartbeat { seen } => {
+                out.push(9);
+                seen.encode(out);
+            }
+            Message::ProvisionalReport {
+                window_start,
+                assignments,
+            } => {
+                out.push(10);
+                window_start.encode(out);
+                assignments.encode(out);
+            }
         }
     }
 
@@ -181,6 +221,13 @@ impl Wire for Message {
             8 => Ok(Message::ExchangeOfferDeltas(
                 Vec::<FlexOfferUpdate>::decode(buf)?,
             )),
+            9 => Ok(Message::Heartbeat {
+                seen: u64::decode(buf)?,
+            }),
+            10 => Ok(Message::ProvisionalReport {
+                window_start: TimeSlot::decode(buf)?,
+                assignments: Vec::<ScheduledFlexOffer>::decode(buf)?,
+            }),
             other => Err(CodecError::InvalidTag {
                 what: "Message",
                 tag: u64::from(other),
@@ -278,6 +325,17 @@ mod tests {
         assert!(matches!(e.message, Message::OfferRejected { .. }));
         let stamped = e.in_region(RegionId(3));
         assert_eq!(stamped.region, RegionId(3));
+    }
+
+    #[test]
+    fn heartbeat_and_provisional_report_roundtrip() {
+        let hb = Message::Heartbeat { seen: 42 };
+        assert_eq!(Message::from_bytes(&hb.to_bytes()).unwrap(), hb);
+        let report = Message::ProvisionalReport {
+            window_start: TimeSlot(96),
+            assignments: Vec::new(),
+        };
+        assert_eq!(Message::from_bytes(&report.to_bytes()).unwrap(), report);
     }
 
     #[test]

@@ -53,7 +53,7 @@
 //! instead of rebuilding and resolving its scheduling problem. Execution
 //! and the imbalance accounting use the refined baseline as ground truth.
 
-use crate::brp::{BrpConfig, BrpNode, SchedulerKind};
+use crate::brp::{BrpConfig, BrpNode, IslandedRound, SchedulerKind};
 use crate::comm::{ChaosPlan, FailureModel, Network, NetworkStats};
 use crate::datastore::OfferState;
 use crate::message::Envelope;
@@ -61,7 +61,7 @@ use crate::prosumer::ProsumerNode;
 use crate::runtime::{Node, NodeRuntime, RuntimeConfig};
 use crate::tso::TsoNode;
 use crate::wal::{NodeWal, WalConfig};
-use crate::wire::StreamStats;
+use crate::wire::{LinkHealthConfig, LinkHealthStats, StreamStats};
 use mirabel_aggregate::AggregationParams;
 use mirabel_core::exec::{Pool, Task};
 use mirabel_core::{
@@ -126,6 +126,11 @@ pub struct SimulationConfig {
     ///
     /// [`ChaosPhase::crashes`]: crate::comm::ChaosPhase::crashes
     pub wal: Option<WalConfig>,
+    /// Failure-detector horizons every BRP runs against its TSO link.
+    /// The default (~2–3 silent day-cycles) never trips in a healthy
+    /// hierarchy; islanding campaigns tighten it so a partitioned TSO is
+    /// declared `Down` within the partition window.
+    pub link_health: LinkHealthConfig,
 }
 
 impl Default for SimulationConfig {
@@ -146,6 +151,7 @@ impl Default for SimulationConfig {
             repair_chains: 4,
             pool: Pool::global().clone(),
             wal: None,
+            link_health: LinkHealthConfig::default(),
         }
     }
 }
@@ -186,6 +192,17 @@ pub struct SimulationReport {
     pub energy_violations: usize,
     /// Crash-restarts executed by the chaos schedule.
     pub crashes: usize,
+    /// Islanded planning rounds the BRPs ran (cycle-then-node order):
+    /// windows a BRP balanced locally because its TSO link was `Down`.
+    /// Empty unless a fault actually severed a link long enough for the
+    /// failure detectors to trip.
+    pub islanded: Vec<IslandedRound>,
+    /// Provisional macro assignments the TSO adopted at reconciliation
+    /// (the islanded BRP's local decision stands).
+    pub provisional_adopted: u64,
+    /// Provisional macro assignments the TSO superseded (it had already
+    /// assigned or dropped the offer on its side of the partition).
+    pub provisional_superseded: u64,
 }
 
 impl SimulationReport {
@@ -377,6 +394,9 @@ pub struct RegionSim {
     shadow_load: BTreeMap<i64, f64>,
     baselines: Vec<(TimeSlot, Vec<f64>)>,
     plan_signatures: Vec<u64>,
+    /// Islanded planning rounds drained from the BRPs, cycle-then-node
+    /// ordered.
+    islanded: Vec<IslandedRound>,
     /// Prosumer indices currently churned out of the network.
     offline: BTreeSet<usize>,
     scale: f64,
@@ -407,18 +427,15 @@ impl RegionSim {
 
         // --- Topology -------------------------------------------------
         let tso_id = NodeId(9_999);
-        let tso = TsoNode::with_config(
-            tso_id,
-            AggregationParams::p0(),
-            RuntimeConfig {
-                budget_evaluations: cfg.budget_evaluations,
-                repair_chains: cfg.repair_chains.max(1),
-                pool: cfg.pool.clone(),
-                ..RuntimeConfig::default()
-            },
-        );
+        let mut tso = TsoNode::with_config(tso_id, AggregationParams::p0(), make_tso_runtime(&cfg));
         if cfg.use_tso {
             network.register(tso_id);
+            // The TSO gets the same durability treatment as the BRPs:
+            // with a WAL attached, a scheduled TSO crash recovers from
+            // snapshot + tail replay and re-anchors every BRP stream.
+            if let Some(wal_config) = cfg.wal {
+                tso.attach_wal(NodeWal::in_memory(wal_config));
+            }
         }
 
         let brps: Vec<BrpNode> = (0..cfg.brps)
@@ -489,6 +506,7 @@ impl RegionSim {
             shadow_load: BTreeMap::new(),
             baselines: Vec::new(),
             plan_signatures: Vec::with_capacity(cycles),
+            islanded: Vec::new(),
             offline: BTreeSet::new(),
             scale,
             export_pool: Vec::new(),
@@ -530,6 +548,22 @@ impl RegionSim {
     /// filters.
     pub fn dedup_duplicates(&self) -> u64 {
         self.brps.iter().map(BrpNode::dedup_duplicates).sum()
+    }
+
+    /// Sum of the BRPs' TSO-link failure-detector counters — the
+    /// degraded-mode health row of the federation's per-region rollup.
+    pub fn link_health_rollup(&self) -> LinkHealthStats {
+        let mut total = LinkHealthStats::default();
+        for b in &self.brps {
+            total.absorb(&b.link_health_stats());
+        }
+        total
+    }
+
+    /// Upward flushes the region's BRPs have sent but the TSO has not
+    /// yet acknowledged via heartbeat.
+    pub fn unacked_flushes(&self) -> u64 {
+        self.brps.iter().map(BrpNode::unacked_flushes).sum()
     }
 
     /// The macro offers this region's TSO can export across the
@@ -590,6 +624,7 @@ impl RegionSim {
             shadow_load,
             baselines,
             plan_signatures,
+            islanded,
             offline,
             scale,
             export_pool,
@@ -656,6 +691,40 @@ impl RegionSim {
         //     replay into the fresh inbox), and route the recovery
         //     resync snapshot that re-anchors the parent's pooled view.
         for node in cfg.chaos.crashes_between(t0, t0 + s) {
+            // The TSO gets the same crash-restart treatment as a BRP:
+            // rebuild from its surviving WAL store, then re-anchor every
+            // BRP by routing the recovery ResyncRequests (each answered
+            // with a full export snapshot that re-seeds the stream).
+            if cfg.use_tso && node == tso_id {
+                *crashes += 1;
+                network.deregister(node);
+                let survived_store = tso.take_wal().map(NodeWal::into_store);
+                let (rebuilt, recovery_out) = match (survived_store, cfg.wal) {
+                    (Some(store), Some(wal_config)) => TsoNode::recover(
+                        tso_id,
+                        AggregationParams::p0(),
+                        make_tso_runtime(cfg),
+                        store,
+                        wal_config,
+                        t0,
+                    )
+                    .expect("in-memory WAL stores cannot fail"),
+                    // No WAL: total amnesia — the cold TSO re-learns the
+                    // macro pool only through resyncs and fresh deltas.
+                    _ => (
+                        TsoNode::with_config(
+                            tso_id,
+                            AggregationParams::p0(),
+                            make_tso_runtime(cfg),
+                        ),
+                        Vec::new(),
+                    ),
+                };
+                *tso = rebuilt;
+                network.register(node);
+                network.send_all(recovery_out);
+                continue;
+            }
             let Some(idx) = brps.iter().position(|b| b.id == node) else {
                 continue;
             };
@@ -861,6 +930,13 @@ impl RegionSim {
         pump_prosumers(&cfg.pool, network, prosumers, offline, t5, Some(window));
 
         plan_signatures.push(plan_signature(prosumers, window, s));
+
+        // 6. Collect this cycle's islanded planning rounds, in BRP
+        //    order — the chaos invariant checker audits each window's
+        //    committed cost against its local-only optimum.
+        for b in brps.iter_mut() {
+            islanded.extend(b.take_islanded_rounds());
+        }
     }
 
     /// Close the run and produce its report: bring churned-out
@@ -909,6 +985,7 @@ impl RegionSim {
             .map(|b| {
                 b.store.count_in_state(OfferState::Accepted)
                     + b.store.count_in_state(OfferState::Assigned)
+                    + b.store.count_in_state(OfferState::Provisional)
                     + b.store.count_in_state(OfferState::Expired)
             })
             .sum();
@@ -937,6 +1014,7 @@ impl RegionSim {
             0
         };
         let energy_violations = prosumers.iter().map(|p| p.energy_violations(1e-6)).sum();
+        let (provisional_adopted, provisional_superseded) = tso.provisional_audit();
 
         SimulationReport {
             offers_submitted: self.offers_submitted,
@@ -952,6 +1030,9 @@ impl RegionSim {
             phantom_offers,
             energy_violations,
             crashes: self.crashes,
+            islanded: self.islanded,
+            provisional_adopted,
+            provisional_superseded,
         }
     }
 }
@@ -965,7 +1046,19 @@ fn make_brp_config(cfg: &SimulationConfig) -> BrpConfig {
         forward_to_tso: cfg.use_tso,
         repair_chains: cfg.repair_chains.max(1),
         pool: cfg.pool.clone(),
+        link_health: cfg.link_health,
         ..BrpConfig::default()
+    }
+}
+
+/// One runtime builder for TSO construction AND crash-restarts: a
+/// recovered TSO must be configured exactly like the node it replaces.
+fn make_tso_runtime(cfg: &SimulationConfig) -> RuntimeConfig {
+    RuntimeConfig {
+        budget_evaluations: cfg.budget_evaluations,
+        repair_chains: cfg.repair_chains.max(1),
+        pool: cfg.pool.clone(),
+        ..RuntimeConfig::default()
     }
 }
 

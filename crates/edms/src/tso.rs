@@ -43,8 +43,10 @@ use crate::message::{Envelope, Message};
 use crate::runtime::{
     Node, NodeRuntime, OfferDeltaReport, PlanEngine, PlanReport, ReplanReport, RuntimeConfig,
 };
-use crate::wire::{SequencedRx, StreamStats};
+use crate::wal::{NodeWal, WalConfig, WalStore};
+use crate::wire::{SequencedRx, SequencedRxState, StreamStats};
 use mirabel_aggregate::{AggregationParams, AggregationPipeline, FlexOfferUpdate};
+use mirabel_core::codec::{put_u64, take_u64, CodecError, Wire};
 use mirabel_core::{AggregateId, FlexOffer, FlexOfferId, NodeId, Price, TimeSlot};
 use mirabel_forecast::ForecastEvent;
 use mirabel_schedule::{MarketPrices, SchedulingProblem, Solution};
@@ -66,7 +68,27 @@ pub struct TsoNode {
     /// One sequenced-stream guard per sending BRP: the delta wire is
     /// stateful, so inbound `MacroOfferDeltas` must apply exactly once
     /// and in order — gaps trigger a [`Message::ResyncRequest`].
+    /// Heartbeats ride the same stamped stream, so they flow through
+    /// the same guard; provisional reports are audited on receipt
+    /// instead (see [`handle`](Self::handle)).
     rx: BTreeMap<NodeId, SequencedRx>,
+    /// Per-BRP count of applied `MacroOfferDeltas` envelopes — the
+    /// cumulative ack each outbound [`Message::Heartbeat`] piggybacks,
+    /// letting the BRP detect unacked flushes.
+    applied: BTreeMap<NodeId, u64>,
+    /// Provisional (islanded) assignments adopted at reconciliation:
+    /// the BRP's local decision stood.
+    provisional_adopted: u64,
+    /// Provisional assignments superseded at reconciliation: the TSO
+    /// had already decided the offer globally.
+    provisional_superseded: u64,
+    /// Write-ahead log (append-before-apply), when attached.
+    wal: Option<NodeWal>,
+    /// Event id of the envelope currently being ingested.
+    last_ingest_event: Option<u64>,
+    /// True while [`recover`](Self::recover) replays the WAL tail:
+    /// replayed envelopes must not re-append.
+    replaying: bool,
 }
 
 impl TsoNode {
@@ -95,6 +117,12 @@ impl TsoNode {
             ),
             last_fold: None,
             rx: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            provisional_adopted: 0,
+            provisional_superseded: 0,
+            wal: None,
+            last_ingest_event: None,
+            replaying: false,
         }
     }
 
@@ -153,26 +181,59 @@ impl TsoNode {
         self.engine.live_cost()
     }
 
-    /// Handle a message. `MacroOfferDeltas` run through the sender's
-    /// sequenced-stream guard — duplicates drop, out-of-order batches
-    /// buffer, a gap answers with a [`Message::ResyncRequest`] — and the
-    /// deliverable batches update the pool *and* any live plan in
-    /// O(changed). A [`Message::ResyncSnapshot`] is diffed against the
+    /// Handle a message. `MacroOfferDeltas` — and the heartbeats that
+    /// ride the same stamped BRP → TSO stream — run through the
+    /// sender's sequenced-stream guard: duplicates drop, out-of-order
+    /// envelopes buffer, a gap answers with a
+    /// [`Message::ResyncRequest`]. Deliverable delta batches update the
+    /// pool *and* any live plan in O(changed). A
+    /// [`Message::ProvisionalReport`] is audited immediately on receipt
+    /// (a healing link usually carries a gap that would strand it in
+    /// the guard). A [`Message::ResyncSnapshot`] is diffed against the
     /// pooled view of its sender and only the differences are spliced.
+    ///
+    /// With a WAL attached the envelope is appended **before** any state
+    /// mutates (append-before-apply), so a crash mid-handle replays it.
     pub fn handle(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
+        if !self.replaying {
+            if let Some(wal) = self.wal.as_mut() {
+                self.last_ingest_event = Some(wal.append(&envelope, None, true, now));
+            }
+        }
+        let out = self.dispatch(envelope, now);
+        self.maybe_compact();
+        out
+    }
+
+    fn dispatch(&mut self, envelope: Envelope, now: TimeSlot) -> Vec<Envelope> {
         match &envelope.message {
-            Message::MacroOfferDeltas(_) => {
+            Message::MacroOfferDeltas(_) | Message::Heartbeat { .. } => {
                 let from = envelope.from;
                 let (deliverable, request_resync) =
                     self.rx.entry(from).or_default().receive(envelope);
                 for env in deliverable {
-                    if let Message::MacroOfferDeltas(updates) = env.message {
-                        self.apply_deltas(env.from, updates);
-                    }
+                    self.deliver(env);
                 }
                 if request_resync {
                     return vec![Envelope::new(self.id, from, now, Message::ResyncRequest)];
                 }
+                Vec::new()
+            }
+            Message::ProvisionalReport { .. } => {
+                // Audited on receipt, OUTSIDE the sequenced guard. An
+                // islanded BRP's delta stream usually carries a loss gap
+                // by the time it heals; riding the guard would park the
+                // report behind that gap and the resync snapshot that
+                // always follows it would re-anchor past it, silently
+                // discarding the reconciliation hand-off. The snapshot's
+                // `resynced` also swallows the report's sequence slot,
+                // so skipping the guard leaves no phantom gap — and the
+                // audit must see the **pre-snapshot** pool anyway.
+                let from = envelope.from;
+                let Message::ProvisionalReport { assignments, .. } = envelope.message else {
+                    unreachable!("matched above");
+                };
+                self.audit_provisional(from, assignments);
                 Vec::new()
             }
             Message::ResyncSnapshot { .. } => {
@@ -188,17 +249,67 @@ impl TsoNode {
                 if !diff.is_empty() {
                     self.apply_deltas(from, diff);
                 }
-                // Buffered deltas beyond the snapshot apply on top.
+                // Buffered envelopes beyond the snapshot apply on top.
                 let released = self.rx.entry(from).or_default().resynced(seq);
                 for env in released {
-                    if let Message::MacroOfferDeltas(updates) = env.message {
-                        self.apply_deltas(env.from, updates);
-                    }
+                    self.deliver(env);
                 }
                 Vec::new()
             }
             _ => Vec::new(),
         }
+    }
+
+    /// Apply one in-order deliverable envelope released by a stream
+    /// guard.
+    fn deliver(&mut self, env: Envelope) {
+        let from = env.from;
+        match env.message {
+            Message::MacroOfferDeltas(updates) => {
+                self.apply_deltas(from, updates);
+                *self.applied.entry(from).or_insert(0) += 1;
+            }
+            Message::Heartbeat { .. } => {
+                // Pure liveness: the BRP-side detector is the consumer;
+                // the TSO only needs the envelope to keep the stream's
+                // sequence numbers contiguous.
+            }
+            _ => {}
+        }
+    }
+
+    /// Reconciliation audit of a rejoining BRP's islanded assignments.
+    ///
+    /// Deterministic rule: an offer the TSO still pools was never
+    /// decided globally, so the BRP's local decision is **adopted** —
+    /// the offer leaves the pool (and any live plan) exactly as if the
+    /// TSO had assigned it. An offer the TSO no longer pools was
+    /// already assigned (or expired) globally, so the report entry is
+    /// **superseded**: the TSO's own `Assignment` stands and the BRP's
+    /// provisional one is replaced by the normal delta-splice.
+    fn audit_provisional(
+        &mut self,
+        from: NodeId,
+        assignments: Vec<mirabel_core::ScheduledFlexOffer>,
+    ) {
+        let mut adopted = Vec::new();
+        for schedule in assignments {
+            if self.sources.get(&schedule.offer_id) == Some(&from) {
+                adopted.push(FlexOfferUpdate::Delete(schedule.offer_id));
+            } else {
+                self.provisional_superseded += 1;
+            }
+        }
+        if !adopted.is_empty() {
+            self.provisional_adopted += adopted.len() as u64;
+            self.apply_deltas(from, adopted);
+        }
+    }
+
+    /// Provisional assignments adopted / superseded during
+    /// reconciliation handshakes so far.
+    pub fn provisional_audit(&self) -> (u64, u64) {
+        (self.provisional_adopted, self.provisional_superseded)
     }
 
     /// Apply one in-order batch of BRP deltas to the pool and any live
@@ -292,6 +403,11 @@ impl TsoNode {
     /// Phase 1: schedule the pooled macro offers eligible for
     /// `[window_start, window_start+baseline.len())` and keep the result
     /// live. Assignments are produced by [`commit_plan`](Self::commit_plan).
+    ///
+    /// Also emits one [`Message::Heartbeat`] to every BRP heard from so
+    /// far, carrying the cumulative count of that BRP's applied delta
+    /// flushes — the piggybacked ack the BRP-side failure detector and
+    /// retransmit tracker consume.
     pub fn prepare_plan(
         &mut self,
         now: TimeSlot,
@@ -313,7 +429,21 @@ impl TsoNode {
             cost,
             ..PlanReport::default()
         };
-        (Vec::new(), report)
+        let heartbeats = self
+            .rx
+            .keys()
+            .map(|&brp| {
+                Envelope::new(
+                    self.id,
+                    brp,
+                    now,
+                    Message::Heartbeat {
+                        seen: self.applied.get(&brp).copied().unwrap_or(0),
+                    },
+                )
+            })
+            .collect();
+        (heartbeats, report)
     }
 
     /// Phase 2: incremental replan after a forecast change event (see
@@ -355,12 +485,140 @@ impl TsoNode {
         if !deletes.is_empty() {
             self.engine.apply_offer_updates(deletes);
         }
+        // Commit markers: each assignment is appended replay-unsafe so
+        // recovery re-applies its pool deletion ("this offer left the
+        // pool here") without re-planning — the TSO's analogue of the
+        // BRP's outbox-flush markers.
+        if let Some(wal) = self.wal.as_mut() {
+            for env in &out {
+                wal.append(env, self.last_ingest_event, false, now);
+            }
+        }
+        self.maybe_compact();
         Some((out, cost))
     }
 
     /// Window start of the live plan, if one is pending commitment.
     pub fn live_window(&self) -> Option<TimeSlot> {
         self.engine.live_window()
+    }
+
+    /// Attach a write-ahead log: from now on every inbound envelope is
+    /// appended before it is applied, and committed assignments are
+    /// appended as replay-unsafe markers.
+    pub fn attach_wal(&mut self, wal: NodeWal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&NodeWal> {
+        self.wal.as_ref()
+    }
+
+    /// Detach and return the WAL — the "disk" a simulated crash leaves
+    /// behind for [`recover`](Self::recover).
+    pub fn take_wal(&mut self) -> Option<NodeWal> {
+        self.wal.take()
+    }
+
+    /// Encode the node's recoverable state for a WAL snapshot.
+    fn snapshot(&self) -> TsoSnapshot {
+        TsoSnapshot {
+            pool: self
+                .sources
+                .iter()
+                .filter_map(|(id, src)| {
+                    self.engine.pipeline().offer(*id).map(|o| (o.clone(), *src))
+                })
+                .collect(),
+            rx: self
+                .rx
+                .iter()
+                .map(|(node, rx)| (*node, rx.export_state()))
+                .collect(),
+            applied: self.applied.iter().map(|(n, c)| (*n, *c)).collect(),
+            provisional_adopted: self.provisional_adopted,
+            provisional_superseded: self.provisional_superseded,
+        }
+    }
+
+    /// Re-feed a decoded snapshot into a fresh node.
+    fn restore_snapshot(&mut self, snap: TsoSnapshot) {
+        let mut inserts = Vec::with_capacity(snap.pool.len());
+        for (offer, src) in snap.pool {
+            self.sources.insert(offer.id(), src);
+            inserts.push(FlexOfferUpdate::Insert(offer));
+        }
+        if !inserts.is_empty() {
+            self.engine.apply_offer_updates(inserts);
+        }
+        for (node, state) in snap.rx {
+            self.rx.insert(node, SequencedRx::from_state(state));
+        }
+        self.applied = snap.applied.into_iter().collect();
+        self.provisional_adopted = snap.provisional_adopted;
+        self.provisional_superseded = snap.provisional_superseded;
+    }
+
+    /// Install a snapshot and truncate the log when the tail is long
+    /// enough (see [`WalConfig::snapshot_every`]).
+    fn maybe_compact(&mut self) {
+        if self.wal.as_ref().is_some_and(NodeWal::wants_snapshot) {
+            let bytes = self.snapshot().to_bytes();
+            if let Some(wal) = self.wal.as_mut() {
+                wal.install_snapshot(&bytes);
+            }
+        }
+    }
+
+    /// Rebuild a crashed TSO from the store its WAL left behind:
+    /// restore the latest snapshot, replay the tail (ingests re-handle
+    /// with their original clock; assignment markers re-apply their
+    /// pool deletions), then re-anchor every known BRP through the
+    /// resync path — the returned envelopes are one
+    /// [`Message::ResyncRequest`] per BRP, asking each for the bounded
+    /// state snapshot that heals whatever the crash window lost.
+    #[allow(clippy::type_complexity)]
+    pub fn recover(
+        id: NodeId,
+        aggregation: AggregationParams,
+        cfg: RuntimeConfig,
+        store: Box<dyn WalStore>,
+        wal_config: WalConfig,
+        now: TimeSlot,
+    ) -> std::io::Result<(TsoNode, Vec<Envelope>)> {
+        let (wal, snapshot, records) = NodeWal::recover(store, wal_config)?;
+        let mut node = TsoNode::with_config(id, aggregation, cfg);
+        if let Some(bytes) = snapshot {
+            if let Ok(snap) = TsoSnapshot::from_bytes(&bytes) {
+                node.restore_snapshot(snap);
+            }
+        }
+        node.replaying = true;
+        for rec in records {
+            if rec.envelope.from == id {
+                // Replay-unsafe commit marker: the offer left the pool
+                // when this assignment was sent.
+                if let Message::Assignment { schedule, .. } = &rec.envelope.message {
+                    if node.sources.remove(&schedule.offer_id).is_some() {
+                        node.engine
+                            .apply_offer_updates(vec![FlexOfferUpdate::Delete(schedule.offer_id)]);
+                    }
+                }
+            } else if rec.replay_safe && rec.envelope.to == id {
+                // Replies regenerated during replay were already sent
+                // (or lost) in the pre-crash timeline; drop them.
+                let _ = node.dispatch(rec.envelope, rec.recorded_at);
+            }
+        }
+        node.replaying = false;
+        node.attach_wal(wal);
+        let out = node
+            .rx
+            .keys()
+            .map(|&brp| Envelope::new(id, brp, now, Message::ResyncRequest))
+            .collect();
+        Ok((node, out))
     }
 
     /// One-shot planning: [`prepare_plan`](Self::prepare_plan) followed
@@ -377,6 +635,67 @@ impl TsoNode {
         self.commit_plan(now)
             .map(|(envelopes, _)| envelopes)
             .unwrap_or_default()
+    }
+}
+
+/// The TSO's recoverable state, encoded into WAL snapshots: the pooled
+/// macro offers with their source BRPs, the per-BRP sequenced-stream
+/// guards (frozen via [`SequencedRx::export_state`]), the per-BRP
+/// applied-flush counters behind heartbeat acks, and the reconciliation
+/// audit counters.
+#[derive(Debug, Clone, PartialEq)]
+struct TsoSnapshot {
+    pool: Vec<(FlexOffer, NodeId)>,
+    rx: Vec<(NodeId, SequencedRxState)>,
+    applied: Vec<(NodeId, u64)>,
+    provisional_adopted: u64,
+    provisional_superseded: u64,
+}
+
+impl Wire for TsoSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.pool.len() as u64);
+        for (offer, src) in &self.pool {
+            offer.encode(out);
+            src.encode(out);
+        }
+        put_u64(out, self.rx.len() as u64);
+        for (node, state) in &self.rx {
+            node.encode(out);
+            state.encode(out);
+        }
+        put_u64(out, self.applied.len() as u64);
+        for (node, count) in &self.applied {
+            node.encode(out);
+            count.encode(out);
+        }
+        put_u64(out, self.provisional_adopted);
+        put_u64(out, self.provisional_superseded);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let pool_len = take_u64(buf)? as usize;
+        let mut pool = Vec::with_capacity(pool_len.min(1024));
+        for _ in 0..pool_len {
+            pool.push((FlexOffer::decode(buf)?, NodeId::decode(buf)?));
+        }
+        let rx_len = take_u64(buf)? as usize;
+        let mut rx = Vec::with_capacity(rx_len.min(1024));
+        for _ in 0..rx_len {
+            rx.push((NodeId::decode(buf)?, SequencedRxState::decode(buf)?));
+        }
+        let applied_len = take_u64(buf)? as usize;
+        let mut applied = Vec::with_capacity(applied_len.min(1024));
+        for _ in 0..applied_len {
+            applied.push((NodeId::decode(buf)?, u64::decode(buf)?));
+        }
+        Ok(TsoSnapshot {
+            pool,
+            rx,
+            applied,
+            provisional_adopted: take_u64(buf)?,
+            provisional_superseded: take_u64(buf)?,
+        })
     }
 }
 
@@ -553,6 +872,136 @@ mod tests {
         assert_eq!(envelopes.len(), 10);
         assert_eq!(tso.pool_size(), 0);
         assert!(envelopes.iter().any(|e| e.to == NodeId(2)));
+    }
+
+    #[test]
+    fn prepare_emits_heartbeats_with_applied_counts() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 2_000);
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 120));
+        insert(&mut tso, 1, macro_offer(1_000_000_002, 121));
+        insert(&mut tso, 2, macro_offer(2_000_000_001, 120));
+        let (envelopes, _) = tso.prepare_plan(
+            TimeSlot(90),
+            TimeSlot(96),
+            vec![-1.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        let mut beats: Vec<(u64, u64)> = envelopes
+            .iter()
+            .filter_map(|e| match e.message {
+                Message::Heartbeat { seen } => Some((e.to.value(), seen)),
+                _ => None,
+            })
+            .collect();
+        beats.sort_unstable();
+        assert_eq!(
+            beats,
+            vec![(1, 2), (2, 1)],
+            "one beat per BRP, acked counts"
+        );
+    }
+
+    #[test]
+    fn provisional_report_adopts_pooled_and_supersedes_assigned() {
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 2_000);
+        let pooled = macro_offer(1_000_000_001, 120);
+        insert(&mut tso, 1, pooled.clone());
+        // A provisional schedule for the pooled offer (adopt) and for an
+        // offer the TSO never pooled / already decided (supersede).
+        let adopt = mirabel_core::ScheduledFlexOffer::at_min(&pooled, TimeSlot(120));
+        let supersede = mirabel_core::ScheduledFlexOffer::at_min(
+            &macro_offer(1_000_000_777, 120),
+            TimeSlot(120),
+        );
+        tso.handle(
+            Envelope::new(
+                NodeId(1),
+                NodeId(99),
+                TimeSlot(10),
+                Message::ProvisionalReport {
+                    window_start: TimeSlot(96),
+                    assignments: vec![adopt, supersede],
+                },
+            ),
+            TimeSlot(10),
+        );
+        assert_eq!(tso.provisional_audit(), (1, 1));
+        assert_eq!(tso.pool_size(), 0, "adopted offer left the pool");
+    }
+
+    #[test]
+    fn tso_recovers_from_wal_and_reanchors_brps() {
+        use crate::wal::{NodeWal, WalConfig};
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 2_000);
+        tso.attach_wal(NodeWal::in_memory(WalConfig { snapshot_every: 3 }));
+        // Enough traffic to cross the snapshot threshold, plus a tail.
+        for i in 0..5u64 {
+            insert(&mut tso, 1 + i % 2, macro_offer(1_000_000_000 + i, 200));
+        }
+        let pooled_before = tso.pooled_ids();
+        let applied_before = tso.applied.clone();
+        assert!(tso.wal().unwrap().next_event_id() >= 5);
+
+        // Crash: recover from the store the WAL leaves behind.
+        let store = tso.take_wal().unwrap().into_store();
+        let (recovered, out) = TsoNode::recover(
+            NodeId(99),
+            AggregationParams::p0(),
+            RuntimeConfig {
+                budget_evaluations: 2_000,
+                ..RuntimeConfig::default()
+            },
+            store,
+            WalConfig { snapshot_every: 3 },
+            TimeSlot(50),
+        )
+        .unwrap();
+        assert_eq!(recovered.pooled_ids(), pooled_before);
+        assert_eq!(recovered.applied, applied_before);
+        // Re-anchor: one ResyncRequest per known BRP.
+        let mut targets: Vec<u64> = out.iter().map(|e| e.to.value()).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2]);
+        assert!(out
+            .iter()
+            .all(|e| matches!(e.message, Message::ResyncRequest)));
+    }
+
+    #[test]
+    fn tso_recovery_replays_commit_markers() {
+        use crate::wal::{NodeWal, WalConfig};
+        let mut tso = TsoNode::new(NodeId(99), AggregationParams::p0(), 5_000);
+        tso.attach_wal(NodeWal::in_memory(WalConfig::default()));
+        insert(&mut tso, 1, macro_offer(1_000_000_001, 120));
+        insert(&mut tso, 2, macro_offer(2_000_000_001, 120));
+        let envelopes = tso.plan(
+            TimeSlot(100),
+            TimeSlot(96),
+            vec![-5.0; 96],
+            MarketPrices::flat(96, 0.08, 0.03, 1000.0),
+            vec![0.2; 96],
+        );
+        assert_eq!(envelopes.len(), 2);
+        assert_eq!(tso.pool_size(), 0);
+        let store = tso.take_wal().unwrap().into_store();
+        let (recovered, _) = TsoNode::recover(
+            NodeId(99),
+            AggregationParams::p0(),
+            RuntimeConfig {
+                budget_evaluations: 5_000,
+                ..RuntimeConfig::default()
+            },
+            store,
+            WalConfig::default(),
+            TimeSlot(101),
+        )
+        .unwrap();
+        assert_eq!(
+            recovered.pool_size(),
+            0,
+            "assigned offers must not resurrect on replay"
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Receiver-side guards for the sequenced delta wire.
+//! Receiver-side guards for the sequenced delta wire, plus the link
+//! failure detector behind degraded (islanded) operation.
 //!
 //! Since PR 4 the BRP → TSO wire carries *stateful* delta streams: a
 //! single lost `MacroOfferDeltas` envelope silently diverges the
 //! receiver's pool until deadline expiry papers over it. The network
 //! stamps every routed envelope with a per-`(from, to)` sequence number
-//! ([`crate::Envelope::seq`]); this module holds the two receiver-side
+//! ([`crate::Envelope::seq`]); this module holds the receiver-side
 //! disciplines built on it:
 //!
 //! * [`SequencedRx`] — exactly-once, **in-order** delivery for stateful
@@ -21,8 +22,36 @@
 //! Both guards treat unsequenced envelopes (`seq == None`, i.e. handed
 //! to the node directly without a network) as deliverable, so direct
 //! unit-test hand-offs keep working unchecked.
+//!
+//! PR 10 adds the **detect → island → recover → reconcile** robustness
+//! loop, whose detection half lives here:
+//!
+//! * **detect** — [`LinkHealth`] is a deterministic, slot-clocked
+//!   failure detector for one link: heartbeats
+//!   ([`Message::Heartbeat`](crate::message::Message::Heartbeat))
+//!   piggyback on the existing sequenced streams, and silence drives
+//!   the `Up → Suspect → Down` edge of the state machine while renewed
+//!   traffic drives `Down → Recovering → Up`. [`RetransmitTracker`]
+//!   pairs with it: the heartbeat's cumulative `seen` counter acts as a
+//!   piggybacked ack for outbox flushes, and an unacked flush is
+//!   retransmitted — as an idempotent resync *snapshot*, never a
+//!   replayed delta batch — under exponential backoff with a bounded
+//!   attempt budget.
+//! * **island** — a BRP whose TSO link is `Down` plans its own pool
+//!   locally (see [`crate::brp`]), stamping assignments provisional.
+//! * **recover** — both node roles rebuild from their WAL
+//!   ([`crate::wal`]); [`SequencedRx::export_state`] /
+//!   [`SequencedRx::from_state`] let a crashed TSO freeze and restore
+//!   its per-BRP stream guards bit-for-bit.
+//! * **reconcile** — on heal the rejoining BRP ships its provisional
+//!   assignments
+//!   ([`Message::ProvisionalReport`](crate::message::Message::ProvisionalReport))
+//!   and an unsolicited snapshot; the TSO adopts or supersedes through
+//!   the normal delta-splice.
 
 use crate::message::Envelope;
+use mirabel_core::codec::{CodecError, Wire};
+use mirabel_core::TimeSlot;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters kept by a [`SequencedRx`].
@@ -197,6 +226,375 @@ impl SequencedRx {
     /// Delivery counters.
     pub fn stats(&self) -> StreamStats {
         self.stats
+    }
+
+    /// Freeze the guard for a WAL snapshot: sequencing cursor, parked
+    /// envelopes, pending-resync flag, buffer cap and counters. A
+    /// crashed receiver restored via [`from_state`](Self::from_state)
+    /// resumes the stream exactly where it stood — no spurious gap, no
+    /// double delivery.
+    pub fn export_state(&self) -> SequencedRxState {
+        SequencedRxState {
+            next_expected: self.next_expected,
+            buffered: self.buffer.values().cloned().collect(),
+            buffer_cap: self.buffer_cap as u64,
+            resync_pending: self.resync_pending,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a guard from snapshot state produced by
+    /// [`export_state`](Self::export_state). Buffered envelopes without
+    /// a sequence number (impossible for a guard that parked them, but
+    /// representable on the wire) are dropped rather than trusted.
+    pub fn from_state(state: SequencedRxState) -> SequencedRx {
+        let mut buffer = BTreeMap::new();
+        for env in state.buffered {
+            if let Some(seq) = env.seq {
+                buffer.insert(seq, env);
+            }
+        }
+        SequencedRx {
+            next_expected: state.next_expected,
+            buffer,
+            buffer_cap: (state.buffer_cap as usize).max(1),
+            resync_pending: state.resync_pending,
+            stats: state.stats,
+        }
+    }
+}
+
+/// Serializable freeze-frame of a [`SequencedRx`] — what a TSO's WAL
+/// snapshot stores per BRP stream so crash-restart recovery resumes
+/// in-order delivery without re-anchoring every link from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedRxState {
+    /// The next sequence number the guard would deliver.
+    pub next_expected: u64,
+    /// Envelopes parked behind a gap (in sequence order).
+    pub buffered: Vec<Envelope>,
+    /// The guard's out-of-order buffer cap.
+    pub buffer_cap: u64,
+    /// Whether a resync request was believed in flight.
+    pub resync_pending: bool,
+    /// Delivery counters at freeze time.
+    pub stats: StreamStats,
+}
+
+impl Wire for StreamStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.delivered.encode(out);
+        self.duplicates.encode(out);
+        self.buffered.encode(out);
+        self.resyncs_requested.encode(out);
+        self.resyncs_applied.encode(out);
+        self.overflow_dropped.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(StreamStats {
+            delivered: u64::decode(buf)?,
+            duplicates: u64::decode(buf)?,
+            buffered: u64::decode(buf)?,
+            resyncs_requested: u64::decode(buf)?,
+            resyncs_applied: u64::decode(buf)?,
+            overflow_dropped: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for SequencedRxState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.next_expected.encode(out);
+        self.buffered.encode(out);
+        self.buffer_cap.encode(out);
+        self.resync_pending.encode(out);
+        self.stats.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(SequencedRxState {
+            next_expected: u64::decode(buf)?,
+            buffered: Vec::<Envelope>::decode(buf)?,
+            buffer_cap: u64::decode(buf)?,
+            resync_pending: bool::decode(buf)?,
+            stats: StreamStats::decode(buf)?,
+        })
+    }
+}
+
+/// Health of one monitored link, as seen by the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkState {
+    /// Traffic is fresh; the peer is presumed alive.
+    Up,
+    /// Silence exceeded [`LinkHealthConfig::suspect_after`]; the peer
+    /// may be slow, partitioned, or dead.
+    Suspect,
+    /// Silence exceeded [`LinkHealthConfig::down_after`]; the peer is
+    /// presumed unreachable and the node may island itself.
+    Down,
+    /// Traffic resumed after `Down`; the node runs its reconciliation
+    /// handshake before trusting the link again.
+    Recovering,
+}
+
+/// Tuning knobs for [`LinkHealth`] and [`RetransmitTracker`]. All
+/// horizons are in slots (the deterministic simulation clock), so
+/// detection behaviour is bit-identical at any worker-pool width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkHealthConfig {
+    /// Slots of silence before `Up` degrades to `Suspect`.
+    pub suspect_after: i64,
+    /// Slots of silence before `Suspect` degrades to `Down`
+    /// (must be ≥ `suspect_after`).
+    pub down_after: i64,
+    /// Backoff base for unacked-flush retransmits: attempt `n` waits
+    /// `retransmit_base << n` slots before firing.
+    pub retransmit_base: i64,
+    /// Retransmit attempts per unacked frontier before giving up and
+    /// leaving recovery to the resync path.
+    pub max_retransmits: u32,
+}
+
+impl Default for LinkHealthConfig {
+    fn default() -> LinkHealthConfig {
+        // A healthy hierarchy exchanges heartbeats roughly once per
+        // 96-slot day cycle, so ~2 silent cycles is suspicious and ~3
+        // is presumed dead.
+        LinkHealthConfig {
+            suspect_after: 200,
+            down_after: 300,
+            retransmit_base: 192,
+            max_retransmits: 3,
+        }
+    }
+}
+
+/// Counters kept by a [`LinkHealth`] detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkHealthStats {
+    /// `Up → Suspect` transitions observed.
+    pub suspects: u64,
+    /// `* → Down` transitions observed.
+    pub downs: u64,
+    /// `Recovering → Up` transitions observed (completed heals).
+    pub recoveries: u64,
+    /// Heartbeat envelopes processed on this link.
+    pub heartbeats_seen: u64,
+    /// Unacked-flush retransmits fired on this link.
+    pub retransmits: u64,
+}
+
+impl LinkHealthStats {
+    /// Accumulate another detector's counters (per-region rollups).
+    pub fn absorb(&mut self, other: &LinkHealthStats) {
+        self.suspects += other.suspects;
+        self.downs += other.downs;
+        self.recoveries += other.recoveries;
+        self.heartbeats_seen += other.heartbeats_seen;
+        self.retransmits += other.retransmits;
+    }
+}
+
+/// Deterministic ack-timeout failure detector for one link.
+///
+/// Purely slot-clocked: [`heard`](Self::heard) records peer traffic,
+/// [`tick`](Self::tick) advances the state machine against the silence
+/// horizon. No wall clock, no randomness — the same schedule of calls
+/// always produces the same transition sequence, which is what lets the
+/// chaos campaigns compare islanded runs bit-for-bit across pool
+/// widths.
+#[derive(Debug, Clone)]
+pub struct LinkHealth {
+    state: LinkState,
+    /// Last slot at which the peer was heard; `None` until first
+    /// traffic or first tick (the detector starts its silence clock at
+    /// whichever comes first, so a node booted into a dead link still
+    /// detects it, just counted from boot).
+    last_heard: Option<TimeSlot>,
+    config: LinkHealthConfig,
+    stats: LinkHealthStats,
+}
+
+impl LinkHealth {
+    /// A detector in `Up` with the given horizons.
+    pub fn new(config: LinkHealthConfig) -> LinkHealth {
+        LinkHealth {
+            state: LinkState::Up,
+            last_heard: None,
+            config,
+            stats: LinkHealthStats::default(),
+        }
+    }
+
+    /// Record peer traffic at `now`. `Suspect` heals straight back to
+    /// `Up`; `Down` only advances to `Recovering` — the owning node
+    /// must run its reconciliation handshake and let the next
+    /// [`tick`](Self::tick) confirm the heal.
+    pub fn heard(&mut self, now: TimeSlot) {
+        self.last_heard = Some(match self.last_heard {
+            Some(prev) if prev.0 > now.0 => prev,
+            _ => now,
+        });
+        match self.state {
+            LinkState::Suspect => self.state = LinkState::Up,
+            LinkState::Down => self.state = LinkState::Recovering,
+            LinkState::Up | LinkState::Recovering => {}
+        }
+    }
+
+    /// Record a heartbeat (also counts as traffic).
+    pub fn heard_heartbeat(&mut self, now: TimeSlot) {
+        self.stats.heartbeats_seen += 1;
+        self.heard(now);
+    }
+
+    /// Advance the detector to `now` and return the current state.
+    pub fn tick(&mut self, now: TimeSlot) -> LinkState {
+        let since = match self.last_heard {
+            Some(at) => now.0.saturating_sub(at.0),
+            None => {
+                // First observation: start the silence clock here.
+                self.last_heard = Some(now);
+                0
+            }
+        };
+        match self.state {
+            LinkState::Up | LinkState::Suspect => {
+                if since >= self.config.down_after {
+                    self.state = LinkState::Down;
+                    self.stats.downs += 1;
+                } else if since >= self.config.suspect_after {
+                    if self.state == LinkState::Up {
+                        self.stats.suspects += 1;
+                    }
+                    self.state = LinkState::Suspect;
+                }
+            }
+            LinkState::Recovering => {
+                if since >= self.config.down_after {
+                    // The heal did not stick.
+                    self.state = LinkState::Down;
+                    self.stats.downs += 1;
+                } else if since <= self.config.suspect_after {
+                    self.state = LinkState::Up;
+                    self.stats.recoveries += 1;
+                }
+            }
+            LinkState::Down => {}
+        }
+        self.state
+    }
+
+    /// Current state without advancing the clock.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    /// Whether the owning node should operate islanded (link presumed
+    /// unreachable).
+    pub fn is_down(&self) -> bool {
+        self.state == LinkState::Down
+    }
+
+    /// Detector counters.
+    pub fn stats(&self) -> LinkHealthStats {
+        self.stats
+    }
+
+    /// The detector's horizons.
+    pub fn config(&self) -> LinkHealthConfig {
+        self.config
+    }
+
+    /// Count a retransmit fired on this link.
+    pub fn note_retransmit(&mut self) {
+        self.stats.retransmits += 1;
+    }
+}
+
+/// Piggybacked-ack bookkeeping for one link's outbox flushes.
+///
+/// The sender counts flushes; the peer's heartbeats carry its
+/// cumulative applied count ([`Message::Heartbeat`]'s `seen`). When the
+/// frontier stays unacked past an exponentially backed-off deadline,
+/// [`should_retransmit`](Self::should_retransmit) fires — at most
+/// [`LinkHealthConfig::max_retransmits`] times per frontier. The
+/// retransmit payload is the sender's idempotent state *snapshot*
+/// (`ResyncSnapshot`), never a replayed delta batch: a re-sent batch
+/// would take a fresh sequence number and could regress newer state.
+///
+/// [`Message::Heartbeat`]: crate::message::Message::Heartbeat
+#[derive(Debug, Clone, Default)]
+pub struct RetransmitTracker {
+    /// Flushes sent on this link so far.
+    flushes_sent: u64,
+    /// Highest cumulative applied count acked by the peer.
+    acked: u64,
+    /// Slot the current unacked frontier started waiting at.
+    pending_since: Option<TimeSlot>,
+    /// Retransmit attempts fired for the current frontier.
+    attempts: u32,
+}
+
+impl RetransmitTracker {
+    /// Record one outbox flush at `now`.
+    pub fn on_flush(&mut self, now: TimeSlot) {
+        self.flushes_sent += 1;
+        if self.pending_since.is_none() {
+            self.pending_since = Some(now);
+            self.attempts = 0;
+        }
+    }
+
+    /// Record the peer's cumulative applied count from a heartbeat.
+    /// Returns whether the current frontier is now fully acked.
+    pub fn on_ack(&mut self, seen: u64) -> bool {
+        self.acked = self.acked.max(seen);
+        if self.acked >= self.flushes_sent {
+            self.pending_since = None;
+            self.attempts = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an unacked frontier has outwaited its backoff deadline.
+    /// Firing consumes one attempt and restarts the (doubled) backoff
+    /// clock; after the attempt budget is spent the tracker stays quiet
+    /// and leaves recovery to the resync path.
+    pub fn should_retransmit(&mut self, now: TimeSlot, config: &LinkHealthConfig) -> bool {
+        let Some(since) = self.pending_since else {
+            return false;
+        };
+        if self.attempts >= config.max_retransmits {
+            return false;
+        }
+        let wait = config.retransmit_base << self.attempts.min(31);
+        if now.0.saturating_sub(since.0) >= wait {
+            self.attempts += 1;
+            self.pending_since = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes sent on this link so far.
+    pub fn flushes_sent(&self) -> u64 {
+        self.flushes_sent
+    }
+
+    /// Highest cumulative applied count the peer has acked.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Flushes the peer has not acknowledged yet.
+    pub fn unacked(&self) -> u64 {
+        self.flushes_sent.saturating_sub(self.acked)
     }
 }
 
@@ -445,5 +843,99 @@ mod tests {
             assert!(rx.accept(Some(s)));
         }
         assert!(rx.seen.len() <= DEDUP_WINDOW);
+    }
+
+    #[test]
+    fn sequenced_rx_state_freezes_and_restores_mid_gap() {
+        let mut rx = SequencedRx::with_buffer_cap(8);
+        rx.receive(env(0));
+        rx.receive(env(2)); // gap at 1 parks seq 2
+        let state = rx.export_state();
+        assert_eq!(state.next_expected, 1);
+        assert_eq!(state.buffered.len(), 1);
+        assert!(state.resync_pending);
+        // Wire roundtrip, then resume: the late 1 still drains 1 and 2.
+        let back = SequencedRxState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        let mut restored = SequencedRx::from_state(back);
+        let (out, resync) = restored.receive(env(1));
+        assert_eq!(seqs(&out), vec![1, 2]);
+        assert!(!resync);
+        assert_eq!(restored.stats().delivered, rx.stats().delivered + 2);
+    }
+
+    #[test]
+    fn link_health_walks_up_suspect_down_recovering_up() {
+        let config = LinkHealthConfig {
+            suspect_after: 10,
+            down_after: 20,
+            ..LinkHealthConfig::default()
+        };
+        let mut health = LinkHealth::new(config);
+        assert_eq!(health.tick(TimeSlot(0)), LinkState::Up);
+        assert_eq!(health.tick(TimeSlot(9)), LinkState::Up);
+        assert_eq!(health.tick(TimeSlot(10)), LinkState::Suspect);
+        // Fresh traffic heals Suspect straight back to Up.
+        health.heard(TimeSlot(11));
+        assert_eq!(health.tick(TimeSlot(12)), LinkState::Up);
+        // Silence past the down horizon islands the link.
+        assert_eq!(health.tick(TimeSlot(31)), LinkState::Down);
+        assert_eq!(health.tick(TimeSlot(99)), LinkState::Down, "Down is sticky");
+        // Traffic resumes: Recovering first, Up once the next tick
+        // confirms the traffic is fresh.
+        health.heard_heartbeat(TimeSlot(100));
+        assert_eq!(health.state(), LinkState::Recovering);
+        assert_eq!(health.tick(TimeSlot(101)), LinkState::Up);
+        let stats = health.stats();
+        assert_eq!(stats.suspects, 1);
+        assert_eq!(stats.downs, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.heartbeats_seen, 1);
+    }
+
+    #[test]
+    fn link_health_recovering_can_relapse_to_down() {
+        let config = LinkHealthConfig {
+            suspect_after: 10,
+            down_after: 20,
+            ..LinkHealthConfig::default()
+        };
+        let mut health = LinkHealth::new(config);
+        health.tick(TimeSlot(0));
+        assert_eq!(health.tick(TimeSlot(25)), LinkState::Down);
+        health.heard(TimeSlot(26));
+        assert_eq!(health.state(), LinkState::Recovering);
+        // No further traffic: the heal did not stick.
+        assert_eq!(health.tick(TimeSlot(50)), LinkState::Down);
+        assert_eq!(health.stats().downs, 2);
+        assert_eq!(health.stats().recoveries, 0);
+    }
+
+    #[test]
+    fn retransmit_tracker_backs_off_exponentially_and_is_bounded() {
+        let config = LinkHealthConfig {
+            retransmit_base: 4,
+            max_retransmits: 2,
+            ..LinkHealthConfig::default()
+        };
+        let mut tracker = RetransmitTracker::default();
+        tracker.on_flush(TimeSlot(0));
+        assert_eq!(tracker.unacked(), 1);
+        assert!(!tracker.should_retransmit(TimeSlot(3), &config));
+        // First deadline: base << 0 = 4 slots.
+        assert!(tracker.should_retransmit(TimeSlot(4), &config));
+        // Second deadline doubles: base << 1 = 8 slots after the retry.
+        assert!(!tracker.should_retransmit(TimeSlot(11), &config));
+        assert!(tracker.should_retransmit(TimeSlot(12), &config));
+        // Attempt budget spent: the tracker stays quiet forever after.
+        assert!(!tracker.should_retransmit(TimeSlot(10_000), &config));
+        // A full ack clears the frontier and re-arms the tracker.
+        assert!(tracker.on_ack(1));
+        tracker.on_flush(TimeSlot(10_100));
+        assert!(tracker.should_retransmit(TimeSlot(10_104), &config));
+        // Partial acks do not clear the frontier.
+        tracker.on_flush(TimeSlot(10_105));
+        assert!(!tracker.on_ack(2));
+        assert_eq!(tracker.unacked(), 1);
     }
 }

@@ -13,8 +13,8 @@ use mirabel_edms::chaos::{
     crash_of, delay_burst, loss_storm, partition_between, run_campaign, CampaignConfig,
 };
 use mirabel_edms::{
-    simulate, BrpConfig, BrpNode, ChaosPlan, Envelope, FailureModel, Message, NodeWal,
-    SimulationConfig, WalConfig,
+    simulate, BrpConfig, BrpNode, ChaosPlan, Envelope, FailureModel, LinkHealthConfig, Message,
+    NodeWal, SimulationConfig, WalConfig,
 };
 use proptest::prelude::*;
 
@@ -154,6 +154,52 @@ fn chaos_campaign_deterministic_across_pool_widths() {
     };
     let narrow = campaign(Pool::new(1));
     let wide = campaign(Pool::new(8));
+    assert_eq!(narrow, wide);
+    assert!(narrow.converged(), "{}", narrow.summary());
+}
+
+/// Detector horizons that trip inside a two-cycle BRP↔TSO partition;
+/// retransmits pushed beyond the run so the islanding path is isolated.
+fn tight_link_health() -> LinkHealthConfig {
+    LinkHealthConfig {
+        suspect_after: 100,
+        down_after: 150,
+        retransmit_base: 10_000,
+        max_retransmits: 0,
+    }
+}
+
+/// The islanded-mode degraded loop — partition-driven islanding with
+/// provisional local balancing, heal-time reconciliation, and a
+/// WAL-backed TSO crash-restart — must be bit-identical at any worker
+/// pool width, at the full campaign-report level (islanded rounds,
+/// adopt/supersede audit counts, plan signatures, everything).
+#[test]
+fn islanding_campaign_deterministic_across_pool_widths() {
+    let campaign = |pool: Pool| {
+        run_campaign(&CampaignConfig {
+            sim: SimulationConfig {
+                chaos: ChaosPlan::reliable()
+                    .phase(partition_between(1, 3, BRP0, TSO))
+                    .phase(crash_of(4, TSO)),
+                wal: Some(WalConfig { snapshot_every: 16 }),
+                link_health: tight_link_health(),
+                pool,
+                ..three_level(8, 512)
+            },
+            quiet_cycles: 3,
+        })
+    };
+    let narrow = campaign(Pool::new(1));
+    let dual = campaign(Pool::new(2));
+    let wide = campaign(Pool::new(8));
+    assert!(
+        !narrow.chaos.islanded.is_empty(),
+        "the partition must island BRP 1:\n{}",
+        narrow.summary()
+    );
+    assert_eq!(narrow.chaos.crashes, 1, "the TSO crash must fire");
+    assert_eq!(narrow, dual);
     assert_eq!(narrow, wide);
     assert!(narrow.converged(), "{}", narrow.summary());
 }
@@ -335,6 +381,55 @@ fn release_scale_campaign_smoke() {
     );
     assert!(report.chaos.network.dropped > 0);
     assert!(report.chaos.network.replayed > 0);
+}
+
+/// Release-scale islanded-mode smoke for CI's `--ignored` step. The
+/// loss storm drops enough TSO heartbeats that a BRP's detector trips
+/// `Down` and it islands; its heal-time `ProvisionalReport` is then
+/// sent straight into the next partition window, so reconciliation
+/// rides the dead-letter replay path — the report reaches the TSO at
+/// the partition heal, over a delta stream that still carries a
+/// storm-loss gap, and must be audited anyway. A WAL-backed TSO
+/// crash-restart afterwards re-anchors every BRP, and the quiet tail
+/// is bit-identical despite full churn.
+#[test]
+#[ignore = "release-scale islanded-mode smoke; run with --ignored"]
+fn release_scale_islanding_smoke() {
+    let plan = ChaosPlan::reliable()
+        .phase(loss_storm(1, 3, 0.3))
+        .phase(partition_between(2, 4, BRP0, TSO))
+        .phase(partition_between(3, 5, NodeId(2), TSO))
+        .phase(crash_of(6, TSO));
+    let report = run_campaign(&CampaignConfig {
+        sim: SimulationConfig {
+            brps: 4,
+            prosumers_per_brp: 10,
+            offers_per_prosumer: 2,
+            budget_evaluations: 8_000,
+            chaos: plan,
+            churn_fraction: 0.10,
+            wal: Some(WalConfig { snapshot_every: 16 }),
+            link_health: tight_link_health(),
+            ..three_level(10, 131_072)
+        },
+        quiet_cycles: 4,
+    });
+    assert_eq!(report.chaos.crashes, 1, "the TSO crash must fire");
+    assert!(
+        !report.chaos.islanded.is_empty(),
+        "partitions must island BRPs:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.chaos.provisional_adopted + report.chaos.provisional_superseded > 0,
+        "the heal must audit provisional ledgers:\n{}",
+        report.summary()
+    );
+    assert!(
+        report.converged(),
+        "islanded-mode campaign left a trace:\n{}",
+        report.summary()
+    );
 }
 
 /// Release-scale crash-recovery smoke for CI's `--ignored` step: three

@@ -14,7 +14,7 @@ use mirabel_core::{
     ActorId, Energy, EnergyRange, FlexOffer, FlexOfferId, NodeId, OfferKind, Price, Profile,
     RegionId, ScheduledFlexOffer, Slice, TimeSlot,
 };
-use mirabel_edms::{Envelope, EventRecord, Message};
+use mirabel_edms::{DedupRx, Envelope, EventRecord, Message, SequencedRxState, StreamStats};
 use proptest::prelude::*;
 
 /// A small but fully parameterised offer: enough degrees of freedom to
@@ -249,6 +249,133 @@ proptest! {
         prop_assert_eq!(back.envelope.seq, Some(seq));
         prop_assert_eq!(back.envelope.from, NodeId(from));
         prop_assert_eq!(back.envelope.message, env.message);
+    }
+
+    /// The failure detector's liveness beacon: the cumulative ack
+    /// cursor it piggybacks must survive the frame.
+    #[test]
+    fn prop_heartbeat_roundtrip(seen in any::<u64>()) {
+        let msg = Message::Heartbeat { seen };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// The reconciliation hand-off: an islanded window's provisional
+    /// macro ledger — window start plus every schedule, including the
+    /// empty hand-off marker — must survive the frame.
+    #[test]
+    fn prop_provisional_report_roundtrip(
+        window_start in -1_000i64..1_000,
+        schedules in proptest::collection::vec(
+            (any::<u64>(), -500i64..500, proptest::collection::vec(-20.0f64..20.0, 0..6)),
+            0..6
+        ),
+    ) {
+        let msg = Message::ProvisionalReport {
+            window_start: TimeSlot(window_start),
+            assignments: schedules
+                .into_iter()
+                .map(|(id, start, energies)| ScheduledFlexOffer {
+                    offer_id: FlexOfferId(id),
+                    start: TimeSlot(start),
+                    slot_energies: energies.into_iter().map(Energy::from_kwh).collect(),
+                })
+                .collect(),
+        };
+        prop_assert_eq!(roundtrip(&msg), msg);
+    }
+
+    /// The new health-protocol frames must ride legacy (pre-federation)
+    /// framing too: a region-stripped EventRecord carrying a Heartbeat
+    /// decodes through the compat path with the payload intact.
+    #[test]
+    fn prop_heartbeat_in_legacy_frame_decodes(
+        seen in any::<u64>(),
+        seq in any::<u64>(),
+        sent_at in -1_000i64..1_000,
+    ) {
+        let env = Envelope::new(
+            NodeId(9_999),
+            NodeId(1),
+            TimeSlot(sent_at),
+            Message::Heartbeat { seen },
+        )
+        .with_seq(seq);
+        let record = EventRecord {
+            event_id: 1,
+            causation_id: None,
+            replay_safe: true,
+            recorded_at: TimeSlot(sent_at),
+            envelope: env.clone(),
+            region: RegionId::DEFAULT,
+        };
+        let mut frame = record.to_bytes();
+        let region_suffix = RegionId::DEFAULT.to_bytes().len();
+        frame.truncate(frame.len() - 2 * region_suffix);
+        let back = EventRecord::from_frame(&frame).unwrap();
+        prop_assert_eq!(back.envelope.message, Message::Heartbeat { seen });
+        prop_assert_eq!(back.envelope.seq, Some(seq));
+        prop_assert_eq!(back.region, RegionId::DEFAULT);
+    }
+
+    /// A [`SequencedRx`] freeze-frame — cursor, parked envelopes, buffer
+    /// cap, resync flag, counters — survives the snapshot codec.
+    #[test]
+    fn prop_sequenced_rx_state_roundtrip(
+        next_expected in any::<u64>(),
+        parked in proptest::collection::vec((any::<u64>(), 0.0f64..1.0), 0..5),
+        buffer_cap in 1u64..1_024,
+        resync_pending in any::<bool>(),
+        delivered in any::<u32>(),
+        duplicates in any::<u32>(),
+    ) {
+        let state = SequencedRxState {
+            next_expected,
+            buffered: parked
+                .into_iter()
+                .map(|(seq, value)| {
+                    Envelope::new(
+                        NodeId(1),
+                        NodeId(9_999),
+                        TimeSlot(0),
+                        Message::OfferAccepted { offer: FlexOfferId(seq), value },
+                    )
+                    .with_seq(seq)
+                })
+                .collect(),
+            buffer_cap,
+            resync_pending,
+            stats: StreamStats {
+                delivered: delivered as u64,
+                duplicates: duplicates as u64,
+                ..StreamStats::default()
+            },
+        };
+        let back = SequencedRxState::from_bytes(&state.to_bytes()).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    /// A [`DedupRx`] frozen mid-stream and rebuilt from its exported
+    /// state is *behaviorally* identical to the original: the exported
+    /// tuple matches, and both filters give the same accept/reject
+    /// verdict on any follow-up stream (duplicates of pre-freeze
+    /// deliveries included).
+    #[test]
+    fn prop_dedup_rx_state_roundtrips_behaviorally(
+        before in proptest::collection::vec(0u64..64, 0..48),
+        after in proptest::collection::vec(0u64..64, 0..48),
+    ) {
+        let mut original = DedupRx::default();
+        for seq in &before {
+            original.accept(Some(*seq));
+        }
+        let (delivered_below, seen, duplicates) = original.export_state();
+        let mut restored = DedupRx::from_state(delivered_below, seen, duplicates);
+        prop_assert_eq!(restored.export_state(), original.export_state());
+        for seq in &after {
+            prop_assert_eq!(restored.accept(Some(*seq)), original.accept(Some(*seq)));
+        }
+        prop_assert_eq!(restored.export_state(), original.export_state());
+        prop_assert_eq!(restored.duplicates, original.duplicates);
     }
 
     /// The WAL's event wrapper: ids, causation link, replay-safety flag,
